@@ -1,0 +1,102 @@
+// Command grapple-bench regenerates the paper's evaluation artifacts
+// (DESIGN.md §3) over the simulated subjects:
+//
+//	grapple-bench -table 1          subject characteristics (Table 1)
+//	grapple-bench -table 2          TP/FP per checker (Table 2)
+//	grapple-bench -table 3          graph sizes and times (Table 3)
+//	grapple-bench -figure 9         cost breakdown (Figure 9)
+//	grapple-bench -table 4          constraint-caching ablation (Table 4)
+//	grapple-bench -table 5          naive string-engine comparison (Table 5)
+//	grapple-bench -table oom        traditional in-memory OOM result (§5.3)
+//	grapple-bench -all              everything above
+//
+// -subjects restricts the subject set (comma separated), -mem sets the
+// engine memory budget, -naive-timeout bounds each naive run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom")
+	figure := flag.String("figure", "", "figure to regenerate: 9")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	subjects := flag.String("subjects", "", "comma-separated subject subset")
+	mem := flag.Int64("mem", 8<<20, "engine memory budget in bytes")
+	naiveTimeout := flag.Duration("naive-timeout", 2*time.Minute, "per-subject naive-engine timeout (DNF beyond)")
+	flag.Parse()
+
+	names := bench.SubjectNames()
+	if *subjects != "" {
+		names = strings.Split(*subjects, ",")
+	}
+	if !*all && *table == "" && *figure == "" {
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom | -figure 9")
+		os.Exit(2)
+	}
+
+	want := func(t string) bool { return *all || *table == t }
+	opts := bench.RunOptions{MemoryBudget: *mem}
+
+	if want("1") {
+		fmt.Println(bench.Table1())
+	}
+
+	var runs []*bench.SubjectRun
+	needRuns := want("2") || want("3") || *all || *figure == "9"
+	if needRuns {
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "analyzing %s...\n", name)
+			run, err := bench.RunSubject(name, opts)
+			if err != nil {
+				fatal(err)
+			}
+			runs = append(runs, run)
+		}
+	}
+	if want("2") {
+		fmt.Println(bench.Table2(runs))
+	}
+	if want("3") {
+		fmt.Println(bench.Table3(runs))
+	}
+	if *all || *figure == "9" {
+		fmt.Println(bench.Figure9(runs))
+	}
+	if want("4") {
+		fmt.Fprintln(os.Stderr, "running caching ablation (each subject twice)...")
+		out, _, err := bench.Table4(names, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("5") {
+		fmt.Fprintln(os.Stderr, "running naive string-engine comparison...")
+		out, _, err := bench.Table5(names, "", 0, *naiveTimeout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *all || *table == "oom" {
+		fmt.Fprintln(os.Stderr, "running traditional in-memory baseline...")
+		out, err := bench.TableOOM(names, 0, *naiveTimeout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grapple-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command grapple-gen emits the evaluation's synthetic subject programs
+// (DESIGN.md §1): MiniLang sources with a ground-truth manifest of seeded
+// bugs and expected false positives.
+//
+// Usage:
+//
+//	grapple-gen -subject hbase-sim -o out/
+//	grapple-gen -all -o out/
+//	grapple-gen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/grapple-system/grapple/internal/workload"
+)
+
+func main() {
+	subject := flag.String("subject", "", "subject profile to generate")
+	all := flag.Bool("all", false, "generate every subject")
+	list := flag.Bool("list", false, "list available subjects")
+	out := flag.String("o", ".", "output directory")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			s := workload.Generate(p)
+			fmt.Printf("%-15s %-12s %6d LoC  %3d seeded  %s\n",
+				p.Name, p.Version, s.LoC, len(s.Seeded), p.Description)
+		}
+		return
+	}
+
+	var names []string
+	switch {
+	case *all:
+		for _, p := range workload.Profiles() {
+			names = append(names, p.Name)
+		}
+	case *subject != "":
+		names = []string{*subject}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: grapple-gen -subject NAME | -all | -list")
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown subject %q (try -list)", name))
+		}
+		s := workload.Generate(p)
+		srcPath := filepath.Join(*out, name+".ml")
+		if err := os.WriteFile(srcPath, []byte(s.Source), 0o644); err != nil {
+			fatal(err)
+		}
+		var m strings.Builder
+		fmt.Fprintf(&m, "# ground truth for %s (line type checker kind expectFP)\n", name)
+		for _, sd := range s.Seeded {
+			fmt.Fprintf(&m, "%d %s %s %s %v\n", sd.Line, sd.Type, sd.Checker, sd.Kind, sd.ExpectFP)
+		}
+		manifestPath := filepath.Join(*out, name+".manifest")
+		if err := os.WriteFile(manifestPath, []byte(m.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d LoC) and %s (%d seeds)\n", srcPath, s.LoC, manifestPath, len(s.Seeded))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grapple-gen:", err)
+	os.Exit(2)
+}

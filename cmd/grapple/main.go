@@ -1,0 +1,38 @@
+// Command grapple checks MiniLang programs against finite-state property
+// specifications and reports FSM violations (paper §2.2's workflow as a
+// command-line tool).
+//
+// Usage:
+//
+//	grapple [flags] program.ml [more.ml ...]
+//
+// Multiple source files are concatenated into one compilation unit.
+//
+// Flags:
+//
+//	-fsm file      FSM spec file (repeatable); default: built-in checkers
+//	-workdir dir   partition directory (default: temporary)
+//	-mem bytes     engine memory budget (default 256 MiB)
+//	-unroll n      loop unroll depth (default 2)
+//	-json          emit reports as JSON (one object per line)
+//	-stats         print phase statistics and the cost breakdown
+//	-v             verbose reports (witness encodings and constraints)
+//
+// Exit status: 0 no warnings, 1 warnings found, 2 usage/analysis error.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grapple:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}

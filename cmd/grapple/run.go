@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	grapple "github.com/grapple-system/grapple"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// jsonReport is the machine-readable warning format (-json).
+type jsonReport struct {
+	File              string   `json:"file"`
+	Line              int      `json:"line"`
+	Col               int      `json:"col"`
+	FSM               string   `json:"fsm"`
+	Kind              string   `json:"kind"`
+	Type              string   `json:"type"`
+	States            []string `json:"states"`
+	Object            string   `json:"object,omitempty"`
+	Witness           string   `json:"witness,omitempty"`
+	WitnessConstraint string   `json:"witnessConstraint,omitempty"`
+}
+
+// run is the testable CLI core; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("grapple", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var fsmFiles multiFlag
+	fs.Var(&fsmFiles, "fsm", "FSM specification file (repeatable)")
+	workDir := fs.String("workdir", "", "partition directory (temporary if empty)")
+	mem := fs.Int64("mem", 0, "engine memory budget in bytes")
+	unroll := fs.Int("unroll", 0, "static loop unroll depth")
+	jsonOut := fs.Bool("json", false, "emit reports as JSON lines")
+	stats := fs.Bool("stats", false, "print phase statistics")
+	verbose := fs.Bool("v", false, "verbose reports")
+	query := fs.String("query", "", "points-to query 'method.variable' (e.g. main.w)")
+	dotDir := fs.String("dot", "", "write program graphs as Graphviz files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed the error
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: grapple [flags] program.ml [more.ml ...]")
+		fs.PrintDefaults()
+		return 2, nil
+	}
+
+	var fsms []*grapple.FSM
+	if len(fsmFiles) == 0 {
+		fsms = grapple.BuiltinCheckers()
+	} else {
+		for _, path := range fsmFiles {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return 2, err
+			}
+			parsed, err := grapple.ParseFSMs(string(data))
+			if err != nil {
+				return 2, fmt.Errorf("%s: %w", path, err)
+			}
+			fsms = append(fsms, parsed...)
+		}
+	}
+
+	// Concatenate sources; line numbers are reported against the combined
+	// unit, so remember each file's offset to map back.
+	type fileSpan struct {
+		name      string
+		startLine int // 1-based first line in the combined unit
+		lines     int
+	}
+	var spans []fileSpan
+	var combined strings.Builder
+	lineCount := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 2, err
+		}
+		text := string(data)
+		if !strings.HasSuffix(text, "\n") {
+			text += "\n"
+		}
+		n := strings.Count(text, "\n")
+		spans = append(spans, fileSpan{name: path, startLine: lineCount + 1, lines: n})
+		combined.WriteString(text)
+		lineCount += n
+	}
+	locate := func(line int) (string, int) {
+		for i := len(spans) - 1; i >= 0; i-- {
+			if line >= spans[i].startLine {
+				return spans[i].name, line - spans[i].startLine + 1
+			}
+		}
+		return fs.Arg(0), line
+	}
+
+	res, err := grapple.Check(combined.String(), fsms, grapple.Options{
+		WorkDir:        *workDir,
+		MemoryBudget:   *mem,
+		UnrollDepth:    *unroll,
+		RecordPointsTo: *query != "",
+		DumpDOT:        *dotDir,
+	})
+	if err != nil {
+		return 2, err
+	}
+
+	if *query != "" {
+		dot := strings.LastIndex(*query, ".")
+		if dot <= 0 || dot == len(*query)-1 {
+			return 2, fmt.Errorf("bad -query %q: want method.variable", *query)
+		}
+		method, varName := (*query)[:dot], (*query)[dot+1:]
+		facts := res.QueryPointsTo(method, varName)
+		if len(facts) == 0 {
+			fmt.Fprintf(stdout, "%s.%s points to nothing\n", method, varName)
+		}
+		seen := map[string]bool{}
+		for _, f := range facts {
+			file, line := locate(f.ObjPos.Line)
+			cond := ""
+			if f.Conditional {
+				cond = " under " + f.Constraint
+			}
+			key := fmt.Sprintf("%s.%s (clone %d) -> %s allocated at %s:%d%s",
+				method, varName, f.Ctx, f.ObjType, file, line, cond)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintln(stdout, key)
+		}
+	}
+
+	for _, r := range res.Reports {
+		file, line := locate(r.Pos.Line)
+		if *jsonOut {
+			out, _ := json.Marshal(jsonReport{
+				File: file, Line: line, Col: r.Pos.Col,
+				FSM: r.FSM, Kind: r.Kind.String(), Type: r.Type,
+				States: r.States, Object: r.Object,
+				Witness: r.Witness, WitnessConstraint: r.WitnessConstraint,
+			})
+			fmt.Fprintln(stdout, string(out))
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s: %s object may exit in state(s) %s\n",
+			file, line, r.Pos.Col, r.FSM, r.Kind, r.Type,
+			strings.Join(r.States, ","))
+		if *verbose {
+			fmt.Fprintf(stdout, "    object:     %s\n    witness:    %s\n    constraint: %s\n",
+				r.Object, r.Witness, r.WitnessConstraint)
+			for _, step := range r.Steps {
+				if step.Pos.Line > 0 {
+					sf, sl := locate(step.Pos.Line)
+					fmt.Fprintf(stdout, "    step:       %s:%d: %s\n", sf, sl, step.Desc)
+				} else {
+					fmt.Fprintf(stdout, "    step:       %s\n", step.Desc)
+				}
+			}
+		}
+	}
+	if *stats {
+		fmt.Fprintf(stdout, "\ntracked objects: %d\n", res.TrackedObjects)
+		printPhase(stdout, "alias", res.Alias)
+		printPhase(stdout, "dataflow", res.Dataflow)
+		fmt.Fprintf(stdout, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)
+		fmt.Fprintf(stdout, "breakdown: I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%\n",
+			res.Breakdown.IOPct, res.Breakdown.DecodePct, res.Breakdown.SolvePct, res.Breakdown.ComputePct)
+	}
+	if len(res.Reports) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func printPhase(w io.Writer, name string, p grapple.PhaseStats) {
+	fmt.Fprintf(w, "%-9s V=%d EB=%d EA=%d iterations=%d partitions=%d repartitions=%d solved=%d cache=%d/%d\n",
+		name+":", p.Vertices, p.EdgesBefore, p.EdgesAfter, p.Iterations,
+		p.Partitions, p.Repartitions, p.ConstraintsSolved, p.CacheHits, p.CacheLookups)
+}

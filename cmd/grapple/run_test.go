@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const leakySrc = `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.write();
+  return;
+}
+`
+
+func TestRunReportsLeak(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{prog}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "[io] leak") {
+		t.Fatalf("output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "p.ml:4:") {
+		t.Fatalf("wrong location: %q", out.String())
+	}
+}
+
+func TestRunCleanExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.close();
+  return;
+}
+`)
+	var out, errb bytes.Buffer
+	code, err := run([]string{prog}, &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v out=%q", code, err, out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-json", prog}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	var r jsonReport
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatalf("bad json %q: %v", out.String(), err)
+	}
+	if r.FSM != "io" || r.Kind != "leak" || r.Line != 4 {
+		t.Fatalf("report: %+v", r)
+	}
+}
+
+func TestRunMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	lib := writeFile(t, dir, "lib.ml", `
+type FileWriter;
+fun closeIt(w: FileWriter) {
+  w.close();
+  return;
+}
+`)
+	mainSrc := writeFile(t, dir, "main.ml", `
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var w2: FileWriter = new FileWriter();
+  closeIt(w);
+  w2.write();
+  return;
+}
+`)
+	var out, errb bytes.Buffer
+	code, err := run([]string{lib, mainSrc}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v out=%q", code, err, out.String())
+	}
+	// The leak (w2) is in main.ml line 4; the report must map back to it.
+	if !strings.Contains(out.String(), "main.ml:4:") {
+		t.Fatalf("cross-file location mapping wrong: %q", out.String())
+	}
+	if strings.Count(out.String(), "leak") != 1 {
+		t.Fatalf("want exactly one leak: %q", out.String())
+	}
+}
+
+func TestRunCustomFSMFile(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "txn.fsm", `
+fsm txn for Txn {
+  states Fresh Active Done;
+  init Fresh;
+  accept Fresh Done;
+  new:    Fresh -> Fresh;
+  begin:  Fresh -> Active;
+  commit: Active -> Done;
+}
+`)
+	prog := writeFile(t, dir, "p.ml", `
+type Txn;
+fun main() {
+  var t: Txn = new Txn();
+  t.begin();
+  return;
+}
+`)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-fsm", spec, prog}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v out=%q", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "[txn] leak") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestRunVerboseStats(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-v", "-stats", prog}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"witness:", "constraint:", "tracked objects:", "alias:", "dataflow:", "breakdown:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code, _ := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit code %d", code)
+	}
+	if code, _ := run([]string{"/nonexistent/file.ml"}, &out, &errb); code != 2 {
+		t.Fatalf("missing-file exit code %d", code)
+	}
+	dir := t.TempDir()
+	bad := writeFile(t, dir, "bad.ml", "fun main( {")
+	if code, _ := run([]string{bad}, &out, &errb); code != 2 {
+		t.Fatalf("parse-error exit code %d", code)
+	}
+	badSpec := writeFile(t, dir, "bad.fsm", "fsm x {")
+	good := writeFile(t, dir, "g.ml", leakySrc)
+	if code, _ := run([]string{"-fsm", badSpec, good}, &out, &errb); code != 2 {
+		t.Fatalf("bad-spec exit code %d", code)
+	}
+}
+
+func TestRunPointsToQuery(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", `
+type R;
+fun main() {
+  var x: R = new R();
+  var y: R = x;
+  y.use();
+  return;
+}
+`)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-query", "main.y", prog}, &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v out=%q", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "main.y") || !strings.Contains(out.String(), "p.ml:4") ||
+		!strings.Contains(out.String(), "R allocated at") {
+		t.Fatalf("query output: %q", out.String())
+	}
+	// Malformed query.
+	if code, _ := run([]string{"-query", "noVarPart", prog}, &out, &errb); code != 2 {
+		t.Fatalf("bad query exit code %d", code)
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	dotDir := filepath.Join(dir, "graphs")
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-dot", dotDir, prog}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, name := range []string{"alias.dot", "dataflow.dot"} {
+		data, err := os.ReadFile(filepath.Join(dotDir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		text := string(data)
+		if !strings.HasPrefix(text, "digraph") || !strings.Contains(text, "->") {
+			t.Fatalf("%s is not a graph:\n%s", name, text)
+		}
+	}
+	// The alias graph must show the Fig. 4 labels.
+	data, _ := os.ReadFile(filepath.Join(dotDir, "alias.dot"))
+	if !strings.Contains(string(data), "new") {
+		t.Fatalf("alias.dot missing new edge:\n%s", string(data))
+	}
+}

@@ -1,0 +1,84 @@
+// Socket-leak example: the ZooKeeper NIOServerCnxnFactory.reconfigure leak
+// of the paper's Fig. 1, reconstructed in MiniLang.
+//
+// configure() opens and binds a server socket; reconfigure() saves the old
+// socket, opens a replacement, and closes the old one only after several
+// statements that may throw. On the exception path the old socket is never
+// closed — the channel "would remain open indefinitely due to the loss of
+// reference".
+//
+//	go run ./examples/socketleak
+package main
+
+import (
+	"fmt"
+	"log"
+
+	grapple "github.com/grapple-system/grapple"
+)
+
+const program = `
+type Socket;
+type IOException;
+type Factory;
+
+// configure opens the initial server channel (Fig. 1's configure()).
+fun configure(f: Factory): Socket {
+  var ss: Socket = new Socket();
+  ss.bind();
+  ss.configureBlocking();
+  f.ss = ss;
+  return ss;
+}
+
+// wakeupAndJoin models acceptThread.wakeupSelector()/join(), which can
+// throw before the old channel is closed.
+fun wakeupAndJoin(n: int) {
+  if (n > 3) {
+    var e: IOException = new IOException();
+    throw e;
+  }
+  return;
+}
+
+// reconfigure rebinds to a new port (Fig. 1's reconfigure()): the old
+// channel is closed only if nothing throws first.
+fun reconfigure(f: Factory, n: int) {
+  var oldSS: Socket = f.ss;
+  var ss: Socket = new Socket();
+  ss.bind();
+  ss.configureBlocking();
+  f.ss = ss;
+  try {
+    wakeupAndJoin(n);
+    oldSS.close();
+  } catch (e) {
+    // Fig. 1's catch only logs; oldSS stays open. BUG.
+    n = 0;
+  }
+  ss.close();
+  return;
+}
+
+fun main() {
+  var f: Factory = new Factory();
+  var first: Socket = configure(f);
+  reconfigure(f, input());
+  return;
+}
+`
+
+func main() {
+	res, err := grapple.Check(program, grapple.BuiltinCheckers(), grapple.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracked objects: %d, warnings: %d\n\n", res.TrackedObjects, len(res.Reports))
+	for _, r := range res.Reports {
+		fmt.Printf("warning: %s\n", r)
+	}
+	fmt.Println()
+	fmt.Println("Expected: the socket opened in configure() leaks on the path where")
+	fmt.Println("wakeupAndJoin throws before oldSS.close() runs — the Fig. 1 bug.")
+	fmt.Println("The replacement socket is closed on every path and is not reported.")
+}

@@ -1,0 +1,3 @@
+module github.com/grapple-system/grapple
+
+go 1.22

@@ -1,0 +1,288 @@
+// Package grapple is a single-machine, disk-based graph system for fully
+// context-sensitive, path-sensitive finite-state property checking of large
+// codebases — a from-scratch Go implementation of "Grapple: A Graph System
+// for Static Finite-State Property Checking of Large-Scale Systems Code"
+// (EuroSys 2019).
+//
+// Grapple takes (1) a program, (2) object types of interest, and (3) FSMs
+// describing the legal states and transitions of those types; it tracks
+// every object of every specified type through a context- and
+// path-sensitive alias analysis and dataflow analysis — both formulated as
+// dynamic transitive closures over disk-resident program graphs — and
+// reports every object that some feasible path drives into an error state
+// or leaves in a non-accepting state at program exit.
+//
+// Quick start:
+//
+//	res, err := grapple.Check(source, grapple.BuiltinCheckers(), grapple.Options{})
+//	for _, r := range res.Reports {
+//	    fmt.Println(r)
+//	}
+//
+// The input language is MiniLang, a small Java-like language providing the
+// constructs the analyses consume (allocation, assignment, field store/
+// load, calls, branches, loops, exceptions); see the README for its
+// grammar. FSMs can be the built-in checkers (Java-I/O, lock usage,
+// exception handling, socket usage — the four properties of the paper's
+// evaluation), parsed from a spec file, or built programmatically.
+package grapple
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/engine"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/smt"
+)
+
+// FSM is a finite-state property specification for one object type.
+type FSM struct {
+	inner *fsm.FSM
+}
+
+// NewFSM creates an FSM for objects of the given type. The first state
+// listed is the initial state; an implicit absorbing "Error" state is added
+// and any (state, event) pair without a transition moves to it.
+func NewFSM(name, objectType string, states ...string) (*FSM, error) {
+	f, err := fsm.New(name, objectType, states...)
+	if err != nil {
+		return nil, err
+	}
+	return &FSM{inner: f}, nil
+}
+
+// SetInit selects the initial state by name.
+func (f *FSM) SetInit(state string) error { return f.inner.SetInit(state) }
+
+// SetAccept marks the states acceptable when the object's program exits.
+func (f *FSM) SetAccept(states ...string) error { return f.inner.SetAccept(states...) }
+
+// AddTransition adds "from --event--> to". Events are method names invoked
+// on tracked objects; "new" is the implicit allocation event.
+func (f *FSM) AddTransition(from, event, to string) error {
+	return f.inner.AddTransition(from, event, to)
+}
+
+// Name returns the FSM's name.
+func (f *FSM) Name() string { return f.inner.Name }
+
+// Type returns the object type the FSM applies to.
+func (f *FSM) Type() string { return f.inner.Type }
+
+// ParseFSMs parses FSM specifications from the text format:
+//
+//	fsm io for FileWriter {
+//	  states Init Open Close;
+//	  init Init;
+//	  accept Init Close;
+//	  new:   Init -> Open;
+//	  write: Open -> Open;
+//	  close: Open -> Close;
+//	}
+func ParseFSMs(src string) ([]*FSM, error) {
+	inner, err := fsm.ParseSpec(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*FSM, len(inner))
+	for i, f := range inner {
+		out[i] = &FSM{inner: f}
+	}
+	return out, nil
+}
+
+// BuiltinCheckers returns the four checkers of the paper's evaluation
+// (§5): Java I/O, lock usage, exception handling, and socket usage.
+func BuiltinCheckers() []*FSM {
+	inner := fsm.Builtins()
+	out := make([]*FSM, len(inner))
+	for i, f := range inner {
+		out[i] = &FSM{inner: f}
+	}
+	return out
+}
+
+// Kind classifies a warning.
+type Kind = checker.Kind
+
+// Warning kinds.
+const (
+	// KindError marks feasible event sequences reaching the FSM's error
+	// state (write-after-close, unlock-before-lock, ...).
+	KindError = checker.KindError
+	// KindLeak marks objects left in a non-accepting state at program exit
+	// (unclosed files/sockets, held locks, uncaught exceptions).
+	KindLeak = checker.KindLeak
+)
+
+// Report is one warning.
+type Report = checker.Report
+
+// WitnessStep is one source-level step of a warning's witness path.
+type WitnessStep = checker.WitnessStep
+
+// Position is a source location.
+type Position struct {
+	Line int
+	Col  int
+}
+
+// Options tunes a checking run. The zero value gives sensible defaults.
+type Options struct {
+	// WorkDir holds the on-disk graph partitions; a temporary directory is
+	// used (and removed) when empty.
+	WorkDir string
+	// MemoryBudget bounds the engine's in-memory edge data in bytes; two
+	// partitions loaded together never exceed it (default 256 MiB).
+	MemoryBudget int64
+	// Workers sets edge-induction parallelism (default GOMAXPROCS).
+	Workers int
+	// UnrollDepth statically unrolls loops this many times (default 2).
+	UnrollDepth int
+	// MaxNodesPerMethod bounds per-method symbolic-execution trees.
+	MaxNodesPerMethod int
+	// DisableConstraintCache turns off LRU memoization of solver verdicts
+	// (used by the Table-4 ablation).
+	DisableConstraintCache bool
+	// Bind maps extra object type names onto FSM names; an FSM always
+	// applies to its own declared type.
+	Bind map[string]string
+	// RecordPointsTo retains the alias phase's points-to facts so the
+	// Result can answer "what objects does a variable point to under a
+	// particular context?" (the query class the paper's cloning-based
+	// design exists to support, §2.1).
+	RecordPointsTo bool
+	// DumpDOT, when non-empty, writes the generated program graphs as
+	// Graphviz files (alias.dot, dataflow.dot) into that directory.
+	DumpDOT string
+}
+
+// PointsToFact is one alias-phase result: under one clone of Method, Var
+// may reference the object of type ObjType allocated at ObjPos, under
+// Constraint ("true" when unconditional).
+type PointsToFact = checker.PointsToFact
+
+// PhaseStats summarizes one engine phase for the evaluation tables.
+type PhaseStats struct {
+	Vertices          uint32
+	EdgesBefore       int64
+	EdgesAfter        int64
+	Iterations        int64
+	Partitions        int
+	Repartitions      int64
+	ConstraintsSolved int64
+	CacheLookups      int64
+	CacheHits         int64
+	RejectedUnsat     int64
+	RejectedConflict  int64
+	SolveTime         time.Duration
+}
+
+// Breakdown is the Figure-9 cost split (percent of summed component time).
+type Breakdown struct {
+	IOPct      float64
+	DecodePct  float64
+	SolvePct   float64
+	ComputePct float64
+}
+
+// Result is the outcome of a checking run.
+type Result struct {
+	// Reports lists warnings, ordered by source position.
+	Reports []Report
+	// Alias and Dataflow summarize the two closure phases.
+	Alias    PhaseStats
+	Dataflow PhaseStats
+	// GenTime is frontend + graph generation ("preprocessing" in Table 3);
+	// ComputeTime covers both engine runs and FSM checking.
+	GenTime     time.Duration
+	ComputeTime time.Duration
+	Breakdown   Breakdown
+	// TrackedObjects is the number of allocation instances with FSMs.
+	TrackedObjects int
+	// PointsTo holds alias facts when Options.RecordPointsTo is set.
+	PointsTo []PointsToFact
+}
+
+// QueryPointsTo returns the recorded alias facts for a variable of a
+// method, across every clone and block. Requires Options.RecordPointsTo.
+func (r *Result) QueryPointsTo(method, varName string) []PointsToFact {
+	var out []PointsToFact
+	for _, f := range r.PointsTo {
+		if f.Method == method && f.Var == varName {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func phaseStats(p checker.PhaseStats) PhaseStats {
+	return PhaseStats{
+		Vertices:          p.Vertices,
+		EdgesBefore:       p.EdgesBefore,
+		EdgesAfter:        p.EdgesAfter,
+		Iterations:        p.Iterations,
+		Partitions:        p.Partitions,
+		Repartitions:      p.Repartitions,
+		ConstraintsSolved: p.ConstraintsSolved,
+		CacheLookups:      p.CacheLookups,
+		CacheHits:         p.CacheHits,
+		RejectedUnsat:     p.RejectedUnsat,
+		RejectedConflict:  p.RejectedConflict,
+		SolveTime:         p.SolveTime,
+	}
+}
+
+// Check analyzes MiniLang source against the given FSM properties.
+func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
+	inner := make([]*fsm.FSM, len(fsms))
+	for i, f := range fsms {
+		inner[i] = f.inner
+	}
+	cacheSize := 0
+	if opts.DisableConstraintCache {
+		cacheSize = -1
+	}
+	c := checker.New(inner, checker.Options{
+		WorkDir:     opts.WorkDir,
+		UnrollDepth: opts.UnrollDepth,
+		Engine: engine.Options{
+			MemoryBudget: opts.MemoryBudget,
+			Workers:      opts.Workers,
+			CacheSize:    cacheSize,
+			SolverOpts:   smt.DefaultOptions(),
+		},
+		Bind:           opts.Bind,
+		RecordPointsTo: opts.RecordPointsTo,
+		DumpDOT:        opts.DumpDOT,
+	})
+	if opts.MaxNodesPerMethod > 0 {
+		c.Opts.CFET.MaxNodesPerMethod = opts.MaxNodesPerMethod
+	}
+	res, err := c.CheckSource(source)
+	if err != nil {
+		return nil, err
+	}
+	io, dec, sol, comp := res.Breakdown.Percentages()
+	return &Result{
+		Reports:  res.Reports,
+		Alias:    phaseStats(res.Alias),
+		Dataflow: phaseStats(res.Dataflow),
+		GenTime:  res.GenTime, ComputeTime: res.ComputeTime,
+		Breakdown:      Breakdown{IOPct: io, DecodePct: dec, SolvePct: sol, ComputePct: comp},
+		TrackedObjects: res.TrackedObjects,
+		PointsTo:       res.PointsTo,
+	}, nil
+}
+
+// CheckFile analyzes a MiniLang source file.
+func CheckFile(path string, fsms []*FSM, opts Options) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("grapple: %w", err)
+	}
+	return Check(string(data), fsms, opts)
+}

@@ -1,0 +1,362 @@
+package grapple
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Integration tests drive the whole pipeline (frontend -> ICFET -> cloning
+// -> alias closure -> dataflow closure -> FSM checking) through the public
+// API on programs that combine multiple features at once.
+
+func mustCheck(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	if opts.WorkDir == "" {
+		opts.WorkDir = t.TempDir()
+	}
+	res, err := Check(src, BuiltinCheckers(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func kinds(res *Result) (leaks, errors int) {
+	for _, r := range res.Reports {
+		if r.Kind == KindLeak {
+			leaks++
+		} else {
+			errors++
+		}
+	}
+	return
+}
+
+// TestIntegrationDeepCallChain tracks a resource through a five-deep call
+// chain where the close happens at the bottom.
+func TestIntegrationDeepCallChain(t *testing.T) {
+	src := `
+type FileWriter;
+fun l5(w: FileWriter) { w.close(); return; }
+fun l4(w: FileWriter) { l5(w); return; }
+fun l3(w: FileWriter) { w.write(); l4(w); return; }
+fun l2(w: FileWriter) { l3(w); return; }
+fun l1(w: FileWriter) { l2(w); return; }
+fun main() {
+  var w: FileWriter = new FileWriter();
+  l1(w);
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	if len(res.Reports) != 0 {
+		t.Fatalf("deep-chain close missed: %v", res.Reports)
+	}
+}
+
+// TestIntegrationRecursionSharedClone: recursive methods are analyzed
+// context-insensitively through a single shared clone (paper §2.1). The
+// analysis must terminate, and the known imprecision — the recursion's
+// re-entry re-applies the abstract object's events, so the same writer can
+// appear to be written after its close — may produce at most one warning on
+// the recursive allocation itself, never elsewhere.
+func TestIntegrationRecursionSharedClone(t *testing.T) {
+	src := `
+type FileWriter;
+fun walk(n: int) {
+  if (n <= 0) {
+    return;
+  }
+  var w: FileWriter = new FileWriter();
+  w.write();
+  w.close();
+  walk(n - 1);
+  return;
+}
+fun main() {
+  var outer: FileWriter = new FileWriter();
+  outer.write();
+  walk(input());
+  outer.close();
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	for _, r := range res.Reports {
+		if r.Pos.Line != 7 {
+			t.Fatalf("warning outside the recursive allocation: %v", r)
+		}
+	}
+	if len(res.Reports) > 1 {
+		t.Fatalf("too many recursive warnings: %v", res.Reports)
+	}
+}
+
+// TestIntegrationRecursiveLeak: the leak inside a recursive function is
+// still found.
+func TestIntegrationRecursiveLeak(t *testing.T) {
+	src := `
+type FileWriter;
+fun walk(n: int) {
+  if (n <= 0) {
+    return;
+  }
+  var w: FileWriter = new FileWriter();
+  w.write();
+  walk(n - 1);
+  return;
+}
+fun main() {
+  walk(input());
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	leaks, _ := kinds(res)
+	if leaks == 0 {
+		t.Fatalf("recursive leak missed: %v", res.Reports)
+	}
+}
+
+// TestIntegrationFieldChains: object flows through two hops of heap storage.
+func TestIntegrationFieldChains(t *testing.T) {
+	src := `
+type FileWriter;
+type Inner;
+type Outer;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var inner: Inner = new Inner();
+  var outer: Outer = new Outer();
+  inner.fw = w;
+  outer.in = inner;
+  var i2: Inner = outer.in;
+  var w2: FileWriter = i2.fw;
+  w2.write();
+  w2.close();
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	if len(res.Reports) != 0 {
+		t.Fatalf("two-hop heap close missed: %v", res.Reports)
+	}
+}
+
+// TestIntegrationExceptionThroughTwoFrames: an exception thrown two frames
+// down and caught at the top; the intermediate frame must propagate.
+func TestIntegrationExceptionThroughTwoFrames(t *testing.T) {
+	src := `
+type Exception;
+type Socket;
+fun inner(n: int) {
+  if (n > 10) {
+    throw new Exception();
+  }
+  return;
+}
+fun middle(n: int) {
+  inner(n);
+  return;
+}
+fun main() {
+  var s: Socket = new Socket();
+  s.bind();
+  try {
+    middle(input());
+    s.close();
+  } catch (e) {
+    s.close();
+  }
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	if len(res.Reports) != 0 {
+		t.Fatalf("two-frame exception handling flagged: %v", res.Reports)
+	}
+}
+
+// TestIntegrationMixedTypesOneFunction: four tracked types in one scope,
+// each with a different outcome.
+func TestIntegrationMixedTypesOneFunction(t *testing.T) {
+	src := `
+type FileWriter;
+type Lock;
+type Socket;
+type Exception;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var l: Lock = new Lock();
+  var s: Socket = new Socket();
+  l.lock();
+  w.write();
+  s.bind();
+  w.close();
+  l.unlock();
+  // socket never closed: one leak expected
+  if (input() < 0 - 100) {
+    throw new Exception();   // uncaught: one leak expected
+  }
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	byFSM := map[string]int{}
+	for _, r := range res.Reports {
+		byFSM[r.FSM]++
+	}
+	if byFSM["socket"] != 1 || byFSM["exception"] != 1 || byFSM["io"] != 0 || byFSM["lock"] != 0 {
+		t.Fatalf("per-checker outcome wrong: %v (%v)", byFSM, res.Reports)
+	}
+}
+
+// TestIntegrationPathCorrelationAcrossCalls: the guard and the cleanup live
+// in different functions but share the same input; the callee's constraint
+// must flow through the call edge (parameter-passing equations, §3.2).
+func TestIntegrationPathCorrelationAcrossCalls(t *testing.T) {
+	src := `
+type FileWriter;
+fun shouldClose(n: int): int {
+  if (n >= 0) {
+    return 1;
+  }
+  return 0;
+}
+fun main() {
+  var w: FileWriter = null;
+  var n: int = input();
+  if (n >= 0) {
+    w = new FileWriter();
+    w.write();
+  }
+  var flag: int = shouldClose(n);
+  if (flag > 0) {
+    w.close();
+  }
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	// flag>0 iff n>=0 iff the writer exists: no feasible leak path. This
+	// requires decoding the call's return equation (flag = 1 under n>=0,
+	// flag = 0 under n<0).
+	if len(res.Reports) != 0 {
+		t.Fatalf("interprocedural correlation lost: %v", res.Reports)
+	}
+}
+
+// TestIntegrationLoopCarriedResource: open before a loop, close after; the
+// loop body only uses the resource.
+func TestIntegrationLoopCarriedResource(t *testing.T) {
+	src := `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var i: int = 0;
+  var n: int = input();
+  while (i < n) {
+    w.write();
+    if (i > 50) {
+      w.flush();
+    }
+    i = i + 1;
+  }
+  w.close();
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	if len(res.Reports) != 0 {
+		t.Fatalf("loop-carried resource flagged: %v", res.Reports)
+	}
+}
+
+// TestIntegrationWitnessesAreReported: warnings carry a decodable witness.
+func TestIntegrationWitnessesAreReported(t *testing.T) {
+	src := `
+type Socket;
+fun main() {
+  var s: Socket = new Socket();
+  s.bind();
+  if (input() > 7) {
+    s.close();
+  }
+  return;
+}`
+	res := mustCheck(t, src, Options{})
+	if len(res.Reports) != 1 {
+		t.Fatalf("reports: %v", res.Reports)
+	}
+	r := res.Reports[0]
+	if r.Witness == "" || r.Witness == "{}" {
+		t.Fatalf("empty witness: %+v", r)
+	}
+	if r.WitnessConstraint == "" {
+		t.Fatal("empty witness constraint")
+	}
+	// The leak path requires NOT taking the close branch: the constraint
+	// should mention the comparison against 7.
+	if !strings.Contains(r.WitnessConstraint, "7") {
+		t.Fatalf("witness constraint %q should involve the guard", r.WitnessConstraint)
+	}
+}
+
+// TestIntegrationManyObjectsScale: dozens of independent resources in one
+// program; exactly the odd-indexed ones leak.
+func TestIntegrationManyObjectsScale(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("type FileWriter;\nfun main() {\n")
+	const n = 30
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  var w%d: FileWriter = new FileWriter();\n", i)
+		fmt.Fprintf(&b, "  w%d.write();\n", i)
+		if i%2 == 0 {
+			fmt.Fprintf(&b, "  w%d.close();\n", i)
+		}
+	}
+	b.WriteString("  return;\n}\n")
+	res := mustCheck(t, b.String(), Options{})
+	leaks, errs := kinds(res)
+	if leaks != n/2 || errs != 0 {
+		t.Fatalf("want %d leaks, got %d leaks %d errors", n/2, leaks, errs)
+	}
+}
+
+// TestIntegrationOutOfCoreAgreesWithInMemory: a tiny memory budget (heavy
+// partitioning) must not change any report.
+func TestIntegrationOutOfCoreAgreesWithInMemory(t *testing.T) {
+	src := `
+type Socket;
+type FileWriter;
+fun open(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  return w;
+}
+fun main() {
+  var a: FileWriter = open();
+  var b: FileWriter = open();
+  a.write();
+  a.close();
+  b.write();
+  var s: Socket = new Socket();
+  s.bind();
+  if (input() > 0) {
+    s.close();
+  }
+  return;
+}`
+	// Enough resources to make the graphs non-trivial.
+	var extra strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&extra, "  var e%d: FileWriter = open();\n  e%d.write();\n  e%d.close();\n", i, i, i)
+	}
+	src = strings.Replace(src, "  return;\n}", extra.String()+"  return;\n}", 1)
+	big := mustCheck(t, src, Options{MemoryBudget: 256 << 20})
+	small := mustCheck(t, src, Options{MemoryBudget: 16 << 10})
+	if len(big.Reports) != len(small.Reports) {
+		t.Fatalf("budget changed results: %d vs %d\nbig: %v\nsmall: %v",
+			len(big.Reports), len(small.Reports), big.Reports, small.Reports)
+	}
+	for i := range big.Reports {
+		if big.Reports[i].Pos != small.Reports[i].Pos || big.Reports[i].Kind != small.Reports[i].Kind {
+			t.Fatalf("report %d differs: %v vs %v", i, big.Reports[i], small.Reports[i])
+		}
+	}
+	if small.Alias.Partitions < 2 && small.Dataflow.Partitions < 2 {
+		t.Fatalf("small budget did not partition: %+v / %+v", small.Alias, small.Dataflow)
+	}
+}

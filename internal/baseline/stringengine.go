@@ -1,0 +1,555 @@
+package baseline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/constraint"
+	"github.com/grapple-system/grapple/internal/grammar"
+	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/storage"
+	"github.com/grapple-system/grapple/internal/symbolic"
+)
+
+// MarshalConj renders a conjunction as the self-contained text the naive
+// engine embeds into each edge: "2*s3-1*s7+4<=0&&1*s2!=0". Verbose decimal
+// text is exactly what "represent the actual constraints ... and save them
+// with edges" costs in practice (§5.3, Table 5).
+func MarshalConj(c constraint.Conj) string {
+	if len(c) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, a := range c {
+		if i > 0 {
+			b.WriteString("&&")
+		}
+		for j, t := range a.LHS.Terms {
+			if j > 0 && t.Coeff >= 0 {
+				b.WriteByte('+')
+			}
+			fmt.Fprintf(&b, "%d*s%d", t.Coeff, t.Sym)
+		}
+		if len(a.LHS.Terms) == 0 || a.LHS.Const != 0 {
+			if len(a.LHS.Terms) > 0 && a.LHS.Const >= 0 {
+				b.WriteByte('+')
+			}
+			fmt.Fprintf(&b, "%d", a.LHS.Const)
+		}
+		b.WriteString(a.Op.String())
+		b.WriteByte('0')
+	}
+	return b.String()
+}
+
+// UnmarshalConj parses MarshalConj's output.
+func UnmarshalConj(s string) (constraint.Conj, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out constraint.Conj
+	for _, atomText := range strings.Split(s, "&&") {
+		var op constraint.Op
+		var idx int
+		switch {
+		case strings.Contains(atomText, "<="):
+			op, idx = constraint.LE, strings.Index(atomText, "<=")
+		case strings.Contains(atomText, ">="):
+			op, idx = constraint.GE, strings.Index(atomText, ">=")
+		case strings.Contains(atomText, "!="):
+			op, idx = constraint.NE, strings.Index(atomText, "!=")
+		case strings.Contains(atomText, "=="):
+			op, idx = constraint.EQ, strings.Index(atomText, "==")
+		case strings.Contains(atomText, "<"):
+			op, idx = constraint.LT, strings.Index(atomText, "<")
+		case strings.Contains(atomText, ">"):
+			op, idx = constraint.GT, strings.Index(atomText, ">")
+		default:
+			return nil, fmt.Errorf("baseline: bad atom %q", atomText)
+		}
+		lhs := atomText[:idx]
+		expr, err := parseLinear(lhs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, constraint.Atom{LHS: expr, Op: op})
+	}
+	return out, nil
+}
+
+func parseLinear(s string) (symbolic.Expr, error) {
+	e := symbolic.Expr{}
+	i := 0
+	for i < len(s) {
+		j := i
+		if s[j] == '+' || s[j] == '-' {
+			j++
+		}
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		coeff, err := strconv.ParseInt(s[i:j], 10, 64)
+		if err != nil {
+			return e, fmt.Errorf("baseline: bad coefficient in %q", s)
+		}
+		if j < len(s) && s[j] == '*' {
+			j++
+			if j >= len(s) || s[j] != 's' {
+				return e, fmt.Errorf("baseline: expected symbol in %q", s)
+			}
+			j++
+			k := j
+			for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+				k++
+			}
+			sym, err := strconv.ParseInt(s[j:k], 10, 32)
+			if err != nil {
+				return e, fmt.Errorf("baseline: bad symbol in %q", s)
+			}
+			e = e.Add(symbolic.Var(symbolic.Sym(sym)).Scale(coeff))
+			i = k
+			continue
+		}
+		e = e.Add(symbolic.Const(coeff))
+		i = j
+	}
+	return e, nil
+}
+
+// StringStats reports a naive string-engine run (Table 5's columns).
+type StringStats struct {
+	Partitions  int
+	Iterations  int64
+	Constraints int64 // solver invocations
+	EdgesAfter  int64
+	Elapsed     time.Duration
+	TimedOut    bool
+}
+
+// StringOptions configures the naive engine.
+type StringOptions struct {
+	Dir          string
+	MemoryBudget int64
+	Timeout      time.Duration
+	// MaxVariants terminates constraint-variant growth as in the main
+	// engine (the naive engine still must terminate to be measured).
+	MaxVariants int
+}
+
+// strEdge is the naive edge representation: the constraint is carried as a
+// string, so edge data is an order of magnitude larger than an interval
+// sequence and every solve re-parses it.
+type strEdge struct {
+	src, dst uint32
+	label    grammar.Label
+	gen      uint32
+	text     string
+}
+
+func (e *strEdge) bytes() int64 { return 16 + int64(len(e.text)) }
+
+type strPart struct {
+	lo, hi uint32
+	path   string
+	bytes  int64
+	maxGen uint32
+}
+
+// StringEngine is the "naive implementation that encodes constraints into
+// strings" the paper compares against in Table 5. It shares the
+// edge-pair-centric structure of the real engine but (a) stores full
+// constraint strings on edges, inflating partitions, (b) re-joins whole
+// partition pairs without semi-naive filtering, and (c) never memoizes
+// solver calls.
+type StringEngine struct {
+	ic   *cfet.ICFET
+	g    *grammar.Grammar
+	opts StringOptions
+
+	parts    []*strPart
+	keys     map[uint64]bool
+	vars     map[storage.Endpoint]int
+	lastPair map[[2]*strPart]uint32
+	stats    StringStats
+	gen      uint32
+}
+
+// NewStringEngine builds a naive engine.
+func NewStringEngine(ic *cfet.ICFET, g *grammar.Grammar, opts StringOptions) *StringEngine {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = 64 << 20
+	}
+	if opts.MaxVariants <= 0 {
+		opts.MaxVariants = 6
+	}
+	return &StringEngine{
+		ic: ic, g: g, opts: opts,
+		keys:     map[uint64]bool{},
+		vars:     map[storage.Endpoint]int{},
+		lastPair: map[[2]*strPart]uint32{},
+	}
+}
+
+func strEdgeKey(e *strEdge) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) { h ^= v; h *= 1099511628211 }
+	mix(uint64(e.src))
+	mix(uint64(e.dst))
+	mix(uint64(e.label))
+	for i := 0; i < len(e.text); i++ {
+		mix(uint64(e.text[i]))
+	}
+	return h
+}
+
+// Run computes the closure; initial edges' encodings are decoded up-front
+// into constraint strings.
+func (se *StringEngine) Run(initial []storage.Edge, numVertices uint32) (*StringStats, error) {
+	start := time.Now()
+	if err := os.MkdirAll(se.opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	var deadline time.Time
+	if se.opts.Timeout > 0 {
+		deadline = start.Add(se.opts.Timeout)
+	}
+
+	var all []*strEdge
+	for i := range initial {
+		conj, err := se.ic.Decode(initial[i].Enc)
+		if err != nil {
+			conj = nil
+		}
+		e := &strEdge{src: initial[i].Src, dst: initial[i].Dst,
+			label: initial[i].Label, text: MarshalConj(conj)}
+		for _, v := range se.expand(e) {
+			k := strEdgeKey(v)
+			if !se.keys[k] {
+				se.keys[k] = true
+				se.vars[storage.Endpoint{Src: v.src, Dst: v.dst, Label: v.label}]++
+				all = append(all, v)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].src < all[j].src })
+	if err := se.partition(all, numVertices); err != nil {
+		return nil, err
+	}
+
+	solver := smt.New(smt.DefaultOptions())
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			se.stats.TimedOut = true
+			break
+		}
+		i, j, ok := se.nextDirtyPair()
+		if !ok {
+			break
+		}
+		if err := se.processPair(i, j, solver, deadline); err != nil {
+			return nil, err
+		}
+		se.stats.Iterations++
+	}
+	se.stats.Partitions = len(se.parts)
+	se.stats.Elapsed = time.Since(start)
+	var edges int64
+	for _, p := range se.parts {
+		es, err := se.loadPart(p)
+		if err != nil {
+			return nil, err
+		}
+		edges += int64(len(es))
+	}
+	se.stats.EdgesAfter = edges
+	s := se.stats
+	return &s, nil
+}
+
+func (se *StringEngine) expand(e *strEdge) []*strEdge {
+	out := []*strEdge{e}
+	for i := 0; i < len(out); i++ {
+		cur := out[i]
+		for _, head := range se.g.MatchUnary(cur.label) {
+			out = append(out, &strEdge{src: cur.src, dst: cur.dst, label: head, gen: cur.gen, text: cur.text})
+		}
+		if m := se.g.Mirror(cur.label); m != grammar.NoLabel {
+			out = append(out, &strEdge{src: cur.dst, dst: cur.src, label: m, gen: cur.gen, text: cur.text})
+		}
+	}
+	return out
+}
+
+func (se *StringEngine) partition(all []*strEdge, numVertices uint32) error {
+	limit := se.opts.MemoryBudget / 4
+	var cur []*strEdge
+	var curBytes int64
+	var lo uint32
+	flush := func(hi uint32) error {
+		p := &strPart{lo: lo, hi: hi,
+			path: filepath.Join(se.opts.Dir, fmt.Sprintf("npart-%06d.txt", len(se.parts)))}
+		for _, e := range cur {
+			p.bytes += e.bytes()
+		}
+		if err := se.storePart(p, cur); err != nil {
+			return err
+		}
+		se.parts = append(se.parts, p)
+		cur, curBytes = nil, 0
+		lo = hi
+		return nil
+	}
+	for i := 0; i < len(all); {
+		src := all[i].src
+		j := i
+		var gb int64
+		for ; j < len(all) && all[j].src == src; j++ {
+			gb += all[j].bytes()
+		}
+		if curBytes > 0 && curBytes+gb > limit {
+			if err := flush(src); err != nil {
+				return err
+			}
+		}
+		cur = append(cur, all[i:j]...)
+		curBytes += gb
+		i = j
+	}
+	if numVertices == 0 {
+		numVertices = 1
+	}
+	if err := flush(numVertices); err != nil {
+		return err
+	}
+	se.parts[len(se.parts)-1].hi = numVertices
+	return nil
+}
+
+// storePart / loadPart use a plain text format: src dst label gen text\n.
+func (se *StringEngine) storePart(p *strPart, edges []*strEdge) error {
+	var b strings.Builder
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%d %d %d %d %s\n", e.src, e.dst, e.label, e.gen, e.text)
+	}
+	return os.WriteFile(p.path, []byte(b.String()), 0o644)
+}
+
+func (se *StringEngine) loadPart(p *strPart) ([]*strEdge, error) {
+	data, err := os.ReadFile(p.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []*strEdge
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 5)
+		if len(parts) < 4 {
+			return nil, fmt.Errorf("baseline: bad record %q", line)
+		}
+		src, _ := strconv.ParseUint(parts[0], 10, 32)
+		dst, _ := strconv.ParseUint(parts[1], 10, 32)
+		label, _ := strconv.ParseUint(parts[2], 10, 16)
+		gen, _ := strconv.ParseUint(parts[3], 10, 32)
+		text := ""
+		if len(parts) == 5 {
+			text = parts[4]
+		}
+		out = append(out, &strEdge{src: uint32(src), dst: uint32(dst),
+			label: grammar.Label(label), gen: uint32(gen), text: text})
+	}
+	return out, nil
+}
+
+// nextDirtyPair picks a pair one of whose sides changed since the pair was
+// last processed. Unlike the real engine there is no edge-level semi-naive
+// filtering: a dirty pair is re-joined wholesale.
+func (se *StringEngine) nextDirtyPair() (int, int, bool) {
+	for i := 0; i < len(se.parts); i++ {
+		for j := i; j < len(se.parts); j++ {
+			key := [2]*strPart{se.parts[i], se.parts[j]}
+			last, seen := se.lastPair[key]
+			if !seen || se.parts[i].maxGen > last || se.parts[j].maxGen > last {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (se *StringEngine) partOf(v uint32) int {
+	for i, p := range se.parts {
+		if v >= p.lo && v < p.hi {
+			return i
+		}
+	}
+	return len(se.parts) - 1
+}
+
+func (se *StringEngine) processPair(i, j int, solver *smt.Solver, deadline time.Time) error {
+	se.gen++
+	se.lastPair[[2]*strPart{se.parts[i], se.parts[j]}] = se.gen - 1
+	ei, err := se.loadPart(se.parts[i])
+	if err != nil {
+		return err
+	}
+	ej := ei
+	if j != i {
+		if ej, err = se.loadPart(se.parts[j]); err != nil {
+			return err
+		}
+	}
+	bySrc := map[uint32][]*strEdge{}
+	index := func(es []*strEdge) {
+		for _, e := range es {
+			bySrc[e.src] = append(bySrc[e.src], e)
+		}
+	}
+	index(ei)
+	if j != i {
+		index(ej)
+	}
+	firsts := append([]*strEdge{}, ei...)
+	if j != i {
+		firsts = append(firsts, ej...)
+	}
+
+	added := map[int][]*strEdge{}
+	for _, e1 := range firsts {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			se.stats.TimedOut = true
+			break
+		}
+		for _, e2 := range bySrc[e1.dst] {
+			heads := se.g.MatchBinary(e1.label, e2.label)
+			if len(heads) == 0 {
+				continue
+			}
+			text := concatConstraints(e1.text, e2.text)
+			// No memoization: every candidate re-parses and re-solves.
+			conj, perr := UnmarshalConj(text)
+			if perr == nil && len(conj) > 0 {
+				se.stats.Constraints++
+				if solver.Solve(conj) == smt.Unsat {
+					continue
+				}
+			}
+			for _, h := range heads {
+				cand := &strEdge{src: e1.src, dst: e2.dst, label: h, gen: se.gen, text: text}
+				for _, v := range se.expand(cand) {
+					k := strEdgeKey(v)
+					if se.keys[k] {
+						continue
+					}
+					ep := storage.Endpoint{Src: v.src, Dst: v.dst, Label: v.label}
+					if se.vars[ep] >= se.opts.MaxVariants && v.text != "" {
+						v = &strEdge{src: v.src, dst: v.dst, label: v.label, gen: v.gen}
+						k = strEdgeKey(v)
+						if se.keys[k] {
+							continue
+						}
+					}
+					se.keys[k] = true
+					se.vars[ep]++
+					owner := se.partOf(v.src)
+					added[owner] = append(added[owner], v)
+				}
+			}
+		}
+	}
+	// Append new edges to their partitions and split oversized ones.
+	for owner, es := range added {
+		p := se.parts[owner]
+		existing, err := se.loadPart(p)
+		if err != nil {
+			return err
+		}
+		existing = append(existing, es...)
+		for _, e := range es {
+			p.bytes += e.bytes()
+			if e.gen > p.maxGen {
+				p.maxGen = e.gen
+			}
+		}
+		if err := se.storePart(p, existing); err != nil {
+			return err
+		}
+		if p.bytes > se.opts.MemoryBudget/3 && p.hi-p.lo > 1 {
+			if err := se.split(owner, existing); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func concatConstraints(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "&&" + b
+	}
+}
+
+func (se *StringEngine) split(idx int, edges []*strEdge) error {
+	p := se.parts[idx]
+	srcs := make([]uint32, len(edges))
+	for i, e := range edges {
+		srcs[i] = e.src
+	}
+	sort.Slice(srcs, func(a, b int) bool { return srcs[a] < srcs[b] })
+	mid := srcs[len(srcs)/2]
+	if mid <= p.lo || mid >= p.hi {
+		mid = p.lo + (p.hi-p.lo)/2
+	}
+	if mid <= p.lo || mid >= p.hi {
+		return nil
+	}
+	var loE, hiE []*strEdge
+	var loB, hiB int64
+	var loG, hiG uint32
+	for _, e := range edges {
+		if e.src < mid {
+			loE = append(loE, e)
+			loB += e.bytes()
+			if e.gen > loG {
+				loG = e.gen
+			}
+		} else {
+			hiE = append(hiE, e)
+			hiB += e.bytes()
+			if e.gen > hiG {
+				hiG = e.gen
+			}
+		}
+	}
+	np := &strPart{lo: mid, hi: p.hi,
+		path:  filepath.Join(se.opts.Dir, fmt.Sprintf("npart-%06d.txt", len(se.parts))),
+		bytes: hiB, maxGen: hiG}
+	p.hi = mid
+	p.bytes = loB
+	p.maxGen = loG
+	if err := se.storePart(p, loE); err != nil {
+		return err
+	}
+	if err := se.storePart(np, hiE); err != nil {
+		return err
+	}
+	se.parts = append(se.parts, nil)
+	copy(se.parts[idx+2:], se.parts[idx+1:])
+	se.parts[idx+1] = np
+	return nil
+}

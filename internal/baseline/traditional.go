@@ -1,0 +1,213 @@
+// Package baseline implements the two comparison systems of the paper's
+// §5.3: a traditional (non-systemized) in-memory worklist implementation of
+// the path-sensitive analysis that represents constraints as explicit
+// formula objects attached to edges — which exhausts memory on every
+// subject — and a "naive systemized" variant of the disk engine that embeds
+// constraints into edges as strings instead of interval encodings (Table 5).
+package baseline
+
+import (
+	"errors"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/constraint"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/grammar"
+	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// ErrOutOfMemory is returned when the traditional implementation exceeds
+// its memory budget ("they all crashed with out-of-memory errors", §5.4).
+var ErrOutOfMemory = errors.New("baseline: out of memory")
+
+// ErrTimeout is returned when a baseline exceeds its wall-clock budget
+// (Table 5's ">200h" entry).
+var ErrTimeout = errors.New("baseline: timed out")
+
+// TraditionalStats reports a traditional-implementation run.
+type TraditionalStats struct {
+	Edges     int64
+	PeakBytes int64
+	OOM       bool
+	Elapsed   time.Duration
+}
+
+// TraditionalOptions configures the worklist analysis.
+type TraditionalOptions struct {
+	// MemoryBudget bounds the estimated bytes of live edges + constraint
+	// objects; exceeding it aborts with OOM (the paper's result).
+	MemoryBudget int64
+	// Timeout bounds wall-clock time.
+	Timeout time.Duration
+	// UseRel composes FSM transition relations (dataflow/typestate graphs).
+	UseRel bool
+}
+
+// tradEdge carries the constraint as an explicit in-memory formula object,
+// exactly the naive representation §3 argues against.
+type tradEdge struct {
+	src, dst uint32
+	label    grammar.Label
+	rel      fsm.Rel
+	conj     constraint.Conj
+}
+
+// relBytes is the footprint of an explicit relation object.
+const relBytes = 32
+
+func conjBytes(c constraint.Conj) int64 {
+	n := int64(24) // slice header
+	for _, a := range c {
+		n += 24 + 16*int64(len(a.LHS.Terms)) + 9
+	}
+	return n
+}
+
+func (e *tradEdge) bytes() int64 { return 16 + relBytes + conjBytes(e.conj) }
+
+// RunTraditional runs the worklist-based, fully in-memory path-sensitive
+// closure with explicit constraint objects. It is faithful to the paper's
+// comparison implementation: no disk support, no encoding, no memoization —
+// and consequently it exhausts any realistic memory budget on real subjects.
+func RunTraditional(ic *cfet.ICFET, g *grammar.Grammar, initial []storage.Edge,
+	opts TraditionalOptions) (*TraditionalStats, error) {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = 64 << 20
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+	stats := &TraditionalStats{}
+	solver := smt.New(smt.DefaultOptions())
+
+	var edges []*tradEdge
+	bySrc := map[uint32][]*tradEdge{}
+	byDst := map[uint32][]*tradEdge{}
+	seen := map[uint64]bool{}
+	var mem int64
+
+	keyOf := func(e *tradEdge) uint64 {
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			h ^= v
+			h *= 1099511628211
+		}
+		mix(uint64(e.src))
+		mix(uint64(e.dst))
+		mix(uint64(e.label))
+		for _, row := range e.rel {
+			mix(uint64(row))
+		}
+		for _, a := range e.conj {
+			mix(uint64(a.Op))
+			mix(uint64(a.LHS.Const))
+			for _, t := range a.LHS.Terms {
+				mix(uint64(t.Sym))
+				mix(uint64(t.Coeff))
+			}
+		}
+		return h
+	}
+
+	var work []*tradEdge
+	add := func(e *tradEdge) bool {
+		k := keyOf(e)
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		edges = append(edges, e)
+		bySrc[e.src] = append(bySrc[e.src], e)
+		byDst[e.dst] = append(byDst[e.dst], e)
+		work = append(work, e)
+		mem += e.bytes() + 8 /* map entry */
+		if mem > stats.PeakBytes {
+			stats.PeakBytes = mem
+		}
+		return mem <= opts.MemoryBudget
+	}
+
+	expand := func(e *tradEdge) []*tradEdge {
+		out := []*tradEdge{e}
+		for i := 0; i < len(out); i++ {
+			cur := out[i]
+			for _, head := range g.MatchUnary(cur.label) {
+				out = append(out, &tradEdge{src: cur.src, dst: cur.dst, label: head, rel: cur.rel, conj: cur.conj})
+			}
+			if m := g.Mirror(cur.label); m != grammar.NoLabel {
+				out = append(out, &tradEdge{src: cur.dst, dst: cur.src, label: m, rel: cur.rel, conj: cur.conj})
+			}
+		}
+		return out
+	}
+
+	for i := range initial {
+		conj, err := ic.Decode(initial[i].Enc)
+		if err != nil {
+			conj = nil
+		}
+		for _, v := range expand(&tradEdge{
+			src: initial[i].Src, dst: initial[i].Dst,
+			label: initial[i].Label, rel: initial[i].Rel, conj: conj,
+		}) {
+			if !add(v) {
+				stats.OOM = true
+				stats.Edges = int64(len(edges))
+				stats.Elapsed = time.Since(start)
+				return stats, ErrOutOfMemory
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			stats.Edges = int64(len(edges))
+			stats.Elapsed = time.Since(start)
+			return stats, ErrTimeout
+		}
+		e1 := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Join e1 with successors (e1 as left) and predecessors (as right).
+		var candidates []*tradEdge
+		for _, e2 := range bySrc[e1.dst] {
+			for _, head := range g.MatchBinary(e1.label, e2.label) {
+				conj := append(append(constraint.Conj{}, e1.conj...), e2.conj...)
+				cand := &tradEdge{src: e1.src, dst: e2.dst, label: head, conj: conj}
+				if opts.UseRel {
+					cand.rel = fsm.Compose(e1.rel, e2.rel)
+				}
+				candidates = append(candidates, cand)
+			}
+		}
+		for _, e0 := range byDst[e1.src] {
+			for _, head := range g.MatchBinary(e0.label, e1.label) {
+				conj := append(append(constraint.Conj{}, e0.conj...), e1.conj...)
+				cand := &tradEdge{src: e0.src, dst: e1.dst, label: head, conj: conj}
+				if opts.UseRel {
+					cand.rel = fsm.Compose(e0.rel, e1.rel)
+				}
+				candidates = append(candidates, cand)
+			}
+		}
+		for _, c := range candidates {
+			if len(c.conj) > 0 && solver.Solve(c.conj) == smt.Unsat {
+				continue
+			}
+			for _, v := range expand(c) {
+				if !add(v) {
+					stats.OOM = true
+					stats.Edges = int64(len(edges))
+					stats.Elapsed = time.Since(start)
+					return stats, ErrOutOfMemory
+				}
+			}
+		}
+	}
+	stats.Edges = int64(len(edges))
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}

@@ -1,0 +1,217 @@
+// Package callgraph builds the static call graph of a lowered program,
+// identifies strongly connected components (recursion) with Tarjan's
+// algorithm, and produces the orders the rest of Grapple needs: a bottom-up
+// (reverse-topological) order over SCCs for callee-graph cloning (paper
+// §2.1 "Graph Cloning for Context Sensitivity") and the recursion groups
+// that are collapsed and treated context-insensitively (§2.1, §3.3).
+package callgraph
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// Graph is the call graph of a program.
+type Graph struct {
+	Prog *ir.Program
+	// Callees maps a function name to its (deduplicated, sorted) callees.
+	Callees map[string][]string
+	// Callers is the reverse relation.
+	Callers map[string][]string
+	// CallSites maps a function name to the Call statements in its body.
+	CallSites map[string][]*ir.Call
+
+	// SCCs lists strongly connected components; each is a sorted name list.
+	SCCs [][]string
+	// SCCIndex maps a function name to its index in SCCs.
+	SCCIndex map[string]int
+	// BottomUp lists SCC indices callees-first: every callee's SCC appears
+	// before (or with, if recursive) its callers'.
+	BottomUp []int
+}
+
+// Build constructs the call graph and its SCC condensation.
+func Build(p *ir.Program) *Graph {
+	g := &Graph{
+		Prog:      p,
+		Callees:   map[string][]string{},
+		Callers:   map[string][]string{},
+		CallSites: map[string][]*ir.Call{},
+		SCCIndex:  map[string]int{},
+	}
+	for _, fn := range p.Funs {
+		seen := map[string]bool{}
+		collectCalls(fn.Body, func(c *ir.Call) {
+			g.CallSites[fn.Name] = append(g.CallSites[fn.Name], c)
+			if !seen[c.Callee] {
+				seen[c.Callee] = true
+				g.Callees[fn.Name] = append(g.Callees[fn.Name], c.Callee)
+			}
+		})
+		sort.Strings(g.Callees[fn.Name])
+	}
+	for caller, callees := range g.Callees {
+		for _, callee := range callees {
+			g.Callers[callee] = append(g.Callers[callee], caller)
+		}
+	}
+	for _, callers := range g.Callers {
+		sort.Strings(callers)
+	}
+	g.tarjan()
+	return g
+}
+
+func collectCalls(b *ir.Block, f func(*ir.Call)) {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ir.Call:
+			f(s)
+		case *ir.If:
+			collectCalls(s.Then, f)
+			collectCalls(s.Else, f)
+		case *ir.TryRegion:
+			collectCalls(s.Body, f)
+			collectCalls(s.Catch, f)
+		}
+	}
+}
+
+// tarjan computes SCCs iteratively (systems code can have deep call chains;
+// no recursion on the Go stack). Tarjan emits SCCs callees-first, which is
+// exactly the bottom-up order cloning needs.
+func (g *Graph) tarjan() {
+	type frame struct {
+		name string
+		ci   int // next callee index
+	}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	counter := 0
+
+	var names []string
+	for _, fn := range g.Prog.Funs {
+		names = append(names, fn.Name)
+	}
+
+	for _, root := range names {
+		if _, visited := index[root]; visited {
+			continue
+		}
+		frames := []frame{{name: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			callees := g.Callees[f.name]
+			advanced := false
+			for f.ci < len(callees) {
+				callee := callees[f.ci]
+				f.ci++
+				if g.Prog.FunByName[callee] == nil {
+					continue // call to undeclared function; frontend rejects, be safe
+				}
+				if _, seen := index[callee]; !seen {
+					index[callee] = counter
+					low[callee] = counter
+					counter++
+					stack = append(stack, callee)
+					onStack[callee] = true
+					frames = append(frames, frame{name: callee})
+					advanced = true
+					break
+				}
+				if onStack[callee] && low[f.name] > index[callee] {
+					low[f.name] = index[callee]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-visit.
+			if low[f.name] == index[f.name] {
+				var scc []string
+				for {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[n] = false
+					scc = append(scc, n)
+					if n == f.name {
+						break
+					}
+				}
+				sort.Strings(scc)
+				id := len(g.SCCs)
+				g.SCCs = append(g.SCCs, scc)
+				for _, n := range scc {
+					g.SCCIndex[n] = id
+				}
+				g.BottomUp = append(g.BottomUp, id)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[parent.name] > low[f.name] {
+					low[parent.name] = low[f.name]
+				}
+			}
+		}
+	}
+}
+
+// IsRecursive reports whether name participates in recursion (its SCC has
+// more than one member, or it calls itself).
+func (g *Graph) IsRecursive(name string) bool {
+	scc := g.SCCs[g.SCCIndex[name]]
+	if len(scc) > 1 {
+		return true
+	}
+	for _, c := range g.Callees[name] {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Roots returns functions never called by another function (entry points),
+// sorted. A program whose every function is called still analyzes "main"
+// first if present.
+func (g *Graph) Roots() []string {
+	var roots []string
+	for _, fn := range g.Prog.Funs {
+		if len(g.Callers[fn.Name]) == 0 {
+			roots = append(roots, fn.Name)
+		}
+	}
+	if len(roots) == 0 {
+		if g.Prog.FunByName["main"] != nil {
+			roots = []string{"main"}
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+// Reachable returns the set of functions reachable from the given roots.
+func (g *Graph) Reachable(roots []string) map[string]bool {
+	seen := map[string]bool{}
+	work := append([]string(nil), roots...)
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[n] || g.Prog.FunByName[n] == nil {
+			continue
+		}
+		seen[n] = true
+		work = append(work, g.Callees[n]...)
+	}
+	return seen
+}

@@ -1,0 +1,140 @@
+package callgraph
+
+import (
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := lang.Resolve(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(info, ir.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(p)
+}
+
+func TestLinearChain(t *testing.T) {
+	g := build(t, `
+fun c() { return; }
+fun b() { c(); return; }
+fun a() { b(); return; }
+fun main() { a(); return; }
+`)
+	if len(g.SCCs) != 4 {
+		t.Fatalf("SCCs = %v", g.SCCs)
+	}
+	// Bottom-up: c before b before a before main.
+	pos := map[string]int{}
+	for i, id := range g.BottomUp {
+		for _, n := range g.SCCs[id] {
+			pos[n] = i
+		}
+	}
+	if !(pos["c"] < pos["b"] && pos["b"] < pos["a"] && pos["a"] < pos["main"]) {
+		t.Fatalf("bottom-up order wrong: %v", pos)
+	}
+	if got := g.Roots(); len(got) != 1 || got[0] != "main" {
+		t.Fatalf("roots = %v", got)
+	}
+}
+
+func TestMutualRecursionSCC(t *testing.T) {
+	g := build(t, `
+fun even(n: int): int { if (n > 0) { return odd(n - 1); } return 1; }
+fun odd(n: int): int { if (n > 0) { return even(n - 1); } return 0; }
+fun main() { even(4); return; }
+`)
+	if g.SCCIndex["even"] != g.SCCIndex["odd"] {
+		t.Fatal("even and odd must share an SCC")
+	}
+	if !g.IsRecursive("even") || !g.IsRecursive("odd") {
+		t.Fatal("recursion not detected")
+	}
+	if g.IsRecursive("main") {
+		t.Fatal("main is not recursive")
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	g := build(t, `
+fun f(n: int): int { if (n > 0) { return f(n - 1); } return 0; }
+fun main() { f(3); return; }
+`)
+	if !g.IsRecursive("f") {
+		t.Fatal("self recursion not detected")
+	}
+	scc := g.SCCs[g.SCCIndex["f"]]
+	if len(scc) != 1 || scc[0] != "f" {
+		t.Fatalf("scc = %v", scc)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := build(t, `
+fun d() { return; }
+fun b() { d(); return; }
+fun c() { d(); return; }
+fun main() { b(); c(); return; }
+`)
+	reach := g.Reachable([]string{"main"})
+	for _, n := range []string{"main", "b", "c", "d"} {
+		if !reach[n] {
+			t.Errorf("%s unreachable", n)
+		}
+	}
+	if len(g.Callers["d"]) != 2 {
+		t.Fatalf("callers of d = %v", g.Callers["d"])
+	}
+	// d's SCC must come before b's and c's bottom-up.
+	pos := map[string]int{}
+	for i, id := range g.BottomUp {
+		for _, n := range g.SCCs[id] {
+			pos[n] = i
+		}
+	}
+	if !(pos["d"] < pos["b"] && pos["d"] < pos["c"]) {
+		t.Fatalf("bottom-up order wrong: %v", pos)
+	}
+}
+
+func TestUnreachableFunction(t *testing.T) {
+	g := build(t, `
+fun orphan() { return; }
+fun main() { return; }
+`)
+	reach := g.Reachable([]string{"main"})
+	if reach["orphan"] {
+		t.Fatal("orphan should be unreachable from main")
+	}
+	roots := g.Roots()
+	if len(roots) != 2 { // both main and orphan are uncalled
+		t.Fatalf("roots = %v", roots)
+	}
+}
+
+func TestCallSitesCollected(t *testing.T) {
+	g := build(t, `
+fun f() { return; }
+fun main() {
+  f();
+  if (input() > 0) {
+    f();
+  }
+  return;
+}
+`)
+	if len(g.CallSites["main"]) != 2 {
+		t.Fatalf("call sites in main = %d", len(g.CallSites["main"]))
+	}
+}

@@ -1,0 +1,549 @@
+// Package cfet implements the paper's central data structure (§3): per-method
+// control-flow execution trees (CFETs) built by symbolic execution, connected
+// into an interprocedural CFET (ICFET) by call/return edges, together with
+// the interval-based path encoding, Algorithm-1 decoding, and the four
+// encoding-merge cases of §4.2.
+//
+// A CFET is a binary tree of extended basic blocks. Node IDs follow the
+// Eytzinger-style numbering of §3.1: the root is 0 and a node n has false
+// child 2n+1 and true child 2n+2, so a parent is recovered by (id-1)>>1 and a
+// child's branch direction by its parity. (The paper's Algorithm 1 prints
+// "ID >> 1"; with its own numbering that is exact only for odd IDs — the
+// intended, correct computation is (ID-1)>>1, which this package uses.)
+//
+// The ICFET is an in-memory index: it is never cloned (§3.3); context
+// sensitivity in the *program graph* comes from inlining, while ICFET paths
+// achieve context sensitivity by matching call/return parentheses during
+// decoding.
+package cfet
+
+import (
+	"fmt"
+
+	"github.com/grapple-system/grapple/internal/constraint"
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+	"github.com/grapple-system/grapple/internal/symbolic"
+)
+
+// MethodID indexes a method's CFET within an ICFET.
+type MethodID int32
+
+// LeafKind classifies how a CFET path ends.
+type LeafKind uint8
+
+// Leaf kinds.
+const (
+	LeafNone     LeafKind = iota // interior node
+	LeafReturn                   // normal return (explicit or fall-off)
+	LeafThrow                    // exceptional exit ($exc set)
+	LeafTruncate                 // exploration budget exhausted
+)
+
+// PlacedStmt is one statement instance executed in a CFET node. The same IR
+// statement appears in every node whose path prefix executes it.
+type PlacedStmt struct {
+	Stmt ir.Stmt
+	// CallEdge is the ICFET call-edge ID when Stmt is *ir.Call, else -1.
+	CallEdge int32
+	// EventResultSym is the opaque symbol bound to an Event's result, or
+	// symbolic.NoSym.
+	EventResultSym symbolic.Sym
+}
+
+// RetInfo describes the value returned at a leaf.
+type RetInfo struct {
+	Kind    LeafKind
+	HasExpr bool
+	Expr    symbolic.Expr // integer return value (symbolic), if HasExpr
+	ObjVar  string        // object-typed return variable, "" if none
+}
+
+// Node is one extended basic block of a CFET.
+type Node struct {
+	ID      uint64
+	HasCond bool
+	// Cond is the symbolic branch conditional evaluated at the end of the
+	// block (only local, per §3.1 — full path constraints are reconstructed
+	// by decoding).
+	Cond constraint.Atom
+	// CondPos is the source position of the branch conditional.
+	CondPos lang.Pos
+	// CondText is the conditional as written (for witness explanations).
+	CondText string
+	Stmts    []PlacedStmt
+	Leaf     LeafKind
+	Ret      RetInfo
+}
+
+// CFET is the control-flow execution tree of one method.
+type CFET struct {
+	Method MethodID
+	Name   string
+	Fn     *ir.Func
+	Nodes  map[uint64]*Node
+	Leaves []uint64
+	// Syms is every symbolic variable created for this method (params,
+	// opaque inputs, call results, branch opaques); decoding renames these
+	// per call-frame instance.
+	Syms []symbolic.Sym
+	// ParamSym maps a formal parameter name to its symbol.
+	ParamSym map[string]symbolic.Sym
+	// Truncated counts paths dropped by the node budget.
+	Truncated int
+
+	symsSet map[symbolic.Sym]bool // lazy cache, see symSet
+}
+
+// Equation asserts Sym == Expr; used on call edges for parameter passing
+// (§3.2 "a = 2*x") and on return edges for result binding ("y = a - 1").
+type Equation struct {
+	Sym  symbolic.Sym
+	Expr symbolic.Expr
+}
+
+// CallEdge connects a caller CFET node to a callee CFET root (§3.2). One
+// call edge exists per call-statement instance (per node containing it).
+type CallEdge struct {
+	ID         int32
+	Caller     MethodID
+	CallerNode uint64
+	Callee     MethodID
+	// ParamEqs bind callee parameter symbols to caller-side expressions.
+	ParamEqs []Equation
+	// RetSym is the caller-side symbol receiving an integer result
+	// (symbolic.NoSym when the result is void, object-typed or ignored).
+	RetSym symbolic.Sym
+	// Site is the IR call-site ID (for reporting).
+	Site int32
+}
+
+// ICFET is the whole-program index: all CFETs plus call edges.
+type ICFET struct {
+	Syms         *symbolic.Table
+	Methods      []*CFET
+	MethodByName map[string]MethodID
+	CallEdges    []*CallEdge
+	// MaxEncLen caps encoding growth (see Merge); conservative fallback
+	// above it.
+	MaxEncLen int
+}
+
+// Options tunes CFET construction.
+type Options struct {
+	// MaxNodesPerMethod bounds symbolic-execution tree growth per method;
+	// paths beyond the budget are truncated (counted in CFET.Truncated).
+	// Zero means the default of 4096.
+	MaxNodesPerMethod int
+	// MaxEncLen caps merged encoding length (elements); zero means 64.
+	MaxEncLen int
+}
+
+// maxNodeID keeps child IDs representable: beyond depth ~61 we truncate.
+const maxNodeID = uint64(1) << 61
+
+// Build symbolically executes every function of p and assembles the ICFET.
+func Build(p *ir.Program, syms *symbolic.Table, opts Options) (*ICFET, error) {
+	if opts.MaxNodesPerMethod <= 0 {
+		opts.MaxNodesPerMethod = 4096
+	}
+	if opts.MaxEncLen <= 0 {
+		opts.MaxEncLen = 64
+	}
+	ic := &ICFET{
+		Syms:         syms,
+		MethodByName: map[string]MethodID{},
+		MaxEncLen:    opts.MaxEncLen,
+	}
+	// Assign method IDs first so call edges can reference forward.
+	for i, fn := range p.Funs {
+		id := MethodID(i)
+		ic.MethodByName[fn.Name] = id
+		ic.Methods = append(ic.Methods, &CFET{
+			Method:   id,
+			Name:     fn.Name,
+			Fn:       fn,
+			Nodes:    map[uint64]*Node{},
+			ParamSym: map[string]symbolic.Sym{},
+		})
+	}
+	for i, fn := range p.Funs {
+		b := &walker{
+			ic:     ic,
+			m:      ic.Methods[i],
+			budget: opts.MaxNodesPerMethod,
+		}
+		if err := b.run(fn); err != nil {
+			return nil, err
+		}
+	}
+	// Materialize owned-symbol sets now: the engine's workers decode
+	// concurrently and must only read CFET state.
+	for _, m := range ic.Methods {
+		m.buildSymSet()
+	}
+	return ic, nil
+}
+
+// Method returns the CFET of a method by name.
+func (ic *ICFET) Method(name string) *CFET {
+	id, ok := ic.MethodByName[name]
+	if !ok {
+		return nil
+	}
+	return ic.Methods[id]
+}
+
+// boolVal is a boolean variable's symbolic value: a known atom or opaque.
+type boolVal struct {
+	known bool
+	atom  constraint.Atom
+	opq   symbolic.Sym // used when !known
+}
+
+// env is a symbolic-execution environment.
+type env struct {
+	ints  map[string]symbolic.Expr
+	bools map[string]boolVal
+}
+
+func (e env) clone() env {
+	n := env{
+		ints:  make(map[string]symbolic.Expr, len(e.ints)),
+		bools: make(map[string]boolVal, len(e.bools)),
+	}
+	for k, v := range e.ints {
+		n.ints[k] = v
+	}
+	for k, v := range e.bools {
+		n.bools[k] = v
+	}
+	return n
+}
+
+type walker struct {
+	ic     *ICFET
+	m      *CFET
+	budget int
+	nodes  int
+	// opqSyms caches stable symbols for opaque branch conditions.
+	opqSyms map[int32]symbolic.Sym
+}
+
+func (w *walker) fresh(prefix string) symbolic.Sym {
+	s := w.ic.Syms.Fresh(w.m.Name + "." + prefix)
+	w.m.Syms = append(w.m.Syms, s)
+	return s
+}
+
+func (w *walker) intern(name string) symbolic.Sym {
+	s := w.ic.Syms.Intern(w.m.Name + "." + name)
+	w.m.Syms = append(w.m.Syms, s)
+	return s
+}
+
+func (w *walker) opaqueSym(id int32) symbolic.Sym {
+	if w.opqSyms == nil {
+		w.opqSyms = map[int32]symbolic.Sym{}
+	}
+	if s, ok := w.opqSyms[id]; ok {
+		return s
+	}
+	s := w.intern(fmt.Sprintf("opq%d", id))
+	w.opqSyms[id] = s
+	return s
+}
+
+func (w *walker) newNode(id uint64) *Node {
+	n := &Node{ID: id}
+	w.m.Nodes[id] = n
+	w.nodes++
+	return n
+}
+
+// contFrame lets statements after an If run inside both branches.
+type contFrame struct {
+	stmts []ir.Stmt
+	next  *contFrame
+}
+
+func (w *walker) run(fn *ir.Func) error {
+	e := env{ints: map[string]symbolic.Expr{}, bools: map[string]boolVal{}}
+	for _, p := range fn.Params {
+		s := w.intern(p.Name)
+		w.m.ParamSym[p.Name] = s
+		if p.Type == "int" || p.Type == "bool" {
+			e.ints[p.Name] = symbolic.Var(s)
+		}
+	}
+	root := w.newNode(0)
+	w.walk(fn.Body.Stmts, nil, root, e)
+	return nil
+}
+
+// walk executes stmts in node n under environment e; k holds statements
+// following enclosing Ifs.
+func (w *walker) walk(stmts []ir.Stmt, k *contFrame, n *Node, e env) {
+	for {
+		if len(stmts) == 0 {
+			if k == nil {
+				w.endLeaf(n, LeafReturn, RetInfo{Kind: LeafReturn}) // fall-off
+				return
+			}
+			stmts, k = k.stmts, k.next
+			continue
+		}
+		s := stmts[0]
+		rest := stmts[1:]
+		switch s := s.(type) {
+		case *ir.IntAssign:
+			e.ints[s.Dst] = w.evalArith(s, e)
+			n.Stmts = append(n.Stmts, PlacedStmt{Stmt: s, CallEdge: -1, EventResultSym: symbolic.NoSym})
+		case *ir.BoolAssign:
+			e.bools[s.Dst] = w.evalCondVal(s.Cond, e)
+			n.Stmts = append(n.Stmts, PlacedStmt{Stmt: s, CallEdge: -1, EventResultSym: symbolic.NoSym})
+		case *ir.ObjAssign, *ir.NewObj, *ir.Store, *ir.Load, *ir.CatchBind:
+			n.Stmts = append(n.Stmts, PlacedStmt{Stmt: s, CallEdge: -1, EventResultSym: symbolic.NoSym})
+		case *ir.Event:
+			ps := PlacedStmt{Stmt: s, CallEdge: -1, EventResultSym: symbolic.NoSym}
+			if s.Dst != "" {
+				sym := w.fresh("ev_" + s.Method)
+				e.ints[s.Dst] = symbolic.Var(sym)
+				ps.EventResultSym = sym
+			}
+			n.Stmts = append(n.Stmts, ps)
+		case *ir.Call:
+			ce := w.makeCallEdge(s, n, e)
+			if s.Dst != "" && !s.DstIsObject && ce != nil {
+				e.ints[s.Dst] = symbolic.Var(ce.RetSym)
+			}
+			id := int32(-1)
+			if ce != nil {
+				id = ce.ID
+			}
+			n.Stmts = append(n.Stmts, PlacedStmt{Stmt: s, CallEdge: id, EventResultSym: symbolic.NoSym})
+		case *ir.Return:
+			ri := RetInfo{Kind: LeafReturn}
+			if s.SrcIsObject {
+				ri.ObjVar = s.Src.Var
+			} else if s.Src != (ir.Operand{}) {
+				ri.HasExpr = true
+				ri.Expr = w.evalOperand(s.Src, e)
+			}
+			n.Stmts = append(n.Stmts, PlacedStmt{Stmt: s, CallEdge: -1, EventResultSym: symbolic.NoSym})
+			w.endLeaf(n, LeafReturn, ri)
+			return
+		case *ir.ThrowExit:
+			n.Stmts = append(n.Stmts, PlacedStmt{Stmt: s, CallEdge: -1, EventResultSym: symbolic.NoSym})
+			w.endLeaf(n, LeafThrow, RetInfo{Kind: LeafThrow})
+			return
+		case *ir.If:
+			atom := w.evalCondAtom(s.Cond, e)
+			// Constant-foldable conditions still split (the CFET stays a
+			// well-formed binary tree); the unsat side prunes at decode.
+			n.HasCond = true
+			n.Cond = atom
+			n.CondPos = s.Pos
+			n.CondText = s.Cond.String()
+			falseID, trueID := 2*n.ID+1, 2*n.ID+2
+			if trueID >= maxNodeID || w.nodes+2 > w.budget {
+				// Budget or depth exhausted: truncate both branches.
+				n.HasCond = false
+				w.m.Truncated++
+				w.endLeaf(n, LeafTruncate, RetInfo{Kind: LeafTruncate})
+				return
+			}
+			nk := k
+			if len(rest) > 0 {
+				nk = &contFrame{stmts: rest, next: k}
+			}
+			tn := w.newNode(trueID)
+			w.walk(s.Then.Stmts, nk, tn, e.clone())
+			if w.nodes >= w.budget {
+				// The sibling subtree consumed the budget. Skip the false
+				// child entirely: no encoding will ever reference it, and
+				// decoding only walks ancestors of referenced nodes.
+				w.m.Truncated++
+				return
+			}
+			fn := w.newNode(falseID)
+			w.walk(s.Else.Stmts, nk, fn, e.clone())
+			return
+		default:
+			panic(fmt.Sprintf("cfet: unexpected statement %T (exceptions must be expanded)", s))
+		}
+		stmts = rest
+	}
+}
+
+func (w *walker) endLeaf(n *Node, kind LeafKind, ri RetInfo) {
+	if n.Leaf != LeafNone {
+		return
+	}
+	n.Leaf = kind
+	n.Ret = ri
+	w.m.Leaves = append(w.m.Leaves, n.ID)
+}
+
+func (w *walker) makeCallEdge(c *ir.Call, n *Node, e env) *CallEdge {
+	calleeID, ok := w.ic.MethodByName[c.Callee]
+	if !ok {
+		return nil
+	}
+	callee := w.ic.Methods[calleeID]
+	ce := &CallEdge{
+		ID:         int32(len(w.ic.CallEdges)),
+		Caller:     w.m.Method,
+		CallerNode: n.ID,
+		Callee:     calleeID,
+		RetSym:     symbolic.NoSym,
+		Site:       c.Site,
+	}
+	for _, a := range c.IntArgs {
+		// The callee's parameter symbol is interned under the callee's
+		// namespace; intern here in case the callee is processed later.
+		ps, exists := callee.ParamSym[a.Formal]
+		if !exists {
+			ps = w.ic.Syms.Intern(c.Callee + "." + a.Formal)
+			callee.ParamSym[a.Formal] = ps
+			callee.Syms = append(callee.Syms, ps)
+		}
+		ce.ParamEqs = append(ce.ParamEqs, Equation{Sym: ps, Expr: w.evalOperand(a.Arg, e)})
+	}
+	if c.Dst != "" && !c.DstIsObject {
+		ce.RetSym = w.fresh(fmt.Sprintf("call%d.ret", c.Site))
+	}
+	w.ic.CallEdges = append(w.ic.CallEdges, ce)
+	return ce
+}
+
+func (w *walker) evalOperand(o ir.Operand, e env) symbolic.Expr {
+	if o.IsConst() {
+		return symbolic.Const(o.Const)
+	}
+	if v, ok := e.ints[o.Var]; ok {
+		return v
+	}
+	// Unknown variable (e.g. used before def): opaque.
+	s := w.fresh("undef_" + o.Var)
+	e.ints[o.Var] = symbolic.Var(s)
+	return e.ints[o.Var]
+}
+
+func (w *walker) evalArith(s *ir.IntAssign, e env) symbolic.Expr {
+	switch s.Op {
+	case ir.Mov:
+		return w.evalOperand(s.A, e)
+	case ir.Add:
+		return w.evalOperand(s.A, e).Add(w.evalOperand(s.B, e))
+	case ir.Sub:
+		return w.evalOperand(s.A, e).Sub(w.evalOperand(s.B, e))
+	case ir.Neg:
+		return w.evalOperand(s.A, e).Neg()
+	case ir.Mul:
+		a, b := w.evalOperand(s.A, e), w.evalOperand(s.B, e)
+		if a.IsConst() {
+			return b.Scale(a.Const)
+		}
+		if b.IsConst() {
+			return a.Scale(b.Const)
+		}
+		// Non-linear: over-approximate with a fresh symbol.
+		return symbolic.Var(w.fresh("nonlin"))
+	default: // Opaque
+		return symbolic.Var(w.fresh("in"))
+	}
+}
+
+// evalCondAtom turns an IR condition into a symbolic atom under e.
+func (w *walker) evalCondAtom(c ir.Cond, e env) constraint.Atom {
+	var a constraint.Atom
+	switch {
+	case c.BoolVar != "":
+		bv, ok := e.bools[c.BoolVar]
+		if !ok {
+			bv = boolVal{opq: w.fresh("undefb_" + c.BoolVar)}
+			e.bools[c.BoolVar] = bv
+		}
+		if bv.known {
+			a = bv.atom
+		} else {
+			a = constraint.Atom{LHS: symbolic.Var(bv.opq), Op: constraint.NE}
+		}
+	case c.IsOpaque():
+		a = constraint.Atom{LHS: symbolic.Var(w.opaqueSym(c.OpaqueID)), Op: constraint.NE}
+	default:
+		l := w.evalOperand(c.A, e)
+		r := w.evalOperand(c.B, e)
+		var op constraint.Op
+		switch c.Kind {
+		case ir.CmpEq:
+			op = constraint.EQ
+		case ir.CmpNe:
+			op = constraint.NE
+		case ir.CmpLt:
+			op = constraint.LT
+		case ir.CmpLe:
+			op = constraint.LE
+		case ir.CmpGt:
+			op = constraint.GT
+		default:
+			op = constraint.GE
+		}
+		a = constraint.NewAtom(l, op, r)
+	}
+	if c.Negated {
+		a = a.Negate()
+	}
+	return a
+}
+
+func (w *walker) evalCondVal(c ir.Cond, e env) boolVal {
+	return boolVal{known: true, atom: w.evalCondAtom(c, e)}
+}
+
+// Parent returns the parent ID of a CFET node ((id-1)>>1; see package doc).
+func Parent(id uint64) uint64 {
+	if id == 0 {
+		return 0
+	}
+	return (id - 1) >> 1
+}
+
+// IsTrueChild reports whether id is its parent's true child (even, nonzero).
+func IsTrueChild(id uint64) bool { return id != 0 && id%2 == 0 }
+
+// IsAncestorOrEqual reports whether a is an ancestor of b (or equal) in the
+// complete binary numbering.
+func IsAncestorOrEqual(a, b uint64) bool {
+	for b > a {
+		b = Parent(b)
+	}
+	return a == b
+}
+
+// PathConstraint reconstructs the branch constraint of the tree path from
+// ancestor `from` down to `to` within this CFET (Algorithm 1), applying the
+// activation renamer (nil for the identity).
+func (m *CFET) PathConstraint(from, to uint64, ren *Renamer, out constraint.Conj) (constraint.Conj, error) {
+	cur := to
+	for cur != from {
+		if cur == 0 {
+			return out, fmt.Errorf("cfet %s: %d is not an ancestor of %d", m.Name, from, to)
+		}
+		parent := Parent(cur)
+		pn := m.Nodes[parent]
+		if pn == nil {
+			return out, fmt.Errorf("cfet %s: missing node %d", m.Name, parent)
+		}
+		if pn.HasCond {
+			a := pn.Cond
+			if !IsTrueChild(cur) {
+				a = a.Negate()
+			}
+			out = out.And(ren.Atom(a))
+		}
+		cur = parent
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package cfet
+
+import (
+	"fmt"
+
+	"github.com/grapple-system/grapple/internal/constraint"
+	"github.com/grapple-system/grapple/internal/symbolic"
+)
+
+// SyntheticBase is the first symbol ID used for per-activation instance
+// symbols created during decoding. Real (interned) symbols are always below
+// it, so synthetic symbols never collide with them; they are local to one
+// Decode call (conjunctions never mix across decodes), so no global
+// allocation — and no mutation of the shared symbol table — is needed.
+// This keeps Decode safe for the engine's concurrent workers.
+const SyntheticBase symbolic.Sym = 1 << 29
+
+// Renamer maps one method's symbols to per-call-frame instance symbols, so
+// that a path entering the same callee twice does not conflate the two
+// activations' parameter values. A nil *Renamer is the identity.
+type Renamer struct {
+	owned map[symbolic.Sym]bool
+	m     map[symbolic.Sym]symbolic.Sym
+	next  *symbolic.Sym // shared per-decode synthetic counter
+}
+
+// NewRenamer creates a fresh activation renamer for method m. The tab
+// parameter is retained for API compatibility and unused (synthetic symbols
+// are decode-local; see SyntheticBase).
+func (m *CFET) NewRenamer(tab *symbolic.Table) *Renamer {
+	next := SyntheticBase
+	return &Renamer{owned: m.symSet(), m: map[symbolic.Sym]symbolic.Sym{}, next: &next}
+}
+
+// newRenamerCounter creates an activation renamer drawing synthetic symbols
+// from a shared per-decode counter.
+func (m *CFET) newRenamerCounter(next *symbolic.Sym) *Renamer {
+	return &Renamer{owned: m.symSet(), m: map[symbolic.Sym]symbolic.Sym{}, next: next}
+}
+
+func (r *Renamer) rename(s symbolic.Sym) (symbolic.Sym, bool) {
+	if r == nil || !r.owned[s] {
+		return s, false
+	}
+	if ns, ok := r.m[s]; ok {
+		return ns, true
+	}
+	ns := *r.next
+	*r.next++
+	r.m[s] = ns
+	return ns, true
+}
+
+// Atom rewrites an atom through the renamer.
+func (r *Renamer) Atom(a constraint.Atom) constraint.Atom {
+	if r == nil {
+		return a
+	}
+	return constraint.Atom{LHS: r.Expr(a.LHS), Op: a.Op}
+}
+
+// Expr rewrites an expression through the renamer.
+func (r *Renamer) Expr(e symbolic.Expr) symbolic.Expr {
+	if r == nil {
+		return e
+	}
+	out := e
+	for _, t := range e.Terms {
+		if ns, changed := r.rename(t.Sym); changed {
+			out = out.Subst(t.Sym, symbolic.Var(ns))
+		}
+	}
+	return out
+}
+
+// symSet returns the method's owned-symbol set (precomputed by Build; the
+// fallback path exists for hand-built CFETs in tests).
+func (m *CFET) symSet() map[symbolic.Sym]bool {
+	if m.symsSet == nil {
+		m.buildSymSet()
+	}
+	return m.symsSet
+}
+
+// buildSymSet materializes the owned-symbol set; called once at Build time
+// so concurrent decoders only ever read it.
+func (m *CFET) buildSymSet() {
+	m.symsSet = make(map[symbolic.Sym]bool, len(m.Syms))
+	for _, s := range m.Syms {
+		m.symsSet[s] = true
+	}
+}
+
+// DecodeStats counts decoder work for the Figure-9 breakdown.
+type DecodeStats struct {
+	Decodes    int64
+	Elems      int64
+	FrameDepth int64 // cumulative max depth
+}
+
+// frame is one activation during decoding.
+type frame struct {
+	method  *CFET
+	ren     *Renamer
+	call    *CallEdge // edge that pushed this frame (nil for the root)
+	lastEnd uint64    // deepest node of the last interval decoded here
+	hasEnd  bool
+}
+
+// Decode reconstructs the path constraint of an encoding (paper §3.2 and
+// Algorithm 1 generalized interprocedurally): interval fragments contribute
+// their branch conditions, call elements push an activation frame and
+// conjoin parameter-passing equations, return elements conjoin the return
+// binding and pop. Callee-owned symbols are renamed per activation so
+// repeated calls to one callee stay independent.
+//
+// Decoding is lenient about structurally surprising encodings (fragments
+// from non-connecting merges): they only ever weaken the constraint.
+func (ic *ICFET) Decode(e Enc) (constraint.Conj, error) {
+	var out constraint.Conj
+	var stack []frame
+	synth := SyntheticBase
+	top := func() *frame {
+		if len(stack) == 0 {
+			return nil
+		}
+		return &stack[len(stack)-1]
+	}
+	for _, el := range e {
+		switch el.Kind {
+		case KInterval:
+			if int(el.Method) >= len(ic.Methods) {
+				return nil, fmt.Errorf("decode: bad method %d", el.Method)
+			}
+			m := ic.Methods[el.Method]
+			t := top()
+			if t == nil || t.method != m {
+				// Root fragment (or fragment outside frame structure):
+				// identity renaming.
+				stack = append(stack, frame{method: m})
+				t = top()
+			}
+			var err error
+			out, err = m.PathConstraint(el.Start, el.End, t.ren, out)
+			if err != nil {
+				return nil, err
+			}
+			t.lastEnd, t.hasEnd = el.End, true
+		case KCall:
+			if int(el.Call) >= len(ic.CallEdges) {
+				return nil, fmt.Errorf("decode: bad call edge %d", el.Call)
+			}
+			ce := ic.CallEdges[el.Call]
+			callerRen := (*Renamer)(nil)
+			if t := top(); t != nil {
+				callerRen = t.ren
+			}
+			callee := ic.Methods[ce.Callee]
+			nf := frame{method: callee, ren: callee.newRenamerCounter(&synth), call: ce}
+			for _, eq := range ce.ParamEqs {
+				ps, _ := nf.ren.rename(eq.Sym)
+				arg := callerRen.Expr(eq.Expr)
+				out = out.And(constraint.NewAtom(symbolic.Var(ps), constraint.EQ, arg))
+			}
+			stack = append(stack, nf)
+		case KRet:
+			if int(el.Call) >= len(ic.CallEdges) {
+				return nil, fmt.Errorf("decode: bad return edge %d", el.Call)
+			}
+			ce := ic.CallEdges[el.Call]
+			t := top()
+			if t == nil || t.call == nil || t.call.ID != ce.ID {
+				// Unmatched return: no constraint (lenient).
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+				continue
+			}
+			calleeRen := t.ren
+			leafEnd, hasLeaf := t.lastEnd, t.hasEnd
+			stack = stack[:len(stack)-1]
+			if ce.RetSym != symbolic.NoSym && hasLeaf {
+				callee := ic.Methods[ce.Callee]
+				if leaf := callee.Nodes[leafEnd]; leaf != nil && leaf.Ret.HasExpr {
+					callerRen := (*Renamer)(nil)
+					if nt := top(); nt != nil {
+						callerRen = nt.ren
+					}
+					ret := calleeRen.Expr(leaf.Ret.Expr)
+					lhsSym, _ := rename2(callerRen, ce.RetSym)
+					out = out.And(constraint.NewAtom(symbolic.Var(lhsSym), constraint.EQ, ret))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func rename2(r *Renamer, s symbolic.Sym) (symbolic.Sym, bool) {
+	if r == nil {
+		return s, false
+	}
+	return r.rename(s)
+}

@@ -1,0 +1,302 @@
+package cfet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ElemKind distinguishes encoding elements.
+type ElemKind uint8
+
+// Encoding element kinds: an interval within one method's CFET, a call edge
+// "(i", or a return edge ")i" (§3.2).
+const (
+	KInterval ElemKind = iota
+	KCall
+	KRet
+)
+
+// Elem is one element of a path encoding.
+type Elem struct {
+	Kind   ElemKind
+	Method MethodID // interval only
+	Start  uint64   // interval only
+	End    uint64   // interval only
+	Call   int32    // call/ret: ICFET call-edge ID
+}
+
+// Interval builds an interval element.
+func Interval(m MethodID, start, end uint64) Elem {
+	return Elem{Kind: KInterval, Method: m, Start: start, End: end}
+}
+
+// CallElem builds a "(i" element.
+func CallElem(id int32) Elem { return Elem{Kind: KCall, Call: id} }
+
+// RetElem builds a ")i" element.
+func RetElem(id int32) Elem { return Elem{Kind: KRet, Call: id} }
+
+// Enc is a path encoding: a sequence of intervals connected by call/return
+// edge IDs. The paper's §4.2 case-3 elimination keeps encodings compact; an
+// Enc may also contain non-connecting fragments (e.g. the two flowsTo legs
+// of an alias edge), whose decoded constraints are simply conjoined.
+type Enc []Elem
+
+// String renders the encoding against an ICFET (nil prints raw method IDs).
+func (e Enc) String(ic *ICFET) string {
+	if len(e) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, el := range e {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch el.Kind {
+		case KInterval:
+			name := fmt.Sprintf("m%d", el.Method)
+			if ic != nil {
+				name = ic.Methods[el.Method].Name
+			}
+			fmt.Fprintf(&b, "[%s%d, %s%d]", name, el.Start, name, el.End)
+		case KCall:
+			fmt.Fprintf(&b, "(%d", el.Call)
+		case KRet:
+			fmt.Fprintf(&b, ")%d", el.Call)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports element-wise equality.
+func (e Enc) Equal(o Enc) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for i := range e {
+		if e[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the encoding.
+func (e Enc) Clone() Enc {
+	out := make(Enc, len(e))
+	copy(out, e)
+	return out
+}
+
+// Merge combines the encodings of two consecutive edges x->y (e1) and y->z
+// (e2) into the encoding of the induced edge x->z, implementing the four
+// cases of §4.2:
+//
+//  1. {[a,b]} + {[b,c]}            -> {[a,c]}        (same method, connects)
+//  2. {[a,b]} + {(i}               -> {[a,b], (i, [0,0]}
+//  3. {[a,b], (i, [0,d]} + {[0,d'], )i, [b,c]} -> {[a,c]}  (matched pair)
+//  4. unmatched calls              -> concatenation (extended call string)
+//
+// Merge additionally reports ok=false when the two paths provably lie on
+// conflicting branches of the same CFET (sibling subtrees), which lets the
+// engine reject the edge without a solver call — that is path sensitivity
+// acting structurally. If the merged encoding would exceed ic.MaxEncLen the
+// merge degrades by dropping *interval* precision least recently used —
+// never call/return structure — keeping soundness (constraints only get
+// weaker, so feasible paths are never lost).
+func (ic *ICFET) Merge(e1, e2 Enc) (Enc, bool) {
+	if len(e1) == 0 {
+		return e2.Clone(), true
+	}
+	if len(e2) == 0 {
+		return e1.Clone(), true
+	}
+	out := make(Enc, 0, len(e1)+len(e2))
+	out = append(out, e1...)
+
+	// Join at the junction: last of e1 vs first of e2.
+	first := e2[0]
+	rest := e2[1:]
+	last := &out[len(out)-1]
+	if last.Kind == KInterval && first.Kind == KInterval && last.Method == first.Method {
+		j, ok, conflict := joinIntervals(*last, first)
+		if conflict {
+			return nil, false
+		}
+		if ok {
+			*last = j
+			out = append(out, rest...)
+			return ic.reduce(out)
+		}
+	}
+	out = append(out, e2...)
+	return ic.reduce(out)
+}
+
+// joinIntervals attempts to connect [a,b] and [c,d] in the same method.
+// It succeeds when the tree path a..b extends to c (b ancestor-or-equal of
+// c), or when one interval's path contains the other's. conflict=true means
+// the two intervals lie in disjoint sibling subtrees, so no single
+// control-flow path covers both.
+func joinIntervals(x, y Elem) (Elem, bool, bool) {
+	switch {
+	case x.End == y.Start || IsAncestorOrEqual(x.End, y.Start):
+		return Interval(x.Method, x.Start, y.End), true, false
+	case IsAncestorOrEqual(x.Start, y.Start) && IsAncestorOrEqual(y.End, x.End):
+		// y's fragment lies on x's path: x subsumes y.
+		return x, true, false
+	case IsAncestorOrEqual(y.Start, x.Start) && IsAncestorOrEqual(x.End, y.End):
+		return y, true, false
+	case IsAncestorOrEqual(y.End, x.Start):
+		// y precedes x on the same path (reverse-direction composition, as
+		// produced by bar edges in the alias grammar): cover both.
+		return Interval(x.Method, y.Start, x.End), true, false
+	case onOnePath(x, y):
+		// Overlapping fragments of one path not covered above.
+		lo, hi := x.Start, x.End
+		if IsAncestorOrEqual(y.Start, lo) {
+			lo = y.Start
+		}
+		if IsAncestorOrEqual(hi, y.End) {
+			hi = y.End
+		}
+		return Interval(x.Method, lo, hi), true, false
+	default:
+		return Elem{}, false, disjointSiblings(x, y)
+	}
+}
+
+// onOnePath reports whether all four endpoints lie on one root-to-leaf path.
+func onOnePath(x, y Elem) bool {
+	ends := [2]uint64{x.End, y.End}
+	deepest := ends[0]
+	if IsAncestorOrEqual(deepest, ends[1]) {
+		deepest = ends[1]
+	} else if !IsAncestorOrEqual(ends[1], deepest) {
+		return false
+	}
+	return IsAncestorOrEqual(x.Start, deepest) && IsAncestorOrEqual(y.Start, deepest) &&
+		IsAncestorOrEqual(x.End, deepest) && IsAncestorOrEqual(y.End, deepest)
+}
+
+// disjointSiblings reports whether the two fragments provably lie in
+// sibling subtrees (no single path covers both).
+func disjointSiblings(x, y Elem) bool {
+	// If neither endpoint-pair is ancestor-related, the fragments diverge.
+	return !IsAncestorOrEqual(x.End, y.End) && !IsAncestorOrEqual(y.End, x.End)
+}
+
+// reduce performs §4.2 case-3 matched call/return elimination and enforces
+// the length cap.
+func (ic *ICFET) reduce(e Enc) (Enc, bool) {
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(e); i++ {
+			if e[i].Kind != KRet {
+				continue
+			}
+			// Find the matching KCall scanning left, skipping completed
+			// pairs is unnecessary once inner pairs are already reduced:
+			// the nearest KCall to the left with the same ID and no
+			// intervening unmatched call is the match.
+			j := i - 1
+			depth := 0
+			for ; j >= 0; j-- {
+				if e[j].Kind == KRet {
+					depth++
+				} else if e[j].Kind == KCall {
+					if depth == 0 {
+						break
+					}
+					depth--
+				}
+			}
+			if j < 0 || e[j].Call != e[i].Call {
+				continue
+			}
+			if !ic.eliminable(e[j : i+1]) {
+				continue
+			}
+			// Remove e[j..i] inclusive; then try to join the now adjacent
+			// caller intervals.
+			tail := append(Enc{}, e[i+1:]...)
+			e = append(e[:j], tail...)
+			if j > 0 && j < len(e) &&
+				e[j-1].Kind == KInterval && e[j].Kind == KInterval &&
+				e[j-1].Method == e[j].Method {
+				if joined, ok, conflict := joinIntervals(e[j-1], e[j]); conflict {
+					return nil, false
+				} else if ok {
+					e[j-1] = joined
+					e = append(e[:j], e[j+1:]...)
+				}
+			}
+			changed = true
+			break
+		}
+	}
+	if len(e) > ic.MaxEncLen {
+		e = compactEnc(e, ic.MaxEncLen)
+	}
+	return e, true
+}
+
+// eliminable reports whether a completed (i ... )i fragment contributes no
+// constraint and may be dropped (§4.2 case 3). The paper eliminates every
+// completed pair for compactness; this implementation keeps pairs whose
+// call edge binds parameters or a return value, or whose enclosed intervals
+// span branch conditionals — otherwise the "y = bar(2*x)" correlation of
+// §3.2 would be lost the moment the call completes. Pairs referencing
+// unknown call edges (foreign encodings) are eliminated as in the paper.
+func (ic *ICFET) eliminable(frag Enc) bool {
+	call := frag[0]
+	if int(call.Call) < len(ic.CallEdges) {
+		ce := ic.CallEdges[call.Call]
+		if ce != nil && (len(ce.ParamEqs) > 0 || ce.RetSym >= 0) {
+			return false
+		}
+	}
+	for _, el := range frag[1 : len(frag)-1] {
+		if el.Kind != KInterval {
+			// A nested unmatched call/ret inside: keep (shouldn't occur,
+			// matched inner pairs were already reduced).
+			return false
+		}
+		if el.Start != el.End {
+			// The fragment spans branch conditionals in the callee.
+			if int(el.Method) < len(ic.Methods) && ic.Methods[el.Method] != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// compactEnc drops redundant intervals (widest first) to honor the cap while
+// preserving call/return structure. Losing an interval only weakens the
+// decoded constraint, which is sound for bug finding.
+func compactEnc(e Enc, max int) Enc {
+	out := make(Enc, 0, len(e))
+	over := len(e) - max
+	for _, el := range e {
+		if over > 0 && el.Kind == KInterval && el.Start == el.End {
+			over--
+			continue
+		}
+		out = append(out, el)
+	}
+	if len(out) > max {
+		// Still too long: keep call/ret plus the first intervals.
+		kept := make(Enc, 0, max)
+		for _, el := range out {
+			if el.Kind != KInterval || len(kept) < max/2 {
+				kept = append(kept, el)
+			}
+		}
+		out = kept
+	}
+	return out
+}

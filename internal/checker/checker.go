@@ -1,0 +1,522 @@
+// Package checker implements Grapple's three-phase workflow (paper §2.2):
+// phase 1 computes a fully context-sensitive, path-sensitive alias closure;
+// phase 2 computes the path-sensitive dataflow/typestate closure, consulting
+// phase 1's aliasing results held in memory; phase 3 checks the composed
+// transition relations of every allocation-to-exit flow against the FSM
+// specifications and emits bug reports.
+package checker
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/callgraph"
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/engine"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+	"github.com/grapple-system/grapple/internal/metrics"
+	"github.com/grapple-system/grapple/internal/pgraph"
+	"github.com/grapple-system/grapple/internal/storage"
+	"github.com/grapple-system/grapple/internal/symbolic"
+)
+
+// Options configures a checking run.
+type Options struct {
+	// WorkDir holds the engine's partition files; a temp dir when empty.
+	WorkDir string
+	// UnrollDepth is the static loop-unroll bound (default 2).
+	UnrollDepth int
+	// CFET tunes ICFET construction.
+	CFET cfet.Options
+	// Clone tunes context cloning.
+	Clone pgraph.Options
+	// Dataflow tunes phase-2 graph generation.
+	Dataflow pgraph.DataflowOptions
+	// Engine tunes both engine runs.
+	Engine engine.Options
+	// Bind maps extra object type names to FSM names (an FSM always applies
+	// to its own Type).
+	Bind map[string]string
+	// RecordPointsTo retains the phase-1 points-to facts on the Result so
+	// callers can ask "what objects does a variable point to under a
+	// particular context?" — the query class the paper's cloning-based
+	// design exists to answer (§2.1).
+	RecordPointsTo bool
+	// DumpDOT, when non-empty, writes the generated program graphs as
+	// Graphviz files (alias.dot, dataflow.dot) into that directory.
+	DumpDOT string
+}
+
+// PointsToFact is one phase-1 result: under clone Ctx of Method, variable
+// Var (at CFET node Node) may reference the object allocated at ObjPos.
+type PointsToFact struct {
+	Ctx     uint32
+	Method  string
+	Var     string
+	Node    uint64
+	ObjType string
+	ObjPos  lang.Pos
+	// Conditional is true when the flow holds only under a nonempty path
+	// constraint.
+	Conditional bool
+	// Constraint renders that path constraint ("true" when empty).
+	Constraint string
+}
+
+// Kind classifies a warning.
+type Kind uint8
+
+// Warning kinds.
+const (
+	// KindError: some feasible event sequence drives the object into the
+	// FSM's error state (e.g. write after close, unlock before lock).
+	KindError Kind = iota
+	// KindLeak: some feasible path reaches program exit with the object in
+	// a non-accepting state (e.g. a never-closed socket).
+	KindLeak
+)
+
+func (k Kind) String() string {
+	if k == KindError {
+		return "error-transition"
+	}
+	return "leak"
+}
+
+// WitnessStep is one step of a human-readable witness path: a source
+// position plus what happens there (branch taken, call made, return).
+type WitnessStep struct {
+	Pos  lang.Pos
+	Desc string
+}
+
+func (s WitnessStep) String() string {
+	return fmt.Sprintf("%s: %s", s.Pos, s.Desc)
+}
+
+// Report is one warning.
+type Report struct {
+	FSM    string
+	Type   string
+	Kind   Kind
+	Pos    lang.Pos
+	Object string
+	// States are the offending FSM states reachable at exit.
+	States []string
+	// Witness is the path encoding of one offending flow, and
+	// WitnessConstraint its decoded path constraint.
+	Witness           string
+	WitnessConstraint string
+	// Steps is the witness rendered as source-level steps (branches taken,
+	// calls crossed) — the paper's "efficiently recover a path" (§1),
+	// surfaced to the developer.
+	Steps []WitnessStep
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("[%s] %s %s at %s: exit states %v", r.FSM, r.Kind, r.Type, r.Pos, r.States)
+}
+
+// PhaseStats captures one engine run for the evaluation tables.
+type PhaseStats struct {
+	Vertices uint32
+	engine.Stats
+}
+
+// Result is the outcome of a checking run.
+type Result struct {
+	Reports  []Report
+	Alias    PhaseStats
+	Dataflow PhaseStats
+	// GenTime is graph/ICFET generation (the paper's "preprocessing").
+	GenTime time.Duration
+	// ComputeTime covers both engine runs plus phase 3.
+	ComputeTime time.Duration
+	Breakdown   metrics.Snapshot
+	// TrackedObjects is the number of objects with FSMs.
+	TrackedObjects int
+	// Flows is the number of phase-1 flowsTo facts extracted.
+	Flows int
+	// PointsTo holds the recorded phase-1 facts (Options.RecordPointsTo).
+	PointsTo []PointsToFact
+}
+
+// QueryPointsTo returns the recorded facts for a variable of a method
+// (every clone, every block), answering the §2.1 query class. It requires
+// Options.RecordPointsTo.
+func (r *Result) QueryPointsTo(method, varName string) []PointsToFact {
+	var out []PointsToFact
+	for _, f := range r.PointsTo {
+		if f.Method == method && f.Var == varName {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Checker runs the pipeline for a fixed set of FSM properties.
+type Checker struct {
+	FSMs []*fsm.FSM
+	Opts Options
+}
+
+// New builds a checker.
+func New(fsms []*fsm.FSM, opts Options) *Checker {
+	if opts.UnrollDepth <= 0 {
+		opts.UnrollDepth = 2
+	}
+	return &Checker{FSMs: fsms, Opts: opts}
+}
+
+func (c *Checker) fsmFor(typ string) *fsm.FSM {
+	for _, f := range c.FSMs {
+		if f.Type == typ {
+			return f
+		}
+	}
+	if name, ok := c.Opts.Bind[typ]; ok {
+		for _, f := range c.FSMs {
+			if f.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSource parses, lowers and checks a MiniLang compilation unit.
+func (c *Checker) CheckSource(src string) (*Result, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := lang.Resolve(prog)
+	if err != nil {
+		return nil, fmt.Errorf("resolve: %w", err)
+	}
+	p, err := ir.Lower(info, ir.Options{UnrollDepth: c.Opts.UnrollDepth})
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return c.CheckIR(p)
+}
+
+// CheckIR checks a lowered program.
+func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
+	workDir := c.Opts.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "grapple-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+	res := &Result{}
+	bd := &metrics.Breakdown{}
+
+	// --- Frontend: ICFET (index) + context tree + alias graph. ---
+	genStart := time.Now()
+	cg := callgraph.Build(p)
+	tab := symbolic.NewTable()
+	ic, err := cfet.Build(p, tab, c.Opts.CFET)
+	if err != nil {
+		return nil, fmt.Errorf("icfet: %w", err)
+	}
+	pr := pgraph.NewProgram(p, cg, ic, c.Opts.Clone)
+	ag := pgraph.BuildAlias(pr)
+	res.GenTime = time.Since(genStart)
+	if c.Opts.DumpDOT != "" {
+		if err := dumpDOT(filepath.Join(c.Opts.DumpDOT, "alias.dot"), func(w *os.File) error {
+			return ag.WriteAliasDOT(w, pr, ic)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	computeStart := time.Now()
+
+	// --- Phase 1: path-sensitive alias closure. ---
+	aliasOpts := c.Opts.Engine
+	aliasOpts.Dir = filepath.Join(workDir, "alias")
+	aliasOpts.UseRel = false
+	aliasEngine := engine.New(ic, ag.Ptr.G, aliasOpts, bd)
+	aliasStats, err := aliasEngine.Run(ag.Edges, ag.NumVerts)
+	if err != nil {
+		return nil, fmt.Errorf("alias phase: %w", err)
+	}
+	res.Alias = PhaseStats{Vertices: ag.NumVerts, Stats: *aliasStats}
+
+	// Extract flowsTo facts; held in memory for phase 2 (paper §2.2).
+	flows, nflows, err := extractFlows(aliasEngine, ag, ic)
+	if err != nil {
+		return nil, err
+	}
+	res.Flows = nflows
+	if c.Opts.RecordPointsTo {
+		res.PointsTo = pointsToFacts(pr, ag, flows, ic)
+	}
+
+	// --- Phase 2: path-sensitive dataflow/typestate closure. ---
+	genStart = time.Now()
+	dg := pgraph.BuildDataflow(pr, flows, ag, c.fsmFor, c.Opts.Dataflow)
+	res.GenTime += time.Since(genStart)
+	res.TrackedObjects = len(dg.Tracked)
+	if c.Opts.DumpDOT != "" {
+		if err := dumpDOT(filepath.Join(c.Opts.DumpDOT, "dataflow.dot"), func(w *os.File) error {
+			return dg.WriteDataflowDOT(w, ic)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	dfOpts := c.Opts.Engine
+	dfOpts.Dir = filepath.Join(workDir, "dataflow")
+	dfOpts.UseRel = true
+	dfEngine := engine.New(ic, dg.D.G, dfOpts, bd)
+	dfStats, err := dfEngine.Run(dg.Edges, dg.NumVerts)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow phase: %w", err)
+	}
+	res.Dataflow = PhaseStats{Vertices: dg.NumVerts, Stats: *dfStats}
+
+	// --- Phase 3: FSM checking of source->exit relations. ---
+	res.Reports, err = checkTyped(dfEngine, dg, ic)
+	if err != nil {
+		return nil, err
+	}
+	res.ComputeTime = time.Since(computeStart)
+	res.Breakdown = bd.Snapshot()
+	return res, nil
+}
+
+// dumpDOT writes one Graphviz file.
+func dumpDOT(path string, write func(*os.File) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// extractFlows turns phase-1 flowsTo edges into per-object alias facts and
+// counts distinct pointees per variable instance (for must-alias upgrades).
+func extractFlows(en *engine.Engine, ag *pgraph.AliasGraph, ic *cfet.ICFET) (pgraph.AliasResult, int, error) {
+	flows := pgraph.AliasResult{
+		Flows:    map[pgraph.ObjID][]pgraph.FlowTarget{},
+		Pointees: map[pgraph.VarKey]int{},
+	}
+	varObjs := map[pgraph.VarKey]map[pgraph.ObjID]bool{}
+	n := 0
+	err := en.ForEach(func(e *storage.Edge) bool {
+		if e.Label != ag.Ptr.FlowsTo {
+			return true
+		}
+		obj, ok := ag.RevObj[e.Src]
+		if !ok {
+			return true
+		}
+		if int(e.Dst) >= len(ag.RevVar) || ag.RevVar[e.Dst] == nil {
+			return true
+		}
+		vk := *ag.RevVar[e.Dst]
+		flows.Flows[obj] = append(flows.Flows[obj], pgraph.FlowTarget{
+			Var: vk, Enc: e.Enc.Clone(),
+		})
+		if varObjs[vk] == nil {
+			varObjs[vk] = map[pgraph.ObjID]bool{}
+		}
+		varObjs[vk][obj] = true
+		n++
+		return true
+	})
+	for vk, objs := range varObjs {
+		flows.Pointees[vk] = len(objs)
+	}
+	_ = ic
+	return flows, n, err
+}
+
+// pointsToFacts converts the in-memory alias results into queryable facts.
+func pointsToFacts(pr *pgraph.Program, ag *pgraph.AliasGraph, flows pgraph.AliasResult, ic *cfet.ICFET) []PointsToFact {
+	var out []PointsToFact
+	objByID := map[pgraph.ObjID]pgraph.ObjInfo{}
+	for _, o := range ag.Objects {
+		objByID[o.ID] = o
+	}
+	for objID, targets := range flows.Flows {
+		info := objByID[objID]
+		for _, t := range targets {
+			conjText := "true"
+			conditional := false
+			if conj, err := ic.Decode(t.Enc); err == nil && len(conj) > 0 {
+				conditional = true
+				conjText = conj.String(ic.Syms)
+			}
+			out = append(out, PointsToFact{
+				Ctx:         t.Var.Ctx,
+				Method:      pr.Method(t.Var.Ctx).Name,
+				Var:         t.Var.Name,
+				Node:        t.Var.Node,
+				ObjType:     info.Type,
+				ObjPos:      info.Pos,
+				Conditional: conditional,
+				Constraint:  conjText,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Var != b.Var {
+			return a.Var < b.Var
+		}
+		if a.Ctx != b.Ctx {
+			return a.Ctx < b.Ctx
+		}
+		return a.Node < b.Node
+	})
+	return out
+}
+
+// checkTyped inspects every closed source->exit edge (phase 3).
+// explainWitness renders a path encoding as forward source-level steps:
+// each interval contributes the branches taken between its endpoints, each
+// call/return element the frame crossing.
+func explainWitness(ic *cfet.ICFET, enc cfet.Enc) []WitnessStep {
+	var steps []WitnessStep
+	for _, el := range enc {
+		switch el.Kind {
+		case cfet.KInterval:
+			if int(el.Method) >= len(ic.Methods) {
+				continue
+			}
+			m := ic.Methods[el.Method]
+			// Walk child-to-ancestor collecting branch decisions, then
+			// reverse into execution order.
+			var rev []WitnessStep
+			cur := el.End
+			for cur != el.Start && cur != 0 {
+				parent := cfet.Parent(cur)
+				pn := m.Nodes[parent]
+				if pn != nil && pn.HasCond {
+					branch := "false"
+					if cfet.IsTrueChild(cur) {
+						branch = "true"
+					}
+					rev = append(rev, WitnessStep{
+						Pos:  pn.CondPos,
+						Desc: fmt.Sprintf("in %s: take the %s branch of (%s)", m.Name, branch, pn.CondText),
+					})
+				}
+				cur = parent
+			}
+			for i := len(rev) - 1; i >= 0; i-- {
+				steps = append(steps, rev[i])
+			}
+		case cfet.KCall:
+			if int(el.Call) >= len(ic.CallEdges) {
+				continue
+			}
+			ce := ic.CallEdges[el.Call]
+			steps = append(steps, WitnessStep{
+				Desc: fmt.Sprintf("call %s from %s", ic.Methods[ce.Callee].Name, ic.Methods[ce.Caller].Name),
+			})
+		case cfet.KRet:
+			if int(el.Call) >= len(ic.CallEdges) {
+				continue
+			}
+			ce := ic.CallEdges[el.Call]
+			steps = append(steps, WitnessStep{
+				Desc: fmt.Sprintf("return from %s to %s", ic.Methods[ce.Callee].Name, ic.Methods[ce.Caller].Name),
+			})
+		}
+	}
+	return steps
+}
+
+func checkTyped(en *engine.Engine, dg *pgraph.DataflowGraph, ic *cfet.ICFET) ([]Report, error) {
+	byEndpoint := map[[2]uint32]*pgraph.TrackedObj{}
+	for i := range dg.Tracked {
+		t := &dg.Tracked[i]
+		byEndpoint[[2]uint32{t.Source, t.Exit}] = t
+	}
+	type repKey struct {
+		site int32
+		ctx  uint32
+		fsm  string
+		kind Kind
+	}
+	seen := map[repKey]bool{}
+	var reports []Report
+	err := en.ForEach(func(e *storage.Edge) bool {
+		t, ok := byEndpoint[[2]uint32{e.Src, e.Dst}]
+		if !ok {
+			return true
+		}
+		states := e.Rel.Apply(t.FSM.Init)
+		var bad []string
+		kind := KindLeak
+		for s := 0; s < len(t.FSM.States); s++ {
+			if states&(1<<uint(s)) == 0 {
+				continue
+			}
+			if s == fsm.ErrorState {
+				kind = KindError
+				bad = append(bad, t.FSM.States[s])
+			} else if !t.FSM.IsAccept(s) {
+				bad = append(bad, t.FSM.States[s])
+			}
+		}
+		if len(bad) == 0 {
+			return true
+		}
+		k := repKey{site: t.Info.ID.Site, ctx: t.Info.ID.Ctx, fsm: t.FSM.Name, kind: kind}
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		witnessConstraint := "true"
+		if conj, derr := ic.Decode(e.Enc); derr == nil && len(conj) > 0 {
+			witnessConstraint = conj.String(ic.Syms)
+		}
+		steps := explainWitness(ic, e.Enc)
+		reports = append(reports, Report{
+			FSM:               t.FSM.Name,
+			Type:              t.Info.Type,
+			Kind:              kind,
+			Pos:               t.Info.Pos,
+			Object:            t.Info.String(),
+			States:            bad,
+			Witness:           e.Enc.String(ic),
+			WitnessConstraint: witnessConstraint,
+			Steps:             steps,
+		})
+		return true
+	})
+	sort.Slice(reports, func(i, j int) bool {
+		a, b := reports[i], reports[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.FSM != b.FSM {
+			return a.FSM < b.FSM
+		}
+		return a.Kind < b.Kind
+	})
+	return reports, err
+}

@@ -1,0 +1,520 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/fsm"
+)
+
+func check(t *testing.T, src string, fsms ...*fsm.FSM) *Result {
+	t.Helper()
+	if len(fsms) == 0 {
+		fsms = fsm.Builtins()
+	}
+	c := New(fsms, Options{WorkDir: t.TempDir()})
+	res, err := c.CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func countKind(res *Result, k Kind) int {
+	n := 0
+	for _, r := range res.Reports {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFigure3bEndToEnd reproduces the paper's §2 worked example: among the
+// four paths of Fig. 3b, exactly one bug exists (the writer is created but
+// not closed when y<=0), and the would-be write-after-nothing on the
+// infeasible third path (x<0 && y>0) must NOT be reported.
+func TestFigure3bEndToEnd(t *testing.T) {
+	src := `
+type FileWriter;
+fun main() {
+  var out: FileWriter = null;
+  var o: FileWriter = null;
+  var x: int = input();
+  var y: int = x;
+  if (x >= 0) {
+    out = new FileWriter();
+    o = out;
+    y = y - 1;
+  } else {
+    y = y + 1;
+  }
+  if (y > 0) {
+    out.write();
+    o.close();
+  }
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 1 {
+		t.Fatalf("want exactly 1 report, got %d: %v", len(res.Reports), res.Reports)
+	}
+	r := res.Reports[0]
+	if r.Kind != KindLeak || r.Type != "FileWriter" {
+		t.Fatalf("unexpected report: %+v", r)
+	}
+	if res.TrackedObjects != 1 {
+		t.Fatalf("tracked objects = %d", res.TrackedObjects)
+	}
+}
+
+// TestFigure3bPathSensitivityMatters is the control experiment: the same
+// program with the second conditional inverted (y <= 0) makes the
+// write-then-no-close path feasible for x>=1... actually with y<=0 the
+// events fire exactly when x-1<=0, i.e. x in {0,1}; closing happens there,
+// and the leak path is x>=2. Either way a leak must be found, but no
+// error-transition: write-after-close never happens on a feasible path.
+func TestFigure3bNoErrorTransition(t *testing.T) {
+	src := `
+type FileWriter;
+fun main() {
+  var out: FileWriter = null;
+  var x: int = input();
+  if (x >= 0) {
+    out = new FileWriter();
+  }
+  if (x < 0) {
+    out.write();
+  }
+  return;
+}`
+	// write only happens when x<0, but the object exists only when x>=0:
+	// the write event can never apply to the object, so the only defect is
+	// the unconditional leak (never closed).
+	res := check(t, src)
+	if countKind(res, KindError) != 0 {
+		t.Fatalf("infeasible write reported: %v", res.Reports)
+	}
+	if countKind(res, KindLeak) != 1 {
+		t.Fatalf("want the leak: %v", res.Reports)
+	}
+}
+
+func TestCleanProgramNoReports(t *testing.T) {
+	src := `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.write();
+  w.close();
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("clean program flagged: %v", res.Reports)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	src := `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.close();
+  w.write();
+  return;
+}`
+	res := check(t, src)
+	if countKind(res, KindError) != 1 {
+		t.Fatalf("write-after-close not reported: %v", res.Reports)
+	}
+}
+
+func TestLeakThroughAlias(t *testing.T) {
+	// The close happens through an alias; no leak must be reported.
+	src := `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var o: FileWriter = w;
+  w.write();
+  o.close();
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("alias-closed writer flagged: %v", res.Reports)
+	}
+}
+
+func TestLeakThroughHeap(t *testing.T) {
+	// Closing through a field load must count (store/alias/load grammar).
+	src := `
+type FileWriter;
+type Box;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var b: Box = new Box();
+  b.fw = w;
+  var o: FileWriter = b.fw;
+  o.close();
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("heap-closed writer flagged: %v", res.Reports)
+	}
+}
+
+func TestHeapFieldMismatchLeaks(t *testing.T) {
+	// Closing an object loaded from a DIFFERENT field must not count.
+	src := `
+type FileWriter;
+type Box;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var w2: FileWriter = new FileWriter();
+  var b: Box = new Box();
+  b.fw = w;
+  b.other = w2;
+  var o: FileWriter = b.other;
+  o.close();
+  return;
+}`
+	res := check(t, src)
+	// w leaks (only w2, via b.other, was closed).
+	if countKind(res, KindLeak) != 1 {
+		t.Fatalf("want 1 leak (w), got: %v", res.Reports)
+	}
+}
+
+func TestInterproceduralClose(t *testing.T) {
+	src := `
+type FileWriter;
+fun closeIt(f: FileWriter) {
+  f.close();
+  return;
+}
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.write();
+  closeIt(w);
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("interprocedurally closed writer flagged: %v", res.Reports)
+	}
+}
+
+func TestInterproceduralLeak(t *testing.T) {
+	src := `
+type FileWriter;
+fun open(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  return w;
+}
+fun main() {
+  var f: FileWriter = open();
+  f.write();
+  return;
+}`
+	res := check(t, src)
+	if countKind(res, KindLeak) != 1 {
+		t.Fatalf("escaped writer must leak: %v", res.Reports)
+	}
+}
+
+func TestContextSensitivityTwoCallers(t *testing.T) {
+	// Helper opens a writer; one caller closes it, the other leaks it.
+	// Context-sensitive cloning must blame only the leaking clone.
+	src := `
+type FileWriter;
+fun open(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  return w;
+}
+fun good() {
+  var a: FileWriter = open();
+  a.close();
+  return;
+}
+fun bad() {
+  var b: FileWriter = open();
+  b.write();
+  return;
+}
+fun main() {
+  good();
+  bad();
+  return;
+}`
+	res := check(t, src)
+	if got := countKind(res, KindLeak); got != 1 {
+		t.Fatalf("want exactly 1 leak (the bad() clone), got %d: %v", got, res.Reports)
+	}
+}
+
+func TestLockMisorder(t *testing.T) {
+	src := `
+type Lock;
+fun main() {
+  var l: Lock = new Lock();
+  l.unlock();
+  l.lock();
+  return;
+}`
+	res := check(t, src)
+	if countKind(res, KindError) != 1 {
+		t.Fatalf("lock misorder not reported: %v", res.Reports)
+	}
+}
+
+func TestLockBalanced(t *testing.T) {
+	src := `
+type Lock;
+fun main() {
+  var l: Lock = new Lock();
+  l.lock();
+  l.unlock();
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("balanced lock flagged: %v", res.Reports)
+	}
+}
+
+func TestUncaughtExceptionReported(t *testing.T) {
+	src := `
+type Exception;
+fun risky() {
+  throw new Exception();
+}
+fun main() {
+  risky();
+  return;
+}`
+	res := check(t, src)
+	if countKind(res, KindLeak) != 1 {
+		t.Fatalf("uncaught exception not reported: %v", res.Reports)
+	}
+}
+
+func TestCaughtExceptionClean(t *testing.T) {
+	src := `
+type Exception;
+fun risky() {
+  throw new Exception();
+}
+fun main() {
+  try {
+    risky();
+  } catch (e) {
+    return;
+  }
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("caught exception flagged: %v", res.Reports)
+	}
+}
+
+func TestSocketLeakOnExceptionPath(t *testing.T) {
+	// Shape of the paper's Fig. 1/8a: the old socket is closed only on the
+	// non-exception path; an exception between open and close leaks it.
+	src := `
+type Socket;
+type Exception;
+fun mayThrow() {
+  var x: int = input();
+  if (x > 0) {
+    throw new Exception();
+  }
+  return;
+}
+fun main() {
+  var s: Socket = new Socket();
+  s.bind();
+  try {
+    mayThrow();
+    s.close();
+  } catch (e) {
+    return;
+  }
+  return;
+}`
+	res := check(t, src)
+	leaks := 0
+	for _, r := range res.Reports {
+		if r.Kind == KindLeak && r.Type == "Socket" {
+			leaks++
+		}
+	}
+	if leaks != 1 {
+		t.Fatalf("socket leak on exception path not reported: %v", res.Reports)
+	}
+}
+
+func TestSocketProperlyClosedBothPaths(t *testing.T) {
+	src := `
+type Socket;
+type Exception;
+fun mayThrow() {
+  var x: int = input();
+  if (x > 0) {
+    throw new Exception();
+  }
+  return;
+}
+fun main() {
+  var s: Socket = new Socket();
+  s.bind();
+  try {
+    mayThrow();
+    s.close();
+  } catch (e) {
+    s.close();
+  }
+  return;
+}`
+	res := check(t, src)
+	for _, r := range res.Reports {
+		if r.Type == "Socket" {
+			t.Fatalf("socket closed on both paths flagged: %v", res.Reports)
+		}
+	}
+}
+
+func TestCustomFSMViaBind(t *testing.T) {
+	f, err := fsm.New("io2", "LogFile", "Init", "Open", "Close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetInit("Init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetAccept("Init", "Close"); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range [][3]string{{"Init", "new", "Open"}, {"Open", "append", "Open"}, {"Open", "close", "Close"}} {
+		if err := f.AddTransition(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := `
+type LogFile;
+fun main() {
+  var l: LogFile = new LogFile();
+  l.append();
+  return;
+}`
+	c := New([]*fsm.FSM{f}, Options{WorkDir: t.TempDir()})
+	res, err := c.CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countKind(res, KindLeak) != 1 {
+		t.Fatalf("custom FSM leak not found: %v", res.Reports)
+	}
+}
+
+func TestLoopedWritesClean(t *testing.T) {
+	src := `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  var i: int = 0;
+  while (i < 10) {
+    w.write();
+    i = i + 1;
+  }
+  w.close();
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("looped writer flagged: %v", res.Reports)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	src := `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.close();
+  return;
+}`
+	res := check(t, src)
+	if res.Alias.Vertices == 0 || res.Alias.EdgesBefore == 0 {
+		t.Fatalf("alias stats empty: %+v", res.Alias)
+	}
+	if res.Dataflow.EdgesAfter == 0 {
+		t.Fatalf("dataflow stats empty: %+v", res.Dataflow)
+	}
+	if res.Flows == 0 {
+		t.Fatal("no flows extracted")
+	}
+}
+
+func TestWitnessStepsExplainBranches(t *testing.T) {
+	src := `
+type Socket;
+fun main() {
+  var s: Socket = new Socket();
+  s.bind();
+  var n: int = input();
+  if (n > 7) {
+    s.close();
+  }
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 1 {
+		t.Fatalf("reports: %v", res.Reports)
+	}
+	steps := res.Reports[0].Steps
+	if len(steps) == 0 {
+		t.Fatal("no witness steps")
+	}
+	found := false
+	for _, s := range steps {
+		if s.Pos.Line == 7 && strings.Contains(s.Desc, "false branch") && strings.Contains(s.Desc, "n > 7") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak witness should take the false branch of the guard: %v", steps)
+	}
+}
+
+func TestWitnessStepsCrossCalls(t *testing.T) {
+	src := `
+type FileWriter;
+fun maybeClose(w: FileWriter, n: int) {
+  if (n > 0) {
+    w.close();
+  }
+  return;
+}
+fun main() {
+  var w: FileWriter = new FileWriter();
+  maybeClose(w, input());
+  return;
+}`
+	res := check(t, src)
+	if len(res.Reports) != 1 {
+		t.Fatalf("reports: %v", res.Reports)
+	}
+	var hasCall bool
+	for _, s := range res.Reports[0].Steps {
+		if strings.Contains(s.Desc, "call maybeClose") || strings.Contains(s.Desc, "return from maybeClose") {
+			hasCall = true
+		}
+	}
+	if !hasCall {
+		t.Fatalf("witness should cross the call: %v", res.Reports[0].Steps)
+	}
+}

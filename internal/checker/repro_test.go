@@ -1,0 +1,34 @@
+package checker
+
+import "testing"
+
+// TestSequentialSameTypeResources regresses a bug where event items were
+// ordered by method name instead of statement position, letting a second
+// socket's lifecycle events be consumed by the first socket's statements.
+func TestSequentialSameTypeResources(t *testing.T) {
+	src := `
+type Socket;
+type FileWriter;
+fun closeWriter(w: FileWriter) { w.close(); return; }
+fun work(cfg: int) {
+  var s1: Socket = new Socket();
+  s1.bind();
+  s1.accept();
+  s1.close();
+  var w: FileWriter = new FileWriter();
+  w.write();
+  closeWriter(w);
+  var s2: Socket = new Socket();
+  s2.bind();
+  s2.accept();
+  s2.close();
+  var acc: int = cfg;
+  if (acc > 8) { acc = acc + 1; }
+  return;
+}
+fun main() { work(input()); return; }`
+	res := check(t, src)
+	if len(res.Reports) != 0 {
+		t.Fatalf("clean double-socket flagged: %v", res.Reports)
+	}
+}

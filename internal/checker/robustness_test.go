@@ -1,0 +1,213 @@
+package checker
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/fsm"
+)
+
+// randProgram emits a random (but well-formed) MiniLang program: statement
+// soup over tracked objects, branches, loops, calls and exceptions. The
+// robustness test drives these through the full pipeline; the analysis must
+// terminate without panicking on any of them.
+type randGen struct {
+	rng   *rand.Rand
+	b     strings.Builder
+	varN  int
+	depth int
+	// in-scope variables by category
+	ints []string
+	objs []string
+}
+
+func (g *randGen) fresh(prefix string) string {
+	g.varN++
+	return fmt.Sprintf("%s%d", prefix, g.varN)
+}
+
+func (g *randGen) line(indent int, format string, args ...any) {
+	g.b.WriteString(strings.Repeat("  ", indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *randGen) intExpr() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(20)-10)
+	case 1:
+		return "input()"
+	case 2:
+		if len(g.ints) > 0 {
+			return g.ints[g.rng.Intn(len(g.ints))]
+		}
+		return "input()"
+	default:
+		if len(g.ints) > 0 {
+			v := g.ints[g.rng.Intn(len(g.ints))]
+			return fmt.Sprintf("%s %s %d", v, []string{"+", "-", "*"}[g.rng.Intn(3)], g.rng.Intn(5))
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(9))
+	}
+}
+
+func (g *randGen) cond() string {
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+	return fmt.Sprintf("%s %s %s", g.intExpr(), op, g.intExpr())
+}
+
+func (g *randGen) stmt(indent int) {
+	switch g.rng.Intn(10) {
+	case 0:
+		v := g.fresh("n")
+		g.line(indent, "var %s: int = %s;", v, g.intExpr())
+		g.ints = append(g.ints, v)
+	case 1:
+		v := g.fresh("o")
+		g.line(indent, "var %s: FileWriter = new FileWriter();", v)
+		g.objs = append(g.objs, v)
+	case 2:
+		if len(g.objs) > 0 {
+			o := g.objs[g.rng.Intn(len(g.objs))]
+			ev := []string{"write", "close", "flush"}[g.rng.Intn(3)]
+			g.line(indent, "%s.%s();", o, ev)
+		}
+	case 3:
+		if len(g.objs) > 1 {
+			a := g.objs[g.rng.Intn(len(g.objs))]
+			b := g.objs[g.rng.Intn(len(g.objs))]
+			if a != b {
+				g.line(indent, "%s = %s;", a, b)
+			}
+		}
+	case 4:
+		if g.depth < 3 {
+			g.depth++
+			g.line(indent, "if (%s) {", g.cond())
+			n := 1 + g.rng.Intn(3)
+			for i := 0; i < n; i++ {
+				g.stmt(indent + 1)
+			}
+			if g.rng.Intn(2) == 0 {
+				g.line(indent, "} else {")
+				g.stmt(indent + 1)
+			}
+			g.line(indent, "}")
+			g.depth--
+		}
+	case 5:
+		if g.depth < 2 {
+			g.depth++
+			v := g.fresh("i")
+			g.line(indent, "var %s: int = 0;", v)
+			g.line(indent, "while (%s < %d) {", v, 1+g.rng.Intn(5))
+			g.stmt(indent + 1)
+			g.line(indent+1, "%s = %s + 1;", v, v)
+			g.line(indent, "}")
+			g.depth--
+		}
+	case 6:
+		if len(g.ints) > 0 {
+			v := g.ints[g.rng.Intn(len(g.ints))]
+			g.line(indent, "%s = %s;", v, g.intExpr())
+		}
+	case 7:
+		if g.depth < 2 {
+			g.depth++
+			e := g.fresh("e")
+			c := g.fresh("c")
+			g.line(indent, "try {")
+			g.stmt(indent + 1)
+			if g.rng.Intn(2) == 0 {
+				g.line(indent+1, "var %s: Exception = new Exception();", e)
+				g.line(indent+1, "throw %s;", e)
+			}
+			g.line(indent, "} catch (%s) {", c)
+			g.stmt(indent + 1)
+			g.line(indent, "}")
+			g.depth--
+		}
+	case 8:
+		g.line(indent, "helper(%s);", g.intExpr())
+	default:
+		if len(g.objs) > 0 && g.rng.Intn(3) == 0 {
+			box := g.fresh("bx")
+			o := g.objs[g.rng.Intn(len(g.objs))]
+			g.line(indent, "var %s: Box = new Box();", box)
+			g.line(indent, "%s.f = %s;", box, o)
+			v := g.fresh("ld")
+			g.line(indent, "var %s: FileWriter = %s.f;", v, box)
+			g.objs = append(g.objs, v)
+		}
+	}
+}
+
+func randProgram(seed int64) string {
+	g := &randGen{rng: rand.New(rand.NewSource(seed))}
+	g.line(0, "type FileWriter;")
+	g.line(0, "type Exception;")
+	g.line(0, "type Box;")
+	g.line(0, "fun helper(n: int) {")
+	g.line(1, "if (n > 3) {")
+	g.line(2, "var he: Exception = new Exception();")
+	g.line(2, "throw he;")
+	g.line(1, "}")
+	g.line(1, "return;")
+	g.line(0, "}")
+	g.line(0, "fun main() {")
+	n := 4 + g.rng.Intn(10)
+	for i := 0; i < n; i++ {
+		g.stmt(1)
+	}
+	g.line(1, "return;")
+	g.line(0, "}")
+	return g.b.String()
+}
+
+// TestRobustnessRandomPrograms runs dozens of random programs through the
+// full pipeline. The only requirements: no panic, no error, termination.
+func TestRobustnessRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness sweep")
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := randProgram(seed)
+			c := New(fsm.Builtins(), Options{WorkDir: t.TempDir()})
+			if _, err := c.CheckSource(src); err != nil {
+				t.Fatalf("seed %d failed: %v\nprogram:\n%s", seed, err, src)
+			}
+		})
+	}
+}
+
+// TestRobustnessDeterminism: the same program always yields the same
+// reports (maps are iterated all over the pipeline; ordering must not leak
+// into results).
+func TestRobustnessDeterminism(t *testing.T) {
+	src := randProgram(7)
+	var prev []Report
+	for i := 0; i < 3; i++ {
+		c := New(fsm.Builtins(), Options{WorkDir: t.TempDir()})
+		res, err := c.CheckSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if len(res.Reports) != len(prev) {
+				t.Fatalf("run %d: %d reports vs %d", i, len(res.Reports), len(prev))
+			}
+			for j := range prev {
+				if prev[j].Pos != res.Reports[j].Pos || prev[j].FSM != res.Reports[j].FSM ||
+					prev[j].Kind != res.Reports[j].Kind {
+					t.Fatalf("run %d report %d differs: %v vs %v", i, j, prev[j], res.Reports[j])
+				}
+			}
+		}
+		prev = res.Reports
+	}
+}

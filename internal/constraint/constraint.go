@@ -1,0 +1,194 @@
+// Package constraint defines the boolean path constraints Grapple attaches
+// to graph edges (paper §3). A path constraint is a conjunction of atoms,
+// each comparing a linear symbolic expression against zero. The engine never
+// needs disjunction: disjunctive structure lives in the CFET, and each
+// decoded path yields a pure conjunction (§3.2).
+package constraint
+
+import (
+	"strings"
+
+	"github.com/grapple-system/grapple/internal/symbolic"
+)
+
+// Op is a comparison operator. Every atom is normalized to "LHS Op 0".
+type Op uint8
+
+// Comparison operators for Atom.
+const (
+	EQ Op = iota // LHS == 0
+	NE           // LHS != 0
+	LE           // LHS <= 0
+	LT           // LHS <  0
+	GE           // LHS >= 0
+	GT           // LHS >  0
+)
+
+var opNames = [...]string{EQ: "==", NE: "!=", LE: "<=", LT: "<", GE: ">=", GT: ">"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "?"
+}
+
+// Negate returns the operator of the complementary comparison.
+func (o Op) Negate() Op {
+	switch o {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LE:
+		return GT
+	case LT:
+		return GE
+	case GE:
+		return LT
+	default: // GT
+		return LE
+	}
+}
+
+// Atom is a single comparison LHS Op 0 over a linear expression.
+type Atom struct {
+	LHS symbolic.Expr
+	Op  Op
+}
+
+// NewAtom builds the atom "l op r" normalized to "l-r op 0".
+func NewAtom(l symbolic.Expr, op Op, r symbolic.Expr) Atom {
+	return Atom{LHS: l.Sub(r), Op: op}
+}
+
+// True is an atom that always holds (0 == 0).
+func True() Atom { return Atom{Op: EQ} }
+
+// IsTrivialTrue reports whether a is a constant atom that holds.
+func (a Atom) IsTrivialTrue() bool {
+	return a.LHS.IsConst() && evalConst(a.LHS.Const, a.Op)
+}
+
+// IsTrivialFalse reports whether a is a constant atom that cannot hold.
+func (a Atom) IsTrivialFalse() bool {
+	return a.LHS.IsConst() && !evalConst(a.LHS.Const, a.Op)
+}
+
+func evalConst(c int64, op Op) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LE:
+		return c <= 0
+	case LT:
+		return c < 0
+	case GE:
+		return c >= 0
+	default: // GT
+		return c > 0
+	}
+}
+
+// Negate returns the complement of a.
+func (a Atom) Negate() Atom { return Atom{LHS: a.LHS, Op: a.Op.Negate()} }
+
+// Subst substitutes sym by r in the atom.
+func (a Atom) Subst(sym symbolic.Sym, r symbolic.Expr) Atom {
+	return Atom{LHS: a.LHS.Subst(sym, r), Op: a.Op}
+}
+
+// String renders the atom against a symbol table.
+func (a Atom) String(t *symbolic.Table) string {
+	return a.LHS.String(t) + " " + a.Op.String() + " 0"
+}
+
+// Key returns a canonical memoization key for the atom.
+func (a Atom) Key() string { return a.LHS.Key() + string('0'+byte(a.Op)) }
+
+// Conj is a conjunction of atoms; the empty conjunction is "true".
+type Conj []Atom
+
+// And returns c with a appended (trivially-true atoms are dropped).
+func (c Conj) And(a Atom) Conj {
+	if a.IsTrivialTrue() {
+		return c
+	}
+	return append(c, a)
+}
+
+// AndAll conjoins all atoms of o onto c.
+func (c Conj) AndAll(o Conj) Conj {
+	for _, a := range o {
+		c = c.And(a)
+	}
+	return c
+}
+
+// HasTrivialFalse reports whether any atom is constant-false, which makes
+// the whole conjunction unsatisfiable without consulting the solver.
+func (c Conj) HasTrivialFalse() bool {
+	for _, a := range c {
+		if a.IsTrivialFalse() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the conjunction, "true" when empty.
+func (c Conj) String(t *symbolic.Table) string {
+	if len(c) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c))
+	for i, a := range c {
+		parts[i] = a.String(t)
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Key returns a canonical memoization key. Atoms are order-sensitive by
+// design: the solver result does not depend on order, but callers that want
+// order-insensitive keys should sort first via Canon.
+func (c Conj) Key() string {
+	var b strings.Builder
+	for _, a := range c {
+		b.WriteString(a.Key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Canon returns a copy of c with duplicate atoms removed and atoms sorted by
+// key, so that logically identical conjunctions share one memoization entry.
+func (c Conj) Canon() Conj {
+	if len(c) <= 1 {
+		return c
+	}
+	keys := make([]string, len(c))
+	for i, a := range c {
+		keys[i] = a.Key()
+	}
+	idx := make([]int, len(c))
+	for i := range idx {
+		idx[i] = i
+	}
+	// insertion sort by key; conjunctions are short
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && keys[idx[j]] < keys[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	out := make(Conj, 0, len(c))
+	prev := ""
+	for _, i := range idx {
+		if keys[i] != prev {
+			out = append(out, c[i])
+			prev = keys[i]
+		}
+	}
+	return out
+}

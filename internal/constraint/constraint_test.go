@@ -1,0 +1,152 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/grapple-system/grapple/internal/symbolic"
+)
+
+func TestOpNegate(t *testing.T) {
+	pairs := [][2]Op{{EQ, NE}, {LE, GT}, {LT, GE}}
+	for _, p := range pairs {
+		if p[0].Negate() != p[1] || p[1].Negate() != p[0] {
+			t.Errorf("%v and %v must be complements", p[0], p[1])
+		}
+	}
+	for _, op := range []Op{EQ, NE, LE, LT, GE, GT} {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negation of %v", op)
+		}
+	}
+}
+
+func evalAtom(a Atom, env map[symbolic.Sym]int64) bool {
+	v := a.LHS.Const
+	for _, term := range a.LHS.Terms {
+		v += term.Coeff * env[term.Sym]
+	}
+	switch a.Op {
+	case EQ:
+		return v == 0
+	case NE:
+		return v != 0
+	case LE:
+		return v <= 0
+	case LT:
+		return v < 0
+	case GE:
+		return v >= 0
+	default:
+		return v > 0
+	}
+}
+
+// TestPropertyNegateComplements: for every assignment, an atom and its
+// negation disagree.
+func TestPropertyNegateComplements(t *testing.T) {
+	tab := symbolic.NewTable()
+	syms := []symbolic.Sym{tab.Intern("a"), tab.Intern("b")}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := symbolic.Const(int64(rng.Intn(7) - 3))
+		for _, s := range syms {
+			e = e.Add(symbolic.Var(s).Scale(int64(rng.Intn(5) - 2)))
+		}
+		a := Atom{LHS: e, Op: Op(rng.Intn(6))}
+		env := map[symbolic.Sym]int64{}
+		for _, s := range syms {
+			env[s] = int64(rng.Intn(9) - 4)
+		}
+		return evalAtom(a, env) != evalAtom(a.Negate(), env)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrivialClassification(t *testing.T) {
+	tab := symbolic.NewTable()
+	x := symbolic.Var(tab.Intern("x"))
+	cases := []struct {
+		a             Atom
+		trueV, falseV bool
+	}{
+		{True(), true, false},
+		{NewAtom(symbolic.Const(1), GT, symbolic.Const(0)), true, false},
+		{NewAtom(symbolic.Const(0), GT, symbolic.Const(1)), false, true},
+		{NewAtom(x, GT, symbolic.Const(0)), false, false},
+		{Atom{LHS: symbolic.Const(-1), Op: NE}, true, false},
+		{Atom{LHS: symbolic.Const(0), Op: NE}, false, true},
+	}
+	for i, tc := range cases {
+		if tc.a.IsTrivialTrue() != tc.trueV || tc.a.IsTrivialFalse() != tc.falseV {
+			t.Errorf("case %d: %s -> (%v,%v)", i, tc.a.String(tab),
+				tc.a.IsTrivialTrue(), tc.a.IsTrivialFalse())
+		}
+	}
+}
+
+func TestConjAndDropsTrivialTrue(t *testing.T) {
+	tab := symbolic.NewTable()
+	x := symbolic.Var(tab.Intern("x"))
+	var c Conj
+	c = c.And(True())
+	if len(c) != 0 {
+		t.Fatal("trivially-true atom must be dropped")
+	}
+	c = c.And(NewAtom(x, GE, symbolic.Const(0)))
+	if len(c) != 1 {
+		t.Fatal("real atom must be kept")
+	}
+	c2 := c.AndAll(Conj{True(), NewAtom(x, LT, symbolic.Const(10))})
+	if len(c2) != 2 {
+		t.Fatalf("AndAll: %d atoms", len(c2))
+	}
+}
+
+func TestHasTrivialFalse(t *testing.T) {
+	c := Conj{Atom{LHS: symbolic.Const(1), Op: EQ}}
+	if !c.HasTrivialFalse() {
+		t.Fatal("1 == 0 is trivially false")
+	}
+	if (Conj{}).HasTrivialFalse() {
+		t.Fatal("empty conjunction is true")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	tab := symbolic.NewTable()
+	xs := tab.Intern("x")
+	x, y := symbolic.Var(xs), symbolic.Var(tab.Intern("y"))
+	a := NewAtom(x.Scale(2), LE, y) // 2x - y <= 0
+	got := a.Subst(xs, y.Add(symbolic.Const(1)))
+	// 2(y+1) - y = y + 2 <= 0
+	want := Atom{LHS: y.Add(symbolic.Const(2)), Op: LE}
+	if got.Op != want.Op || !got.LHS.Equal(want.LHS) {
+		t.Fatalf("got %s", got.String(tab))
+	}
+}
+
+func TestCanonDedupes(t *testing.T) {
+	tab := symbolic.NewTable()
+	x := symbolic.Var(tab.Intern("x"))
+	a := NewAtom(x, GE, symbolic.Const(0))
+	c := Conj{a, a, a}
+	if got := c.Canon(); len(got) != 1 {
+		t.Fatalf("canon kept %d duplicates", len(got))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tab := symbolic.NewTable()
+	x := symbolic.Var(tab.Intern("x"))
+	if got := (Conj{}).String(tab); got != "true" {
+		t.Fatalf("empty conj renders %q", got)
+	}
+	c := Conj{NewAtom(x, GT, symbolic.Const(3))}
+	if got := c.String(tab); got != "x - 3 > 0" {
+		t.Fatalf("rendered %q", got)
+	}
+}

@@ -1,0 +1,450 @@
+// Package engine implements Grapple's single-machine, disk-based graph
+// computation (paper §4.3): vertex-interval partitions on SSD, an edge-pair-
+// centric join that loads two partitions per iteration, constraint-guided
+// edge induction (grammar match + path-encoding merge + SMT check), eager
+// repartitioning, semi-naive scheduling, and LRU constraint memoization.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/grammar"
+	"github.com/grapple-system/grapple/internal/metrics"
+	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// Options configures the engine.
+type Options struct {
+	// Dir is the on-disk partition directory.
+	Dir string
+	// MemoryBudget bounds the bytes of edge data held in memory; any two
+	// partitions loaded together must fit (paper §4.3). Zero means 256 MiB.
+	MemoryBudget int64
+	// Workers is the edge-induction parallelism; zero means GOMAXPROCS.
+	Workers int
+	// CacheSize is the constraint-memoization LRU capacity; zero means the
+	// default, negative disables memoization (Table 4's "without caching").
+	CacheSize int
+	// SolverOpts tunes the SMT solver.
+	SolverOpts smt.Options
+	// MaxVariants caps distinct constraint variants kept per (src, dst,
+	// label); beyond it the edge widens to the unconstrained variant. Zero
+	// means 6.
+	MaxVariants int
+	// UseRel composes FSM transition relations along induced edges
+	// (dataflow/typestate graphs).
+	UseRel bool
+	// SkipInitialSolve skips satisfiability checks on initial edges (they
+	// represent real statements); on by default via Run.
+	SkipInitialSolve bool
+	// DeferRepartition delays splitting oversized partitions until the end
+	// of the whole computation instead of splitting eagerly after each
+	// iteration. The paper adopts eager repartitioning (§4.3) because
+	// variable-sized edge data unbalances partitions quickly; this option
+	// exists for the ablation benchmark.
+	DeferRepartition bool
+}
+
+// Stats reports everything the evaluation tables need.
+type Stats struct {
+	EdgesBefore       int64
+	EdgesAfter        int64
+	Iterations        int64 // partition-pair computations
+	Partitions        int   // final partition count
+	Repartitions      int64
+	ConstraintsSolved int64 // solver invocations (cache misses)
+	CacheLookups      int64
+	CacheHits         int64
+	RejectedUnsat     int64 // candidate edges pruned by path sensitivity
+	RejectedConflict  int64 // pruned structurally by encoding merge
+	Widened           int64 // variants widened at the per-endpoint cap
+	PreprocessTime    time.Duration
+	ComputeTime       time.Duration
+	SolveTime         time.Duration // summed across workers
+}
+
+// partMeta describes one on-disk partition.
+type partMeta struct {
+	id     int
+	lo, hi uint32 // vertex interval [lo, hi)
+	path   string
+	edges  int64
+	bytes  int64
+	maxGen uint32
+}
+
+// memPart is a loaded partition.
+type memPart struct {
+	meta  *partMeta
+	edges []storage.Edge
+	bySrc map[uint32][]int32
+	dirty bool
+}
+
+func (mp *memPart) add(e storage.Edge, sz int64) {
+	idx := int32(len(mp.edges))
+	mp.edges = append(mp.edges, e)
+	mp.bySrc[e.Src] = append(mp.bySrc[e.Src], idx)
+	mp.meta.edges++
+	mp.meta.bytes += sz
+	if e.Gen > mp.meta.maxGen {
+		mp.meta.maxGen = e.Gen
+	}
+	mp.dirty = true
+}
+
+// Engine runs one analysis (one graph) to fixpoint.
+type Engine struct {
+	opts  Options
+	ic    *cfet.ICFET
+	g     *grammar.Grammar
+	bd    *metrics.Breakdown
+	cache *smt.Cache
+
+	parts   []*partMeta
+	loaded  map[int]*memPart
+	lastGen map[[2]int]uint32
+	curGen  uint32
+
+	// keys globally dedupes edges (an in-memory index, like the ICFET).
+	keys map[uint64]struct{}
+	// variants counts constraint variants per endpoint triple.
+	variants map[storage.Endpoint]int
+
+	// pending buffers edges owned by unloaded partitions.
+	pending map[int][]storage.Edge
+
+	stats Stats
+	mu    sync.Mutex
+}
+
+// New creates an engine over an ICFET index and a grammar.
+func New(ic *cfet.ICFET, g *grammar.Grammar, opts Options, bd *metrics.Breakdown) *Engine {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = 256 << 20
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxVariants <= 0 {
+		opts.MaxVariants = 6
+	}
+	if bd == nil {
+		bd = &metrics.Breakdown{}
+	}
+	e := &Engine{
+		opts:     opts,
+		ic:       ic,
+		g:        g,
+		bd:       bd,
+		loaded:   map[int]*memPart{},
+		lastGen:  map[[2]int]uint32{},
+		keys:     map[uint64]struct{}{},
+		variants: map[storage.Endpoint]int{},
+		pending:  map[int][]storage.Edge{},
+	}
+	if opts.CacheSize >= 0 {
+		e.cache = smt.NewCache(opts.CacheSize)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (en *Engine) Stats() Stats {
+	s := en.stats
+	if en.cache != nil {
+		s.CacheLookups = en.cache.Lookups
+		s.CacheHits = en.cache.Hits
+	}
+	s.Partitions = len(en.parts)
+	return s
+}
+
+// Run computes the transitive closure from the initial edges, then leaves
+// the full closed graph on disk. numVertices sizes the partition space.
+func (en *Engine) Run(initial []storage.Edge, numVertices uint32) (*Stats, error) {
+	start := time.Now()
+	if err := os.MkdirAll(en.opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := en.preprocess(initial, numVertices); err != nil {
+		return nil, err
+	}
+	en.stats.PreprocessTime = time.Since(start)
+
+	computeStart := time.Now()
+	for {
+		i, j, ok := en.nextPair()
+		if !ok {
+			break
+		}
+		if err := en.processPair(i, j); err != nil {
+			return nil, err
+		}
+		en.stats.Iterations++
+	}
+	if err := en.evictAll(); err != nil {
+		return nil, err
+	}
+	en.stats.ComputeTime = time.Since(computeStart)
+	en.stats.EdgesAfter = en.EdgesAfter()
+	s := en.Stats()
+	return &s, nil
+}
+
+// preprocess expands initial edges through unary/mirror productions,
+// dedupes, and writes the first generation of partitions sized to the
+// memory budget (paper §4.3 "a preprocessing step partitions the input
+// graph ... such that any two partitions, if loaded together, would not
+// exceed the memory capacity").
+func (en *Engine) preprocess(initial []storage.Edge, numVertices uint32) error {
+	var all []storage.Edge
+	for _, e := range initial {
+		e.Gen = 0
+		for _, v := range en.expand(e) {
+			k := v.Key()
+			if _, dup := en.keys[k]; dup {
+				continue
+			}
+			en.keys[k] = struct{}{}
+			en.variants[v.Endpoint()]++
+			all = append(all, v)
+		}
+	}
+	en.stats.EdgesBefore = int64(len(all))
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Src != all[j].Src {
+			return all[i].Src < all[j].Src
+		}
+		return all[i].Dst < all[j].Dst
+	})
+	// Chunk by bytes so each partition stays under half the budget.
+	limit := en.opts.MemoryBudget / 4 // headroom: partitions grow during compute
+	var cur []storage.Edge
+	var curBytes int64
+	var lo uint32
+	flushPart := func(hi uint32) error {
+		if hi <= lo && len(en.parts) > 0 {
+			return nil
+		}
+		meta := &partMeta{
+			id: len(en.parts), lo: lo, hi: hi,
+			path: filepath.Join(en.opts.Dir, fmt.Sprintf("part-%06d.edges", len(en.parts))),
+		}
+		for i := range cur {
+			meta.bytes += storage.RecordSize(&cur[i])
+		}
+		meta.edges = int64(len(cur))
+		ioStart := time.Now()
+		if err := storage.WriteFile(meta.path, cur); err != nil {
+			return err
+		}
+		en.bd.AddIO(time.Since(ioStart))
+		en.parts = append(en.parts, meta)
+		cur, curBytes = nil, 0
+		lo = hi
+		return nil
+	}
+	for i := 0; i < len(all); {
+		src := all[i].Src
+		j := i
+		var groupBytes int64
+		for ; j < len(all) && all[j].Src == src; j++ {
+			groupBytes += storage.RecordSize(&all[j])
+		}
+		if curBytes > 0 && curBytes+groupBytes > limit {
+			if err := flushPart(src); err != nil {
+				return err
+			}
+		}
+		cur = append(cur, all[i:j]...)
+		curBytes += groupBytes
+		i = j
+	}
+	if numVertices == 0 {
+		numVertices = 1
+	}
+	if err := flushPart(numVertices); err != nil {
+		return err
+	}
+	if len(en.parts) == 0 {
+		meta := &partMeta{id: 0, lo: 0, hi: numVertices,
+			path: filepath.Join(en.opts.Dir, "part-000000.edges")}
+		if err := storage.WriteFile(meta.path, nil); err != nil {
+			return err
+		}
+		en.parts = append(en.parts, meta)
+	}
+	// Widen the last partition to cover the whole vertex space.
+	en.parts[len(en.parts)-1].hi = numVertices
+	return nil
+}
+
+// expand closes one edge under unary and mirror productions.
+func (en *Engine) expand(e storage.Edge) []storage.Edge {
+	out := []storage.Edge{e}
+	for i := 0; i < len(out); i++ {
+		cur := out[i]
+		for _, head := range en.g.MatchUnary(cur.Label) {
+			d := cur
+			d.Label = head
+			out = append(out, d)
+		}
+		if m := en.g.Mirror(cur.Label); m != grammar.NoLabel {
+			d := cur
+			d.Src, d.Dst = cur.Dst, cur.Src
+			d.Label = m
+			out = append(out, d)
+		}
+	}
+	// Dedup within the expansion (mirror of mirror etc. cannot occur with
+	// our grammars, but be safe).
+	seen := map[uint64]bool{}
+	kept := out[:0]
+	for _, v := range out {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
+// partOf maps a vertex to its owning partition index.
+func (en *Engine) partOf(v uint32) int {
+	lo, hi := 0, len(en.parts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v < en.parts[mid].lo {
+			hi = mid
+		} else if v >= en.parts[mid].hi {
+			lo = mid + 1
+		} else {
+			return mid
+		}
+	}
+	return len(en.parts) - 1
+}
+
+// nextPair returns a dirty partition pair (favoring loaded partitions).
+func (en *Engine) nextPair() (int, int, bool) {
+	best, bestScore := [2]int{-1, -1}, -1
+	for i := 0; i < len(en.parts); i++ {
+		for j := i; j < len(en.parts); j++ {
+			key := [2]int{en.parts[i].id, en.parts[j].id}
+			last, seen := en.lastGen[key]
+			if seen && en.parts[i].maxGen <= last && en.parts[j].maxGen <= last {
+				continue
+			}
+			score := 0
+			if _, ok := en.loaded[i]; ok {
+				score++
+			}
+			if _, ok := en.loaded[j]; ok {
+				score++
+			}
+			if score > bestScore {
+				best, bestScore = [2]int{i, j}, score
+				if score == 2 {
+					return best[0], best[1], true
+				}
+			}
+		}
+	}
+	if bestScore < 0 {
+		return 0, 0, false
+	}
+	return best[0], best[1], true
+}
+
+// load brings a partition into memory (evicting others beyond the pair).
+func (en *Engine) load(idx int) (*memPart, error) {
+	if mp, ok := en.loaded[idx]; ok {
+		return mp, nil
+	}
+	meta := en.parts[idx]
+	ioStart := time.Now()
+	edges, err := storage.ReadFile(meta.path, nil)
+	if err != nil {
+		return nil, err
+	}
+	en.bd.AddIO(time.Since(ioStart))
+	// Merge pending appends.
+	if p := en.pending[idx]; len(p) > 0 {
+		edges = append(edges, p...)
+		delete(en.pending, idx)
+	}
+	mp := &memPart{meta: meta, edges: edges, bySrc: map[uint32][]int32{}}
+	for i := range edges {
+		mp.bySrc[edges[i].Src] = append(mp.bySrc[edges[i].Src], int32(i))
+	}
+	en.loaded[idx] = mp
+	return mp, nil
+}
+
+// evict writes a loaded partition back to disk and drops it from memory.
+func (en *Engine) evict(idx int) error {
+	mp, ok := en.loaded[idx]
+	if !ok {
+		return nil
+	}
+	if mp.dirty {
+		ioStart := time.Now()
+		if err := storage.WriteFile(mp.meta.path, mp.edges); err != nil {
+			return err
+		}
+		en.bd.AddIO(time.Since(ioStart))
+	}
+	delete(en.loaded, idx)
+	return nil
+}
+
+func (en *Engine) evictAll() error {
+	for idx := range en.loaded {
+		if err := en.evict(idx); err != nil {
+			return err
+		}
+	}
+	// Flush any remaining pending buffers.
+	for idx, p := range en.pending {
+		if len(p) == 0 {
+			continue
+		}
+		ioStart := time.Now()
+		if err := storage.AppendFile(en.parts[idx].path, p); err != nil {
+			return err
+		}
+		en.bd.AddIO(time.Since(ioStart))
+		delete(en.pending, idx)
+	}
+	return nil
+}
+
+// flushPending appends buffered edges for unloaded partitions once buffers
+// grow; loaded partitions never buffer.
+func (en *Engine) flushPending(force bool) error {
+	for idx, p := range en.pending {
+		if len(p) == 0 {
+			continue
+		}
+		if !force && len(p) < 4096 {
+			continue
+		}
+		ioStart := time.Now()
+		if err := storage.AppendFile(en.parts[idx].path, p); err != nil {
+			return err
+		}
+		en.bd.AddIO(time.Since(ioStart))
+		delete(en.pending, idx)
+	}
+	return nil
+}

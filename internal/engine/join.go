@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// candidate is a validated induced edge awaiting insertion.
+type candidate struct {
+	edge storage.Edge
+}
+
+// processPair loads partitions i and j, joins every consecutive edge pair
+// (x->y, y->z) whose labels match a grammar production and whose combined
+// path constraint is satisfiable, and adds the induced edges (paper §4.2,
+// §4.3 "similar in spirit to table joining in relational algebra, but ...
+// we need to consider the constraints of both assignment semantics and
+// paths").
+func (en *Engine) processPair(i, j int) error {
+	// Evict everything but i, j.
+	for idx := range en.loaded {
+		if idx != i && idx != j {
+			if err := en.evict(idx); err != nil {
+				return err
+			}
+		}
+	}
+	pi, err := en.load(i)
+	if err != nil {
+		return err
+	}
+	pj := pi
+	if j != i {
+		if pj, err = en.load(j); err != nil {
+			return err
+		}
+	}
+	key := [2]int{en.parts[i].id, en.parts[j].id}
+	last, seen := en.lastGen[key]
+	en.curGen++
+	gen := en.curGen
+
+	// Collect source edges; semi-naive: at least one side must be new.
+	var firsts []*storage.Edge
+	collect := func(mp *memPart) {
+		for k := range mp.edges {
+			e := &mp.edges[k]
+			if en.g.HasLeft(e.Label) {
+				firsts = append(firsts, e)
+			}
+		}
+	}
+	collect(pi)
+	if j != i {
+		collect(pj)
+	}
+
+	lookup := func(src uint32) ([]int32, *memPart) {
+		if src >= pi.meta.lo && src < pi.meta.hi {
+			return pi.bySrc[src], pi
+		}
+		if j != i && src >= pj.meta.lo && src < pj.meta.hi {
+			return pj.bySrc[src], pj
+		}
+		return nil, nil
+	}
+
+	workers := en.opts.Workers
+	if workers > len(firsts) {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	results := make([][]candidate, workers)
+	chunk := (len(firsts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(firsts) {
+			hi = len(firsts)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = en.joinRange(firsts[lo:hi], lookup, last, seen, gen)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Insert candidates (single-threaded: dedupe set and partitions).
+	computeStart := time.Now()
+	for _, batch := range results {
+		for _, c := range batch {
+			en.insert(c.edge, i, j)
+		}
+	}
+	en.bd.AddCompute(time.Since(computeStart))
+
+	// Edges induced during this very iteration carry generation `gen` and
+	// still need to be joined against everything, so the pair is processed
+	// "up to" gen-1: it stays dirty exactly when this pass added edges.
+	en.lastGen[key] = gen - 1
+
+	if err := en.flushPending(false); err != nil {
+		return err
+	}
+	// Eager repartitioning (paper §4.3): split any loaded partition whose
+	// byte size outgrew the budget. Split j before i: the split inserts a
+	// partition right after the split position, which would shift j.
+	if !en.opts.DeferRepartition {
+		for _, idx := range []int{j, i} {
+			if mp, ok := en.loaded[idx]; ok && mp.meta.bytes > en.opts.MemoryBudget/3 {
+				if err := en.repartition(idx); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// encCacheKey builds the memoization key from an encoding's raw elements.
+func encCacheKey(enc cfet.Enc) string {
+	buf := make([]byte, 0, len(enc)*16)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, el := range enc {
+		buf = append(buf, byte(el.Kind))
+		switch el.Kind {
+		case cfet.KInterval:
+			n := binary.PutUvarint(tmp[:], uint64(el.Method))
+			buf = append(buf, tmp[:n]...)
+			n = binary.PutUvarint(tmp[:], el.Start)
+			buf = append(buf, tmp[:n]...)
+			n = binary.PutUvarint(tmp[:], el.End)
+			buf = append(buf, tmp[:n]...)
+		default:
+			n := binary.PutUvarint(tmp[:], uint64(el.Call))
+			buf = append(buf, tmp[:n]...)
+		}
+	}
+	return string(buf)
+}
+
+// joinRange joins each first edge against the loaded second edges and
+// returns constraint-validated candidates. Runs concurrently; touches only
+// read-only engine state plus its own solver.
+func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32, *memPart), last uint32, seen bool, gen uint32) []candidate {
+	solver := &smt.CachedSolver{S: smt.New(en.opts.SolverOpts)}
+	var out []candidate
+	computeStart := time.Now()
+	for _, e1 := range firsts {
+		idxs, mp := lookup(e1.Dst)
+		if mp == nil {
+			continue
+		}
+		for _, k := range idxs {
+			e2 := &mp.edges[k]
+			if seen && e1.Gen <= last && e2.Gen <= last {
+				continue // both sides already joined in a prior iteration
+			}
+			heads := en.g.MatchBinary(e1.Label, e2.Label)
+			if len(heads) == 0 {
+				continue
+			}
+			decodeStart := time.Now()
+			enc, ok := en.ic.Merge(e1.Enc, e2.Enc)
+			en.bd.AddDecode(time.Since(decodeStart))
+			if !ok {
+				en.addConflict()
+				continue
+			}
+			// Quick global-dedupe pre-check (racy but safe: insert
+			// re-checks under the engine lock).
+			var rel fsm.Rel
+			if en.opts.UseRel {
+				rel = fsm.Compose(e1.Rel, e2.Rel)
+			}
+			allDup := true
+			for _, h := range heads {
+				cand := storage.Edge{Src: e1.Src, Dst: e2.Dst, Label: h, Gen: gen,
+					HasRel: en.opts.UseRel, Rel: rel, Enc: enc}
+				if !en.hasKey(cand.Key()) {
+					allDup = false
+					break
+				}
+			}
+			if allDup {
+				continue
+			}
+			if len(enc) > 0 {
+				// Constraint memoization keyed by the encoded path (paper
+				// §4.3: "using encoded paths as the keys"): a hit skips
+				// both decoding and solving.
+				var key string
+				var verdict smt.Result
+				hit := false
+				if en.cache != nil {
+					key = encCacheKey(enc)
+					verdict, hit = en.cache.Get(key)
+				}
+				if !hit {
+					decodeStart = time.Now()
+					conj, derr := en.ic.Decode(enc)
+					en.bd.AddDecode(time.Since(decodeStart))
+					verdict = smt.Sat
+					if derr == nil && len(conj) > 0 {
+						solveStart := time.Now()
+						verdict = solver.S.Solve(conj)
+						d := time.Since(solveStart)
+						en.bd.AddSolve(d)
+						en.addSolveTime(d)
+					}
+					if en.cache != nil {
+						en.cache.Put(key, verdict)
+					}
+				}
+				if verdict == smt.Unsat {
+					en.addUnsat()
+					continue
+				}
+			}
+			for _, h := range heads {
+				out = append(out, candidate{edge: storage.Edge{
+					Src: e1.Src, Dst: e2.Dst, Label: h, Gen: gen,
+					HasRel: en.opts.UseRel, Rel: rel, Enc: enc,
+				}})
+			}
+		}
+	}
+	en.bd.AddCompute(time.Since(computeStart))
+	en.mu.Lock()
+	en.stats.ConstraintsSolved += solver.S.Calls
+	en.mu.Unlock()
+	return out
+}
+
+func (en *Engine) hasKey(k uint64) bool {
+	en.mu.Lock()
+	_, ok := en.keys[k]
+	en.mu.Unlock()
+	return ok
+}
+
+func (en *Engine) addConflict() {
+	en.mu.Lock()
+	en.stats.RejectedConflict++
+	en.mu.Unlock()
+}
+
+func (en *Engine) addUnsat() {
+	en.mu.Lock()
+	en.stats.RejectedUnsat++
+	en.mu.Unlock()
+}
+
+func (en *Engine) addSolveTime(d time.Duration) {
+	en.mu.Lock()
+	en.stats.SolveTime += d
+	en.mu.Unlock()
+}
+
+// insert adds one induced edge (and its unary/mirror derivatives) to its
+// owning partition, honoring the per-endpoint variant cap.
+func (en *Engine) insert(e storage.Edge, loadedI, loadedJ int) {
+	for _, v := range en.expand(e) {
+		k := v.Key()
+		if _, dup := en.keys[k]; dup {
+			continue
+		}
+		ep := v.Endpoint()
+		if en.variants[ep] >= en.opts.MaxVariants && len(v.Enc) > 0 {
+			// Widen: keep the edge but drop its constraint (weaker, sound).
+			v.Enc = nil
+			k = v.Key()
+			if _, dup := en.keys[k]; dup {
+				continue
+			}
+			en.stats.Widened++
+		}
+		en.keys[k] = struct{}{}
+		en.variants[ep]++
+		sz := storage.RecordSize(&v)
+		owner := en.partOf(v.Src)
+		if mp, ok := en.loaded[owner]; ok {
+			mp.add(v, sz)
+			continue
+		}
+		// Buffer for an unloaded partition ("new edges are written into the
+		// partitions that contain their source vertices").
+		en.pending[owner] = append(en.pending[owner], v)
+		meta := en.parts[owner]
+		meta.edges++
+		meta.bytes += sz
+		if v.Gen > meta.maxGen {
+			meta.maxGen = v.Gen
+		}
+	}
+}
+
+// repartition splits partition idx at its median source vertex (paper §4.3
+// "oversized partitions get dynamically repartitioned").
+func (en *Engine) repartition(idx int) error {
+	mp, ok := en.loaded[idx]
+	if !ok {
+		return nil
+	}
+	meta := mp.meta
+	if meta.hi-meta.lo <= 1 || len(mp.edges) < 2 {
+		return nil // cannot split a single-vertex interval
+	}
+	srcs := make([]uint32, len(mp.edges))
+	for i := range mp.edges {
+		srcs[i] = mp.edges[i].Src
+	}
+	sort.Slice(srcs, func(a, b int) bool { return srcs[a] < srcs[b] })
+	mid := srcs[len(srcs)/2]
+	if mid <= meta.lo {
+		mid = meta.lo + (meta.hi-meta.lo)/2
+	}
+	if mid <= meta.lo || mid >= meta.hi {
+		return nil
+	}
+	en.stats.Repartitions++
+
+	// Low half stays in the existing partition; the high half becomes a new
+	// partition appended at the end of the table. Vertex->partition mapping
+	// uses interval search, so ordering of en.parts by interval must be
+	// maintained: insert the new partition right after idx.
+	var loEdges, hiEdges []storage.Edge
+	var loBytes, hiBytes int64
+	var loGen, hiGen uint32
+	for i := range mp.edges {
+		sz := storage.RecordSize(&mp.edges[i])
+		if mp.edges[i].Src < mid {
+			loEdges = append(loEdges, mp.edges[i])
+			loBytes += sz
+			if mp.edges[i].Gen > loGen {
+				loGen = mp.edges[i].Gen
+			}
+		} else {
+			hiEdges = append(hiEdges, mp.edges[i])
+			hiBytes += sz
+			if mp.edges[i].Gen > hiGen {
+				hiGen = mp.edges[i].Gen
+			}
+		}
+	}
+	newMeta := &partMeta{
+		id:    en.nextPartID(),
+		lo:    mid,
+		hi:    meta.hi,
+		path:  en.partPath(),
+		edges: int64(len(hiEdges)), bytes: hiBytes, maxGen: hiGen,
+	}
+	meta.hi = mid
+	meta.edges = int64(len(loEdges))
+	meta.bytes = loBytes
+	meta.maxGen = loGen
+
+	// Persist the new partition; keep the low half loaded.
+	ioStart := time.Now()
+	if err := storage.WriteFile(newMeta.path, hiEdges); err != nil {
+		return err
+	}
+	en.bd.AddIO(time.Since(ioStart))
+
+	mp.edges = loEdges
+	mp.bySrc = map[uint32][]int32{}
+	for i := range loEdges {
+		mp.bySrc[loEdges[i].Src] = append(mp.bySrc[loEdges[i].Src], int32(i))
+	}
+	mp.dirty = true
+
+	// Insert newMeta right after idx to keep interval order.
+	en.parts = append(en.parts, nil)
+	copy(en.parts[idx+2:], en.parts[idx+1:])
+	en.parts[idx+1] = newMeta
+
+	// Loaded and pending maps are indexed by position; remap anything at or
+	// beyond the insertion point.
+	en.remapAfterInsert(idx + 1)
+	return nil
+}
+
+func (en *Engine) nextPartID() int {
+	max := -1
+	for _, p := range en.parts {
+		if p.id > max {
+			max = p.id
+		}
+	}
+	return max + 1
+}
+
+func (en *Engine) partPath() string {
+	return en.opts.Dir + "/" + "part-" + itoa6(en.nextPartID()) + ".edges"
+}
+
+func itoa6(n int) string {
+	buf := []byte("000000")
+	for i := 5; i >= 0 && n > 0; i-- {
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf)
+}
+
+// remapAfterInsert shifts position-indexed maps after inserting a partition
+// at position pos.
+func (en *Engine) remapAfterInsert(pos int) {
+	newLoaded := make(map[int]*memPart, len(en.loaded))
+	for idx, mp := range en.loaded {
+		if idx >= pos {
+			newLoaded[idx+1] = mp
+		} else {
+			newLoaded[idx] = mp
+		}
+	}
+	en.loaded = newLoaded
+	newPending := make(map[int][]storage.Edge, len(en.pending))
+	for idx, p := range en.pending {
+		if idx >= pos {
+			newPending[idx+1] = p
+		} else {
+			newPending[idx] = p
+		}
+	}
+	en.pending = newPending
+	// lastGen is keyed by stable partition IDs, not positions: safe.
+}
+
+// ForEach streams every edge of the closed graph from disk (after Run).
+func (en *Engine) ForEach(f func(*storage.Edge) bool) error {
+	for _, meta := range en.parts {
+		edges, err := storage.ReadFile(meta.path, nil)
+		if err != nil {
+			return err
+		}
+		for i := range edges {
+			if !f(&edges[i]) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// EdgesAfter counts all edges on disk (after Run).
+func (en *Engine) EdgesAfter() int64 {
+	var n int64
+	for _, meta := range en.parts {
+		n += meta.edges
+	}
+	return n
+}

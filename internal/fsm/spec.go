@@ -1,0 +1,177 @@
+package fsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSpec parses one or more FSM specifications from a small text format:
+//
+//	fsm IOChecker for FileWriter {
+//	  states Init Open Close;
+//	  init Init;
+//	  accept Init Close;
+//	  new:   Init  -> Open;
+//	  write: Open  -> Open;
+//	  close: Open  -> Close;
+//	}
+//
+// Lines starting with '#' are comments. Any (state, event) pair without a
+// rule transitions to the implicit Error state.
+func ParseSpec(src string) ([]*FSM, error) {
+	var out []*FSM
+	var cur *FSM
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "fsm "):
+			if cur != nil {
+				return nil, fmt.Errorf("line %d: nested fsm", lineNo)
+			}
+			rest := strings.TrimSuffix(strings.TrimSpace(line[4:]), "{")
+			parts := strings.Fields(rest)
+			if len(parts) != 3 || parts[1] != "for" {
+				return nil, fmt.Errorf("line %d: want 'fsm <name> for <Type> {'", lineNo)
+			}
+			cur = &FSM{Name: parts[0], Type: parts[2]}
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: stray }", lineNo)
+			}
+			if len(cur.States) == 0 {
+				return nil, fmt.Errorf("line %d: fsm %s has no states", lineNo, cur.Name)
+			}
+			out = append(out, cur)
+			cur = nil
+		case strings.HasPrefix(line, "states "):
+			if cur == nil || cur.States != nil {
+				return nil, fmt.Errorf("line %d: misplaced states", lineNo)
+			}
+			names := strings.Fields(strings.TrimSuffix(line[7:], ";"))
+			f, err := New(cur.Name, cur.Type, names...)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			*cur = *f
+		case strings.HasPrefix(line, "init "):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: misplaced init", lineNo)
+			}
+			if err := cur.SetInit(strings.TrimSuffix(strings.TrimSpace(line[5:]), ";")); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case strings.HasPrefix(line, "accept "):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: misplaced accept", lineNo)
+			}
+			if err := cur.SetAccept(strings.Fields(strings.TrimSuffix(line[7:], ";"))...); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		default:
+			// event: From -> To;
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: statement outside fsm", lineNo)
+			}
+			colon := strings.Index(line, ":")
+			arrow := strings.Index(line, "->")
+			if colon < 0 || arrow < colon {
+				return nil, fmt.Errorf("line %d: want 'event: From -> To;'", lineNo)
+			}
+			event := strings.TrimSpace(line[:colon])
+			from := strings.TrimSpace(line[colon+1 : arrow])
+			to := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line[arrow+2:]), ";"))
+			if err := cur.AddTransition(from, event, to); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("unterminated fsm %s", cur.Name)
+	}
+	return out, nil
+}
+
+// Builtin checkers: the four finite-state properties of the paper's
+// evaluation (§5): Java I/O, lock usage, exception handling, socket usage.
+
+// BuiltinIO is the Java-I/O resource checker (Fig. 3a): a writer must be
+// closed before exit; writing after close is an error.
+func BuiltinIO() *FSM {
+	f, _ := New("io", "FileWriter", "Init", "Open", "Close")
+	_ = f.SetInit("Init")
+	_ = f.SetAccept("Init", "Close")
+	must(f.AddTransition("Init", "new", "Open"))
+	must(f.AddTransition("Open", "write", "Open"))
+	must(f.AddTransition("Open", "flush", "Open"))
+	must(f.AddTransition("Open", "close", "Close"))
+	must(f.AddTransition("Close", "close", "Close"))
+	return f
+}
+
+// BuiltinLock is the lock-usage checker: every lock must be released, and
+// lock/unlock must not be misordered.
+func BuiltinLock() *FSM {
+	f, _ := New("lock", "Lock", "Unheld", "Held")
+	_ = f.SetInit("Unheld")
+	_ = f.SetAccept("Unheld")
+	must(f.AddTransition("Unheld", "new", "Unheld"))
+	must(f.AddTransition("Unheld", "lock", "Held"))
+	must(f.AddTransition("Held", "unlock", "Unheld"))
+	return f
+}
+
+// BuiltinException is the exception-handling checker (after Yuan et al.,
+// paper §5): a thrown exception must reach a handler; reaching a method
+// exit (or program exit) still in Thrown state is a bug.
+func BuiltinException() *FSM {
+	f, _ := New("exception", "Exception", "Raised", "Thrown", "Caught")
+	_ = f.SetInit("Raised")
+	_ = f.SetAccept("Raised", "Caught")
+	must(f.AddTransition("Raised", "new", "Raised"))
+	must(f.AddTransition("Raised", "throw", "Thrown"))
+	must(f.AddTransition("Thrown", "catch", "Caught"))
+	must(f.AddTransition("Caught", "throw", "Thrown"))
+	return f
+}
+
+// BuiltinSocket is the socket-usage checker (Fig. 2): a channel must be
+// opened, optionally bound/configured/accepted, and closed before exit.
+func BuiltinSocket() *FSM {
+	f, _ := New("socket", "Socket", "Init", "Open", "Bound", "Closed")
+	_ = f.SetInit("Init")
+	_ = f.SetAccept("Init", "Closed")
+	must(f.AddTransition("Init", "new", "Open"))
+	must(f.AddTransition("Open", "bind", "Bound"))
+	must(f.AddTransition("Open", "configureBlocking", "Open"))
+	must(f.AddTransition("Open", "connect", "Bound"))
+	must(f.AddTransition("Open", "setTcpNoDelay", "Open"))
+	must(f.AddTransition("Open", "close", "Closed"))
+	must(f.AddTransition("Bound", "configureBlocking", "Bound"))
+	must(f.AddTransition("Bound", "setTcpNoDelay", "Bound"))
+	must(f.AddTransition("Bound", "accept", "Bound"))
+	must(f.AddTransition("Bound", "send", "Bound"))
+	must(f.AddTransition("Bound", "recv", "Bound"))
+	must(f.AddTransition("Bound", "close", "Closed"))
+	// close() on an already-closed channel is a no-op in Java NIO.
+	must(f.AddTransition("Closed", "close", "Closed"))
+	return f
+}
+
+// Builtins returns the paper's four checkers.
+func Builtins() []*FSM {
+	return []*FSM{BuiltinIO(), BuiltinLock(), BuiltinException(), BuiltinSocket()}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package grammar implements the context-free grammars that guide Grapple's
+// dynamic transitive-closure computation (paper §2.1 "Graph Formulation").
+//
+// Grammars are normalized so every production has at most two right-hand
+// symbols (the paper notes any CFG can be binarized, à la Chomsky normal
+// form), which is what lets the engine examine one edge pair at a time.
+// A label may also declare a mirror: producing an edge x->y with label A
+// then also produces y->x with label mirror(A) and the same path encoding —
+// this realizes the "bar" edges (flowsTo-bar) of the pointer grammar.
+package grammar
+
+import "fmt"
+
+// Label identifies a terminal or nonterminal edge label.
+type Label uint16
+
+// NoLabel is an invalid label.
+const NoLabel Label = 0xffff
+
+// Grammar is a binarized context-free grammar over edge labels.
+type Grammar struct {
+	names  []string
+	byName map[string]Label
+
+	unary  map[Label][]Label
+	binary map[uint32][]Label
+	mirror map[Label]Label
+
+	// Final marks labels whose edges are analysis results (e.g. flowsTo,
+	// alias); the engine reports counts per final label.
+	final map[Label]bool
+}
+
+// New returns an empty grammar.
+func New() *Grammar {
+	return &Grammar{
+		byName: map[string]Label{},
+		unary:  map[Label][]Label{},
+		binary: map[uint32][]Label{},
+		mirror: map[Label]Label{},
+		final:  map[Label]bool{},
+	}
+}
+
+// Intern returns the label for name, creating it if needed.
+func (g *Grammar) Intern(name string) Label {
+	if l, ok := g.byName[name]; ok {
+		return l
+	}
+	l := Label(len(g.names))
+	if l == NoLabel {
+		panic("grammar: label space exhausted")
+	}
+	g.names = append(g.names, name)
+	g.byName[name] = l
+	return l
+}
+
+// Lookup returns the label for name, or NoLabel.
+func (g *Grammar) Lookup(name string) Label {
+	if l, ok := g.byName[name]; ok {
+		return l
+	}
+	return NoLabel
+}
+
+// Name returns the name of a label.
+func (g *Grammar) Name(l Label) string {
+	if int(l) < len(g.names) {
+		return g.names[l]
+	}
+	return fmt.Sprintf("label(%d)", l)
+}
+
+// NumLabels reports the number of interned labels.
+func (g *Grammar) NumLabels() int { return len(g.names) }
+
+// AddUnary adds A ::= B.
+func (g *Grammar) AddUnary(a, b Label) { g.unary[b] = append(g.unary[b], a) }
+
+// AddBinary adds A ::= B C.
+func (g *Grammar) AddBinary(a, b, c Label) {
+	k := binKey(b, c)
+	g.binary[k] = append(g.binary[k], a)
+}
+
+// SetMirror declares that producing label a also produces rev on the
+// reversed edge.
+func (g *Grammar) SetMirror(a, rev Label) { g.mirror[a] = rev }
+
+// Mirror returns the mirror label of a, or NoLabel.
+func (g *Grammar) Mirror(a Label) Label {
+	if m, ok := g.mirror[a]; ok {
+		return m
+	}
+	return NoLabel
+}
+
+// SetFinal marks a label as an analysis result.
+func (g *Grammar) SetFinal(a Label) { g.final[a] = true }
+
+// IsFinal reports whether a label is an analysis result.
+func (g *Grammar) IsFinal(a Label) bool { return g.final[a] }
+
+// MatchBinary returns the heads A with A ::= B C.
+func (g *Grammar) MatchBinary(b, c Label) []Label { return g.binary[binKey(b, c)] }
+
+// MatchUnary returns the heads A with A ::= B.
+func (g *Grammar) MatchUnary(b Label) []Label { return g.unary[b] }
+
+// HasLeft reports whether any binary production starts with label b; the
+// engine uses this to skip edges that can never begin a match.
+func (g *Grammar) HasLeft(b Label) bool {
+	for k := range g.binary {
+		if Label(k>>16) == b {
+			return true
+		}
+	}
+	return false
+}
+
+func binKey(b, c Label) uint32 { return uint32(b)<<16 | uint32(c) }
+
+// Pointer builds the Sridharan-Bodik pointer-analysis grammar of Fig. 4:
+//
+//	flowsTo ::= new (assign | store[f] alias load[f])*
+//	alias   ::= flowsToBar flowsTo
+//
+// binarized per field f as:
+//
+//	VF   ::= new | VF assign | VF T2_f
+//	T1_f ::= store_f alias
+//	T2_f ::= T1_f load_f
+//	AL   ::= VFbar VF
+//
+// with VFbar the mirror of VF (and newBar the mirror of new so a lone new
+// edge already yields a usable reversed leg).
+type Pointer struct {
+	G       *Grammar
+	New     Label
+	Assign  Label
+	FlowsTo Label
+	Bar     Label // flowsToBar
+	Alias   Label
+	Store   map[string]Label
+	Load    map[string]Label
+}
+
+// NewPointer builds the pointer grammar over the given field names.
+func NewPointer(fields []string) *Pointer {
+	g := New()
+	p := &Pointer{
+		G:      g,
+		Store:  map[string]Label{},
+		Load:   map[string]Label{},
+		New:    g.Intern("new"),
+		Assign: g.Intern("assign"),
+	}
+	p.FlowsTo = g.Intern("flowsTo")
+	p.Bar = g.Intern("flowsToBar")
+	p.Alias = g.Intern("alias")
+
+	// VF ::= new  — and every VF edge mirrors to VFbar.
+	g.AddUnary(p.FlowsTo, p.New)
+	g.SetMirror(p.FlowsTo, p.Bar)
+	// VF ::= VF assign
+	g.AddBinary(p.FlowsTo, p.FlowsTo, p.Assign)
+	// AL ::= VFbar VF
+	g.AddBinary(p.Alias, p.Bar, p.FlowsTo)
+
+	for _, f := range fields {
+		st := g.Intern("store[" + f + "]")
+		ld := g.Intern("load[" + f + "]")
+		p.Store[f] = st
+		p.Load[f] = ld
+		t1 := g.Intern("t1[" + f + "]")
+		t2 := g.Intern("t2[" + f + "]")
+		// T1_f ::= store_f alias ; T2_f ::= T1_f load_f ; VF ::= VF T2_f
+		g.AddBinary(t1, st, p.Alias)
+		g.AddBinary(t2, t1, ld)
+		g.AddBinary(p.FlowsTo, p.FlowsTo, t2)
+	}
+	g.SetFinal(p.FlowsTo)
+	g.SetFinal(p.Alias)
+	return p
+}
+
+// Dataflow builds the trivial transitive-closure grammar used by the
+// dataflow/typestate graph: flow ::= flow flow. Edge composition carries the
+// FSM transition relation (handled by the engine's relation hook).
+type Dataflow struct {
+	G    *Grammar
+	Flow Label
+}
+
+// NewDataflow builds the dataflow grammar.
+func NewDataflow() *Dataflow {
+	g := New()
+	d := &Dataflow{G: g, Flow: g.Intern("flow")}
+	g.AddBinary(d.Flow, d.Flow, d.Flow)
+	g.SetFinal(d.Flow)
+	return d
+}

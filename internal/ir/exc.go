@@ -1,0 +1,269 @@
+package ir
+
+// Exception expansion: Grapple models exceptional control flow as ordinary
+// branching on opaque "did it throw" conditions so that the CFET (paper §3)
+// needs only one structured construct. This mirrors the paper's treatment of
+// Fig. 8a: "sockConnect ... may or may not throw an IOException".
+//
+// The pass removes TryRegion/Raise and produces a pure If-structured body:
+//   - "raise v" with a matching enclosing handler inlines the handler at the
+//     raise point (with the handler's continuation — the code following the
+//     try region);
+//   - "raise v" with no matching handler becomes $exc = v; ThrowExit and the
+//     enclosing function is marked MayThrow;
+//   - a call to a MayThrow callee splits into If(opaque-throw-cond): the
+//     exceptional branch either enters the innermost handler (binding the
+//     callee's $exc to the catch variable via CatchBind{FromCall}) or
+//     propagates ($exc-to-$exc CatchBind + ThrowExit).
+//
+// Because the expansion inlines remainders into branches (tail duplication),
+// exceptional paths are explicit in the CFET exactly like ordinary paths.
+
+// handlerChain is the stack of lexically enclosing catch handlers; each
+// handler records its continuation — what executes after its try region.
+type handlerChain struct {
+	catchVar  string
+	catchType string // "" catches every type
+	catch     []Stmt
+	cont      *cont
+	outer     *handlerChain
+}
+
+// cont is a continuation: the statements (and handler scope) that run after
+// the current list is exhausted.
+type cont struct {
+	stmts    []Stmt
+	handlers *handlerChain
+	next     *cont
+}
+
+// expandExceptions rewrites every function. It first computes the MayThrow
+// fixpoint over the raw bodies, then expands each body.
+func expandExceptions(p *Program) {
+	// Local throws.
+	for _, fn := range p.Funs {
+		fn.ThrowsLocally = blockRaisesLocally(fn.Body, nil)
+		fn.MayThrow = fn.ThrowsLocally
+	}
+	// Transitive closure: calling a MayThrow callee outside any try
+	// propagates (handlers in MiniLang catch the statically-unknown callee
+	// exception conservatively, so a call inside any try is contained).
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funs {
+			if fn.MayThrow {
+				continue
+			}
+			if blockCallsThrowerOutsideTry(fn.Body, p, false) {
+				fn.MayThrow = true
+				changed = true
+			}
+		}
+	}
+	ex := &expander{prog: p}
+	for _, fn := range p.Funs {
+		out := &Block{}
+		ex.expand(fn.Body.Stmts, nil, nil, out)
+		fn.Body = out
+	}
+}
+
+// blockRaisesLocally reports whether b contains a raise not caught by a
+// matching enclosing handler within this function.
+func blockRaisesLocally(b *Block, types []string) bool {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *Raise:
+			if !anyHandlerMatches(types, s.Type) {
+				return true
+			}
+		case *If:
+			if blockRaisesLocally(s.Then, types) || blockRaisesLocally(s.Else, types) {
+				return true
+			}
+		case *TryRegion:
+			if blockRaisesLocally(s.Body, append(types, s.CatchType)) {
+				return true
+			}
+			if blockRaisesLocally(s.Catch, types) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func anyHandlerMatches(types []string, thrown string) bool {
+	for _, t := range types {
+		if t == "" || t == thrown {
+			return true
+		}
+	}
+	return false
+}
+
+func blockCallsThrowerOutsideTry(b *Block, p *Program, inTry bool) bool {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *Call:
+			if !inTry {
+				if callee := p.FunByName[s.Callee]; callee != nil && callee.MayThrow {
+					return true
+				}
+			}
+		case *If:
+			if blockCallsThrowerOutsideTry(s.Then, p, inTry) ||
+				blockCallsThrowerOutsideTry(s.Else, p, inTry) {
+				return true
+			}
+		case *TryRegion:
+			if blockCallsThrowerOutsideTry(s.Body, p, true) {
+				return true
+			}
+			if blockCallsThrowerOutsideTry(s.Catch, p, inTry) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type expander struct {
+	prog    *Program
+	opaqueN int32
+}
+
+func (ex *expander) freshOpaque() int32 {
+	// Opaque IDs from lowering and expansion share a space; offset far above
+	// lowering's counter (which restarts per program anyway).
+	ex.opaqueN++
+	return 1<<24 + ex.opaqueN
+}
+
+// expand processes stmts under handler scope h with continuation k,
+// appending pure IR to out.
+func (ex *expander) expand(stmts []Stmt, h *handlerChain, k *cont, out *Block) {
+	for {
+		if len(stmts) == 0 {
+			if k == nil {
+				return
+			}
+			stmts, h, k = k.stmts, k.handlers, k.next
+			continue
+		}
+		s := stmts[0]
+		rest := stmts[1:]
+		switch s := s.(type) {
+		case *Raise:
+			// The raise is a "throw" FSM event on the exception object.
+			out.Stmts = append(out.Stmts, &Event{Recv: s.Src, Method: "throw", Pos: s.Pos})
+			hc := matchHandler(h, s.Type)
+			if hc == nil {
+				out.Stmts = append(out.Stmts,
+					&ObjAssign{Dst: ExcVar, Src: s.Src, Pos: s.Pos},
+					&ThrowExit{Pos: s.Pos})
+				return
+			}
+			out.Stmts = append(out.Stmts,
+				&ObjAssign{Dst: hc.catchVar, Src: s.Src, Pos: s.Pos},
+				&CatchBind{Var: hc.catchVar, Type: s.Type, FromCall: -1, Pos: s.Pos})
+			ex.expand(hc.catch, hc.outer, hc.cont, out)
+			return
+
+		case *TryRegion:
+			after := &cont{stmts: rest, handlers: h, next: k}
+			hc := &handlerChain{
+				catchVar:  s.CatchVar,
+				catchType: s.CatchType,
+				catch:     s.Catch.Stmts,
+				cont:      after,
+				outer:     h,
+			}
+			stmts, h, k = s.Body.Stmts, hc, after
+			continue
+
+		case *Call:
+			out.Stmts = append(out.Stmts, s)
+			callee := ex.prog.FunByName[s.Callee]
+			if callee == nil || !callee.MayThrow {
+				stmts = rest
+				continue
+			}
+			branch := &If{Cond: OpaqueCond(ex.freshOpaque()), Then: &Block{}, Else: &Block{}, Pos: s.Pos}
+			// Exceptional branch: callee's $exc arrives here.
+			if hc := matchHandler(h, ""); hc != nil {
+				branch.Then.Stmts = append(branch.Then.Stmts,
+					&CatchBind{Var: hc.catchVar, Type: hc.catchType, FromCall: s.Site, Pos: s.Pos})
+				ex.expand(hc.catch, hc.outer, hc.cont, branch.Then)
+			} else {
+				branch.Then.Stmts = append(branch.Then.Stmts,
+					&CatchBind{Var: ExcVar, Type: "", FromCall: s.Site, Pos: s.Pos},
+					&ThrowExit{Pos: s.Pos})
+			}
+			ex.expand(rest, h, k, branch.Else)
+			out.Stmts = append(out.Stmts, branch)
+			return
+
+		case *If:
+			if blockCanRaise(s.Then, ex.prog) || blockCanRaise(s.Else, ex.prog) {
+				// Tail-duplicate the remainder into both branches so a raise
+				// in one branch cannot fall through into post-if code.
+				branch := &If{Cond: s.Cond, Then: &Block{}, Else: &Block{}, Pos: s.Pos}
+				ex.expand(s.Then.Stmts, h, &cont{stmts: rest, handlers: h, next: k}, branch.Then)
+				ex.expand(s.Else.Stmts, h, &cont{stmts: rest, handlers: h, next: k}, branch.Else)
+				out.Stmts = append(out.Stmts, branch)
+				return
+			}
+			branch := &If{Cond: s.Cond, Then: &Block{}, Else: &Block{}, Pos: s.Pos}
+			ex.expand(s.Then.Stmts, h, nil, branch.Then)
+			ex.expand(s.Else.Stmts, h, nil, branch.Else)
+			out.Stmts = append(out.Stmts, branch)
+			stmts = rest
+			continue
+
+		case *Return:
+			out.Stmts = append(out.Stmts, s)
+			return
+		case *ThrowExit:
+			out.Stmts = append(out.Stmts, s)
+			return
+
+		default:
+			out.Stmts = append(out.Stmts, s)
+			stmts = rest
+			continue
+		}
+	}
+}
+
+// matchHandler finds the innermost handler accepting thrownType ("" thrown
+// type means statically unknown, which any handler accepts conservatively).
+func matchHandler(h *handlerChain, thrownType string) *handlerChain {
+	for ; h != nil; h = h.outer {
+		if h.catchType == "" || thrownType == "" || h.catchType == thrownType {
+			return h
+		}
+	}
+	return nil
+}
+
+// blockCanRaise reports whether expanding b could divert control flow out of
+// the ordinary fall-through (raise, throwing call, or a try region around
+// either).
+func blockCanRaise(b *Block, p *Program) bool {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *Raise, *TryRegion:
+			return true
+		case *Call:
+			if callee := p.FunByName[s.Callee]; callee != nil && callee.MayThrow {
+				return true
+			}
+		case *If:
+			if blockCanRaise(s.Then, p) || blockCanRaise(s.Else, p) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,599 @@
+package ir
+
+import (
+	"fmt"
+
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// TryRegion is a transient IR statement produced by lowering and eliminated
+// by ExpandExceptions; it delimits a try body with its handler.
+type TryRegion struct {
+	Body      *Block
+	CatchVar  string
+	CatchType string
+	Catch     *Block
+	Pos       lang.Pos
+}
+
+// Raise is a transient IR statement: raise the object in Src (static type
+// Type). ExpandExceptions resolves it against enclosing TryRegions.
+type Raise struct {
+	Src  string
+	Type string
+	Pos  lang.Pos
+}
+
+func (*TryRegion) irStmt() {}
+func (*Raise) irStmt()     {}
+
+// Options configures lowering.
+type Options struct {
+	// UnrollDepth bounds static loop unrolling (paper §3.1). Zero means the
+	// default of 2.
+	UnrollDepth int
+}
+
+// Lower lowers a resolved MiniLang program into IR and expands exceptions.
+func Lower(info *lang.Info, opts Options) (*Program, error) {
+	if opts.UnrollDepth <= 0 {
+		opts.UnrollDepth = 2
+	}
+	p := &Program{
+		FunByName:   map[string]*Func{},
+		ObjectTypes: map[string]bool{},
+	}
+	for t := range info.ObjectTypes {
+		p.ObjectTypes[t] = true
+	}
+	lo := &lowerer{prog: p, info: info, opts: opts}
+	for _, f := range info.Prog.Funs {
+		fn, err := lo.lowerFun(f)
+		if err != nil {
+			return nil, err
+		}
+		p.Funs = append(p.Funs, fn)
+		p.FunByName[fn.Name] = fn
+	}
+	expandExceptions(p)
+	return p, nil
+}
+
+type lowerer struct {
+	prog *Program
+	info *lang.Info
+	opts Options
+
+	fun      *lang.FunDecl
+	varTypes map[string]string
+	tempN    int
+	opaqueN  int32
+}
+
+func (lo *lowerer) lowerFun(f *lang.FunDecl) (*Func, error) {
+	lo.fun = f
+	lo.tempN = 0
+	lo.varTypes = map[string]string{}
+	for k, v := range lo.info.VarTypes[f] {
+		lo.varTypes[k] = v
+	}
+	fn := &Func{Name: f.Name, Params: f.Params, RetType: f.RetType, Pos: f.Pos}
+	body := &Block{}
+	if err := lo.lowerStmts(f.Body, body); err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (lo *lowerer) temp(typ string) string {
+	lo.tempN++
+	name := fmt.Sprintf("$t%d", lo.tempN)
+	lo.varTypes[name] = typ
+	return name
+}
+
+func (lo *lowerer) freshOpaque() int32 {
+	lo.opaqueN++
+	return lo.opaqueN
+}
+
+func (lo *lowerer) typeOf(v string) string { return lo.varTypes[v] }
+
+func (lo *lowerer) isObjectVar(v string) bool {
+	return lang.IsObjectType(lo.typeOf(v))
+}
+
+func (lo *lowerer) allocSite(typ string, pos lang.Pos) int32 {
+	id := int32(lo.prog.NumAllocSites)
+	lo.prog.NumAllocSites++
+	lo.prog.AllocSitePos = append(lo.prog.AllocSitePos, pos)
+	lo.prog.AllocSiteType = append(lo.prog.AllocSiteType, typ)
+	return id
+}
+
+func (lo *lowerer) callSite(pos lang.Pos) int32 {
+	id := int32(lo.prog.NumCallSites)
+	lo.prog.NumCallSites++
+	lo.prog.CallSitePos = append(lo.prog.CallSitePos, pos)
+	return id
+}
+
+func (lo *lowerer) lowerStmts(stmts []lang.Stmt, out *Block) error {
+	for _, s := range stmts {
+		if err := lo.lowerStmt(s, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) lowerStmt(s lang.Stmt, out *Block) error {
+	switch s := s.(type) {
+	case *lang.VarDecl:
+		if s.Init == nil {
+			return nil
+		}
+		return lo.lowerAssignTo(s.Name, s.Type, s.Init, s.Pos, out)
+	case *lang.AssignStmt:
+		switch lhs := s.LHS.(type) {
+		case *lang.Ident:
+			return lo.lowerAssignTo(lhs.Name, lo.typeOf(lhs.Name), s.RHS, s.Pos, out)
+		case *lang.FieldAccess:
+			src, err := lo.lowerObjExpr(s.RHS, out)
+			if err != nil {
+				return err
+			}
+			if src == "" { // storing null clears the field; no object flow
+				return nil
+			}
+			out.Stmts = append(out.Stmts, &Store{Recv: lhs.Recv.Name, Field: lhs.Field, Src: src, Pos: s.Pos})
+			return nil
+		}
+		return fmt.Errorf("%s: bad assignment target", s.Pos)
+	case *lang.ExprStmt:
+		switch x := s.X.(type) {
+		case *lang.CallExpr:
+			_, err := lo.lowerCall(x, "", out)
+			return err
+		case *lang.MethodCall:
+			out.Stmts = append(out.Stmts, &Event{Recv: x.Recv.Name, Method: x.Method, Pos: x.Pos})
+			return nil
+		}
+		return fmt.Errorf("%s: bad expression statement", s.Pos)
+	case *lang.IfStmt:
+		thenB, elseB := &Block{}, &Block{}
+		if err := lo.lowerStmts(s.Then, thenB); err != nil {
+			return err
+		}
+		if err := lo.lowerStmts(s.Else, elseB); err != nil {
+			return err
+		}
+		return lo.lowerCondBranch(s.Cond, thenB, elseB, s.Pos, out)
+	case *lang.WhileStmt:
+		return lo.lowerWhile(s, lo.opts.UnrollDepth, out)
+	case *lang.ReturnStmt:
+		if s.X == nil {
+			out.Stmts = append(out.Stmts, &Return{Pos: s.Pos})
+			return nil
+		}
+		if lang.IsObjectType(lo.fun.RetType) {
+			src, err := lo.lowerObjExpr(s.X, out)
+			if err != nil {
+				return err
+			}
+			out.Stmts = append(out.Stmts, &Return{Src: VarOp(src), SrcIsObject: true, Pos: s.Pos})
+			return nil
+		}
+		op, err := lo.lowerIntExpr(s.X, out)
+		if err != nil {
+			return err
+		}
+		out.Stmts = append(out.Stmts, &Return{Src: op, Pos: s.Pos})
+		return nil
+	case *lang.ThrowStmt:
+		src, err := lo.lowerObjExpr(s.X, out)
+		if err != nil {
+			return err
+		}
+		if src == "" {
+			return fmt.Errorf("%s: cannot throw null", s.Pos)
+		}
+		out.Stmts = append(out.Stmts, &Raise{Src: src, Type: lo.typeOf(src), Pos: s.Pos})
+		return nil
+	case *lang.TryStmt:
+		body, catch := &Block{}, &Block{}
+		if err := lo.lowerStmts(s.Try, body); err != nil {
+			return err
+		}
+		if err := lo.lowerStmts(s.Catch, catch); err != nil {
+			return err
+		}
+		out.Stmts = append(out.Stmts, &TryRegion{
+			Body: body, CatchVar: s.CatchVar, CatchType: s.CatchType,
+			Catch: catch, Pos: s.Pos,
+		})
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+// lowerWhile statically unrolls "while (c) body" depth times:
+// if (c) { body; if (c) { body; ... } }.
+func (lo *lowerer) lowerWhile(w *lang.WhileStmt, depth int, out *Block) error {
+	if depth == 0 {
+		return nil
+	}
+	inner := &Block{}
+	if err := lo.lowerStmts(w.Body, inner); err != nil {
+		return err
+	}
+	if err := lo.lowerWhile(w, depth-1, inner); err != nil {
+		return err
+	}
+	return lo.lowerCondBranch(w.Cond, inner, &Block{}, w.Pos, out)
+}
+
+// lowerAssignTo lowers "dst: typ = rhs".
+func (lo *lowerer) lowerAssignTo(dst, typ string, rhs lang.Expr, pos lang.Pos, out *Block) error {
+	switch {
+	case lang.IsObjectType(typ):
+		switch e := rhs.(type) {
+		case *lang.NewExpr:
+			out.Stmts = append(out.Stmts, &NewObj{Dst: dst, Type: e.Type, Site: lo.allocSite(e.Type, e.Pos), Pos: e.Pos})
+			return nil
+		case *lang.FieldAccess:
+			out.Stmts = append(out.Stmts, &Load{Dst: dst, Recv: e.Recv.Name, Field: e.Field, Pos: e.Pos})
+			return nil
+		case *lang.CallExpr:
+			_, err := lo.lowerCall(e, dst, out)
+			return err
+		}
+		src, err := lo.lowerObjExpr(rhs, out)
+		if err != nil {
+			return err
+		}
+		out.Stmts = append(out.Stmts, &ObjAssign{Dst: dst, Src: src, Pos: pos})
+		return nil
+	case typ == "bool":
+		return lo.lowerBoolAssign(dst, rhs, pos, out)
+	default: // int
+		return lo.lowerIntExprInto(dst, rhs, out)
+	}
+}
+
+// lowerObjExpr lowers an object-valued expression to a variable name
+// ("" for null).
+func (lo *lowerer) lowerObjExpr(e lang.Expr, out *Block) (string, error) {
+	switch e := e.(type) {
+	case *lang.NullLit:
+		return "", nil
+	case *lang.Ident:
+		return e.Name, nil
+	case *lang.NewExpr:
+		t := lo.temp(e.Type)
+		out.Stmts = append(out.Stmts, &NewObj{Dst: t, Type: e.Type, Site: lo.allocSite(e.Type, e.Pos), Pos: e.Pos})
+		return t, nil
+	case *lang.FieldAccess:
+		t := lo.temp("Object")
+		out.Stmts = append(out.Stmts, &Load{Dst: t, Recv: e.Recv.Name, Field: e.Field, Pos: e.Pos})
+		return t, nil
+	case *lang.CallExpr:
+		f := lo.info.Prog.Fun(e.Name)
+		t := lo.temp(f.RetType)
+		if _, err := lo.lowerCall(e, t, out); err != nil {
+			return "", err
+		}
+		return t, nil
+	}
+	return "", fmt.Errorf("%s: expression is not an object", lang.PosOf(e))
+}
+
+// lowerIntExprInto lowers an int expression directly into dst.
+func (lo *lowerer) lowerIntExprInto(dst string, e lang.Expr, out *Block) error {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		out.Stmts = append(out.Stmts, &IntAssign{Dst: dst, Op: Mov, A: ConstOp(e.Value), Pos: e.Pos})
+		return nil
+	case *lang.Ident:
+		out.Stmts = append(out.Stmts, &IntAssign{Dst: dst, Op: Mov, A: VarOp(e.Name), Pos: e.Pos})
+		return nil
+	case *lang.InputExpr:
+		out.Stmts = append(out.Stmts, &IntAssign{Dst: dst, Op: Opaque, Pos: e.Pos})
+		return nil
+	case *lang.CallExpr:
+		_, err := lo.lowerCall(e, dst, out)
+		return err
+	case *lang.MethodCall:
+		out.Stmts = append(out.Stmts, &Event{Recv: e.Recv.Name, Method: e.Method, Dst: dst, Pos: e.Pos})
+		return nil
+	case *lang.Binary:
+		a, err := lo.lowerIntExpr(e.L, out)
+		if err != nil {
+			return err
+		}
+		b, err := lo.lowerIntExpr(e.R, out)
+		if err != nil {
+			return err
+		}
+		var op ArithOp
+		switch e.Op {
+		case lang.OpAdd:
+			op = Add
+		case lang.OpSub:
+			op = Sub
+		case lang.OpMul:
+			op = Mul
+		default:
+			return fmt.Errorf("%s: %s is not an int operator", e.Pos, e.Op)
+		}
+		out.Stmts = append(out.Stmts, &IntAssign{Dst: dst, Op: op, A: a, B: b, Pos: e.Pos})
+		return nil
+	case *lang.Unary:
+		a, err := lo.lowerIntExpr(e.X, out)
+		if err != nil {
+			return err
+		}
+		out.Stmts = append(out.Stmts, &IntAssign{Dst: dst, Op: Neg, A: a, Pos: e.Pos})
+		return nil
+	}
+	return fmt.Errorf("cannot lower %T as int", e)
+}
+
+// lowerIntExpr lowers an int expression to an operand, flattening through
+// temporaries where needed.
+func (lo *lowerer) lowerIntExpr(e lang.Expr, out *Block) (Operand, error) {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return ConstOp(e.Value), nil
+	case *lang.Ident:
+		return VarOp(e.Name), nil
+	}
+	t := lo.temp("int")
+	if err := lo.lowerIntExprInto(t, e, out); err != nil {
+		return Operand{}, err
+	}
+	return VarOp(t), nil
+}
+
+// lowerBoolAssign lowers "dst: bool = e".
+func (lo *lowerer) lowerBoolAssign(dst string, e lang.Expr, pos lang.Pos, out *Block) error {
+	if c, simple, err := lo.simpleCond(e, out); err != nil {
+		return err
+	} else if simple {
+		out.Stmts = append(out.Stmts, &BoolAssign{Dst: dst, Cond: c, Pos: pos})
+		return nil
+	}
+	// Complex boolean (&&, ||): dst = cond ? true : false.
+	thenB := &Block{Stmts: []Stmt{&BoolAssign{Dst: dst, Cond: trueCond(), Pos: pos}}}
+	elseB := &Block{Stmts: []Stmt{&BoolAssign{Dst: dst, Cond: falseCond(), Pos: pos}}}
+	return lo.lowerCondBranch(e, thenB, elseB, pos, out)
+}
+
+func trueCond() Cond  { return CmpCond(ConstOp(0), CmpEq, ConstOp(0)) }
+func falseCond() Cond { return CmpCond(ConstOp(0), CmpNe, ConstOp(0)) }
+
+// simpleCond tries to lower e as a single non-short-circuit condition.
+// It returns simple=false for && and || which require branch desugaring.
+func (lo *lowerer) simpleCond(e lang.Expr, out *Block) (Cond, bool, error) {
+	switch e := e.(type) {
+	case *lang.BoolLit:
+		if e.Value {
+			return trueCond(), true, nil
+		}
+		return falseCond(), true, nil
+	case *lang.Ident:
+		return BoolCond(e.Name), true, nil
+	case *lang.Unary:
+		if e.Op != '!' {
+			return Cond{}, false, fmt.Errorf("%s: bad unary in condition", e.Pos)
+		}
+		c, simple, err := lo.simpleCond(e.X, out)
+		if err != nil || !simple {
+			return Cond{}, simple, err
+		}
+		return c.Negate(), true, nil
+	case *lang.Binary:
+		switch e.Op {
+		case lang.OpAnd, lang.OpOr:
+			return Cond{}, false, nil
+		}
+		// Comparison. Object/null comparisons are statically opaque.
+		if lo.isObjectOperand(e.L) || lo.isObjectOperand(e.R) {
+			return OpaqueCond(lo.freshOpaque()), true, nil
+		}
+		if lo.isBoolOperand(e.L) {
+			// bool == bool is rare; treat as opaque.
+			return OpaqueCond(lo.freshOpaque()), true, nil
+		}
+		a, err := lo.lowerIntExpr(e.L, out)
+		if err != nil {
+			return Cond{}, false, err
+		}
+		b, err := lo.lowerIntExpr(e.R, out)
+		if err != nil {
+			return Cond{}, false, err
+		}
+		var k CmpKind
+		switch e.Op {
+		case lang.OpEq:
+			k = CmpEq
+		case lang.OpNe:
+			k = CmpNe
+		case lang.OpLt:
+			k = CmpLt
+		case lang.OpLe:
+			k = CmpLe
+		case lang.OpGt:
+			k = CmpGt
+		default:
+			k = CmpGe
+		}
+		return CmpCond(a, k, b), true, nil
+	}
+	return Cond{}, false, fmt.Errorf("cannot lower %T as condition", e)
+}
+
+func (lo *lowerer) isObjectOperand(e lang.Expr) bool {
+	switch e := e.(type) {
+	case *lang.NullLit, *lang.NewExpr, *lang.FieldAccess:
+		return true
+	case *lang.Ident:
+		return lo.isObjectVar(e.Name)
+	}
+	return false
+}
+
+func (lo *lowerer) isBoolOperand(e lang.Expr) bool {
+	switch e := e.(type) {
+	case *lang.BoolLit:
+		return true
+	case *lang.Ident:
+		return lo.typeOf(e.Name) == "bool"
+	}
+	return false
+}
+
+// lowerCondBranch emits branching code for "if (cond) thenB else elseB",
+// desugaring short-circuit operators into nested Ifs. Blocks passed in are
+// attached (and for && / || the *short* branch is duplicated structurally;
+// MiniLang conditions are small, and the CFET enumerates these paths anyway).
+func (lo *lowerer) lowerCondBranch(cond lang.Expr, thenB, elseB *Block, pos lang.Pos, out *Block) error {
+	switch e := cond.(type) {
+	case *lang.Binary:
+		switch e.Op {
+		case lang.OpAnd:
+			// if (a && b) T else E  =>  if a { if b T else E } else E'
+			inner := &Block{}
+			if err := lo.lowerCondBranch(e.R, thenB, elseB, pos, inner); err != nil {
+				return err
+			}
+			return lo.lowerCondBranch(e.L, inner, cloneBlock(elseB), pos, out)
+		case lang.OpOr:
+			// if (a || b) T else E  =>  if a T else { if b T' else E }
+			inner := &Block{}
+			if err := lo.lowerCondBranch(e.R, cloneBlock(thenB), elseB, pos, inner); err != nil {
+				return err
+			}
+			return lo.lowerCondBranch(e.L, thenB, inner, pos, out)
+		}
+	case *lang.Unary:
+		if e.Op == '!' {
+			return lo.lowerCondBranch(e.X, elseB, thenB, pos, out)
+		}
+	}
+	c, simple, err := lo.simpleCond(cond, out)
+	if err != nil {
+		return err
+	}
+	if !simple {
+		return fmt.Errorf("%s: unsupported condition form", pos)
+	}
+	out.Stmts = append(out.Stmts, &If{Cond: c, Then: thenB, Else: elseB, Pos: pos})
+	return nil
+}
+
+// cloneBlock deep-copies a block so duplicated branches remain independent.
+// Allocation and call sites inside keep their IDs: a duplicated site is the
+// same source-level site reached along a different path.
+func cloneBlock(b *Block) *Block {
+	if b == nil {
+		return &Block{}
+	}
+	out := &Block{Stmts: make([]Stmt, len(b.Stmts))}
+	for i, s := range b.Stmts {
+		out.Stmts[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *If:
+		return &If{Cond: s.Cond, Then: cloneBlock(s.Then), Else: cloneBlock(s.Else), Pos: s.Pos}
+	case *TryRegion:
+		return &TryRegion{Body: cloneBlock(s.Body), CatchVar: s.CatchVar,
+			CatchType: s.CatchType, Catch: cloneBlock(s.Catch), Pos: s.Pos}
+	case *Call:
+		c := *s
+		c.ObjArgs = append([]ArgPair(nil), s.ObjArgs...)
+		c.IntArgs = append([]IntArg(nil), s.IntArgs...)
+		return &c
+	case *IntAssign:
+		c := *s
+		return &c
+	case *BoolAssign:
+		c := *s
+		return &c
+	case *ObjAssign:
+		c := *s
+		return &c
+	case *NewObj:
+		c := *s
+		return &c
+	case *Store:
+		c := *s
+		return &c
+	case *Load:
+		c := *s
+		return &c
+	case *Event:
+		c := *s
+		return &c
+	case *Return:
+		c := *s
+		return &c
+	case *ThrowExit:
+		c := *s
+		return &c
+	case *CatchBind:
+		c := *s
+		return &c
+	case *Raise:
+		c := *s
+		return &c
+	}
+	panic(fmt.Sprintf("cloneStmt: unknown %T", s))
+}
+
+// lowerCall lowers a call expression, classifying arguments into object and
+// integer groups. dst receives the result ("" to ignore).
+func (lo *lowerer) lowerCall(e *lang.CallExpr, dst string, out *Block) (*Call, error) {
+	callee := lo.info.Prog.Fun(e.Name)
+	c := &Call{
+		Dst:         dst,
+		DstIsObject: dst != "" && lang.IsObjectType(callee.RetType),
+		Callee:      e.Name,
+		Site:        lo.callSite(e.Pos),
+		Pos:         e.Pos,
+	}
+	for i, a := range e.Args {
+		formal := callee.Params[i]
+		if lang.IsObjectType(formal.Type) {
+			src, err := lo.lowerObjExpr(a, out)
+			if err != nil {
+				return nil, err
+			}
+			if src != "" {
+				c.ObjArgs = append(c.ObjArgs, ArgPair{Arg: src, Formal: formal.Name})
+			}
+			continue
+		}
+		if formal.Type == "bool" {
+			// Bool params are carried opaquely: flatten to an int temp with
+			// unknown value; path constraints inside the callee treat the
+			// formal as a free variable, which over-approximates feasibility.
+			t := lo.temp("int")
+			out.Stmts = append(out.Stmts, &IntAssign{Dst: t, Op: Opaque, Pos: lang.PosOf(a)})
+			c.IntArgs = append(c.IntArgs, IntArg{Arg: VarOp(t), Formal: formal.Name})
+			continue
+		}
+		op, err := lo.lowerIntExpr(a, out)
+		if err != nil {
+			return nil, err
+		}
+		c.IntArgs = append(c.IntArgs, IntArg{Arg: op, Formal: formal.Name})
+	}
+	out.Stmts = append(out.Stmts, c)
+	return c, nil
+}

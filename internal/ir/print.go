@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a function body for debugging and golden tests.
+func Dump(fn *Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fun %s(", fn.Name)
+	for i, p := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", p.Name, p.Type)
+	}
+	b.WriteString(")")
+	if fn.RetType != "" {
+		fmt.Fprintf(&b, ": %s", fn.RetType)
+	}
+	if fn.MayThrow {
+		b.WriteString(" [may-throw]")
+	}
+	b.WriteString("\n")
+	dumpBlock(&b, fn.Body, 1)
+	return b.String()
+}
+
+func dumpBlock(b *strings.Builder, blk *Block, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range blk.Stmts {
+		switch s := s.(type) {
+		case *IntAssign:
+			switch s.Op {
+			case Mov:
+				fmt.Fprintf(b, "%s%s = %s\n", ind, s.Dst, s.A)
+			case Opaque:
+				fmt.Fprintf(b, "%s%s = opaque()\n", ind, s.Dst)
+			case Neg:
+				fmt.Fprintf(b, "%s%s = -%s\n", ind, s.Dst, s.A)
+			default:
+				op := map[ArithOp]string{Add: "+", Sub: "-", Mul: "*"}[s.Op]
+				fmt.Fprintf(b, "%s%s = %s %s %s\n", ind, s.Dst, s.A, op, s.B)
+			}
+		case *BoolAssign:
+			fmt.Fprintf(b, "%s%s = %s\n", ind, s.Dst, s.Cond)
+		case *ObjAssign:
+			src := s.Src
+			if src == "" {
+				src = "null"
+			}
+			fmt.Fprintf(b, "%s%s = %s\n", ind, s.Dst, src)
+		case *NewObj:
+			fmt.Fprintf(b, "%s%s = new %s() [site %d]\n", ind, s.Dst, s.Type, s.Site)
+		case *Store:
+			fmt.Fprintf(b, "%s%s.%s = %s\n", ind, s.Recv, s.Field, s.Src)
+		case *Load:
+			fmt.Fprintf(b, "%s%s = %s.%s\n", ind, s.Dst, s.Recv, s.Field)
+		case *Call:
+			dst := ""
+			if s.Dst != "" {
+				dst = s.Dst + " = "
+			}
+			var args []string
+			for _, a := range s.ObjArgs {
+				args = append(args, a.Arg+"->"+a.Formal)
+			}
+			for _, a := range s.IntArgs {
+				args = append(args, a.Arg.String()+"->"+a.Formal)
+			}
+			fmt.Fprintf(b, "%s%scall %s(%s) [site %d]\n", ind, dst, s.Callee, strings.Join(args, ", "), s.Site)
+		case *Event:
+			dst := ""
+			if s.Dst != "" {
+				dst = s.Dst + " = "
+			}
+			fmt.Fprintf(b, "%s%sevent %s.%s()\n", ind, dst, s.Recv, s.Method)
+		case *Return:
+			if s.Src == (Operand{}) && !s.SrcIsObject {
+				fmt.Fprintf(b, "%sreturn\n", ind)
+			} else {
+				fmt.Fprintf(b, "%sreturn %s\n", ind, s.Src)
+			}
+		case *ThrowExit:
+			fmt.Fprintf(b, "%sthrow-exit\n", ind)
+		case *CatchBind:
+			fmt.Fprintf(b, "%scatch-bind %s [from call %d]\n", ind, s.Var, s.FromCall)
+		case *If:
+			fmt.Fprintf(b, "%sif %s {\n", ind, s.Cond)
+			dumpBlock(b, s.Then, depth+1)
+			if len(s.Else.Stmts) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				dumpBlock(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *TryRegion:
+			fmt.Fprintf(b, "%stry {\n", ind)
+			dumpBlock(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s} catch (%s: %s) {\n", ind, s.CatchVar, s.CatchType)
+			dumpBlock(b, s.Catch, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Raise:
+			fmt.Fprintf(b, "%sraise %s: %s\n", ind, s.Src, s.Type)
+		default:
+			fmt.Fprintf(b, "%s?%T\n", ind, s)
+		}
+	}
+}
+
+// CountStmts returns the number of statements in a block tree.
+func CountStmts(blk *Block) int {
+	n := 0
+	for _, s := range blk.Stmts {
+		n++
+		switch s := s.(type) {
+		case *If:
+			n += CountStmts(s.Then) + CountStmts(s.Else)
+		case *TryRegion:
+			n += CountStmts(s.Body) + CountStmts(s.Catch)
+		}
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+package lang
+
+import "testing"
+
+// FuzzParse exercises the lexer/parser/resolver on arbitrary input: no
+// panics, and anything that parses must format and re-parse cleanly.
+// Run with: go test -fuzz=FuzzParse ./internal/lang
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"fun main() { return; }",
+		"type T;\nfun f(x: int): int { return x + 1; }",
+		`fun f() { var w: W = new W(); w.close(); }`,
+		`fun f(n: int) { while (n > 0) { n = n - 1; } return; }`,
+		`fun f() { try { throw new E(); } catch (e: E) { return; } }`,
+		`fun f(a: int) { if (a > 0 && a < 10 || !(a == 5)) { a = 0; } }`,
+		"fun f( {",
+		"type ;;;",
+		"fun f() { var x: int = 999999999999999999999999; }",
+		"/* unterminated",
+		"fun f() { x.y.z(); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if _, err := Resolve(prog); err != nil {
+			return
+		}
+		// Parsed and resolved: the formatter must produce re-parseable text.
+		text := Format(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("format broke parseability: %v\n%s", err, text)
+		}
+		if Format(prog2) != text {
+			t.Fatalf("format not idempotent for:\n%s", src)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure3b is the paper's Fig. 3b example transcribed into MiniLang.
+const figure3b = `
+type FileWriter;
+
+fun main() {
+  var out: FileWriter = null;
+  var o: FileWriter = null;
+  var x: int = input();
+  var y: int = x;
+  if (x >= 0) {
+    out = new FileWriter();
+    o = out;
+    y = y - 1;
+  } else {
+    y = y + 1;
+  }
+  if (y > 0) {
+    out.write();
+    o.close();
+  }
+  return;
+}
+`
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("fun f(x: int) { x = x + 1; } // done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KwFun, IDENT, LParen, IDENT, Colon, IDENT, RParen, LBrace,
+		IDENT, Assign, IDENT, Plus, INT, Semi, RBrace, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("fun\n  main() {}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("fun at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("main at %v", toks[1].Pos)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("/* block \n comment */ x // line\n y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("unexpected tokens %+v", toks)
+	}
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Fatal("want error for unterminated comment")
+	}
+	if _, err := Tokenize("a @ b"); err == nil {
+		t.Fatal("want error for bad character")
+	}
+}
+
+func TestParseFigure3b(t *testing.T) {
+	prog, err := Parse(figure3b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Types) != 1 || prog.Types[0].Name != "FileWriter" {
+		t.Fatalf("types: %+v", prog.Types)
+	}
+	main := prog.Fun("main")
+	if main == nil {
+		t.Fatal("main not found")
+	}
+	if len(main.Body) != 7 {
+		t.Fatalf("main body has %d stmts, want 7", len(main.Body))
+	}
+	ifStmt, ok := main.Body[4].(*IfStmt)
+	if !ok {
+		t.Fatalf("stmt 4 is %T, want *IfStmt", main.Body[4])
+	}
+	cond, ok := ifStmt.Cond.(*Binary)
+	if !ok || cond.Op != OpGe {
+		t.Fatalf("first conditional: %+v", ifStmt.Cond)
+	}
+	if len(ifStmt.Else) != 1 {
+		t.Fatalf("else branch: %d stmts", len(ifStmt.Else))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`fun f(a: int, b: int): bool { return a + b * 2 < a - 1 && a > 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funs[0].Body[0].(*ReturnStmt)
+	and, ok := ret.X.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("top is %+v, want &&", ret.X)
+	}
+	lt := and.L.(*Binary)
+	if lt.Op != OpLt {
+		t.Fatalf("left of && is %v", lt.Op)
+	}
+	add := lt.L.(*Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("lhs is %v, want +", add.Op)
+	}
+	if mul := add.R.(*Binary); mul.Op != OpMul {
+		t.Fatalf("rhs of + is %v, want *", mul.Op)
+	}
+}
+
+func TestParseTryCatchThrow(t *testing.T) {
+	src := `
+type IOError;
+fun risky() {
+  throw new IOError();
+}
+fun main() {
+  try {
+    risky();
+  } catch (e: IOError) {
+    return;
+  }
+  return;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := prog.Fun("main").Body[0].(*TryStmt)
+	if !ok {
+		t.Fatalf("want try, got %T", prog.Fun("main").Body[0])
+	}
+	if tr.CatchVar != "e" || tr.CatchType != "IOError" {
+		t.Fatalf("catch clause: %q %q", tr.CatchVar, tr.CatchType)
+	}
+	if _, ok := prog.Fun("risky").Body[0].(*ThrowStmt); !ok {
+		t.Fatal("want throw statement")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`fun f( { }`,
+		`fun f() { var x int; }`,
+		`fun f() { x = ; }`,
+		`fun f() { 3 = x; }`,
+		`fun f() { if x > 0 {} }`,
+		`var x: int;`,
+		`fun f() { return`,
+		`fun dup() {} fun dup() {}`,
+		`fun f() { x(); } fun f2() { f() }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestResolveFigure3b(t *testing.T) {
+	prog, err := Parse(figure3b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Resolve(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ObjectTypes["FileWriter"] {
+		t.Fatal("FileWriter should be an object type")
+	}
+	vt := info.VarTypes[prog.Fun("main")]
+	if vt["out"] != "FileWriter" || vt["x"] != "int" {
+		t.Fatalf("var types: %+v", vt)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`fun f() { x = 1; }`, "undeclared"},
+		{`fun f() { var x: int = 1; var x: int = 2; }`, "redeclared"},
+		{`fun f() { var x: int = true; }`, "cannot assign"},
+		{`fun f() { var x: int = 1; if (x) {} }`, "must be bool"},
+		{`fun f() { var x: int = 1; x.m(); }`, "non-object"},
+		{`fun f() { var x: int = 1; var y: Obj = x.fld; }`, "non-object"},
+		{`fun f() { g(); }`, "undeclared function"},
+		{`fun g(a: int) {} fun f() { g(); }`, "expects 1 args"},
+		{`fun f() { return 3; }`, "returns no value"},
+		{`fun f(): int { return; }`, "must return"},
+		{`fun f() { var x: int = 0; throw x; }`, "requires an object"},
+		{`fun f() { var b: bool = true; var x: int = b + 1; }`, "requires ints"},
+		{`fun f() { var x: Obj = new Obj(); var b: bool = x && x; }`, "requires bools"},
+	}
+	for _, tc := range cases {
+		prog, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("parse error for %q: %v", tc.src, err)
+			continue
+		}
+		_, err = Resolve(prog)
+		if err == nil {
+			t.Errorf("no resolve error for %q", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error %q does not contain %q", err, tc.want)
+		}
+	}
+}
+
+func TestResolveNullComparisons(t *testing.T) {
+	src := `fun f() { var x: Obj = null; if (x == null) { x = new Obj(); } }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(prog); err != nil {
+		t.Fatal(err)
+	}
+}

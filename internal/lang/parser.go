@@ -1,0 +1,525 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for MiniLang.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a MiniLang compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%s: expected %s, found %s %q", t.Pos, k, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	seen := map[string]Pos{}
+	for p.cur().Kind != EOF {
+		switch p.cur().Kind {
+		case KwType:
+			pos := p.next().Pos
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			prog.Types = append(prog.Types, &TypeDecl{Name: name.Text, Pos: pos})
+		case KwFun:
+			f, err := p.parseFun()
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := seen[f.Name]; dup {
+				return nil, fmt.Errorf("%s: function %q redeclared (first at %s)", f.Pos, f.Name, prev)
+			}
+			seen[f.Name] = f.Pos
+			prog.Funs = append(prog.Funs, f)
+		default:
+			t := p.cur()
+			return nil, fmt.Errorf("%s: expected 'fun' or 'type' at top level, found %s %q", t.Pos, t.Kind, t.Text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseFun() (*FunDecl, error) {
+	pos := p.next().Pos // fun
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FunDecl{Name: name.Text, Pos: pos}
+	for p.cur().Kind != RParen {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		pt, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Name: pn.Text, Type: pt.Text})
+	}
+	p.next() // RParen
+	if p.accept(Colon) {
+		rt, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		f.RetType = rt.Text
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, fmt.Errorf("%s: unexpected end of file in block", p.cur().Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // RBrace
+	return stmts, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwVar:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		typ, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(Assign) {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.Text, Type: typ.Text, Init: init, Pos: t.Pos}, nil
+
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(KwElse) {
+			if p.cur().Kind == KwIf {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: t.Pos}, nil
+
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+
+	case KwReturn:
+		p.next()
+		var x Expr
+		var err error
+		if p.cur().Kind != Semi {
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Pos: t.Pos}, nil
+
+	case KwThrow:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ThrowStmt{X: x, Pos: t.Pos}, nil
+
+	case KwTry:
+		p.next()
+		try, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwCatch); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cv, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		catchType := ""
+		if p.accept(Colon) {
+			ct, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			catchType = ct.Text
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		catch, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &TryStmt{Try: try, CatchVar: cv.Text, CatchType: catchType, Catch: catch, Pos: t.Pos}, nil
+
+	case IDENT:
+		// assignment or expression statement
+		x, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(Assign) {
+			switch x.(type) {
+			case *Ident, *FieldAccess:
+			default:
+				return nil, fmt.Errorf("%s: invalid assignment target", t.Pos)
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{LHS: x, RHS: rhs, Pos: t.Pos}, nil
+		}
+		switch x.(type) {
+		case *CallExpr, *MethodCall:
+		default:
+			return nil, fmt.Errorf("%s: expression statement must be a call", t.Pos)
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: t.Pos}, nil
+	}
+	return nil, fmt.Errorf("%s: unexpected token %s %q at start of statement", t.Pos, t.Kind, t.Text)
+}
+
+// Expression parsing with precedence climbing:
+// or < and < comparison < additive < multiplicative < unary < primary.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OrOr {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == AndAnd {
+		pos := p.next().Pos
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+var cmpOps = map[Kind]BinOp{
+	EqEq: OpEq, NotEq: OpNe, Lt: OpLt, LtEq: OpLe, Gt: OpGt, GtEq: OpGe,
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		pos := p.next().Pos
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r, Pos: pos}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Plus || p.cur().Kind == Minus {
+		op := OpAdd
+		if p.cur().Kind == Minus {
+			op = OpSub
+		}
+		pos := p.next().Pos
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == Star {
+		pos := p.next().Pos
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpMul, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Not:
+		pos := p.next().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: '!', X: x, Pos: pos}, nil
+	case Minus:
+		pos := p.next().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: '-', X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad integer literal %q", t.Pos, t.Text)
+		}
+		return &IntLit{Value: v, Pos: t.Pos}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{Value: true, Pos: t.Pos}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{Value: false, Pos: t.Pos}, nil
+	case KwNull:
+		p.next()
+		return &NullLit{Pos: t.Pos}, nil
+	case KwInput:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &InputExpr{Pos: t.Pos}, nil
+	case KwNew:
+		p.next()
+		typ, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &NewExpr{Type: typ.Text, Pos: t.Pos}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case IDENT:
+		p.next()
+		if p.accept(Dot) {
+			member, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			recv := &Ident{Name: t.Text, Pos: t.Pos}
+			if p.cur().Kind == LParen {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				return &MethodCall{Recv: recv, Method: member.Text, Args: args, Pos: t.Pos}, nil
+			}
+			return &FieldAccess{Recv: recv, Field: member.Text, Pos: t.Pos}, nil
+		}
+		if p.cur().Kind == LParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: args, Pos: t.Pos}, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	}
+	return nil, fmt.Errorf("%s: unexpected token %s %q in expression", t.Pos, t.Kind, t.Text)
+}
+
+func (p *Parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.cur().Kind != RParen {
+		if len(args) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.next() // RParen
+	return args, nil
+}

@@ -1,0 +1,182 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a program as canonical MiniLang source. Formatting
+// then re-parsing yields a structurally identical program (round-trip
+// property), which makes Format usable for tooling and program emission.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, t := range p.Types {
+		fmt.Fprintf(&b, "type %s;\n", t.Name)
+	}
+	if len(p.Types) > 0 && len(p.Funs) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, f := range p.Funs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		formatFun(&b, f)
+	}
+	return b.String()
+}
+
+func formatFun(b *strings.Builder, f *FunDecl) {
+	fmt.Fprintf(b, "fun %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s: %s", p.Name, p.Type)
+	}
+	b.WriteString(")")
+	if f.RetType != "" {
+		fmt.Fprintf(b, ": %s", f.RetType)
+	}
+	b.WriteString(" {\n")
+	formatStmts(b, f.Body, 1)
+	b.WriteString("}\n")
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *VarDecl:
+			fmt.Fprintf(b, "%svar %s: %s", ind, s.Name, s.Type)
+			if s.Init != nil {
+				fmt.Fprintf(b, " = %s", FormatExpr(s.Init))
+			}
+			b.WriteString(";\n")
+		case *AssignStmt:
+			fmt.Fprintf(b, "%s%s = %s;\n", ind, FormatExpr(s.LHS), FormatExpr(s.RHS))
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, FormatExpr(s.X))
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, FormatExpr(s.Cond))
+			formatStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				formatStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *WhileStmt:
+			fmt.Fprintf(b, "%swhile (%s) {\n", ind, FormatExpr(s.Cond))
+			formatStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *ReturnStmt:
+			if s.X == nil {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			} else {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, FormatExpr(s.X))
+			}
+		case *ThrowStmt:
+			fmt.Fprintf(b, "%sthrow %s;\n", ind, FormatExpr(s.X))
+		case *TryStmt:
+			fmt.Fprintf(b, "%stry {\n", ind)
+			formatStmts(b, s.Try, depth+1)
+			if s.CatchType != "" {
+				fmt.Fprintf(b, "%s} catch (%s: %s) {\n", ind, s.CatchVar, s.CatchType)
+			} else {
+				fmt.Fprintf(b, "%s} catch (%s) {\n", ind, s.CatchVar)
+			}
+			formatStmts(b, s.Catch, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		}
+	}
+}
+
+// precedence levels for parenthesization (higher binds tighter).
+func precOf(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	default: // OpMul
+		return 5
+	}
+}
+
+// FormatExpr renders an expression with minimal parentheses.
+func FormatExpr(e Expr) string {
+	return formatExprPrec(e, 0)
+}
+
+func formatExprPrec(e Expr, parent int) string {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.Value < 0 {
+			s := fmt.Sprintf("(0 - %d)", -e.Value)
+			return s
+		}
+		return fmt.Sprintf("%d", e.Value)
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *NullLit:
+		return "null"
+	case *Ident:
+		return e.Name
+	case *FieldAccess:
+		return e.Recv.Name + "." + e.Field
+	case *NewExpr:
+		return "new " + e.Type + "()"
+	case *InputExpr:
+		return "input()"
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = formatExprPrec(a, 0)
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	case *MethodCall:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = formatExprPrec(a, 0)
+		}
+		return e.Recv.Name + "." + e.Method + "(" + strings.Join(args, ", ") + ")"
+	case *Binary:
+		p := precOf(e.Op)
+		// Left-associative: the right operand needs parens at equal
+		// precedence.
+		s := formatExprPrec(e.L, p) + " " + e.Op.String() + " " + formatExprPrec(e.R, p+1)
+		if p < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case *Unary:
+		inner := formatExprPrec(e.X, 6)
+		if e.Op == '!' {
+			return "!" + parenUnless(inner, isAtom(e.X))
+		}
+		return "-" + parenUnless(inner, isAtom(e.X))
+	}
+	return "?"
+}
+
+func isAtom(e Expr) bool {
+	switch e.(type) {
+	case *IntLit, *BoolLit, *NullLit, *Ident, *FieldAccess, *NewExpr,
+		*InputExpr, *CallExpr, *MethodCall, *Unary:
+		return true
+	}
+	return false
+}
+
+func parenUnless(s string, atom bool) string {
+	if atom {
+		return s
+	}
+	return "(" + s + ")"
+}

@@ -1,0 +1,99 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+var formatCorpus = []string{
+	figure3b,
+	`fun f(a: int, b: int): bool { return a + b * 2 < a - 1 && a > 0 || !(b == 3); }`,
+	`
+type R;
+fun g(): R { var r: R = new R(); return r; }
+fun main() {
+  var x: R = g();
+  var b: Box = new Box();
+  b.f = x;
+  var y: R = b.f;
+  y.use(1, 2 + 3);
+  while (input() > 0) {
+    y.tick();
+  }
+  return;
+}
+type Box;`,
+	`
+type E;
+fun main() {
+  try {
+    if (input() == 0 - 4) {
+      throw new E();
+    }
+  } catch (e: E) {
+    return;
+  }
+  return;
+}`,
+	`fun neg(x: int): int { return -x + -(x * 2); }`,
+	`fun b(x: int) { var p: bool = !(x > 1) && (x < 5 || x != 2); if (p) { x = 0; } return; }`,
+}
+
+// TestFormatRoundTrip: format(parse(src)) re-parses to a structurally
+// identical program (checked by formatting again and comparing text), and
+// still resolves.
+func TestFormatRoundTrip(t *testing.T) {
+	for i, src := range formatCorpus {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("corpus %d: parse: %v", i, err)
+		}
+		text1 := Format(p1)
+		p2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("corpus %d: reparse of\n%s\nfailed: %v", i, text1, err)
+		}
+		text2 := Format(p2)
+		if text1 != text2 {
+			t.Fatalf("corpus %d: format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", i, text1, text2)
+		}
+		if _, err := Resolve(p2); err != nil {
+			t.Fatalf("corpus %d: formatted program does not resolve: %v", i, err)
+		}
+	}
+}
+
+func TestFormatPrecedenceMinimal(t *testing.T) {
+	src := `fun f(a: int, b: int): int { return (a + b) * 2 - a * (b - 1); }`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	if !strings.Contains(out, "(a + b) * 2") {
+		t.Fatalf("needed parens dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "a * (b - 1)") {
+		t.Fatalf("right-assoc parens dropped:\n%s", out)
+	}
+	if strings.Contains(out, "((") {
+		t.Fatalf("redundant parens:\n%s", out)
+	}
+}
+
+func TestFormatExprForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`fun f() { var x: int = input(); x = x + 1; }`, "input()"},
+		{`type R; fun f() { var r: R = null; if (r == null) { r = new R(); } }`, "r == null"},
+		{`fun f() { var b: bool = true; if (!b) { b = false; } }`, "!b"},
+	}
+	for i, tc := range cases {
+		p, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out := Format(p); !strings.Contains(out, tc.want) {
+			t.Errorf("case %d: missing %q in\n%s", i, tc.want, out)
+		}
+	}
+}

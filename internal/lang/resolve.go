@@ -1,0 +1,330 @@
+package lang
+
+import "fmt"
+
+// Info carries resolver results consumed by IR lowering.
+type Info struct {
+	Prog *Program
+	// VarTypes maps each function to a variable-name -> type-name table.
+	// MiniLang forbids shadowing, so names are unique within a function.
+	VarTypes map[*FunDecl]map[string]string
+	// ObjectTypes is the set of object type names mentioned anywhere.
+	ObjectTypes map[string]bool
+}
+
+// Resolve checks the program and computes type information:
+//   - every variable is declared before use and never shadowed,
+//   - expression categories (int/bool/object) are consistent,
+//   - calls match declared functions and arity,
+//   - method calls and field accesses apply only to object-typed variables.
+func Resolve(prog *Program) (*Info, error) {
+	info := &Info{
+		Prog:        prog,
+		VarTypes:    make(map[*FunDecl]map[string]string),
+		ObjectTypes: make(map[string]bool),
+	}
+	for _, t := range prog.Types {
+		info.ObjectTypes[t.Name] = true
+	}
+	funs := map[string]*FunDecl{}
+	for _, f := range prog.Funs {
+		funs[f.Name] = f
+	}
+	for _, f := range prog.Funs {
+		r := &resolver{info: info, funs: funs, fun: f, vars: map[string]string{}}
+		for _, p := range f.Params {
+			if err := r.declare(p.Name, p.Type, f.Pos); err != nil {
+				return nil, err
+			}
+		}
+		if err := r.stmts(f.Body); err != nil {
+			return nil, err
+		}
+		if IsObjectType(f.RetType) {
+			info.ObjectTypes[f.RetType] = true
+		}
+		info.VarTypes[f] = r.vars
+	}
+	return info, nil
+}
+
+type resolver struct {
+	info *Info
+	funs map[string]*FunDecl
+	fun  *FunDecl
+	vars map[string]string
+}
+
+func (r *resolver) declare(name, typ string, pos Pos) error {
+	if _, dup := r.vars[name]; dup {
+		return fmt.Errorf("%s: variable %q redeclared in %s (MiniLang forbids shadowing)", pos, name, r.fun.Name)
+	}
+	r.vars[name] = typ
+	if IsObjectType(typ) {
+		r.info.ObjectTypes[typ] = true
+	}
+	return nil
+}
+
+func (r *resolver) typeOfVar(name string, pos Pos) (string, error) {
+	t, ok := r.vars[name]
+	if !ok {
+		return "", fmt.Errorf("%s: undeclared variable %q in %s", pos, name, r.fun.Name)
+	}
+	return t, nil
+}
+
+// category reduces a type name to "int", "bool" or "object".
+func category(typ string) string {
+	if typ == "int" || typ == "bool" {
+		return typ
+	}
+	return "object"
+}
+
+func (r *resolver) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := r.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *resolver) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarDecl:
+		if err := r.declare(s.Name, s.Type, s.Pos); err != nil {
+			return err
+		}
+		if s.Init != nil {
+			ct, err := r.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			if err := r.assignable(category(s.Type), ct, s.Pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AssignStmt:
+		var lcat string
+		switch lhs := s.LHS.(type) {
+		case *Ident:
+			t, err := r.typeOfVar(lhs.Name, lhs.Pos)
+			if err != nil {
+				return err
+			}
+			lcat = category(t)
+		case *FieldAccess:
+			t, err := r.typeOfVar(lhs.Recv.Name, lhs.Pos)
+			if err != nil {
+				return err
+			}
+			if category(t) != "object" {
+				return fmt.Errorf("%s: field store on non-object %q", lhs.Pos, lhs.Recv.Name)
+			}
+			lcat = "object" // fields hold object references
+		default:
+			return fmt.Errorf("%s: invalid assignment target", s.Pos)
+		}
+		rcat, err := r.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		return r.assignable(lcat, rcat, s.Pos)
+	case *ExprStmt:
+		_, err := r.expr(s.X)
+		return err
+	case *IfStmt:
+		ct, err := r.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != "bool" {
+			return fmt.Errorf("%s: if condition must be bool, got %s", s.Pos, ct)
+		}
+		if err := r.stmts(s.Then); err != nil {
+			return err
+		}
+		return r.stmts(s.Else)
+	case *WhileStmt:
+		ct, err := r.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != "bool" {
+			return fmt.Errorf("%s: while condition must be bool, got %s", s.Pos, ct)
+		}
+		return r.stmts(s.Body)
+	case *ReturnStmt:
+		if s.X == nil {
+			if r.fun.RetType != "" {
+				return fmt.Errorf("%s: %s must return a %s", s.Pos, r.fun.Name, r.fun.RetType)
+			}
+			return nil
+		}
+		if r.fun.RetType == "" {
+			return fmt.Errorf("%s: %s returns no value", s.Pos, r.fun.Name)
+		}
+		ct, err := r.expr(s.X)
+		if err != nil {
+			return err
+		}
+		return r.assignable(category(r.fun.RetType), ct, s.Pos)
+	case *ThrowStmt:
+		ct, err := r.expr(s.X)
+		if err != nil {
+			return err
+		}
+		if ct != "object" {
+			return fmt.Errorf("%s: throw requires an object, got %s", s.Pos, ct)
+		}
+		return nil
+	case *TryStmt:
+		if err := r.stmts(s.Try); err != nil {
+			return err
+		}
+		catchType := s.CatchType
+		if catchType == "" {
+			catchType = "Exception"
+		}
+		if err := r.declare(s.CatchVar, catchType, s.Pos); err != nil {
+			return err
+		}
+		return r.stmts(s.Catch)
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (r *resolver) assignable(lcat, rcat string, pos Pos) error {
+	if rcat == "null" {
+		if lcat == "object" {
+			return nil
+		}
+		return fmt.Errorf("%s: cannot assign null to %s", pos, lcat)
+	}
+	if lcat != rcat {
+		return fmt.Errorf("%s: cannot assign %s to %s", pos, rcat, lcat)
+	}
+	return nil
+}
+
+// expr type-checks an expression and returns its category:
+// "int", "bool", "object", or "null".
+func (r *resolver) expr(e Expr) (string, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return "int", nil
+	case *BoolLit:
+		return "bool", nil
+	case *NullLit:
+		return "null", nil
+	case *InputExpr:
+		return "int", nil
+	case *Ident:
+		t, err := r.typeOfVar(e.Name, e.Pos)
+		if err != nil {
+			return "", err
+		}
+		return category(t), nil
+	case *FieldAccess:
+		t, err := r.typeOfVar(e.Recv.Name, e.Pos)
+		if err != nil {
+			return "", err
+		}
+		if category(t) != "object" {
+			return "", fmt.Errorf("%s: field load on non-object %q", e.Pos, e.Recv.Name)
+		}
+		return "object", nil
+	case *NewExpr:
+		if !IsObjectType(e.Type) {
+			return "", fmt.Errorf("%s: cannot allocate primitive type %q", e.Pos, e.Type)
+		}
+		r.info.ObjectTypes[e.Type] = true
+		return "object", nil
+	case *CallExpr:
+		f, ok := r.funs[e.Name]
+		if !ok {
+			return "", fmt.Errorf("%s: call to undeclared function %q", e.Pos, e.Name)
+		}
+		if len(e.Args) != len(f.Params) {
+			return "", fmt.Errorf("%s: %s expects %d args, got %d", e.Pos, e.Name, len(f.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			ct, err := r.expr(a)
+			if err != nil {
+				return "", err
+			}
+			if err := r.assignable(category(f.Params[i].Type), ct, a.exprPos()); err != nil {
+				return "", err
+			}
+		}
+		if f.RetType == "" {
+			return "void", nil
+		}
+		return category(f.RetType), nil
+	case *MethodCall:
+		t, err := r.typeOfVar(e.Recv.Name, e.Pos)
+		if err != nil {
+			return "", err
+		}
+		if category(t) != "object" {
+			return "", fmt.Errorf("%s: method call on non-object %q", e.Pos, e.Recv.Name)
+		}
+		for _, a := range e.Args {
+			if _, err := r.expr(a); err != nil {
+				return "", err
+			}
+		}
+		// Methods on objects are FSM events; they return int for flexibility.
+		return "int", nil
+	case *Binary:
+		lc, err := r.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		rc, err := r.expr(e.R)
+		if err != nil {
+			return "", err
+		}
+		switch e.Op {
+		case OpAdd, OpSub, OpMul:
+			if lc != "int" || rc != "int" {
+				return "", fmt.Errorf("%s: %s requires ints", e.Pos, e.Op)
+			}
+			return "int", nil
+		case OpAnd, OpOr:
+			if lc != "bool" || rc != "bool" {
+				return "", fmt.Errorf("%s: %s requires bools", e.Pos, e.Op)
+			}
+			return "bool", nil
+		case OpEq, OpNe:
+			if lc == rc || lc == "null" || rc == "null" {
+				return "bool", nil
+			}
+			return "", fmt.Errorf("%s: %s operands mismatch (%s vs %s)", e.Pos, e.Op, lc, rc)
+		default: // <, <=, >, >=
+			if lc != "int" || rc != "int" {
+				return "", fmt.Errorf("%s: %s requires ints", e.Pos, e.Op)
+			}
+			return "bool", nil
+		}
+	case *Unary:
+		ct, err := r.expr(e.X)
+		if err != nil {
+			return "", err
+		}
+		if e.Op == '!' {
+			if ct != "bool" {
+				return "", fmt.Errorf("%s: ! requires bool", e.Pos)
+			}
+			return "bool", nil
+		}
+		if ct != "int" {
+			return "", fmt.Errorf("%s: unary - requires int", e.Pos)
+		}
+		return "int", nil
+	}
+	return "", fmt.Errorf("unknown expression %T", e)
+}

@@ -1,0 +1,98 @@
+// Package lang implements the MiniLang frontend: a Java-like imperative
+// mini-language that stands in for the paper's Soot-based Java frontend
+// (DESIGN.md §1). MiniLang provides exactly the constructs the Grapple
+// analyses consume: object allocation, assignment, field stores/loads,
+// calls, integer/boolean expressions, structured control flow, and
+// exceptions.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	// keywords
+	KwFun
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwReturn
+	KwNew
+	KwNull
+	KwTrue
+	KwFalse
+	KwTry
+	KwCatch
+	KwThrow
+	KwType
+	KwInput
+	// punctuation & operators
+	LParen
+	RParen
+	LBrace
+	RBrace
+	Semi
+	Colon
+	Comma
+	Dot
+	Assign
+	Plus
+	Minus
+	Star
+	Not
+	AndAnd
+	OrOr
+	EqEq
+	NotEq
+	Lt
+	LtEq
+	Gt
+	GtEq
+)
+
+var kindNames = map[Kind]string{
+	EOF: "eof", IDENT: "identifier", INT: "int literal",
+	KwFun: "fun", KwVar: "var", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwReturn: "return", KwNew: "new", KwNull: "null", KwTrue: "true",
+	KwFalse: "false", KwTry: "try", KwCatch: "catch", KwThrow: "throw",
+	KwType: "type", KwInput: "input",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", Semi: ";",
+	Colon: ":", Comma: ",", Dot: ".", Assign: "=", Plus: "+", Minus: "-",
+	Star: "*", Not: "!", AndAnd: "&&", OrOr: "||", EqEq: "==", NotEq: "!=",
+	Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+var keywords = map[string]Kind{
+	"fun": KwFun, "var": KwVar, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"return": KwReturn, "new": KwNew, "null": KwNull, "true": KwTrue,
+	"false": KwFalse, "try": KwTry, "catch": KwCatch, "throw": KwThrow,
+	"type": KwType, "input": KwInput,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier name or literal text
+	Pos  Pos
+}

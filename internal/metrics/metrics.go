@@ -1,0 +1,75 @@
+// Package metrics accumulates the per-component cost breakdown the paper
+// reports in Figure 9: I/O, constraint encoding/decoding ("constraint
+// lookup"), SMT solving, and in-memory edge-pair computation. Components run
+// concurrently, so times are summed across workers and reported as fractions
+// of the summed total, exactly as the paper computes its percentages.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Breakdown accumulates nanoseconds per component. Safe for concurrent use.
+type Breakdown struct {
+	io      atomic.Int64
+	decode  atomic.Int64
+	solve   atomic.Int64
+	compute atomic.Int64
+}
+
+// AddIO records disk time.
+func (b *Breakdown) AddIO(d time.Duration) { b.io.Add(int64(d)) }
+
+// AddDecode records constraint encoding/decoding time.
+func (b *Breakdown) AddDecode(d time.Duration) { b.decode.Add(int64(d)) }
+
+// AddSolve records SMT solving time.
+func (b *Breakdown) AddSolve(d time.Duration) { b.solve.Add(int64(d)) }
+
+// AddCompute records edge-pair computation time.
+func (b *Breakdown) AddCompute(d time.Duration) { b.compute.Add(int64(d)) }
+
+// Snapshot is a point-in-time view of the breakdown.
+type Snapshot struct {
+	IO      time.Duration
+	Decode  time.Duration
+	Solve   time.Duration
+	Compute time.Duration
+}
+
+// Snapshot returns the current totals.
+func (b *Breakdown) Snapshot() Snapshot {
+	return Snapshot{
+		IO:      time.Duration(b.io.Load()),
+		Decode:  time.Duration(b.decode.Load()),
+		Solve:   time.Duration(b.solve.Load()),
+		Compute: time.Duration(b.compute.Load()),
+	}
+}
+
+// Total returns the summed component time.
+func (s Snapshot) Total() time.Duration { return s.IO + s.Decode + s.Solve + s.Compute }
+
+// Percentages returns the Figure-9 percentages (I/O, decode, solve,
+// compute). All zeros when nothing was recorded.
+func (s Snapshot) Percentages() (io, decode, solve, compute float64) {
+	t := float64(s.Total())
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	return 100 * float64(s.IO) / t, 100 * float64(s.Decode) / t,
+		100 * float64(s.Solve) / t, 100 * float64(s.Compute) / t
+}
+
+// String renders the snapshot in Figure-9 form.
+func (s Snapshot) String() string {
+	io, de, so, co := s.Percentages()
+	return fmt.Sprintf("I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%",
+		io, de, so, co)
+}
+
+// Timer measures one region: defer b.AddIO(Since(t)) style helpers keep call
+// sites terse.
+func Since(start time.Time) time.Duration { return time.Since(start) }

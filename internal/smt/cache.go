@@ -1,0 +1,111 @@
+package smt
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/grapple-system/grapple/internal/constraint"
+)
+
+// Cache is the LRU constraint-memoization cache of paper §4.3. Keys are
+// canonical encodings of conjunctions; values are solver verdicts. Edges in
+// the same program scope share path constraints (temporal locality), so the
+// hit rate is high in practice (Table 4 reports 60–78%).
+//
+// Cache is safe for concurrent use by multiple edge-induction workers.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+
+	// Stats
+	Lookups int64
+	Hits    int64
+}
+
+type cacheEntry struct {
+	key string
+	res Result
+}
+
+// NewCache returns an LRU cache holding up to capacity verdicts.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the memoized verdict for key if present.
+func (c *Cache) Get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Lookups++
+	el, ok := c.items[key]
+	if !ok {
+		return Unknown, false
+	}
+	c.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put records a verdict, evicting the least recently used entry when full.
+func (c *Cache) Put(key string, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// HitRate reports the fraction of lookups served from the cache.
+func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Lookups)
+}
+
+// CachedSolver pairs a Solver with a shared Cache.
+type CachedSolver struct {
+	S     *Solver
+	Cache *Cache // nil disables memoization
+}
+
+// Solve decides c, consulting the cache first when one is configured.
+func (cs *CachedSolver) Solve(c constraint.Conj) Result {
+	if cs.Cache == nil {
+		return cs.S.Solve(c)
+	}
+	key := c.Canon().Key()
+	if r, ok := cs.Cache.Get(key); ok {
+		return r
+	}
+	r := cs.S.Solve(c)
+	cs.Cache.Put(key, r)
+	return r
+}

@@ -1,0 +1,419 @@
+// Package smt decides satisfiability of the conjunctive linear integer
+// arithmetic constraints Grapple's path decoding produces (paper §3.2, §4.2).
+//
+// The paper uses Z3; Grapple only ever hands the solver a conjunction of
+// comparisons of linear integer expressions (branch conditionals composed by
+// symbolic execution and parameter-passing equations). For that fragment a
+// complete decision procedure is: substitute equalities away, case-split the
+// few disequalities, then run Fourier–Motzkin elimination with integer bound
+// tightening. This package implements exactly that, so its verdicts match
+// what Z3 would return on the constraints the engine generates.
+package smt
+
+import (
+	"math"
+
+	"github.com/grapple-system/grapple/internal/constraint"
+	"github.com/grapple-system/grapple/internal/symbolic"
+)
+
+// Result is a satisfiability verdict.
+type Result uint8
+
+// Verdicts. Unknown is returned only when a structural limit is hit
+// (disequality case-split budget); the engine treats Unknown as SAT, which
+// over-approximates feasibility and therefore never misses a bug.
+const (
+	Unsat Result = iota
+	Sat
+	Unknown
+)
+
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxNESplits bounds the number of disequality atoms case-split before
+	// giving up with Unknown. 2^MaxNESplits branches are explored.
+	MaxNESplits int
+	// MaxVars bounds the number of distinct variables eliminated by
+	// Fourier–Motzkin before giving up with Unknown.
+	MaxVars int
+	// MaxIneqs aborts with Unknown if elimination inflates the inequality
+	// set beyond this size (FM is worst-case exponential).
+	MaxIneqs int
+}
+
+// DefaultOptions are generous for the constraint sizes path decoding emits.
+func DefaultOptions() Options {
+	return Options{MaxNESplits: 8, MaxVars: 128, MaxIneqs: 4096}
+}
+
+// Solver decides conjunctions. It is stateless apart from statistics and is
+// safe for concurrent use only through independent instances; the engine
+// gives each worker its own Solver (sharing one memo cache).
+type Solver struct {
+	opts Options
+
+	// Stats
+	Calls    int64
+	UnsatN   int64
+	SatN     int64
+	UnknownN int64
+}
+
+// New returns a Solver with the given options.
+func New(opts Options) *Solver {
+	if opts.MaxNESplits == 0 {
+		opts = DefaultOptions()
+	}
+	return &Solver{opts: opts}
+}
+
+// ineq represents sum(coeffs)*vars + c <= 0 over int64 rationals scaled to
+// integers (all coefficients integer; we keep them integer throughout and
+// tighten bounds, which is sound and complete for integer feasibility of the
+// shapes symbolic execution emits, and sound in general).
+type ineq struct {
+	terms  []symbolic.Term
+	c      int64
+	strict bool // sum + c < 0
+}
+
+// Solve decides the conjunction c.
+func (s *Solver) Solve(c constraint.Conj) Result {
+	s.Calls++
+	res := s.solve(c)
+	switch res {
+	case Unsat:
+		s.UnsatN++
+	case Sat:
+		s.SatN++
+	default:
+		s.UnknownN++
+	}
+	return res
+}
+
+func (s *Solver) solve(c constraint.Conj) Result {
+	var eqs, nes []constraint.Atom
+	var ineqs []ineq
+	for _, a := range c {
+		if a.IsTrivialFalse() {
+			return Unsat
+		}
+		if a.IsTrivialTrue() {
+			continue
+		}
+		switch a.Op {
+		case constraint.EQ:
+			eqs = append(eqs, a)
+		case constraint.NE:
+			nes = append(nes, a)
+		case constraint.LE:
+			ineqs = append(ineqs, ineq{terms: a.LHS.Terms, c: a.LHS.Const})
+		case constraint.LT:
+			ineqs = append(ineqs, ineq{terms: a.LHS.Terms, c: a.LHS.Const, strict: true})
+		case constraint.GE:
+			neg := a.LHS.Neg()
+			ineqs = append(ineqs, ineq{terms: neg.Terms, c: neg.Const})
+		case constraint.GT:
+			neg := a.LHS.Neg()
+			ineqs = append(ineqs, ineq{terms: neg.Terms, c: neg.Const, strict: true})
+		}
+	}
+	return s.solveParts(eqs, nes, ineqs, s.opts.MaxNESplits)
+}
+
+// solveParts substitutes equalities, splits disequalities, then runs FM.
+func (s *Solver) solveParts(eqs, nes []constraint.Atom, ineqs []ineq, neBudget int) Result {
+	// Substitute equalities with a unit-coefficient variable; other
+	// equalities become a pair of inequalities.
+	for len(eqs) > 0 {
+		a := eqs[len(eqs)-1]
+		eqs = eqs[:len(eqs)-1]
+		if a.LHS.IsConst() {
+			if a.LHS.Const != 0 {
+				return Unsat
+			}
+			continue
+		}
+		sym, repl, ok := unitSolve(a.LHS)
+		if !ok {
+			// No unit coefficient: encode as <=0 and >=0.
+			neg := a.LHS.Neg()
+			ineqs = append(ineqs,
+				ineq{terms: a.LHS.Terms, c: a.LHS.Const},
+				ineq{terms: neg.Terms, c: neg.Const})
+			continue
+		}
+		for i := range eqs {
+			eqs[i] = eqs[i].Subst(sym, repl)
+			if eqs[i].IsTrivialFalse() {
+				return Unsat
+			}
+		}
+		for i := range nes {
+			nes[i] = nes[i].Subst(sym, repl)
+			if nes[i].IsTrivialFalse() {
+				return Unsat
+			}
+		}
+		for i := range ineqs {
+			ineqs[i] = substIneq(ineqs[i], sym, repl)
+			if constIneqFalse(ineqs[i]) {
+				return Unsat
+			}
+		}
+	}
+
+	// Drop trivially-true disequalities; split the rest.
+	kept := nes[:0]
+	for _, a := range nes {
+		if a.LHS.IsConst() {
+			if a.LHS.Const == 0 {
+				return Unsat
+			}
+			continue
+		}
+		kept = append(kept, a)
+	}
+	nes = kept
+	if len(nes) > 0 {
+		if neBudget <= 0 {
+			return Unknown
+		}
+		a := nes[0]
+		rest := nes[1:]
+		// a != 0  ==>  a <= -1  or  a >= 1 (integer semantics).
+		lo := append(cloneIneqs(ineqs), ineq{terms: a.LHS.Terms, c: a.LHS.Const + 1})
+		if r := s.solveParts(nil, cloneAtoms(rest), lo, neBudget-1); r == Sat {
+			return Sat
+		} else if r == Unknown {
+			return Unknown
+		}
+		neg := a.LHS.Neg()
+		hi := append(cloneIneqs(ineqs), ineq{terms: neg.Terms, c: neg.Const + 1})
+		return s.solveParts(nil, cloneAtoms(rest), hi, neBudget-1)
+	}
+
+	return s.fourierMotzkin(ineqs)
+}
+
+// unitSolve finds a symbol with coefficient ±1 in e (where e == 0) and
+// returns the substitution sym -> repl.
+func unitSolve(e symbolic.Expr) (symbolic.Sym, symbolic.Expr, bool) {
+	for _, t := range e.Terms {
+		if t.Coeff == 1 || t.Coeff == -1 {
+			// t.Coeff*sym + rest = 0  =>  sym = -rest/t.Coeff
+			rest := e.Subst(t.Sym, symbolic.Expr{}) // e without sym
+			repl := rest.Scale(-t.Coeff)            // works since coeff = ±1
+			return t.Sym, repl, true
+		}
+	}
+	return symbolic.NoSym, symbolic.Expr{}, false
+}
+
+func substIneq(in ineq, sym symbolic.Sym, repl symbolic.Expr) ineq {
+	e := symbolic.Expr{Terms: in.terms, Const: in.c}
+	e = e.Subst(sym, repl)
+	return ineq{terms: e.Terms, c: e.Const, strict: in.strict}
+}
+
+func constIneqFalse(in ineq) bool {
+	if len(in.terms) != 0 {
+		return false
+	}
+	if in.strict {
+		return in.c >= 0
+	}
+	return in.c > 0
+}
+
+func cloneIneqs(in []ineq) []ineq {
+	out := make([]ineq, len(in))
+	copy(out, in)
+	return out
+}
+
+func cloneAtoms(in []constraint.Atom) []constraint.Atom {
+	out := make([]constraint.Atom, len(in))
+	copy(out, in)
+	return out
+}
+
+// fourierMotzkin eliminates variables one at a time. All atoms are integer
+// comparisons, so a strict inequality e < 0 is first tightened to e+1 <= 0
+// and bound combinations are gcd-tightened, giving integer completeness for
+// the unit-ish coefficient systems symbolic execution produces.
+func (s *Solver) fourierMotzkin(ineqs []ineq) Result {
+	// Integer tightening: strict -> non-strict, divide by gcd with floor.
+	work := make([]ineq, 0, len(ineqs))
+	for _, in := range ineqs {
+		if in.strict {
+			in = ineq{terms: in.terms, c: in.c + 1}
+		}
+		in = gcdTighten(in)
+		if len(in.terms) == 0 {
+			if in.c > 0 {
+				return Unsat
+			}
+			continue
+		}
+		work = append(work, in)
+	}
+
+	for vars := 0; ; vars++ {
+		if len(work) == 0 {
+			return Sat
+		}
+		if vars > s.opts.MaxVars || len(work) > s.opts.MaxIneqs {
+			return Unknown
+		}
+		v := pickVar(work)
+		if v == symbolic.NoSym {
+			// Only constant atoms remain.
+			for _, in := range work {
+				if in.c > 0 {
+					return Unsat
+				}
+			}
+			return Sat
+		}
+		var lowers, uppers, others []ineq
+		for _, in := range work {
+			cf := coeffOf(in, v)
+			switch {
+			case cf > 0:
+				uppers = append(uppers, in) // cf*v <= -rest
+			case cf < 0:
+				lowers = append(lowers, in) // cf*v <= -rest -> v >= ...
+			default:
+				others = append(others, in)
+			}
+		}
+		next := others
+		for _, up := range uppers {
+			for _, lo := range lowers {
+				comb, ok := combine(up, lo, v)
+				if !ok {
+					continue
+				}
+				comb = gcdTighten(comb)
+				if len(comb.terms) == 0 {
+					if comb.c > 0 {
+						return Unsat
+					}
+					continue
+				}
+				next = append(next, comb)
+				if len(next) > s.opts.MaxIneqs {
+					return Unknown
+				}
+			}
+		}
+		work = next
+	}
+}
+
+func pickVar(ineqs []ineq) symbolic.Sym {
+	// Pick the variable with the fewest lower*upper products to limit blowup.
+	type cnt struct{ lo, hi int }
+	counts := map[symbolic.Sym]*cnt{}
+	for _, in := range ineqs {
+		for _, t := range in.terms {
+			c := counts[t.Sym]
+			if c == nil {
+				c = &cnt{}
+				counts[t.Sym] = c
+			}
+			if t.Coeff > 0 {
+				c.hi++
+			} else {
+				c.lo++
+			}
+		}
+	}
+	best := symbolic.NoSym
+	bestCost := math.MaxInt64
+	for sym, c := range counts {
+		cost := c.lo * c.hi
+		if cost < bestCost || (cost == bestCost && sym < best) {
+			best, bestCost = sym, cost
+		}
+	}
+	return best
+}
+
+func coeffOf(in ineq, v symbolic.Sym) int64 {
+	for _, t := range in.terms {
+		if t.Sym == v {
+			return t.Coeff
+		}
+	}
+	return 0
+}
+
+// combine eliminates v from up (coeff a>0) and lo (coeff b<0):
+// a*v + U <= 0 and b*v + L <= 0  ==>  (-b)*U + a*L <= 0.
+func combine(up, lo ineq, v symbolic.Sym) (ineq, bool) {
+	a := coeffOf(up, v)
+	b := coeffOf(lo, v)
+	if a <= 0 || b >= 0 {
+		return ineq{}, false
+	}
+	ue := symbolic.Expr{Terms: up.terms, Const: up.c}
+	le := symbolic.Expr{Terms: lo.terms, Const: lo.c}
+	res := ue.Scale(-b).Add(le.Scale(a))
+	// v's terms cancel: (-b)*a + a*b = 0.
+	return ineq{terms: res.Terms, c: res.Const}, true
+}
+
+func gcdTighten(in ineq) ineq {
+	if len(in.terms) == 0 {
+		return in
+	}
+	g := int64(0)
+	for _, t := range in.terms {
+		g = gcd64(g, t.Coeff)
+	}
+	if g <= 1 {
+		return in
+	}
+	terms := make([]symbolic.Term, len(in.terms))
+	for i, t := range in.terms {
+		terms[i] = symbolic.Term{Sym: t.Sym, Coeff: t.Coeff / g}
+	}
+	// sum*g + c <= 0  =>  sum <= floor(-c/g)  =>  sum - floor(-c/g) <= 0
+	return ineq{terms: terms, c: -floorDiv(-in.c, g)}
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}

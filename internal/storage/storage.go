@@ -1,0 +1,281 @@
+// Package storage implements Grapple's on-disk partition format (paper
+// §4.3). A partition holds every edge whose source vertex falls in the
+// partition's vertex interval. Edge records have variable size because each
+// edge inlines its interval-sequence path encoding — per the paper, the
+// record itself carries the length of the sequence rather than pointing at a
+// separate object, trading random access (which the engine never needs; its
+// accesses are sequential) for locality.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/grammar"
+)
+
+// Edge is one labeled, constraint-carrying graph edge.
+type Edge struct {
+	Src, Dst uint32
+	Label    grammar.Label
+	// Gen is the engine iteration that produced the edge (semi-naive
+	// evaluation joins only pairs involving a sufficiently new edge).
+	Gen uint32
+	// HasRel marks dataflow edges carrying an FSM transition relation.
+	HasRel bool
+	Rel    fsm.Rel
+	// Enc is the interval-sequence path encoding (§3.2).
+	Enc cfet.Enc
+}
+
+// Key hashes the edge's identity (everything except Gen) for deduplication.
+func (e *Edge) Key() uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:], e.Src)
+	binary.LittleEndian.PutUint32(buf[4:], e.Dst)
+	binary.LittleEndian.PutUint16(buf[8:], uint16(e.Label))
+	h.Write(buf[:10])
+	if e.HasRel {
+		h.Write(e.Rel.Pack(nil))
+	}
+	for _, el := range e.Enc {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(el.Kind))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(el.Method))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(el.Call))
+		h.Write(buf[:12])
+		binary.LittleEndian.PutUint64(buf[0:], el.Start)
+		binary.LittleEndian.PutUint64(buf[8:], el.End)
+		h.Write(buf[:16])
+	}
+	return h.Sum64()
+}
+
+// Endpoint identifies an edge up to its constraint payload; the engine caps
+// the number of distinct constraint variants kept per endpoint triple.
+type Endpoint struct {
+	Src, Dst uint32
+	Label    grammar.Label
+}
+
+// Endpoint returns the edge's endpoint triple.
+func (e *Edge) Endpoint() Endpoint {
+	return Endpoint{Src: e.Src, Dst: e.Dst, Label: e.Label}
+}
+
+// AppendRecord serializes e onto dst.
+func AppendRecord(dst []byte, e *Edge) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	put32(e.Src)
+	put32(e.Dst)
+	dst = append(dst, byte(e.Label), byte(e.Label>>8))
+	put32(e.Gen)
+	flags := byte(0)
+	if e.HasRel {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	if e.HasRel {
+		dst = e.Rel.Pack(dst)
+	}
+	if len(e.Enc) > 255 {
+		panic("storage: encoding too long")
+	}
+	dst = append(dst, byte(len(e.Enc)))
+	for _, el := range e.Enc {
+		dst = append(dst, byte(el.Kind))
+		switch el.Kind {
+		case cfet.KInterval:
+			n := binary.PutUvarint(tmp[:], uint64(el.Method))
+			dst = append(dst, tmp[:n]...)
+			n = binary.PutUvarint(tmp[:], el.Start)
+			dst = append(dst, tmp[:n]...)
+			n = binary.PutUvarint(tmp[:], el.End)
+			dst = append(dst, tmp[:n]...)
+		default:
+			n := binary.PutUvarint(tmp[:], uint64(el.Call))
+			dst = append(dst, tmp[:n]...)
+		}
+	}
+	return dst
+}
+
+// byteReader adapts bufio.Reader for both byte and block reads.
+type recordReader struct {
+	r *bufio.Reader
+}
+
+func (rr recordReader) full(buf []byte) error {
+	_, err := io.ReadFull(rr.r, buf)
+	return err
+}
+
+// ReadRecord deserializes the next edge. Returns io.EOF cleanly at end.
+func ReadRecord(r *bufio.Reader, e *Edge) error {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:1]); err != nil {
+		return err // io.EOF at a record boundary
+	}
+	rr := recordReader{r}
+	if err := rr.full(head[1:4]); err != nil {
+		return fmt.Errorf("storage: truncated src: %w", err)
+	}
+	e.Src = binary.LittleEndian.Uint32(head[:])
+	if err := rr.full(head[:4]); err != nil {
+		return fmt.Errorf("storage: truncated dst: %w", err)
+	}
+	e.Dst = binary.LittleEndian.Uint32(head[:])
+	if err := rr.full(head[:2]); err != nil {
+		return fmt.Errorf("storage: truncated label: %w", err)
+	}
+	e.Label = grammar.Label(binary.LittleEndian.Uint16(head[:2]))
+	if err := rr.full(head[:4]); err != nil {
+		return fmt.Errorf("storage: truncated gen: %w", err)
+	}
+	e.Gen = binary.LittleEndian.Uint32(head[:])
+	flags, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("storage: truncated flags: %w", err)
+	}
+	e.HasRel = flags&1 != 0
+	if e.HasRel {
+		var relBuf [fsm.PackedRelSize]byte
+		if err := rr.full(relBuf[:]); err != nil {
+			return fmt.Errorf("storage: truncated rel: %w", err)
+		}
+		e.Rel, _ = fsm.UnpackRel(relBuf[:])
+	} else {
+		e.Rel = fsm.Rel{}
+	}
+	n, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("storage: truncated enc len: %w", err)
+	}
+	if cap(e.Enc) >= int(n) {
+		e.Enc = e.Enc[:n]
+	} else {
+		e.Enc = make(cfet.Enc, n)
+	}
+	for i := 0; i < int(n); i++ {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("storage: truncated elem kind: %w", err)
+		}
+		el := cfet.Elem{Kind: cfet.ElemKind(kind)}
+		switch el.Kind {
+		case cfet.KInterval:
+			m, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("storage: truncated method: %w", err)
+			}
+			el.Method = cfet.MethodID(m)
+			if el.Start, err = binary.ReadUvarint(r); err != nil {
+				return fmt.Errorf("storage: truncated start: %w", err)
+			}
+			if el.End, err = binary.ReadUvarint(r); err != nil {
+				return fmt.Errorf("storage: truncated end: %w", err)
+			}
+		case cfet.KCall, cfet.KRet:
+			c, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("storage: truncated call id: %w", err)
+			}
+			el.Call = int32(c)
+		default:
+			return fmt.Errorf("storage: bad elem kind %d", kind)
+		}
+		e.Enc[i] = el
+	}
+	return nil
+}
+
+// WriteFile writes edges to path (atomically via rename).
+func WriteFile(path string, edges []Edge) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var buf []byte
+	for i := range edges {
+		buf = AppendRecord(buf[:0], &edges[i])
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile loads all edges from path, appending to dst.
+func ReadFile(path string, dst []Edge) ([]Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return dst, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		var e Edge
+		err := ReadRecord(r, &e)
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		dst = append(dst, e)
+	}
+}
+
+// AppendFile appends edges to path (creating it if needed).
+func AppendFile(path string, edges []Edge) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var buf []byte
+	for i := range edges {
+		buf = AppendRecord(buf[:0], &edges[i])
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RecordSize returns the serialized size of e in bytes.
+func RecordSize(e *Edge) int64 {
+	return int64(len(AppendRecord(nil, e)))
+}

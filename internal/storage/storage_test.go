@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/grammar"
+)
+
+func randEdge(rng *rand.Rand) Edge {
+	e := Edge{
+		Src:   rng.Uint32(),
+		Dst:   rng.Uint32(),
+		Label: grammar.Label(rng.Intn(1 << 14)),
+		Gen:   rng.Uint32(),
+	}
+	if rng.Intn(2) == 0 {
+		e.HasRel = true
+		for i := range e.Rel {
+			e.Rel[i] = uint16(rng.Intn(1 << 16))
+		}
+	}
+	n := rng.Intn(6)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			e.Enc = append(e.Enc, cfet.Interval(
+				cfet.MethodID(rng.Intn(1000)),
+				uint64(rng.Intn(1<<20)),
+				uint64(rng.Intn(1<<20))))
+		case 1:
+			e.Enc = append(e.Enc, cfet.CallElem(int32(rng.Intn(1<<20))))
+		default:
+			e.Enc = append(e.Enc, cfet.RetElem(int32(rng.Intn(1<<20))))
+		}
+	}
+	return e
+}
+
+func edgesEqual(a, b Edge) bool {
+	return a.Src == b.Src && a.Dst == b.Dst && a.Label == b.Label &&
+		a.Gen == b.Gen && a.HasRel == b.HasRel && a.Rel == b.Rel &&
+		a.Enc.Equal(b.Enc)
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var buf []byte
+		var want []Edge
+		for i := 0; i < 10; i++ {
+			e := randEdge(rng)
+			want = append(want, e)
+			buf = AppendRecord(buf, &e)
+		}
+		r := bufio.NewReader(bytes.NewReader(buf))
+		for _, w := range want {
+			var got Edge
+			if err := ReadRecord(r, &got); err != nil {
+				return false
+			}
+			if !edgesEqual(got, w) {
+				return false
+			}
+		}
+		var trailing Edge
+		return ReadRecord(r, &trailing) == io.EOF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	e := randEdge(rand.New(rand.NewSource(1)))
+	buf := AppendRecord(nil, &e)
+	for cut := 1; cut < len(buf); cut++ {
+		r := bufio.NewReader(bytes.NewReader(buf[:cut]))
+		var got Edge
+		if err := ReadRecord(r, &got); err == nil {
+			t.Fatalf("cut=%d: no error", cut)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p0.edges")
+	rng := rand.New(rand.NewSource(99))
+	var want []Edge
+	for i := 0; i < 1000; i++ {
+		want = append(want, randEdge(rng))
+	}
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !edgesEqual(got[i], want[i]) {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p1.edges")
+	rng := rand.New(rand.NewSource(5))
+	a := []Edge{randEdge(rng), randEdge(rng)}
+	b := []Edge{randEdge(rng)}
+	if err := AppendFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d edges", len(got))
+	}
+	if !edgesEqual(got[2], b[0]) {
+		t.Fatal("appended edge mismatch")
+	}
+}
+
+func TestReadMissingFileIsEmpty(t *testing.T) {
+	got, err := ReadFile(filepath.Join(t.TempDir(), "nope.edges"), nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing file: %v %v", got, err)
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	base := Edge{Src: 1, Dst: 2, Label: 3, Enc: cfet.Enc{cfet.Interval(0, 0, 5)}}
+	variants := []Edge{
+		{Src: 9, Dst: 2, Label: 3, Enc: base.Enc},
+		{Src: 1, Dst: 9, Label: 3, Enc: base.Enc},
+		{Src: 1, Dst: 2, Label: 9, Enc: base.Enc},
+		{Src: 1, Dst: 2, Label: 3, Enc: cfet.Enc{cfet.Interval(0, 0, 6)}},
+		{Src: 1, Dst: 2, Label: 3, Enc: cfet.Enc{cfet.CallElem(5)}},
+		{Src: 1, Dst: 2, Label: 3, Enc: base.Enc, HasRel: true, Rel: fsm.Identity()},
+	}
+	for i, v := range variants {
+		if v.Key() == base.Key() {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+	// Gen must NOT affect identity.
+	withGen := base
+	withGen.Gen = 77
+	if withGen.Key() != base.Key() {
+		t.Fatal("gen must not affect identity")
+	}
+}
+
+func TestEndpointTriple(t *testing.T) {
+	e := Edge{Src: 4, Dst: 5, Label: 6}
+	if e.Endpoint() != (Endpoint{Src: 4, Dst: 5, Label: 6}) {
+		t.Fatal("endpoint mismatch")
+	}
+}
+
+func TestRecordSizePositive(t *testing.T) {
+	e := randEdge(rand.New(rand.NewSource(2)))
+	if RecordSize(&e) < 15 {
+		t.Fatal("record size too small")
+	}
+}

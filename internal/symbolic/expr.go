@@ -1,0 +1,235 @@
+// Package symbolic implements the linear symbolic expressions produced by
+// Grapple's per-method symbolic execution (paper §3.1, §3.3).
+//
+// During CFET construction every integer-valued program variable is given a
+// symbolic value expressed over the method's symbolic variables: its formal
+// parameters, the results of calls, and opaque inputs. All values Grapple
+// needs are linear (branch conditionals in systems code are overwhelmingly
+// comparisons of linear combinations); any non-linear operation is
+// over-approximated by a fresh opaque symbol, which keeps the solver's
+// fragment decidable while remaining sound for bug finding.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sym identifies a symbolic variable. Symbols are interned in a Table.
+type Sym int32
+
+// NoSym is the zero Sym and never names a real symbol.
+const NoSym Sym = -1
+
+// Table interns symbolic-variable names. The zero value is ready to use.
+type Table struct {
+	names []string
+	index map[string]Sym
+}
+
+// NewTable returns an empty symbol table.
+func NewTable() *Table {
+	return &Table{index: make(map[string]Sym)}
+}
+
+// Intern returns the Sym for name, creating it if necessary.
+func (t *Table) Intern(name string) Sym {
+	if t.index == nil {
+		t.index = make(map[string]Sym)
+	}
+	if s, ok := t.index[name]; ok {
+		return s
+	}
+	s := Sym(len(t.names))
+	t.names = append(t.names, name)
+	t.index[name] = s
+	return s
+}
+
+// Fresh creates a new symbol that is guaranteed not to collide with any
+// interned name. The prefix appears in diagnostics.
+func (t *Table) Fresh(prefix string) Sym {
+	name := fmt.Sprintf("%s$%d", prefix, len(t.names))
+	return t.Intern(name)
+}
+
+// Name returns the name of s, or "?" if s is out of range.
+func (t *Table) Name(s Sym) string {
+	if s < 0 || int(s) >= len(t.names) {
+		return "?"
+	}
+	return t.names[s]
+}
+
+// Len reports the number of interned symbols.
+func (t *Table) Len() int { return len(t.names) }
+
+// Expr is a linear expression sum(Coeff[i]*Sym[i]) + Const. Terms are kept
+// sorted by symbol and never carry a zero coefficient, so structural
+// equality of Exprs coincides with semantic equality of linear forms.
+type Expr struct {
+	Terms []Term
+	Const int64
+}
+
+// Term is one coefficient-symbol product of a linear expression.
+type Term struct {
+	Sym   Sym
+	Coeff int64
+}
+
+// Const returns the expression for the integer constant c.
+func Const(c int64) Expr { return Expr{Const: c} }
+
+// Var returns the expression for 1*s.
+func Var(s Sym) Expr { return Expr{Terms: []Term{{Sym: s, Coeff: 1}}} }
+
+// IsConst reports whether e has no symbolic terms.
+func (e Expr) IsConst() bool { return len(e.Terms) == 0 }
+
+// Equal reports structural (hence semantic) equality.
+func (e Expr) Equal(o Expr) bool {
+	if e.Const != o.Const || len(e.Terms) != len(o.Terms) {
+		return false
+	}
+	for i, t := range e.Terms {
+		if o.Terms[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+func normalize(terms []Term, c int64) Expr {
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Sym < terms[j].Sym })
+	out := terms[:0]
+	for _, t := range terms {
+		if n := len(out); n > 0 && out[n-1].Sym == t.Sym {
+			out[n-1].Coeff += t.Coeff
+		} else {
+			out = append(out, t)
+		}
+	}
+	kept := out[:0]
+	for _, t := range out {
+		if t.Coeff != 0 {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		kept = nil
+	}
+	return Expr{Terms: kept, Const: c}
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	terms := make([]Term, 0, len(e.Terms)+len(o.Terms))
+	terms = append(terms, e.Terms...)
+	terms = append(terms, o.Terms...)
+	return normalize(terms, e.Const+o.Const)
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Scale(-1)) }
+
+// Scale returns k*e.
+func (e Expr) Scale(k int64) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	terms := make([]Term, len(e.Terms))
+	for i, t := range e.Terms {
+		terms[i] = Term{Sym: t.Sym, Coeff: t.Coeff * k}
+	}
+	return Expr{Terms: terms, Const: e.Const * k}
+}
+
+// Neg returns -e.
+func (e Expr) Neg() Expr { return e.Scale(-1) }
+
+// Subst returns e with s replaced by r.
+func (e Expr) Subst(s Sym, r Expr) Expr {
+	var coeff int64
+	terms := make([]Term, 0, len(e.Terms)+len(r.Terms))
+	for _, t := range e.Terms {
+		if t.Sym == s {
+			coeff = t.Coeff
+		} else {
+			terms = append(terms, t)
+		}
+	}
+	if coeff == 0 {
+		return e
+	}
+	scaled := r.Scale(coeff)
+	terms = append(terms, scaled.Terms...)
+	return normalize(terms, e.Const+scaled.Const)
+}
+
+// Coeff returns the coefficient of s in e (zero if absent).
+func (e Expr) Coeff(s Sym) int64 {
+	for _, t := range e.Terms {
+		if t.Sym == s {
+			return t.Coeff
+		}
+	}
+	return 0
+}
+
+// Syms appends the symbols occurring in e to dst and returns it.
+func (e Expr) Syms(dst []Sym) []Sym {
+	for _, t := range e.Terms {
+		dst = append(dst, t.Sym)
+	}
+	return dst
+}
+
+// String renders e against t, e.g. "2*x - y + 3". A nil table prints raw
+// symbol numbers.
+func (e Expr) String(t *Table) string {
+	if len(e.Terms) == 0 {
+		return fmt.Sprintf("%d", e.Const)
+	}
+	var b strings.Builder
+	for i, term := range e.Terms {
+		name := fmt.Sprintf("s%d", term.Sym)
+		if t != nil {
+			name = t.Name(term.Sym)
+		}
+		c := term.Coeff
+		switch {
+		case i == 0 && c == 1:
+			b.WriteString(name)
+		case i == 0 && c == -1:
+			b.WriteString("-" + name)
+		case i == 0:
+			fmt.Fprintf(&b, "%d*%s", c, name)
+		case c == 1:
+			b.WriteString(" + " + name)
+		case c == -1:
+			b.WriteString(" - " + name)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, name)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, name)
+		}
+	}
+	if e.Const > 0 {
+		fmt.Fprintf(&b, " + %d", e.Const)
+	} else if e.Const < 0 {
+		fmt.Fprintf(&b, " - %d", -e.Const)
+	}
+	return b.String()
+}
+
+// Key returns a compact canonical key for use in memoization tables.
+func (e Expr) Key() string {
+	var b strings.Builder
+	for _, t := range e.Terms {
+		fmt.Fprintf(&b, "%d*%d,", t.Coeff, t.Sym)
+	}
+	fmt.Fprintf(&b, "%d", e.Const)
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/checker"
+)
+
+// Counts is a TP/FP/FN tally for one checker (Table 2 cells).
+type Counts struct {
+	TP int
+	FP int
+	FN int
+}
+
+// Tally is the evaluation of one subject against its ground truth.
+type Tally struct {
+	// PerChecker maps checker name (io, lock, exception, socket) to counts.
+	PerChecker map[string]Counts
+	// UnmatchedReports lists warnings with no corresponding seed (all FPs).
+	UnmatchedReports []checker.Report
+	// MissedSeeds lists genuine seeded bugs the analysis did not find.
+	MissedSeeds []Seeded
+}
+
+// Totals sums the per-checker counts.
+func (t *Tally) Totals() Counts {
+	var out Counts
+	for _, c := range t.PerChecker {
+		out.TP += c.TP
+		out.FP += c.FP
+		out.FN += c.FN
+	}
+	return out
+}
+
+// Evaluate matches analysis reports against the subject's seeded ground
+// truth: a report matches a seed when it points at the seed's allocation
+// line with the seed's checker and kind. Matched genuine seeds are TPs;
+// matched ExpectFP seeds and unmatched reports are FPs; unmatched genuine
+// seeds are FNs (the paper's methodology, with generated ground truth
+// replacing the authors' manual inspection).
+func Evaluate(s *Subject, reports []checker.Report) *Tally {
+	t := &Tally{PerChecker: map[string]Counts{}}
+	for _, name := range []string{"io", "lock", "exception", "socket"} {
+		t.PerChecker[name] = Counts{}
+	}
+	type seedKey struct {
+		line    int
+		checker string
+		kind    string
+	}
+	remaining := map[seedKey][]int{} // seed indices, FIFO
+	fpLines := map[seedKey]int{}     // ExpectFP seeds match any kind
+	for i, sd := range s.Seeded {
+		if sd.ExpectFP {
+			fpLines[seedKey{line: sd.Line, checker: sd.Checker}] = i
+			continue
+		}
+		k := seedKey{line: sd.Line, checker: sd.Checker, kind: sd.Kind}
+		remaining[k] = append(remaining[k], i)
+	}
+	matched := make([]bool, len(s.Seeded))
+
+	// Deduplicate reports by (line, fsm, kind): clones of the same source
+	// site are one warning for a human reviewer.
+	seenRep := map[seedKey]bool{}
+	var dedup []checker.Report
+	for _, r := range reports {
+		k := seedKey{line: r.Pos.Line, checker: r.FSM, kind: r.Kind.String()}
+		if seenRep[k] {
+			continue
+		}
+		seenRep[k] = true
+		dedup = append(dedup, r)
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i].Pos.Line < dedup[j].Pos.Line })
+
+	bump := func(name string, f func(*Counts)) {
+		c := t.PerChecker[name]
+		f(&c)
+		t.PerChecker[name] = c
+	}
+	for _, r := range dedup {
+		k := seedKey{line: r.Pos.Line, checker: r.FSM, kind: r.Kind.String()}
+		if idxs := remaining[k]; len(idxs) > 0 {
+			i := idxs[0]
+			remaining[k] = idxs[1:]
+			matched[i] = true
+			bump(r.FSM, func(c *Counts) { c.TP++ })
+			continue
+		}
+		if i, ok := fpLines[seedKey{line: r.Pos.Line, checker: r.FSM}]; ok {
+			// Expected FP: counted once per seeded line no matter how many
+			// warning kinds the line produced.
+			if !matched[i] {
+				matched[i] = true
+				bump(r.FSM, func(c *Counts) { c.FP++ })
+			}
+			continue
+		}
+		bump(r.FSM, func(c *Counts) { c.FP++ })
+		t.UnmatchedReports = append(t.UnmatchedReports, r)
+	}
+	for i, sd := range s.Seeded {
+		if !matched[i] && !sd.ExpectFP {
+			bump(sd.Checker, func(c *Counts) { c.FN++ })
+			t.MissedSeeds = append(t.MissedSeeds, sd)
+		}
+	}
+	return t
+}

@@ -1,0 +1,538 @@
+// Package workload generates the synthetic subject programs of the
+// evaluation (DESIGN.md §1). The paper analyzes ZooKeeper, Hadoop, HDFS and
+// HBase; those codebases (and the manual TP/FP inspection the authors
+// performed) are not reproducible inputs, so each subject is replaced by a
+// deterministic generated MiniLang program whose *ground truth* is known:
+// every seeded defect records its allocation line, checker and kind, and
+// every seeded false-positive pattern records why the analysis is expected
+// to over-approximate it (may-alias on collection-fetched objects — the
+// same root cause as the paper's HDFS socket FP).
+//
+// The per-subject seeding plan follows Table 2 of the paper exactly, so a
+// faithful analysis reproduces the table's shape.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Seeded is one planted pattern with ground truth.
+type Seeded struct {
+	// Line is the allocation line of the object of interest.
+	Line int
+	// Type is the object type (FileWriter, Lock, Socket, Exception).
+	Type string
+	// Checker names the FSM expected to fire (io, lock, exception, socket).
+	Checker string
+	// Kind is "leak" or "error-transition".
+	Kind string
+	// ExpectFP marks patterns that are *correct* code the analysis is
+	// expected to flag anyway (the evaluation counts these as FPs).
+	ExpectFP bool
+}
+
+// Subject is one generated program.
+type Subject struct {
+	Name        string
+	Description string
+	Version     string
+	Source      string
+	LoC         int
+	Seeded      []Seeded
+}
+
+// Profile scales a subject.
+type Profile struct {
+	Name        string
+	Description string
+	Version     string
+	Seed        int64
+	// Services and WorkersPerService shape the call tree
+	// main -> service_i -> work_j.
+	Services          int
+	WorkersPerService int
+	// Bug plan: TP/FP counts per checker, mirroring Table 2.
+	IOTP, IOFP     int
+	LockTP, LockFP int
+	ExcTP, ExcFP   int
+	SockTP, SockFP int
+	// CorrectPerBug controls how many correct patterns pad each buggy one.
+	CorrectPerBug int
+	// FillerStmts adds plain integer code per worker for bulk.
+	FillerStmts int
+}
+
+// Profiles returns the four subject profiles, scaled to this harness while
+// preserving the paper's relative sizes (Table 1) and bug mix (Table 2).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "zookeeper-sim", Version: "3.5.0-sim",
+			Description: "distributed coordination service (simulated)",
+			Seed:        1001, Services: 4, WorkersPerService: 6,
+			IOTP: 2, IOFP: 0, LockTP: 0, LockFP: 0,
+			ExcTP: 59, ExcFP: 0, SockTP: 4, SockFP: 0,
+			CorrectPerBug: 1, FillerStmts: 6,
+		},
+		{
+			Name: "hadoop-sim", Version: "2.7.5-sim",
+			Description: "data-processing platform (simulated)",
+			Seed:        1002, Services: 7, WorkersPerService: 8,
+			IOTP: 0, IOFP: 0, LockTP: 0, LockFP: 0,
+			ExcTP: 54, ExcFP: 2, SockTP: 0, SockFP: 0,
+			CorrectPerBug: 2, FillerStmts: 8,
+		},
+		{
+			Name: "hdfs-sim", Version: "2.0.3-sim",
+			Description: "distributed file system (simulated)",
+			Seed:        1003, Services: 7, WorkersPerService: 8,
+			IOTP: 1, IOFP: 1, LockTP: 1, LockFP: 0,
+			ExcTP: 43, ExcFP: 3, SockTP: 4, SockFP: 1,
+			CorrectPerBug: 2, FillerStmts: 8,
+		},
+		{
+			Name: "hbase-sim", Version: "1.1.6-sim",
+			Description: "distributed database (simulated)",
+			Seed:        1004, Services: 12, WorkersPerService: 10,
+			IOTP: 15, IOFP: 2, LockTP: 0, LockFP: 0,
+			ExcTP: 176, ExcFP: 8, SockTP: 0, SockFP: 0,
+			CorrectPerBug: 1, FillerStmts: 10,
+		},
+	}
+}
+
+// MiniProfile is a reduced subject for unit tests and quick benchmarks; it
+// is not one of the paper's four subjects.
+func MiniProfile() Profile {
+	return Profile{
+		Name: "mini-sim", Version: "0.1-sim",
+		Description: "reduced subject for quick runs",
+		Seed:        42, Services: 2, WorkersPerService: 3,
+		IOTP: 2, IOFP: 1, LockTP: 1, LockFP: 0,
+		ExcTP: 4, ExcFP: 1, SockTP: 2, SockFP: 1,
+		CorrectPerBug: 1, FillerStmts: 4,
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	if m := MiniProfile(); m.Name == name {
+		return m, true
+	}
+	return Profile{}, false
+}
+
+// builder accumulates source lines and tracks line numbers.
+type builder struct {
+	lines  []string
+	seeded []Seeded
+	rng    *rand.Rand
+	varN   int
+}
+
+func (b *builder) linef(format string, args ...any) int {
+	b.lines = append(b.lines, fmt.Sprintf(format, args...))
+	return len(b.lines)
+}
+
+func (b *builder) fresh(prefix string) string {
+	b.varN++
+	return fmt.Sprintf("%s%d", prefix, b.varN)
+}
+
+func (b *builder) seed(line int, typ, checker, kind string, fp bool) {
+	b.seeded = append(b.seeded, Seeded{
+		Line: line, Type: typ, Checker: checker, Kind: kind, ExpectFP: fp,
+	})
+}
+
+// Generate builds the subject for a profile.
+func Generate(p Profile) *Subject {
+	b := &builder{rng: rand.New(rand.NewSource(p.Seed))}
+	b.linef("// %s — generated subject (seed %d); ground truth in manifest.", p.Name, p.Seed)
+	b.linef("type FileWriter;")
+	b.linef("type Lock;")
+	b.linef("type Socket;")
+	b.linef("type Exception;")
+	b.linef("type Box;")
+	b.linef("type RareError;")
+	b.linef("")
+
+	prelude(b)
+
+	// Assemble the pattern plan. Collection-FP patterns each contribute one
+	// genuine leak too, so the direct-TP counts are reduced accordingly and
+	// the aliased-exception FP pattern flags two allocations per instance.
+	var plan []func(b *builder)
+	addN := func(n int, f func(b *builder)) {
+		for i := 0; i < n; i++ {
+			plan = append(plan, f)
+		}
+	}
+	ioDirect := maxInt(0, p.IOTP-p.IOFP)
+	sockDirect := maxInt(0, p.SockTP-p.SockFP)
+	addN(ioDirect/2, ioLeakBranch)
+	addN(ioDirect-ioDirect/2, ioWriteAfterClose)
+	addN(p.IOFP, ioCollectionFP)
+	addN(p.LockTP, lockMisorder)
+	addN(p.LockFP, lockCollectionFP)
+	addN(p.ExcTP, excUnhandled)
+	addN(p.ExcFP, excAliasedFP)
+	addN(sockDirect/2, sockLeakOnException)
+	addN(sockDirect-sockDirect/2, sockReassignLeak)
+	addN(p.SockFP, sockCollectionFP)
+	bugCount := len(plan)
+	correct := []func(b *builder){
+		ioCorrect, ioPathSensitiveSafe, ioHelperClose, lockCorrect,
+		sockCorrect, excHandled, sockCorrectBothPaths,
+	}
+	for i := 0; i < bugCount*p.CorrectPerBug+4; i++ {
+		plan = append(plan, correct[b.rng.Intn(len(correct))])
+	}
+	b.rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
+
+	// Distribute patterns across workers.
+	nWorkers := p.Services * p.WorkersPerService
+	perWorker := (len(plan) + nWorkers - 1) / nWorkers
+	w := 0
+	for s := 0; s < p.Services; s++ {
+		for k := 0; k < p.WorkersPerService; k++ {
+			name := fmt.Sprintf("work_%d_%d", s, k)
+			b.linef("fun %s(cfg: int) {", name)
+			lo := w * perWorker
+			hi := lo + perWorker
+			if lo > len(plan) {
+				lo = len(plan)
+			}
+			if hi > len(plan) {
+				hi = len(plan)
+			}
+			for _, pat := range plan[lo:hi] {
+				pat(b)
+			}
+			filler(b, p.FillerStmts)
+			b.linef("  return;")
+			b.linef("}")
+			b.linef("")
+			w++
+		}
+	}
+	for s := 0; s < p.Services; s++ {
+		b.linef("fun service_%d(cfg: int) {", s)
+		for k := 0; k < p.WorkersPerService; k++ {
+			b.linef("  work_%d_%d(cfg + %d);", s, k, k)
+		}
+		b.linef("  return;")
+		b.linef("}")
+		b.linef("")
+	}
+	b.linef("fun main() {")
+	b.linef("  var cfg: int = input();")
+	for s := 0; s < p.Services; s++ {
+		b.linef("  service_%d(cfg + %d);", s, s)
+	}
+	b.linef("  return;")
+	b.linef("}")
+
+	src := strings.Join(b.lines, "\n") + "\n"
+	return &Subject{
+		Name:        p.Name,
+		Description: p.Description,
+		Version:     p.Version,
+		Source:      src,
+		LoC:         len(b.lines),
+		Seeded:      b.seeded,
+	}
+}
+
+// ---- correct patterns ----
+
+func ioCorrect(b *builder) {
+	w := b.fresh("w")
+	i := b.fresh("i")
+	b.linef("  var %s: FileWriter = new FileWriter();", w)
+	b.linef("  var %s: int = 0;", i)
+	b.linef("  while (%s < cfg) {", i)
+	b.linef("    %s.write();", w)
+	b.linef("    %s = %s + 1;", i, i)
+	b.linef("  }")
+	b.linef("  %s.close();", w)
+}
+
+// ioPathSensitiveSafe is the §2.1-style pattern whose skip-close path is
+// infeasible: a path-insensitive checker reports a leak here; Grapple must
+// not (the control for path sensitivity).
+func ioPathSensitiveSafe(b *builder) {
+	w := b.fresh("w")
+	x := b.fresh("x")
+	b.linef("  var %s: FileWriter = null;", w)
+	b.linef("  var %s: int = input();", x)
+	b.linef("  if (%s >= 0) {", x)
+	b.linef("    %s = new FileWriter();", w)
+	b.linef("    %s.write();", w)
+	b.linef("  }")
+	b.linef("  if (%s >= 0) {", x)
+	b.linef("    %s.close();", w)
+	b.linef("  }")
+}
+
+func ioHelperClose(b *builder) {
+	w := b.fresh("w")
+	b.linef("  var %s: FileWriter = new FileWriter();", w)
+	b.linef("  %s.write();", w)
+	b.linef("  closeWriter(%s);", w)
+}
+
+func lockCorrect(b *builder) {
+	l := b.fresh("l")
+	b.linef("  var %s: Lock = new Lock();", l)
+	b.linef("  %s.lock();", l)
+	b.linef("  %s.unlock();", l)
+}
+
+func sockCorrect(b *builder) {
+	s := b.fresh("s")
+	b.linef("  var %s: Socket = new Socket();", s)
+	b.linef("  %s.bind();", s)
+	b.linef("  %s.accept();", s)
+	b.linef("  %s.close();", s)
+}
+
+func sockCorrectBothPaths(b *builder) {
+	s := b.fresh("s")
+	e := b.fresh("e")
+	b.linef("  var %s: Socket = new Socket();", s)
+	b.linef("  %s.bind();", s)
+	b.linef("  try {")
+	b.linef("    mayFail(cfg);")
+	b.linef("    %s.close();", s)
+	b.linef("  } catch (%s) {", e)
+	b.linef("    %s.close();", s)
+	b.linef("  }")
+}
+
+func excHandled(b *builder) {
+	e := b.fresh("e")
+	c := b.fresh("c")
+	x := b.fresh("x")
+	b.linef("  var %s: int = input();", x)
+	b.linef("  try {")
+	b.linef("    if (%s > 7) {", x)
+	b.linef("      var %s: Exception = new Exception();", e)
+	b.linef("      throw %s;", e)
+	b.linef("    }")
+	b.linef("  } catch (%s) {", c)
+	b.linef("    %s = 0;", x)
+	b.linef("  }")
+}
+
+// ---- buggy patterns (ground truth TPs) ----
+
+// ioLeakBranch: close happens only on one feasible branch.
+func ioLeakBranch(b *builder) {
+	w := b.fresh("w")
+	x := b.fresh("x")
+	line := b.linef("  var %s: FileWriter = new FileWriter();", w)
+	b.linef("  var %s: int = input();", x)
+	b.linef("  %s.write();", w)
+	b.linef("  if (%s > 3) {", x)
+	b.linef("    %s.close();", w)
+	b.linef("  }")
+	b.seed(line, "FileWriter", "io", "leak", false)
+}
+
+// ioWriteAfterClose: a feasible use-after-close (the FSM's Error state).
+func ioWriteAfterClose(b *builder) {
+	w := b.fresh("w")
+	x := b.fresh("x")
+	line := b.linef("  var %s: FileWriter = new FileWriter();", w)
+	b.linef("  var %s: int = input();", x)
+	b.linef("  %s.close();", w)
+	b.linef("  if (%s > 5) {", x)
+	b.linef("    %s.write();", w)
+	b.linef("  }")
+	b.seed(line, "FileWriter", "io", "error-transition", false)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func lockMisorder(b *builder) {
+	l := b.fresh("l")
+	line := b.linef("  var %s: Lock = new Lock();", l)
+	b.linef("  %s.unlock();", l)
+	b.linef("  %s.lock();", l)
+	b.linef("  %s.unlock();", l)
+	b.seed(line, "Lock", "lock", "error-transition", false)
+}
+
+func excUnhandled(b *builder) {
+	e := b.fresh("e")
+	x := b.fresh("x")
+	b.linef("  var %s: int = input();", x)
+	b.linef("  if (%s < 0 - 3) {", x)
+	line := b.linef("    var %s: Exception = new Exception();", e)
+	b.linef("    throw %s;", e)
+	b.linef("  }")
+	b.seed(line, "Exception", "exception", "leak", false)
+}
+
+// sockLeakOnException is the paper's Fig. 1/8a shape: the socket is closed
+// only when the guarded call does not throw.
+func sockLeakOnException(b *builder) {
+	s := b.fresh("s")
+	e := b.fresh("e")
+	line := b.linef("  var %s: Socket = new Socket();", s)
+	b.linef("  %s.bind();", s)
+	b.linef("  try {")
+	b.linef("    mayFail(cfg);")
+	b.linef("    %s.close();", s)
+	b.linef("  } catch (%s) {", e)
+	b.linef("    cfg = 0;")
+	b.linef("  }")
+	b.seed(line, "Socket", "socket", "leak", false)
+}
+
+// sockReassignLeak is the reconfigure idiom of the paper's Fig. 1: the old
+// channel is replaced by a new one and only the replacement gets closed, so
+// the old socket leaks on the reconfiguration path.
+func sockReassignLeak(b *builder) {
+	s := b.fresh("s")
+	s2 := b.fresh("s")
+	x := b.fresh("x")
+	line := b.linef("  var %s: Socket = new Socket();", s)
+	b.linef("  %s.bind();", s)
+	b.linef("  var %s: int = input();", x)
+	b.linef("  if (%s > 0) {", x)
+	b.linef("    var %s: Socket = new Socket();", s2)
+	b.linef("    %s.bind();", s2)
+	b.linef("    %s.close();", s2)
+	b.linef("  } else {")
+	b.linef("    %s.close();", s)
+	b.linef("  }")
+	b.seed(line, "Socket", "socket", "leak", false)
+}
+
+// ---- expected-FP patterns (correct code the analysis over-approximates) ----
+
+// ioCollectionFP: two writers stored in the same field; the one fetched
+// back is closed. The may-alias on the collection load forces a
+// may-not-alias bypass, so the *actually closed* writer is still reported —
+// the same FP cause as the paper's HDFS socket-from-a-collection FP. The
+// overwritten writer is a genuine leak (TP).
+func ioCollectionFP(b *builder) {
+	box := b.fresh("box")
+	w1 := b.fresh("w")
+	w2 := b.fresh("w")
+	o := b.fresh("o")
+	b.linef("  var %s: Box = new Box();", box)
+	l1 := b.linef("  var %s: FileWriter = new FileWriter();", w1)
+	l2 := b.linef("  var %s: FileWriter = new FileWriter();", w2)
+	b.linef("  %s.fw = %s;", box, w1)
+	b.linef("  %s.fw = %s;", box, w2)
+	b.linef("  var %s: FileWriter = %s.fw;", o, box)
+	b.linef("  %s.close();", o)
+	b.seed(l1, "FileWriter", "io", "leak", false) // truly leaked (overwritten)
+	b.seed(l2, "FileWriter", "io", "leak", true)  // closed at runtime: FP
+}
+
+func sockCollectionFP(b *builder) {
+	box := b.fresh("box")
+	s1 := b.fresh("s")
+	s2 := b.fresh("s")
+	o := b.fresh("o")
+	b.linef("  var %s: Box = new Box();", box)
+	l1 := b.linef("  var %s: Socket = new Socket();", s1)
+	l2 := b.linef("  var %s: Socket = new Socket();", s2)
+	b.linef("  %s.sock = %s;", box, s1)
+	b.linef("  %s.sock = %s;", box, s2)
+	b.linef("  var %s: Socket = %s.sock;", o, box)
+	b.linef("  %s.bind();", o)
+	b.linef("  %s.close();", o)
+	b.seed(l1, "Socket", "socket", "leak", false)
+	b.seed(l2, "Socket", "socket", "leak", true)
+}
+
+func lockCollectionFP(b *builder) {
+	box := b.fresh("box")
+	l1 := b.fresh("l")
+	o := b.fresh("o")
+	b.linef("  var %s: Box = new Box();", box)
+	line := b.linef("  var %s: Lock = new Lock();", l1)
+	b.linef("  %s.lk = %s;", box, l1)
+	b.linef("  var %s: Lock = %s.lk;", o, box)
+	b.linef("  %s.lock();", o)
+	b.linef("  %s.unlock();", o)
+	b.seed(line, "Lock", "lock", "leak", true)
+}
+
+// excAliasedFP: the thrown-and-caught exception may alias an untracked
+// error object through a conditional, so the throw/catch events get
+// may-not-alias bypasses and a spurious Thrown-at-exit path survives. The
+// code is correct (the exception is always caught); the analysis flags it —
+// the same over-approximation family as the paper's nested-try FPs.
+func excAliasedFP(b *builder) {
+	e := b.fresh("e")
+	c := b.fresh("c")
+	x := b.fresh("x")
+	line := b.linef("  var %s: Exception = new Exception();", e)
+	b.linef("  var %s: int = input();", x)
+	b.linef("  if (%s > 0) { %s = new RareError(); }", x, e)
+	b.linef("  try {")
+	b.linef("    throw %s;", e)
+	b.linef("  } catch (%s) {", c)
+	b.linef("    %s = 0;", x)
+	b.linef("  }")
+	b.seed(line, "Exception", "exception", "leak", true)
+}
+
+// filler emits plain integer computation (bulk + SMT work).
+func filler(b *builder, n int) {
+	if n <= 0 {
+		return
+	}
+	v := b.fresh("acc")
+	b.linef("  var %s: int = cfg;", v)
+	for i := 0; i < n; i++ {
+		switch b.rng.Intn(3) {
+		case 0:
+			b.linef("  %s = %s + %d;", v, v, b.rng.Intn(9)+1)
+		case 1:
+			b.linef("  %s = %s * 2 - %d;", v, v, b.rng.Intn(5))
+		default:
+			t := b.fresh("t")
+			b.linef("  var %s: int = %s - %d;", t, v, b.rng.Intn(7))
+			b.linef("  if (%s > %d) {", t, b.rng.Intn(20))
+			b.linef("    %s = %s + 1;", v, v)
+			b.linef("  }")
+		}
+	}
+}
+
+// prelude emits the shared helpers every subject includes: a closing helper
+// (interprocedural close) and a guarded thrower (exception-path workloads).
+func prelude(b *builder) {
+	b.linef("fun closeWriter(w: FileWriter) {")
+	b.linef("  w.close();")
+	b.linef("  return;")
+	b.linef("}")
+	b.linef("fun mayFail(n: int) {")
+	b.linef("  if (n > 5) {")
+	b.linef("    var ex: Exception = new Exception();")
+	b.linef("    throw ex;")
+	b.linef("  }")
+	b.linef("  return;")
+	b.linef("}")
+	b.linef("")
+}

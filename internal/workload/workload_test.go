@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+func TestGenerateParsesAndResolves(t *testing.T) {
+	for _, p := range Profiles() {
+		s := Generate(p)
+		prog, err := lang.Parse(s.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		if _, err := lang.Resolve(prog); err != nil {
+			t.Fatalf("%s: resolve: %v", p.Name, err)
+		}
+		if s.LoC < 100 {
+			t.Errorf("%s: suspiciously small (%d lines)", p.Name, s.LoC)
+		}
+		if len(s.Seeded) == 0 {
+			t.Errorf("%s: no ground truth", p.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("zookeeper-sim")
+	a, b := Generate(p), Generate(p)
+	if a.Source != b.Source {
+		t.Fatal("generation must be deterministic")
+	}
+	if len(a.Seeded) != len(b.Seeded) {
+		t.Fatal("ground truth must be deterministic")
+	}
+}
+
+func TestSeedLinesPointAtAllocations(t *testing.T) {
+	p, _ := ProfileByName("hdfs-sim")
+	s := Generate(p)
+	lines := strings.Split(s.Source, "\n")
+	for _, sd := range s.Seeded {
+		if sd.Line < 1 || sd.Line > len(lines) {
+			t.Fatalf("seed line %d out of range", sd.Line)
+		}
+		text := lines[sd.Line-1]
+		if !strings.Contains(text, "new "+sd.Type) && !strings.Contains(text, "= new") {
+			t.Errorf("seed line %d is not an allocation: %q", sd.Line, text)
+		}
+	}
+}
+
+func TestRelativeSubjectSizes(t *testing.T) {
+	// Table 1 shape: hbase-sim is the largest subject, zookeeper-sim the
+	// smallest.
+	sizes := map[string]int{}
+	for _, p := range Profiles() {
+		sizes[p.Name] = Generate(p).LoC
+	}
+	if !(sizes["hbase-sim"] > sizes["hadoop-sim"] && sizes["hadoop-sim"] > sizes["zookeeper-sim"]) {
+		t.Fatalf("size ordering wrong: %v", sizes)
+	}
+}
+
+func TestSeedPlanMatchesTable2(t *testing.T) {
+	// The hbase profile must seed exactly its Table-2 exception TPs.
+	p, _ := ProfileByName("hbase-sim")
+	s := Generate(p)
+	counts := map[string]int{}
+	for _, sd := range s.Seeded {
+		if !sd.ExpectFP {
+			counts[sd.Checker]++
+		}
+	}
+	if counts["exception"] != 176 {
+		t.Fatalf("hbase-sim exception TP seeds = %d, want 176", counts["exception"])
+	}
+}
+
+func TestEvaluateMatching(t *testing.T) {
+	s := &Subject{
+		Seeded: []Seeded{
+			{Line: 10, Type: "FileWriter", Checker: "io", Kind: "leak"},
+			{Line: 20, Type: "Socket", Checker: "socket", Kind: "leak", ExpectFP: true},
+			{Line: 30, Type: "Lock", Checker: "lock", Kind: "error-transition"},
+		},
+	}
+	reports := []checker.Report{
+		{FSM: "io", Kind: checker.KindLeak, Pos: lang.Pos{Line: 10}},
+		{FSM: "io", Kind: checker.KindLeak, Pos: lang.Pos{Line: 10}},     // clone dup
+		{FSM: "socket", Kind: checker.KindLeak, Pos: lang.Pos{Line: 20}}, // expected FP
+		{FSM: "io", Kind: checker.KindLeak, Pos: lang.Pos{Line: 99}},     // spurious
+	}
+	tally := Evaluate(s, reports)
+	if c := tally.PerChecker["io"]; c.TP != 1 || c.FP != 1 {
+		t.Fatalf("io counts: %+v", c)
+	}
+	if c := tally.PerChecker["socket"]; c.FP != 1 || c.TP != 0 {
+		t.Fatalf("socket counts: %+v", c)
+	}
+	if c := tally.PerChecker["lock"]; c.FN != 1 {
+		t.Fatalf("lock counts: %+v", c)
+	}
+	tot := tally.Totals()
+	if tot.TP != 1 || tot.FP != 2 || tot.FN != 1 {
+		t.Fatalf("totals: %+v", tot)
+	}
+	if len(tally.MissedSeeds) != 1 || len(tally.UnmatchedReports) != 1 {
+		t.Fatalf("lists: %d missed, %d unmatched", len(tally.MissedSeeds), len(tally.UnmatchedReports))
+	}
+}
+
+// TestZooKeeperSimEndToEnd runs the full pipeline on the smallest subject
+// and sanity-checks precision against ground truth.
+func TestZooKeeperSimEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full subject analysis")
+	}
+	p, _ := ProfileByName("zookeeper-sim")
+	s := Generate(p)
+	c := checker.New(fsm.Builtins(), checker.Options{WorkDir: t.TempDir()})
+	res, err := c.CheckSource(s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := Evaluate(s, res.Reports)
+	tot := tally.Totals()
+	t.Logf("zookeeper-sim: TP=%d FP=%d FN=%d (reports=%d, tracked=%d)",
+		tot.TP, tot.FP, tot.FN, len(res.Reports), res.TrackedObjects)
+	if tot.TP == 0 {
+		t.Fatal("no true positives found")
+	}
+	seeds := 0
+	for _, sd := range s.Seeded {
+		if !sd.ExpectFP {
+			seeds++
+		}
+	}
+	if tot.FN > seeds/4 {
+		t.Errorf("too many misses: %d of %d seeds (missed: %v)", tot.FN, seeds, tally.MissedSeeds)
+	}
+	if tot.FP > (tot.TP+tot.FP)/3 {
+		t.Errorf("false-positive rate too high: %d FP vs %d TP (unmatched: %v)",
+			tot.FP, tot.TP, tally.UnmatchedReports)
+	}
+}
+
+// TestSubjectsFormatRoundTrip: every generated subject survives the
+// format/re-parse round trip (exercises the printer on large inputs).
+func TestSubjectsFormatRoundTrip(t *testing.T) {
+	for _, p := range Profiles() {
+		s := Generate(p)
+		prog, err := lang.Parse(s.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		text := lang.Format(prog)
+		prog2, err := lang.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", p.Name, err)
+		}
+		if lang.Format(prog2) != text {
+			t.Fatalf("%s: format not idempotent", p.Name)
+		}
+		if _, err := lang.Resolve(prog2); err != nil {
+			t.Fatalf("%s: resolve: %v", p.Name, err)
+		}
+	}
+}
