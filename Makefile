@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet fmt-check race ci bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -w needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Race-check the concurrent core (engine workers, checker pipeline).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/checker/...
+
+bench:
+	$(GO) run ./cmd/grapple-bench -all
+
+ci: vet fmt-check race test

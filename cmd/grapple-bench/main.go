@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	subjects := flag.String("subjects", "", "comma-separated subject subset")
@@ -38,7 +38,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune | -figure 9")
 		os.Exit(2)
 	}
 
@@ -81,6 +81,14 @@ func main() {
 	if want("5") {
 		fmt.Fprintln(os.Stderr, "running naive string-engine comparison...")
 		out, _, err := bench.Table5(names, "", 0, *naiveTimeout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("prune") {
+		fmt.Fprintln(os.Stderr, "running pruning ablation (each subject twice)...")
+		out, _, err := bench.PruneAblation(names, "")
 		if err != nil {
 			fatal(err)
 		}

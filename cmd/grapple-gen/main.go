@@ -66,11 +66,16 @@ func main() {
 		for _, sd := range s.Seeded {
 			fmt.Fprintf(&m, "%d %s %s %s %v\n", sd.Line, sd.Type, sd.Checker, sd.Kind, sd.ExpectFP)
 		}
+		fmt.Fprintf(&m, "# lint ground truth (line code): `grapple lint` must report exactly these\n")
+		for _, ls := range s.LintSeeded {
+			fmt.Fprintf(&m, "%d %s\n", ls.Line, ls.Code)
+		}
 		manifestPath := filepath.Join(*out, name+".manifest")
 		if err := os.WriteFile(manifestPath, []byte(m.String()), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s (%d LoC) and %s (%d seeds)\n", srcPath, s.LoC, manifestPath, len(s.Seeded))
+		fmt.Printf("wrote %s (%d LoC) and %s (%d seeds, %d lint seeds)\n",
+			srcPath, s.LoC, manifestPath, len(s.Seeded), len(s.LintSeeded))
 	}
 }
 

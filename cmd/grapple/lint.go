@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+
+	grapple "github.com/grapple-system/grapple"
+)
+
+// jsonDiagnostic is the machine-readable lint finding format (-json).
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Code    string `json:"code"`
+	Pass    string `json:"pass"`
+	Func    string `json:"func"`
+	Message string `json:"message"`
+}
+
+// runLint implements `grapple lint`: it runs only the IR-level dataflow
+// passes — no alias/typestate pipeline — and exits 0 when the program is
+// clean, 1 when diagnostics were found, 2 on usage or parse errors.
+func runLint(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("grapple lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed the error
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: grapple lint [flags] program.ml [more.ml ...]")
+		fs.PrintDefaults()
+		return 2, nil
+	}
+
+	combined, locate, err := loadSources(fs.Args())
+	if err != nil {
+		return 2, err
+	}
+	diags, err := grapple.Lint(combined)
+	if err != nil {
+		return 2, err
+	}
+	for _, d := range diags {
+		file, line := locate(d.Pos.Line)
+		if *jsonOut {
+			out, _ := json.Marshal(jsonDiagnostic{
+				File: file, Line: line, Col: d.Pos.Col,
+				Code: d.Code, Pass: d.Pass, Func: d.Func, Message: d.Message,
+			})
+			fmt.Fprintln(stdout, string(out))
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s (in %s)\n",
+			file, line, d.Pos.Col, d.Code, d.Message, d.Func)
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

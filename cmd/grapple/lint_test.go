@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const defectiveSrc = `
+type FileWriter;
+fun main() {
+  var c: int = input();
+  var u: int;
+  var x: int = u + 1;
+  var w: FileWriter = new FileWriter();
+  if (0 > 1) {
+    c = c + 7;
+  }
+  if (x > c) {
+    return;
+  }
+  return;
+}
+`
+
+func TestLintCleanExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.close();
+  return;
+}
+`)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", prog}, &out, &errb)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v out=%q", code, err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean program produced output: %q", out.String())
+	}
+}
+
+func TestLintFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", defectiveSrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", prog}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out.String())
+	}
+	for _, want := range []string{"RD001", "CF002", "UA001", "p.ml:6:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLintJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", defectiveSrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", "-json", prog}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("want >=3 JSON findings, got %d:\n%s", len(lines), out.String())
+	}
+	sawRD := false
+	for _, line := range lines {
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad json %q: %v", line, err)
+		}
+		if d.File != prog || d.Line <= 0 || d.Code == "" || d.Func != "main" {
+			t.Fatalf("incomplete diagnostic: %+v", d)
+		}
+		if d.Code == "RD001" {
+			sawRD = true
+			if d.Line != 6 {
+				t.Fatalf("RD001 line %d, want 6", d.Line)
+			}
+		}
+	}
+	if !sawRD {
+		t.Fatalf("no RD001 in %s", out.String())
+	}
+}
+
+func TestLintMultiFileLocations(t *testing.T) {
+	dir := t.TempDir()
+	lib := writeFile(t, dir, "lib.ml", `
+type FileWriter;
+fun helper(w: FileWriter) {
+  w.close();
+  return;
+}
+`)
+	mainSrc := writeFile(t, dir, "main.ml", `
+fun main() {
+  var w: FileWriter = new FileWriter();
+  helper(w);
+  var u: int;
+  var x: int = u + 1;
+  if (x > 0) {
+    return;
+  }
+  return;
+}
+`)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", lib, mainSrc}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v out=%q", code, err, out.String())
+	}
+	// The defect is in main.ml line 6; the diagnostic must map back to it.
+	if !strings.Contains(out.String(), "main.ml:6:") {
+		t.Fatalf("cross-file location mapping wrong: %q", out.String())
+	}
+}
+
+func TestLintUsageAndParseErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code, _ := run([]string{"lint"}, &out, &errb); code != 2 {
+		t.Fatalf("no-args exit code %d", code)
+	}
+	if code, _ := run([]string{"lint", "/nonexistent/file.ml"}, &out, &errb); code != 2 {
+		t.Fatalf("missing-file exit code %d", code)
+	}
+	dir := t.TempDir()
+	bad := writeFile(t, dir, "bad.ml", "fun main( {")
+	if code, _ := run([]string{"lint", bad}, &out, &errb); code != 2 {
+		t.Fatalf("parse-error exit code %d", code)
+	}
+}
+
+func TestRunNoPruneFlag(t *testing.T) {
+	dir := t.TempDir()
+	// A program whose constant branch gives the pruner something to remove;
+	// reports must be identical either way.
+	prog := writeFile(t, dir, "p.ml", `
+type FileWriter;
+fun main() {
+  var mode: int = 3;
+  var w: FileWriter = new FileWriter();
+  if (mode > 1) {
+    w.write();
+  } else {
+    w.write();
+  }
+  return;
+}
+`)
+	var pruned, unpruned, errb bytes.Buffer
+	codeP, errP := run([]string{"-stats", prog}, &pruned, &errb)
+	codeU, errU := run([]string{"-stats", "-noprune", prog}, &unpruned, &errb)
+	if errP != nil || errU != nil || codeP != 1 || codeU != 1 {
+		t.Fatalf("codes=%d/%d errs=%v/%v", codeP, codeU, errP, errU)
+	}
+	if !strings.Contains(pruned.String(), "pruned branches: 1") {
+		t.Fatalf("pruned run stats: %q", pruned.String())
+	}
+	if !strings.Contains(unpruned.String(), "pruned branches: 0") {
+		t.Fatalf("unpruned run stats: %q", unpruned.String())
+	}
+	reportLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "[io]") {
+				return line
+			}
+		}
+		return ""
+	}
+	if rp, ru := reportLine(pruned.String()), reportLine(unpruned.String()); rp == "" || rp != ru {
+		t.Fatalf("reports differ with pruning:\n  pruned:   %q\n  unpruned: %q", rp, ru)
+	}
+}

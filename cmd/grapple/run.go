@@ -30,8 +30,47 @@ type jsonReport struct {
 	WitnessConstraint string   `json:"witnessConstraint,omitempty"`
 }
 
+// loadSources concatenates MiniLang files into one compilation unit and
+// returns a locator mapping combined line numbers back to (file, line).
+func loadSources(paths []string) (string, func(int) (string, int), error) {
+	type fileSpan struct {
+		name      string
+		startLine int // 1-based first line in the combined unit
+		lines     int
+	}
+	var spans []fileSpan
+	var combined strings.Builder
+	lineCount := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", nil, err
+		}
+		text := string(data)
+		if !strings.HasSuffix(text, "\n") {
+			text += "\n"
+		}
+		n := strings.Count(text, "\n")
+		spans = append(spans, fileSpan{name: path, startLine: lineCount + 1, lines: n})
+		combined.WriteString(text)
+		lineCount += n
+	}
+	locate := func(line int) (string, int) {
+		for i := len(spans) - 1; i >= 0; i-- {
+			if line >= spans[i].startLine {
+				return spans[i].name, line - spans[i].startLine + 1
+			}
+		}
+		return paths[0], line
+	}
+	return combined.String(), locate, nil
+}
+
 // run is the testable CLI core; it returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) (int, error) {
+	if len(args) > 0 && args[0] == "lint" {
+		return runLint(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("grapple", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var fsmFiles multiFlag
@@ -44,11 +83,13 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	verbose := fs.Bool("v", false, "verbose reports")
 	query := fs.String("query", "", "points-to query 'method.variable' (e.g. main.w)")
 	dotDir := fs.String("dot", "", "write program graphs as Graphviz files into this directory")
+	noPrune := fs.Bool("noprune", false, "disable constant-driven infeasible-branch pruning")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: grapple [flags] program.ml [more.ml ...]")
+		fmt.Fprintln(stderr, "       grapple lint [flags] program.ml [more.ml ...]")
 		fs.PrintDefaults()
 		return 2, nil
 	}
@@ -70,45 +111,23 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		}
 	}
 
-	// Concatenate sources; line numbers are reported against the combined
-	// unit, so remember each file's offset to map back.
-	type fileSpan struct {
-		name      string
-		startLine int // 1-based first line in the combined unit
-		lines     int
-	}
-	var spans []fileSpan
-	var combined strings.Builder
-	lineCount := 0
-	for _, path := range fs.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return 2, err
-		}
-		text := string(data)
-		if !strings.HasSuffix(text, "\n") {
-			text += "\n"
-		}
-		n := strings.Count(text, "\n")
-		spans = append(spans, fileSpan{name: path, startLine: lineCount + 1, lines: n})
-		combined.WriteString(text)
-		lineCount += n
-	}
-	locate := func(line int) (string, int) {
-		for i := len(spans) - 1; i >= 0; i-- {
-			if line >= spans[i].startLine {
-				return spans[i].name, line - spans[i].startLine + 1
-			}
-		}
-		return fs.Arg(0), line
+	// Line numbers are reported against the combined unit; locate maps back.
+	combined, locate, err := loadSources(fs.Args())
+	if err != nil {
+		return 2, err
 	}
 
-	res, err := grapple.Check(combined.String(), fsms, grapple.Options{
+	prune := grapple.PruneDefault
+	if *noPrune {
+		prune = grapple.PruneOff
+	}
+	res, err := grapple.Check(combined, fsms, grapple.Options{
 		WorkDir:        *workDir,
 		MemoryBudget:   *mem,
 		UnrollDepth:    *unroll,
 		RecordPointsTo: *query != "",
 		DumpDOT:        *dotDir,
+		Prune:          prune,
 	})
 	if err != nil {
 		return 2, err
@@ -171,6 +190,8 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	}
 	if *stats {
 		fmt.Fprintf(stdout, "\ntracked objects: %d\n", res.TrackedObjects)
+		fmt.Fprintf(stdout, "cfet paths: %d (pruned branches: %d)\n",
+			res.Alias.CFETPaths, res.Alias.PrunedBranches)
 		printPhase(stdout, "alias", res.Alias)
 		printPhase(stdout, "dataflow", res.Dataflow)
 		fmt.Fprintf(stdout, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)

@@ -66,7 +66,7 @@ fun audit(amount: int) {
     runQuery(t, amount);
     t.commit();
   } catch (e) {
-    amount = 0;   // no rollback!
+    // swallowed: no rollback!
   }
   return;
 }

@@ -54,7 +54,6 @@ fun reconfigure(f: Factory, n: int) {
     oldSS.close();
   } catch (e) {
     // Fig. 1's catch only logs; oldSS stays open. BUG.
-    n = 0;
   }
   ss.close();
   return;

@@ -32,9 +32,12 @@ import (
 	"os"
 	"time"
 
+	"github.com/grapple-system/grapple/internal/analysis"
 	"github.com/grapple-system/grapple/internal/checker"
 	"github.com/grapple-system/grapple/internal/engine"
 	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
 	"github.com/grapple-system/grapple/internal/smt"
 )
 
@@ -158,7 +161,26 @@ type Options struct {
 	// DumpDOT, when non-empty, writes the generated program graphs as
 	// Graphviz files (alias.dot, dataflow.dot) into that directory.
 	DumpDOT string
+	// Prune controls constant-driven infeasible-branch pruning (default on).
+	// The IR-level pre-analysis proves branch conditions constant, and CFET
+	// construction then skips the statically-dead arms; the reports are
+	// identical but the trees — and every downstream phase — are smaller.
+	// Set PruneOff for the unpruned baseline.
+	Prune PruneMode
 }
+
+// PruneMode selects whether infeasible-branch pruning runs.
+type PruneMode = checker.PruneMode
+
+// Prune modes.
+const (
+	// PruneDefault (the zero value) enables pruning.
+	PruneDefault = checker.PruneDefault
+	// PruneOn explicitly enables pruning.
+	PruneOn = checker.PruneOn
+	// PruneOff disables pruning.
+	PruneOff = checker.PruneOff
+)
 
 // PointsToFact is one alias-phase result: under one clone of Method, Var
 // may reference the object of type ObjType allocated at ObjPos, under
@@ -167,7 +189,12 @@ type PointsToFact = checker.PointsToFact
 
 // PhaseStats summarizes one engine phase for the evaluation tables.
 type PhaseStats struct {
-	Vertices          uint32
+	Vertices uint32
+	// CFETPaths is the number of encoded CFET paths the phase decodes
+	// against; PrunedBranches counts the branch sites the pre-analysis
+	// resolved before the tree was built (0 with Options.Prune off).
+	CFETPaths         int
+	PrunedBranches    int
 	EdgesBefore       int64
 	EdgesAfter        int64
 	Iterations        int64
@@ -222,6 +249,8 @@ func (r *Result) QueryPointsTo(method, varName string) []PointsToFact {
 func phaseStats(p checker.PhaseStats) PhaseStats {
 	return PhaseStats{
 		Vertices:          p.Vertices,
+		CFETPaths:         p.CFETPaths,
+		PrunedBranches:    p.PrunedBranches,
 		EdgesBefore:       p.EdgesBefore,
 		EdgesAfter:        p.EdgesAfter,
 		Iterations:        p.Iterations,
@@ -258,6 +287,7 @@ func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
 		Bind:           opts.Bind,
 		RecordPointsTo: opts.RecordPointsTo,
 		DumpDOT:        opts.DumpDOT,
+		Prune:          opts.Prune,
 	})
 	if opts.MaxNodesPerMethod > 0 {
 		c.Opts.CFET.MaxNodesPerMethod = opts.MaxNodesPerMethod
@@ -285,4 +315,42 @@ func CheckFile(path string, fsms []*FSM, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("grapple: %w", err)
 	}
 	return Check(string(data), fsms, opts)
+}
+
+// Diagnostic is one lint finding: a stable code (see docs/lint.md), the
+// source position, the enclosing function, and a message.
+type Diagnostic = analysis.Diagnostic
+
+// Lint parses and lowers MiniLang source, runs the IR-level dataflow lint
+// passes (use-before-init, dead stores, constant conditions, unused
+// allocations), and returns the findings ordered by source position. It does
+// not run the alias/typestate pipeline, so it is cheap enough for an
+// edit-compile loop.
+func Lint(source string) ([]Diagnostic, error) {
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := lang.Resolve(prog)
+	if err != nil {
+		return nil, fmt.Errorf("resolve: %w", err)
+	}
+	p, err := ir.Lower(info, ir.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	res, err := analysis.Run(p, analysis.Default())
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// LintFile runs Lint on a source file.
+func LintFile(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("grapple: %w", err)
+	}
+	return Lint(string(data))
 }

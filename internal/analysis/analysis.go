@@ -1,0 +1,223 @@
+// Package analysis is Grapple's IR-level pre-analysis subsystem: a
+// pass-manager framework running cheap classical dataflow analyses over the
+// lowered IR (internal/ir) before the expensive CFET/closure pipeline.
+//
+// It serves two consumers. `grapple lint` surfaces the passes' diagnostics
+// (use-before-init, dead stores, constant conditions, unused allocations)
+// directly to developers. The checker consumes the constant-propagation
+// facts to skip statically-infeasible CFET subtrees before symbolic
+// execution ever enumerates them — the classical "fast pass in front of the
+// precise phase" layering of production typestate checkers.
+//
+// Analyses run per function over a shared ir.CFG; results flow between
+// passes through the Pass.ResultOf dependency mechanism (the design follows
+// golang.org/x/tools/go/analysis, shrunk to this IR).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+	"github.com/grapple-system/grapple/internal/metrics"
+)
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	// Pass is the reporting analyzer's name.
+	Pass string
+	// Code is the stable diagnostic code (e.g. "RD001"); see docs/lint.md.
+	Code string
+	// Pos is the source position of the finding.
+	Pos lang.Pos
+	// Func is the enclosing function.
+	Func string
+	// Message is the human-readable description.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s (%s, in %s)", d.Pos, d.Code, d.Message, d.Pass, d.Func)
+}
+
+// Analyzer is one analysis pass: a name, the passes it depends on, and a
+// per-function Run that may report diagnostics and return a result value
+// for dependents.
+type Analyzer struct {
+	// Name identifies the pass (also the metrics key).
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Requires lists analyzers whose per-function results this pass reads
+	// via Pass.ResultOf. The manager runs them first.
+	Requires []*Analyzer
+	// Run executes the pass on one function.
+	Run func(p *Pass) (any, error)
+}
+
+// Pass carries one analyzer invocation's inputs and sinks.
+type Pass struct {
+	Analyzer *Analyzer
+	// Prog is the whole lowered program; Fn the function under analysis.
+	Prog *ir.Program
+	Fn   *ir.Func
+	// CFG is Fn's control-flow graph, built once and shared by all passes.
+	CFG *ir.CFG
+
+	deps  map[*Analyzer]any
+	diags *[]Diagnostic
+}
+
+// ResultOf returns the result of a required analyzer for this function.
+// It panics when a is not in Analyzer.Requires (a bug in the pass).
+func (p *Pass) ResultOf(a *Analyzer) any {
+	r, ok := p.deps[a]
+	if !ok {
+		panic(fmt.Sprintf("analysis: %s did not declare a dependency on %s", p.Analyzer.Name, a.Name))
+	}
+	return r
+}
+
+// Reportf records a diagnostic against this pass.
+func (p *Pass) Reportf(code string, pos lang.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pass: p.Analyzer.Name, Code: code, Pos: pos, Func: p.Fn.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Result is the outcome of running a set of analyzers over a program.
+type Result struct {
+	// Diagnostics holds every finding, ordered by position then code.
+	Diagnostics []Diagnostic
+	// Passes is the per-pass cost breakdown.
+	Passes *metrics.PassBreakdown
+	// Prune counts statically-decided conditions (the checker fills in the
+	// pruned-branch side after CFET construction).
+	Prune metrics.PruneCounters
+
+	// facts maps analyzer -> function -> that pass's result.
+	facts map[*Analyzer]map[*ir.Func]any
+}
+
+// FactsOf returns an analyzer's per-function results ("" when it did not
+// run). Consumers outside the pass pipeline (the checker) use this.
+func (r *Result) FactsOf(a *Analyzer) map[*ir.Func]any {
+	return r.facts[a]
+}
+
+// BranchVerdict reports the statically-proven verdict for an If condition
+// discovered by the SCCP pass: +1 the condition always holds, -1 it never
+// holds, 0 unknown. The zero Result (no SCCP run) answers 0 everywhere.
+func (r *Result) BranchVerdict(s *ir.If) int {
+	for _, facts := range r.facts[SCCP] {
+		sf, ok := facts.(*SCCPFacts)
+		if !ok {
+			continue
+		}
+		if v, ok := sf.Verdicts[s]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// Default returns every analyzer in dependency-safe order: the lint suite
+// the `grapple lint` command runs.
+func Default() []*Analyzer {
+	return []*Analyzer{ReachDef, DeadStore, SCCP, Unreachable, UnusedAlloc}
+}
+
+// PruneAnalyzers returns just the passes the checker's infeasible-branch
+// pruning needs (no diagnostics-only passes).
+func PruneAnalyzers() []*Analyzer {
+	return []*Analyzer{SCCP}
+}
+
+// Run executes the analyzers (plus their transitive requirements) over
+// every function of the program.
+func Run(prog *ir.Program, analyzers []*Analyzer) (*Result, error) {
+	order, err := toposort(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Passes: &metrics.PassBreakdown{},
+		facts:  map[*Analyzer]map[*ir.Func]any{},
+	}
+	for _, a := range order {
+		res.facts[a] = map[*ir.Func]any{}
+	}
+	for _, fn := range prog.Funs {
+		cfg := ir.BuildCFG(fn)
+		for _, a := range order {
+			deps := map[*Analyzer]any{}
+			for _, req := range a.Requires {
+				deps[req] = res.facts[req][fn]
+			}
+			p := &Pass{
+				Analyzer: a, Prog: prog, Fn: fn, CFG: cfg,
+				deps: deps, diags: &res.Diagnostics,
+			}
+			start := time.Now()
+			out, err := a.Run(p)
+			res.Passes.AddPass(a.Name, time.Since(start))
+			if err != nil {
+				return nil, fmt.Errorf("analysis %s: %s: %w", a.Name, fn.Name, err)
+			}
+			res.facts[a][fn] = out
+		}
+	}
+	for _, facts := range res.facts[SCCP] {
+		if sf, ok := facts.(*SCCPFacts); ok {
+			res.Prune.CondsDecided.Add(int64(len(sf.Verdicts)))
+		}
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}
+
+// toposort orders analyzers so that requirements run before dependents,
+// pulling in transitive requirements not listed explicitly.
+func toposort(in []*Analyzer) ([]*Analyzer, error) {
+	var out []*Analyzer
+	state := map[*Analyzer]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analysis: dependency cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		out = append(out, a)
+		return nil
+	}
+	for _, a := range in {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

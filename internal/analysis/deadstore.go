@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"strings"
+
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// DeadStoreFacts is the dead-store result for one function.
+type DeadStoreFacts struct {
+	// Stmts holds every scalar assignment (IntAssign/BoolAssign) whose value
+	// is provably never read, keyed by statement identity. Only sites where
+	// every lowered copy is dead appear here (see the suppression rule below).
+	Stmts map[ir.Stmt]bool
+}
+
+// DeadStore runs backward liveness over scalars and reports DS001 for
+// assignments whose value no later statement can read.
+//
+// Loop unrolling and short-circuit desugaring clone statements, so one source
+// assignment may have several lowered copies — and the deepest unrolled copy
+// of a loop-carried update (i = i + 1) is always "dead" even though the
+// source statement is not. A site is therefore reported only when every
+// lowered copy sharing its (position, destination) is dead.
+var DeadStore = &Analyzer{
+	Name: "deadstore",
+	Doc:  "backward liveness on scalars; reports stores never read (DS001)",
+	Run:  runDeadStore,
+}
+
+// storeKey identifies a source-level scalar assignment site.
+type storeKey struct {
+	pos lang.Pos
+	dst string
+}
+
+func runDeadStore(p *Pass) (any, error) {
+	cfg := p.CFG
+	n := len(cfg.Blocks)
+
+	// Backward may-liveness in reverse RPO: every successor's liveIn is
+	// final before its predecessors run, so one sweep converges on the
+	// acyclic CFG and dead stores can be recorded in the same sweep.
+	order := cfg.RPO()
+	liveIn := make([]map[string]bool, n)
+	total := map[storeKey]int{}
+	dead := map[storeKey][]ir.Stmt{}
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		bi := order[oi]
+		b := cfg.Blocks[bi]
+		live := map[string]bool{}
+		for _, si := range b.Succs {
+			for v := range liveIn[si] {
+				live[v] = true
+			}
+		}
+		if b.Branch != nil {
+			for _, u := range ir.CondUses(b.Branch.Cond) {
+				live[u] = true
+			}
+		}
+		for i := len(b.Stmts) - 1; i >= 0; i-- {
+			s := b.Stmts[i]
+			recordDeadStore(s, live, total, dead)
+			for _, d := range ir.Defs(s) {
+				delete(live, d)
+			}
+			for _, u := range ir.Uses(s) {
+				live[u] = true
+			}
+		}
+		liveIn[bi] = live
+	}
+
+	facts := &DeadStoreFacts{Stmts: map[ir.Stmt]bool{}}
+	for key, stmts := range dead {
+		if len(stmts) != total[key] {
+			continue // some lowered copy of this site is live — unroll artifact
+		}
+		for _, s := range stmts {
+			facts.Stmts[s] = true
+		}
+		p.Reportf("DS001", key.pos, "value assigned to %q is never read", key.dst)
+	}
+	return facts, nil
+}
+
+// recordDeadStore tallies scalar assignment sites and which copies are dead.
+// Only IntAssign/BoolAssign to user variables count: object assignments feed
+// the alias analysis, and compiler temporaries are not user defects.
+func recordDeadStore(s ir.Stmt, live map[string]bool, total map[storeKey]int, dead map[storeKey][]ir.Stmt) {
+	var dst string
+	switch s := s.(type) {
+	case *ir.IntAssign:
+		dst = s.Dst
+	case *ir.BoolAssign:
+		dst = s.Dst
+	default:
+		return
+	}
+	if strings.HasPrefix(dst, "$") {
+		return
+	}
+	key := storeKey{pos: ir.StmtPos(s), dst: dst}
+	total[key]++
+	if !live[dst] {
+		dead[key] = append(dead[key], s)
+	}
+}
+
+// EliminateDeadStores removes every all-copies-dead scalar store found by the
+// DeadStore pass from the program, in place, and returns how many statements
+// it dropped. Removal is sound for the checker: dead scalar stores carry no
+// events, allocations, or object flow.
+func EliminateDeadStores(prog *ir.Program) (int, error) {
+	res, err := Run(prog, []*Analyzer{DeadStore})
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for fn, f := range res.FactsOf(DeadStore) {
+		df, ok := f.(*DeadStoreFacts)
+		if !ok || len(df.Stmts) == 0 {
+			continue
+		}
+		removed += pruneStmts(fn.Body, df.Stmts)
+	}
+	return removed, nil
+}
+
+func pruneStmts(b *ir.Block, doomed map[ir.Stmt]bool) int {
+	removed := 0
+	kept := b.Stmts[:0]
+	for _, s := range b.Stmts {
+		if doomed[s] {
+			removed++
+			continue
+		}
+		if iff, ok := s.(*ir.If); ok {
+			removed += pruneStmts(iff.Then, doomed)
+			removed += pruneStmts(iff.Else, doomed)
+		}
+		kept = append(kept, s)
+	}
+	b.Stmts = kept
+	return removed
+}

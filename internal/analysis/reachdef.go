@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"strings"
+
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// ReachDefFacts is the reaching-definitions result for one function.
+type ReachDefFacts struct {
+	// DefinedIn[b] is the set of variables with at least one definition
+	// reaching the entry of CFG block b (parameters count as entry defs).
+	DefinedIn []map[string]bool
+	// Uninit lists the variables reported as used-before-init.
+	Uninit []string
+}
+
+// ReachDef computes reaching definitions per CFG block and reports RD001
+// for every use of a variable that no definition reaches on any path — a
+// definite use-before-init (never a may-warning, so it cannot false-positive
+// on variables initialized on only some paths).
+var ReachDef = &Analyzer{
+	Name: "reachdef",
+	Doc:  "reaching definitions; reports uses of never-initialized variables (RD001)",
+	Run:  runReachDef,
+}
+
+func runReachDef(p *Pass) (any, error) {
+	cfg := p.CFG
+	n := len(cfg.Blocks)
+	facts := &ReachDefFacts{DefinedIn: make([]map[string]bool, n)}
+
+	entry := map[string]bool{}
+	for _, prm := range p.Fn.Params {
+		entry[prm.Name] = true
+	}
+	facts.DefinedIn[0] = entry
+
+	// Forward union-dataflow. The CFG is acyclic, so one sweep in reverse
+	// postorder reaches the fixpoint.
+	order := cfg.RPO()
+	out := make([]map[string]bool, n)
+	for _, bi := range order {
+		b := cfg.Blocks[bi]
+		in := facts.DefinedIn[bi]
+		if in == nil {
+			in = map[string]bool{}
+			for _, pi := range b.Preds {
+				for v := range out[pi] {
+					in[v] = true
+				}
+			}
+			facts.DefinedIn[bi] = in
+		}
+		cur := make(map[string]bool, len(in))
+		for v := range in {
+			cur[v] = true
+		}
+		for _, s := range b.Stmts {
+			for _, u := range ir.Uses(s) {
+				p.checkUninit(facts, cur, u, ir.StmtPos(s))
+			}
+			for _, d := range ir.Defs(s) {
+				cur[d] = true
+			}
+		}
+		if b.Branch != nil {
+			for _, u := range ir.CondUses(b.Branch.Cond) {
+				p.checkUninit(facts, cur, u, b.Branch.Pos)
+			}
+		}
+		out[bi] = cur
+	}
+	return facts, nil
+}
+
+// checkUninit reports a use of a variable no definition reaches. Compiler
+// temporaries ($t..., $exc) are skipped: a use-before-init there would be a
+// lowering bug, not a user defect.
+func (p *Pass) checkUninit(facts *ReachDefFacts, defined map[string]bool, v string, pos lang.Pos) {
+	if defined[v] || strings.HasPrefix(v, "$") {
+		return
+	}
+	for _, seen := range facts.Uninit {
+		if seen == v {
+			return
+		}
+	}
+	facts.Uninit = append(facts.Uninit, v)
+	p.Reportf("RD001", pos, "variable %q is used before it is ever initialized", v)
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// SCCPFacts is the sparse-conditional-constant-propagation result for one
+// function.
+type SCCPFacts struct {
+	// Verdicts maps each If whose condition is statically decided on every
+	// executable path reaching it: +1 the condition always holds, -1 it never
+	// holds. Ifs with unknown or path-dependent conditions are absent.
+	Verdicts map[*ir.If]int
+	// Exec[b] reports whether CFG block b is reachable once decided branches
+	// are respected (entry is always executable).
+	Exec []bool
+}
+
+// SCCP runs conditional constant propagation over integer and boolean
+// temporaries, tracking edge executability in the classic Wegman–Zadeck
+// style: constants found along only-executable paths decide branches, and
+// decided branches in turn keep unreachable arms from polluting joins.
+//
+// The pass reports nothing itself; Unreachable turns its verdicts into
+// diagnostics and the checker uses them to skip infeasible CFET subtrees.
+var SCCP = &Analyzer{
+	Name: "sccp",
+	Doc:  "conditional constant propagation; proves branch conditions constant",
+	Run:  runSCCP,
+}
+
+// constEnv holds the variables proven constant at a program point. A missing
+// key means "not a constant" — the analysis is must-constant, so values only
+// ever leave the maps as facts weaken, which guarantees termination.
+type constEnv struct {
+	ints  map[string]int64
+	bools map[string]bool
+}
+
+func newConstEnv() *constEnv {
+	return &constEnv{ints: map[string]int64{}, bools: map[string]bool{}}
+}
+
+func (e *constEnv) clone() *constEnv {
+	c := newConstEnv()
+	for k, v := range e.ints {
+		c.ints[k] = v
+	}
+	for k, v := range e.bools {
+		c.bools[k] = v
+	}
+	return c
+}
+
+// meet intersects other into e (agreeing constants survive). It reports
+// whether e changed.
+func (e *constEnv) meet(other *constEnv) bool {
+	changed := false
+	for k, v := range e.ints {
+		if ov, ok := other.ints[k]; !ok || ov != v {
+			delete(e.ints, k)
+			changed = true
+		}
+	}
+	for k, v := range e.bools {
+		if ov, ok := other.bools[k]; !ok || ov != v {
+			delete(e.bools, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func runSCCP(p *Pass) (any, error) {
+	cfg := p.CFG
+	n := len(cfg.Blocks)
+	facts := &SCCPFacts{Verdicts: map[*ir.If]int{}, Exec: make([]bool, n)}
+
+	in := make([]*constEnv, n)
+	in[0] = newConstEnv()
+	facts.Exec[0] = true
+
+	// Worklist over blocks. The CFG is acyclic and constants only decay, so
+	// this terminates quickly; revisits happen when a join's in-state weakens
+	// or a new edge becomes executable.
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		b := cfg.Blocks[bi]
+
+		env := in[bi].clone()
+		for _, s := range b.Stmts {
+			transferConst(env, s)
+		}
+
+		succs := b.Succs
+		if b.Branch != nil {
+			if v, ok := evalCond(env, b.Branch.Cond); ok {
+				// Succs is [then, else]; a decided condition makes only one
+				// executable.
+				if v {
+					facts.Verdicts[b.Branch] = 1
+					succs = b.Succs[:1]
+				} else {
+					facts.Verdicts[b.Branch] = -1
+					succs = b.Succs[1:]
+				}
+			} else {
+				delete(facts.Verdicts, b.Branch)
+			}
+		}
+		for _, si := range succs {
+			changed := false
+			if in[si] == nil {
+				in[si] = env.clone()
+				facts.Exec[si] = true
+				changed = true
+			} else if in[si].meet(env) {
+				changed = true
+			}
+			if changed && !inWork[si] {
+				work = append(work, si)
+				inWork[si] = true
+			}
+		}
+	}
+	return facts, nil
+}
+
+// transferConst updates the constant environment across one statement.
+// Anything not provably constant (opaque reads, call results, event results)
+// kills its destination.
+func transferConst(env *constEnv, s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.IntAssign:
+		if v, ok := evalArith(env, s); ok {
+			env.ints[s.Dst] = v
+		} else {
+			delete(env.ints, s.Dst)
+		}
+	case *ir.BoolAssign:
+		if v, ok := evalCond(env, s.Cond); ok {
+			env.bools[s.Dst] = v
+		} else {
+			delete(env.bools, s.Dst)
+		}
+	default:
+		// Object statements don't touch scalars; Call/Event/Load/CatchBind
+		// destinations are unknown values.
+		for _, d := range ir.Defs(s) {
+			delete(env.ints, d)
+			delete(env.bools, d)
+		}
+	}
+}
+
+func evalOperand(env *constEnv, o ir.Operand) (int64, bool) {
+	if o.IsConst() {
+		return o.Const, true
+	}
+	v, ok := env.ints[o.Var]
+	return v, ok
+}
+
+func evalArith(env *constEnv, s *ir.IntAssign) (int64, bool) {
+	if s.Op == ir.Opaque {
+		return 0, false
+	}
+	a, ok := evalOperand(env, s.A)
+	if !ok {
+		return 0, false
+	}
+	switch s.Op {
+	case ir.Mov:
+		return a, true
+	case ir.Neg:
+		return -a, true
+	}
+	b, ok := evalOperand(env, s.B)
+	if !ok {
+		return 0, false
+	}
+	switch s.Op {
+	case ir.Add:
+		return a + b, true
+	case ir.Sub:
+		return a - b, true
+	case ir.Mul:
+		return a * b, true
+	}
+	return 0, false
+}
+
+// evalCond decides a branch condition under the constant environment.
+func evalCond(env *constEnv, c ir.Cond) (bool, bool) {
+	var v bool
+	switch {
+	case c.IsOpaque():
+		return false, false
+	case c.BoolVar != "":
+		bv, ok := env.bools[c.BoolVar]
+		if !ok {
+			return false, false
+		}
+		v = bv
+	default:
+		a, ok := evalOperand(env, c.A)
+		if !ok {
+			return false, false
+		}
+		b, ok := evalOperand(env, c.B)
+		if !ok {
+			return false, false
+		}
+		switch c.Kind {
+		case ir.CmpEq:
+			v = a == b
+		case ir.CmpNe:
+			v = a != b
+		case ir.CmpLt:
+			v = a < b
+		case ir.CmpLe:
+			v = a <= b
+		case ir.CmpGt:
+			v = a > b
+		case ir.CmpGe:
+			v = a >= b
+		}
+	}
+	if c.Negated {
+		v = !v
+	}
+	return v, true
+}

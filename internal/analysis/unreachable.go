@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// Unreachable turns SCCP's branch verdicts into diagnostics: CF001 for a
+// condition that always holds (the else arm can never run) and CF002 for one
+// that never holds (the then arm can never run).
+//
+// Lowering clones branches (loop unrolling, short-circuit desugaring), so one
+// source if-statement can have many lowered copies with genuinely different
+// verdicts — an unrolled `i < 2` is true in the first copy and false in the
+// last. A position is reported only when every executable copy agrees, which
+// confines reports to conditions that are constant in the source program.
+var Unreachable = &Analyzer{
+	Name:     "unreachable",
+	Doc:      "reports branch conditions proven always true (CF001) or always false (CF002)",
+	Requires: []*Analyzer{SCCP},
+	Run:      runUnreachable,
+}
+
+func runUnreachable(p *Pass) (any, error) {
+	sf, ok := p.ResultOf(SCCP).(*SCCPFacts)
+	if !ok {
+		return nil, nil
+	}
+	type site struct {
+		verdict int  // agreed verdict so far
+		mixed   bool // copies disagree or some copy is undecided
+		text    string
+	}
+	sites := map[lang.Pos]*site{}
+	for _, b := range p.CFG.Blocks {
+		if b.Branch == nil || !sf.Exec[b.Index] {
+			continue // branches in unreachable code are not separate findings
+		}
+		v := sf.Verdicts[b.Branch] // 0 when undecided
+		s := sites[b.Branch.Pos]
+		if s == nil {
+			sites[b.Branch.Pos] = &site{verdict: v, mixed: v == 0, text: b.Branch.Cond.String()}
+			continue
+		}
+		if v == 0 || v != s.verdict {
+			s.mixed = true
+		}
+	}
+	positions := make([]lang.Pos, 0, len(sites))
+	for pos := range sites {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool {
+		a, b := positions[i], positions[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	for _, pos := range positions {
+		s := sites[pos]
+		if s.mixed {
+			continue
+		}
+		switch s.verdict {
+		case 1:
+			p.Reportf("CF001", pos, "condition %q is always true; the else branch is unreachable", s.text)
+		case -1:
+			p.Reportf("CF002", pos, "condition %q is always false; the then branch is unreachable", s.text)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// UnusedAlloc reports UA001 for allocations whose object is provably never
+// used: no event fires on it and it never escapes the variable it was
+// assigned to (no copy, field store, call argument, return, or throw). Such
+// an object cannot affect any typestate property, so the allocation is noise
+// at best and a leaked-intent bug at worst.
+//
+// The check is name-based and conservative: if the destination variable is
+// read anywhere in the function, every allocation flowing into it counts as
+// used. That forgoes some true positives to guarantee no false ones.
+var UnusedAlloc = &Analyzer{
+	Name: "unusedalloc",
+	Doc:  "reports allocations never observed by an event and never escaping (UA001)",
+	Run:  runUnusedAlloc,
+}
+
+func runUnusedAlloc(p *Pass) (any, error) {
+	type alloc struct {
+		pos lang.Pos
+		typ string
+		dst string
+	}
+	allocs := map[int32]alloc{}
+	used := map[string]bool{}
+	for _, b := range p.CFG.Blocks {
+		for _, s := range b.Stmts {
+			if nw, ok := s.(*ir.NewObj); ok && !strings.HasPrefix(nw.Dst, "$") {
+				if _, seen := allocs[nw.Site]; !seen {
+					allocs[nw.Site] = alloc{pos: nw.Pos, typ: nw.Type, dst: nw.Dst}
+				}
+			}
+			for _, u := range ir.Uses(s) {
+				used[u] = true
+			}
+		}
+		if b.Branch != nil {
+			for _, u := range ir.CondUses(b.Branch.Cond) {
+				used[u] = true
+			}
+		}
+	}
+	sites := make([]int32, 0, len(allocs))
+	for site := range allocs {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		a := allocs[site]
+		if used[a.dst] {
+			continue
+		}
+		p.Reportf("UA001", a.pos, "allocated %s %q is never used: no events observed and it does not escape", a.typ, a.dst)
+	}
+	return nil, nil
+}

@@ -495,6 +495,98 @@ func graphsFor(name string) (*cfet.ICFET, *pgraph.AliasGraph, []storage.Edge, er
 	return ic, ag, dg.Edges, nil
 }
 
+// PruneRow is one subject's constant-driven pruning ablation measurement.
+type PruneRow struct {
+	Name            string
+	PathsPruned     int   // CFET paths encoded with pruning on
+	PathsUnpruned   int   // CFET paths encoded with pruning off
+	BranchesRemoved int   // branch sites the pre-analysis decided
+	EdgesPruned     int64 // alias-closure edges joined with pruning on
+	EdgesUnpruned   int64 // alias-closure edges joined with pruning off
+	TimePruned      time.Duration
+	TimeUnpruned    time.Duration
+	ReportsEqual    bool // soundness check: identical report sets
+}
+
+// PruneAblation runs each subject with constant-driven infeasible-branch
+// pruning on and off and reports the encoded-path reduction. The report
+// sets must be identical (pruning only removes statically-decided splits);
+// ReportsEqual records that check per subject.
+func PruneAblation(names []string, workDir string) (string, []PruneRow, error) {
+	var rows []PruneRow
+	run := func(name string, mode checker.PruneMode) (*checker.Result, time.Duration, error) {
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			return nil, 0, fmt.Errorf("bench: unknown subject %q", name)
+		}
+		s := workload.Generate(p)
+		dir, err := os.MkdirTemp(workDir, "prune-*")
+		if err != nil {
+			return nil, 0, err
+		}
+		defer os.RemoveAll(dir)
+		c := checker.New(fsm.Builtins(), checker.Options{WorkDir: dir, Prune: mode})
+		start := time.Now()
+		res, err := c.CheckSource(s.Source)
+		return res, time.Since(start), err
+	}
+	renderSet := func(res *checker.Result) map[string]int {
+		set := map[string]int{}
+		for _, r := range res.Reports {
+			set[fmt.Sprintf("%d:%d:%s:%s:%s", r.Pos.Line, r.Pos.Col, r.FSM, r.Kind, r.Type)]++
+		}
+		return set
+	}
+	for _, name := range names {
+		on, tOn, err := run(name, checker.PruneOn)
+		if err != nil {
+			return "", nil, err
+		}
+		off, tOff, err := run(name, checker.PruneOff)
+		if err != nil {
+			return "", nil, err
+		}
+		equal := len(on.Reports) == len(off.Reports)
+		if equal {
+			a, b := renderSet(on), renderSet(off)
+			for k, v := range a {
+				if b[k] != v {
+					equal = false
+					break
+				}
+			}
+		}
+		rows = append(rows, PruneRow{
+			Name:            name,
+			PathsPruned:     on.Alias.CFETPaths,
+			PathsUnpruned:   off.Alias.CFETPaths,
+			BranchesRemoved: on.Alias.PrunedBranches,
+			EdgesPruned:     on.Alias.EdgesAfter,
+			EdgesUnpruned:   off.Alias.EdgesAfter,
+			TimePruned:      tOn,
+			TimeUnpruned:    tOff,
+			ReportsEqual:    equal,
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Prune ablation: CFET paths encoded and alias edges joined, with/without\n")
+	sb.WriteString("constant-driven pruning\n")
+	sb.WriteString(fmt.Sprintf("%-14s %11s %11s %9s %11s %11s %10s %10s %8s\n",
+		"Subject", "Paths(on)", "Paths(off)", "Branches",
+		"Edges(on)", "Edges(off)", "Time(on)", "Time(off)", "Reports"))
+	for _, r := range rows {
+		eq := "equal"
+		if !r.ReportsEqual {
+			eq = "DIFFER"
+		}
+		sb.WriteString(fmt.Sprintf("%-14s %11d %11d %9d %11d %11d %10s %10s %8s\n",
+			r.Name, r.PathsPruned, r.PathsUnpruned, r.BranchesRemoved,
+			r.EdgesPruned, r.EdgesUnpruned,
+			round(r.TimePruned), round(r.TimeUnpruned), eq))
+	}
+	return sb.String(), rows, nil
+}
+
 func cloneEdges(in []storage.Edge) []storage.Edge {
 	out := make([]storage.Edge, len(in))
 	copy(out, in)

@@ -91,6 +91,10 @@ type CFET struct {
 	ParamSym map[string]symbolic.Sym
 	// Truncated counts paths dropped by the node budget.
 	Truncated int
+	// Pruned counts branch sites resolved by Options.BranchVerdict: each one
+	// continued straight into the statically-live arm instead of splitting
+	// the tree.
+	Pruned int
 
 	symsSet map[symbolic.Sym]bool // lazy cache, see symSet
 }
@@ -137,6 +141,15 @@ type Options struct {
 	MaxNodesPerMethod int
 	// MaxEncLen caps merged encoding length (elements); zero means 64.
 	MaxEncLen int
+	// BranchVerdict, when non-nil, supplies statically-proven branch
+	// verdicts (from the pre-analysis constant propagation): +1 the
+	// condition always holds, -1 it never holds, 0 unknown. A decided
+	// branch does not split the tree — the walker continues into the live
+	// arm within the current node. Dropping the conditional is sound
+	// because a tautological (or contradictory, on the other arm) conjunct
+	// never changes a path constraint's satisfiability; it only spares the
+	// engine from enumerating and refuting the dead subtree.
+	BranchVerdict func(*ir.If) int
 }
 
 // maxNodeID keeps child IDs representable: beyond depth ~61 we truncate.
@@ -169,9 +182,10 @@ func Build(p *ir.Program, syms *symbolic.Table, opts Options) (*ICFET, error) {
 	}
 	for i, fn := range p.Funs {
 		b := &walker{
-			ic:     ic,
-			m:      ic.Methods[i],
-			budget: opts.MaxNodesPerMethod,
+			ic:      ic,
+			m:       ic.Methods[i],
+			budget:  opts.MaxNodesPerMethod,
+			verdict: opts.BranchVerdict,
 		}
 		if err := b.run(fn); err != nil {
 			return nil, err
@@ -183,6 +197,26 @@ func Build(p *ir.Program, syms *symbolic.Table, opts Options) (*ICFET, error) {
 		m.buildSymSet()
 	}
 	return ic, nil
+}
+
+// PathCount returns the total number of encoded paths (leaves) across all
+// methods — the quantity branch pruning shrinks.
+func (ic *ICFET) PathCount() int {
+	n := 0
+	for _, m := range ic.Methods {
+		n += len(m.Leaves)
+	}
+	return n
+}
+
+// PrunedBranches returns the total number of branch sites resolved by
+// Options.BranchVerdict across all methods.
+func (ic *ICFET) PrunedBranches() int {
+	n := 0
+	for _, m := range ic.Methods {
+		n += m.Pruned
+	}
+	return n
 }
 
 // Method returns the CFET of a method by name.
@@ -222,10 +256,11 @@ func (e env) clone() env {
 }
 
 type walker struct {
-	ic     *ICFET
-	m      *CFET
-	budget int
-	nodes  int
+	ic      *ICFET
+	m       *CFET
+	budget  int
+	nodes   int
+	verdict func(*ir.If) int
 	// opqSyms caches stable symbols for opaque branch conditions.
 	opqSyms map[int32]symbolic.Sym
 }
@@ -338,6 +373,22 @@ func (w *walker) walk(stmts []ir.Stmt, k *contFrame, n *Node, e env) {
 			w.endLeaf(n, LeafThrow, RetInfo{Kind: LeafThrow})
 			return
 		case *ir.If:
+			if w.verdict != nil {
+				if v := w.verdict(s); v != 0 {
+					// Statically decided: continue into the live arm inside
+					// this node; the dead arm is never built.
+					w.m.Pruned++
+					arm := s.Then
+					if v < 0 {
+						arm = s.Else
+					}
+					if len(rest) > 0 {
+						k = &contFrame{stmts: rest, next: k}
+					}
+					stmts = arm.Stmts
+					continue
+				}
+			}
 			atom := w.evalCondAtom(s.Cond, e)
 			// Constant-foldable conditions still split (the CFET stays a
 			// well-formed binary tree); the unsat side prunes at decode.

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/grapple-system/grapple/internal/analysis"
 	"github.com/grapple-system/grapple/internal/callgraph"
 	"github.com/grapple-system/grapple/internal/cfet"
 	"github.com/grapple-system/grapple/internal/engine"
@@ -24,6 +25,23 @@ import (
 	"github.com/grapple-system/grapple/internal/storage"
 	"github.com/grapple-system/grapple/internal/symbolic"
 )
+
+// PruneMode controls the pre-analysis infeasible-branch pruning that runs
+// before CFET construction. The zero value enables it.
+type PruneMode uint8
+
+// Prune modes.
+const (
+	// PruneDefault is the zero value: pruning on.
+	PruneDefault PruneMode = iota
+	// PruneOn explicitly enables pruning.
+	PruneOn
+	// PruneOff disables pruning (every branch splits the CFET).
+	PruneOff
+)
+
+// Enabled reports whether the mode turns pruning on.
+func (m PruneMode) Enabled() bool { return m != PruneOff }
 
 // Options configures a checking run.
 type Options struct {
@@ -50,6 +68,12 @@ type Options struct {
 	// DumpDOT, when non-empty, writes the generated program graphs as
 	// Graphviz files (alias.dot, dataflow.dot) into that directory.
 	DumpDOT string
+	// Prune controls constant-driven infeasible-branch pruning (default on):
+	// the pre-analysis (internal/analysis) proves branch conditions constant
+	// and CFET construction skips the dead arms. Reports are unaffected —
+	// only statically-impossible subtrees are dropped — but the tree, and
+	// everything downstream of it, is smaller.
+	Prune PruneMode
 }
 
 // PointsToFact is one phase-1 result: under clone Ctx of Method, variable
@@ -125,6 +149,12 @@ func (r Report) String() string {
 // PhaseStats captures one engine run for the evaluation tables.
 type PhaseStats struct {
 	Vertices uint32
+	// CFETPaths is the number of encoded CFET paths (leaves) the phase's
+	// decoding works against; branch pruning shrinks it.
+	CFETPaths int
+	// PrunedBranches counts branch sites the pre-analysis resolved during
+	// CFET construction (0 when Options.Prune is off).
+	PrunedBranches int
 	engine.Stats
 }
 
@@ -144,6 +174,12 @@ type Result struct {
 	Flows int
 	// PointsTo holds the recorded phase-1 facts (Options.RecordPointsTo).
 	PointsTo []PointsToFact
+	// Passes is the pre-analysis per-pass cost breakdown (empty when
+	// Options.Prune is off).
+	Passes []metrics.PassStat
+	// CondsDecided is how many branch conditions the pre-analysis proved
+	// constant (not all of them are reached during CFET construction).
+	CondsDecided int64
 }
 
 // QueryPointsTo returns the recorded facts for a variable of a method
@@ -220,11 +256,21 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 	res := &Result{}
 	bd := &metrics.Breakdown{}
 
-	// --- Frontend: ICFET (index) + context tree + alias graph. ---
+	// --- Frontend: pre-analysis + ICFET (index) + context tree + alias graph. ---
 	genStart := time.Now()
+	cfetOpts := c.Opts.CFET
+	if c.Opts.Prune.Enabled() && cfetOpts.BranchVerdict == nil {
+		pre, err := analysis.Run(p, analysis.PruneAnalyzers())
+		if err != nil {
+			return nil, fmt.Errorf("pre-analysis: %w", err)
+		}
+		cfetOpts.BranchVerdict = pre.BranchVerdict
+		res.Passes = pre.Passes.Passes()
+		res.CondsDecided, _ = pre.Prune.Snapshot()
+	}
 	cg := callgraph.Build(p)
 	tab := symbolic.NewTable()
-	ic, err := cfet.Build(p, tab, c.Opts.CFET)
+	ic, err := cfet.Build(p, tab, cfetOpts)
 	if err != nil {
 		return nil, fmt.Errorf("icfet: %w", err)
 	}
@@ -250,7 +296,10 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("alias phase: %w", err)
 	}
-	res.Alias = PhaseStats{Vertices: ag.NumVerts, Stats: *aliasStats}
+	res.Alias = PhaseStats{
+		Vertices: ag.NumVerts, Stats: *aliasStats,
+		CFETPaths: ic.PathCount(), PrunedBranches: ic.PrunedBranches(),
+	}
 
 	// Extract flowsTo facts; held in memory for phase 2 (paper §2.2).
 	flows, nflows, err := extractFlows(aliasEngine, ag, ic)
@@ -283,7 +332,10 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataflow phase: %w", err)
 	}
-	res.Dataflow = PhaseStats{Vertices: dg.NumVerts, Stats: *dfStats}
+	res.Dataflow = PhaseStats{
+		Vertices: dg.NumVerts, Stats: *dfStats,
+		CFETPaths: ic.PathCount(), PrunedBranches: ic.PrunedBranches(),
+	}
 
 	// --- Phase 3: FSM checking of source->exit relations. ---
 	res.Reports, err = checkTyped(dfEngine, dg, ic)

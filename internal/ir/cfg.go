@@ -1,0 +1,257 @@
+package ir
+
+import "github.com/grapple-system/grapple/internal/lang"
+
+// This file exports the small control-flow-graph and def/use views of the
+// structured IR that classical dataflow analyses (internal/analysis) need.
+// Lowering has already unrolled loops and expanded exceptions, so a
+// function's CFG is a DAG: blocks end either at a branch (two successors),
+// at a Return/ThrowExit (no successors), or fall through to the block after
+// an enclosing If (one successor, shared with the sibling branch — the join
+// point).
+
+// CFGBlock is one basic block of a function's CFG.
+type CFGBlock struct {
+	Index int
+	// Stmts are the straight-line statements of the block. When the block
+	// ends in a branch, Branch is that If (its Then/Else bodies live in the
+	// successor blocks, not here); Stmts excludes it.
+	Stmts  []Stmt
+	Branch *If
+	// Succs lists successor block indices: [then, else] under Branch, at
+	// most one otherwise (none for exit blocks).
+	Succs []int
+	// Preds is the reverse of Succs, in ascending order.
+	Preds []int
+}
+
+// CFG is the control-flow graph of one lowered function. Entry is always
+// block 0; the graph is acyclic (loops were statically unrolled).
+type CFG struct {
+	Fn     *Func
+	Blocks []*CFGBlock
+}
+
+// BuildCFG linearizes a lowered function's structured body into a CFG.
+func BuildCFG(fn *Func) *CFG {
+	b := &cfgBuilder{cfg: &CFG{Fn: fn}}
+	entry := b.seq(fn.Body.Stmts, -1)
+	// Entry must be block 0 for analyses; swap if the builder placed it
+	// elsewhere (it builds continuations first).
+	if entry != 0 {
+		b.cfg.Blocks[0], b.cfg.Blocks[entry] = b.cfg.Blocks[entry], b.cfg.Blocks[0]
+		for _, blk := range b.cfg.Blocks {
+			for i, s := range blk.Succs {
+				switch s {
+				case 0:
+					blk.Succs[i] = entry
+				case entry:
+					blk.Succs[i] = 0
+				}
+			}
+		}
+		b.cfg.Blocks[0].Index = 0
+		b.cfg.Blocks[entry].Index = entry
+	}
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			b.cfg.Blocks[s].Preds = append(b.cfg.Blocks[s].Preds, blk.Index)
+		}
+	}
+	return b.cfg
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// seq builds blocks for a statement sequence whose continuation is block
+// `next` (-1 for "function exit") and returns the entry block index.
+func (b *cfgBuilder) seq(stmts []Stmt, next int) int {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *If:
+			cont := next
+			if i+1 < len(stmts) {
+				cont = b.seq(stmts[i+1:], next)
+			}
+			t := b.seq(s.Then.Stmts, cont)
+			f := b.seq(s.Else.Stmts, cont)
+			blk := b.newBlock()
+			blk.Stmts = append(blk.Stmts, stmts[:i]...)
+			blk.Branch = s
+			blk.Succs = []int{t, f}
+			return blk.Index
+		case *Return, *ThrowExit:
+			blk := b.newBlock()
+			blk.Stmts = append(blk.Stmts, stmts[:i+1]...)
+			return blk.Index
+		}
+	}
+	if len(stmts) == 0 && next >= 0 {
+		return next
+	}
+	blk := b.newBlock()
+	blk.Stmts = append(blk.Stmts, stmts...)
+	if next >= 0 {
+		blk.Succs = []int{next}
+	}
+	return blk.Index
+}
+
+// RPO returns the block indices in reverse postorder from the entry —
+// the iteration order under which a forward dataflow analysis over this
+// acyclic CFG converges in one sweep.
+func (c *CFG) RPO() []int {
+	seen := make([]bool, len(c.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(i int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		for _, s := range c.Blocks[i].Succs {
+			dfs(s)
+		}
+		post = append(post, i)
+	}
+	dfs(0)
+	out := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	return out
+}
+
+// Defs returns the variables a statement assigns (at most one in this IR).
+func Defs(s Stmt) []string {
+	switch s := s.(type) {
+	case *IntAssign:
+		return []string{s.Dst}
+	case *BoolAssign:
+		return []string{s.Dst}
+	case *ObjAssign:
+		return []string{s.Dst}
+	case *NewObj:
+		return []string{s.Dst}
+	case *Load:
+		return []string{s.Dst}
+	case *Call:
+		if s.Dst != "" {
+			return []string{s.Dst}
+		}
+	case *Event:
+		if s.Dst != "" {
+			return []string{s.Dst}
+		}
+	case *CatchBind:
+		return []string{s.Var}
+	}
+	return nil
+}
+
+// Uses returns the variables a statement reads. Branch conditions are not
+// statements; use CondUses for an If's condition.
+func Uses(s Stmt) []string {
+	var out []string
+	addOp := func(o Operand) {
+		if !o.IsConst() {
+			out = append(out, o.Var)
+		}
+	}
+	switch s := s.(type) {
+	case *IntAssign:
+		if s.Op != Opaque {
+			addOp(s.A)
+			if s.Op == Add || s.Op == Sub || s.Op == Mul {
+				addOp(s.B)
+			}
+		}
+	case *BoolAssign:
+		out = append(out, CondUses(s.Cond)...)
+	case *ObjAssign:
+		if s.Src != "" {
+			out = append(out, s.Src)
+		}
+	case *Store:
+		out = append(out, s.Recv, s.Src)
+	case *Load:
+		out = append(out, s.Recv)
+	case *Call:
+		for _, a := range s.ObjArgs {
+			out = append(out, a.Arg)
+		}
+		for _, a := range s.IntArgs {
+			addOp(a.Arg)
+		}
+	case *Event:
+		out = append(out, s.Recv)
+	case *Return:
+		if s.Src.Var != "" {
+			out = append(out, s.Src.Var)
+		}
+	case *ThrowExit:
+		out = append(out, ExcVar)
+	}
+	return out
+}
+
+// CondUses returns the variables a branch condition reads.
+func CondUses(c Cond) []string {
+	if c.BoolVar != "" {
+		return []string{c.BoolVar}
+	}
+	if c.IsOpaque() {
+		return nil
+	}
+	var out []string
+	if !c.A.IsConst() {
+		out = append(out, c.A.Var)
+	}
+	if !c.B.IsConst() {
+		out = append(out, c.B.Var)
+	}
+	return out
+}
+
+// StmtPos returns the source position recorded on a statement.
+func StmtPos(s Stmt) lang.Pos {
+	switch s := s.(type) {
+	case *IntAssign:
+		return s.Pos
+	case *BoolAssign:
+		return s.Pos
+	case *ObjAssign:
+		return s.Pos
+	case *NewObj:
+		return s.Pos
+	case *Store:
+		return s.Pos
+	case *Load:
+		return s.Pos
+	case *Call:
+		return s.Pos
+	case *Event:
+		return s.Pos
+	case *Return:
+		return s.Pos
+	case *ThrowExit:
+		return s.Pos
+	case *CatchBind:
+		return s.Pos
+	case *If:
+		return s.Pos
+	case *TryRegion:
+		return s.Pos
+	case *Raise:
+		return s.Pos
+	}
+	return lang.Pos{}
+}

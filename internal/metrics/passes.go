@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PassBreakdown accumulates wall time and counters per named analysis pass
+// (the pre-analysis layer's analogue of Breakdown). Safe for concurrent use.
+type PassBreakdown struct {
+	mu    sync.Mutex
+	times map[string]time.Duration
+	runs  map[string]int64
+}
+
+// AddPass records one run of a named pass.
+func (p *PassBreakdown) AddPass(name string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.times == nil {
+		p.times = map[string]time.Duration{}
+		p.runs = map[string]int64{}
+	}
+	p.times[name] += d
+	p.runs[name]++
+}
+
+// PassStat is one pass's accumulated cost.
+type PassStat struct {
+	Name string
+	Time time.Duration
+	Runs int64
+}
+
+// Passes returns the accumulated per-pass stats sorted by descending time.
+func (p *PassBreakdown) Passes() []PassStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PassStat, 0, len(p.times))
+	for name, d := range p.times {
+		out = append(out, PassStat{Name: name, Time: d, Runs: p.runs[name]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// String renders one line per pass ("name: 1.2ms over 34 runs").
+func (p *PassBreakdown) String() string {
+	var b strings.Builder
+	for _, s := range p.Passes() {
+		fmt.Fprintf(&b, "%s: %v over %d runs\n", s.Name, s.Time, s.Runs)
+	}
+	return b.String()
+}
+
+// PruneCounters tracks how much work the pre-analysis removed before the
+// expensive phases ran. Safe for concurrent use.
+type PruneCounters struct {
+	// CondsDecided counts If conditions the pre-analysis proved constant.
+	CondsDecided atomic.Int64
+	// BranchesPruned counts If arms skipped during CFET construction
+	// because their condition was statically decided.
+	BranchesPruned atomic.Int64
+}
+
+// Snapshot returns the current counter values.
+func (p *PruneCounters) Snapshot() (decided, pruned int64) {
+	return p.CondsDecided.Load(), p.BranchesPruned.Load()
+}

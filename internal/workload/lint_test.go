@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/analysis"
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// lintSubject runs the IR-level pre-analysis passes on a generated subject.
+func lintSubject(t *testing.T, s *Subject) []analysis.Diagnostic {
+	t.Helper()
+	prog, err := lang.Parse(s.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", s.Name, err)
+	}
+	info, err := lang.Resolve(prog)
+	if err != nil {
+		t.Fatalf("%s: resolve: %v", s.Name, err)
+	}
+	p, err := ir.Lower(info, ir.Options{})
+	if err != nil {
+		t.Fatalf("%s: lower: %v", s.Name, err)
+	}
+	res, err := analysis.Run(p, analysis.Default())
+	if err != nil {
+		t.Fatalf("%s: analysis: %v", s.Name, err)
+	}
+	return res.Diagnostics
+}
+
+// TestLintGroundTruthExact asserts, for every profile, that the lint passes
+// report EXACTLY the seeded (code, line) pairs: every planted defect is
+// found, and nothing else is flagged (zero false positives on generated
+// code).
+func TestLintGroundTruthExact(t *testing.T) {
+	for _, p := range append(Profiles(), MiniProfile()) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			s := Generate(p)
+			wantTotal := p.LintDeadBranches + p.LintUninitReads +
+				p.LintDeadStores + p.LintUnusedAllocs
+			if len(s.LintSeeded) != wantTotal {
+				t.Fatalf("manifest has %d entries, knobs promise %d",
+					len(s.LintSeeded), wantTotal)
+			}
+			want := map[string]int{}
+			for _, ls := range s.LintSeeded {
+				want[fmt.Sprintf("%s@%d", ls.Code, ls.Line)]++
+			}
+			got := map[string]int{}
+			var gotList []string
+			for _, d := range lintSubject(t, s) {
+				key := fmt.Sprintf("%s@%d", d.Code, d.Pos.Line)
+				got[key]++
+				gotList = append(gotList, key)
+			}
+			sort.Strings(gotList)
+			for key, n := range want {
+				if got[key] != n {
+					t.Errorf("seeded defect %s: reported %d times, want %d",
+						key, got[key], n)
+				}
+			}
+			for key, n := range got {
+				if want[key] != n {
+					t.Errorf("unseeded diagnostic %s reported %d times (false positive)",
+						key, n)
+				}
+			}
+			if t.Failed() {
+				t.Logf("all diagnostics: %v", gotList)
+			}
+		})
+	}
+}
+
+// TestLintSeedsDeterministic pins the manifest to the profile seed.
+func TestLintSeedsDeterministic(t *testing.T) {
+	p, _ := ProfileByName("zookeeper-sim")
+	a, b := Generate(p), Generate(p)
+	if len(a.LintSeeded) != len(b.LintSeeded) {
+		t.Fatal("lint manifest must be deterministic")
+	}
+	for i := range a.LintSeeded {
+		if a.LintSeeded[i] != b.LintSeeded[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a.LintSeeded[i], b.LintSeeded[i])
+		}
+	}
+	counts := map[string]int{}
+	for _, ls := range a.LintSeeded {
+		counts[ls.Code]++
+	}
+	if counts["CF001"]+counts["CF002"] != p.LintDeadBranches ||
+		counts["RD001"] != p.LintUninitReads ||
+		counts["DS001"] != p.LintDeadStores ||
+		counts["UA001"] != p.LintUnusedAllocs {
+		t.Fatalf("per-code counts %v do not match knobs %+v", counts, p)
+	}
+}

@@ -33,6 +33,17 @@ type Seeded struct {
 	ExpectFP bool
 }
 
+// LintSeeded is one planted IR-level defect for the pre-analysis lint
+// passes, with exact ground truth: `grapple lint` on the generated source
+// must report exactly these (code, line) pairs and nothing else.
+type LintSeeded struct {
+	// Line is the source line the diagnostic must point at.
+	Line int
+	// Code is the expected diagnostic code (RD001, DS001, CF001, CF002,
+	// UA001).
+	Code string
+}
+
 // Subject is one generated program.
 type Subject struct {
 	Name        string
@@ -41,6 +52,7 @@ type Subject struct {
 	Source      string
 	LoC         int
 	Seeded      []Seeded
+	LintSeeded  []LintSeeded
 }
 
 // Profile scales a subject.
@@ -62,6 +74,14 @@ type Profile struct {
 	CorrectPerBug int
 	// FillerStmts adds plain integer code per worker for bulk.
 	FillerStmts int
+	// Lint-defect plan: IR-level defects for the pre-analysis passes, each
+	// recorded in the LintSeeded manifest with its exact expected code and
+	// line. LintDeadBranches also feeds the pruner: every planted
+	// constant-guarded branch is a CFET split that pruning removes.
+	LintDeadBranches int // always-true/always-false branches (CF001/CF002)
+	LintUninitReads  int // reads of never-initialized locals (RD001)
+	LintDeadStores   int // stores never read on any path (DS001)
+	LintUnusedAllocs int // allocations with no observable use (UA001)
 }
 
 // Profiles returns the four subject profiles, scaled to this harness while
@@ -75,6 +95,8 @@ func Profiles() []Profile {
 			IOTP: 2, IOFP: 0, LockTP: 0, LockFP: 0,
 			ExcTP: 59, ExcFP: 0, SockTP: 4, SockFP: 0,
 			CorrectPerBug: 1, FillerStmts: 6,
+			LintDeadBranches: 6, LintUninitReads: 3,
+			LintDeadStores: 3, LintUnusedAllocs: 3,
 		},
 		{
 			Name: "hadoop-sim", Version: "2.7.5-sim",
@@ -83,6 +105,8 @@ func Profiles() []Profile {
 			IOTP: 0, IOFP: 0, LockTP: 0, LockFP: 0,
 			ExcTP: 54, ExcFP: 2, SockTP: 0, SockFP: 0,
 			CorrectPerBug: 2, FillerStmts: 8,
+			LintDeadBranches: 4, LintUninitReads: 2,
+			LintDeadStores: 2, LintUnusedAllocs: 2,
 		},
 		{
 			Name: "hdfs-sim", Version: "2.0.3-sim",
@@ -91,6 +115,8 @@ func Profiles() []Profile {
 			IOTP: 1, IOFP: 1, LockTP: 1, LockFP: 0,
 			ExcTP: 43, ExcFP: 3, SockTP: 4, SockFP: 1,
 			CorrectPerBug: 2, FillerStmts: 8,
+			LintDeadBranches: 4, LintUninitReads: 2,
+			LintDeadStores: 2, LintUnusedAllocs: 2,
 		},
 		{
 			Name: "hbase-sim", Version: "1.1.6-sim",
@@ -99,6 +125,8 @@ func Profiles() []Profile {
 			IOTP: 15, IOFP: 2, LockTP: 0, LockFP: 0,
 			ExcTP: 176, ExcFP: 8, SockTP: 0, SockFP: 0,
 			CorrectPerBug: 1, FillerStmts: 10,
+			LintDeadBranches: 8, LintUninitReads: 4,
+			LintDeadStores: 4, LintUnusedAllocs: 4,
 		},
 	}
 }
@@ -113,6 +141,8 @@ func MiniProfile() Profile {
 		IOTP: 2, IOFP: 1, LockTP: 1, LockFP: 0,
 		ExcTP: 4, ExcFP: 1, SockTP: 2, SockFP: 1,
 		CorrectPerBug: 1, FillerStmts: 4,
+		LintDeadBranches: 2, LintUninitReads: 1,
+		LintDeadStores: 1, LintUnusedAllocs: 1,
 	}
 }
 
@@ -131,10 +161,11 @@ func ProfileByName(name string) (Profile, bool) {
 
 // builder accumulates source lines and tracks line numbers.
 type builder struct {
-	lines  []string
-	seeded []Seeded
-	rng    *rand.Rand
-	varN   int
+	lines      []string
+	seeded     []Seeded
+	lintSeeded []LintSeeded
+	rng        *rand.Rand
+	varN       int
 }
 
 func (b *builder) linef(format string, args ...any) int {
@@ -151,6 +182,10 @@ func (b *builder) seed(line int, typ, checker, kind string, fp bool) {
 	b.seeded = append(b.seeded, Seeded{
 		Line: line, Type: typ, Checker: checker, Kind: kind, ExpectFP: fp,
 	})
+}
+
+func (b *builder) lintSeed(line int, code string) {
+	b.lintSeeded = append(b.lintSeeded, LintSeeded{Line: line, Code: code})
 }
 
 // Generate builds the subject for a profile.
@@ -189,6 +224,12 @@ func Generate(p Profile) *Subject {
 	addN(sockDirect-sockDirect/2, sockReassignLeak)
 	addN(p.SockFP, sockCollectionFP)
 	bugCount := len(plan)
+	// Lint defects ride along after the typestate bug plan is sized; they
+	// are typestate-neutral, so they do not contribute correct-code padding.
+	addN(p.LintDeadBranches, lintDeadBranch)
+	addN(p.LintUninitReads, lintUninitRead)
+	addN(p.LintDeadStores, lintDeadStore)
+	addN(p.LintUnusedAllocs, lintUnusedAlloc)
 	correct := []func(b *builder){
 		ioCorrect, ioPathSensitiveSafe, ioHelperClose, lockCorrect,
 		sockCorrect, excHandled, sockCorrectBothPaths,
@@ -249,6 +290,7 @@ func Generate(p Profile) *Subject {
 		Source:      src,
 		LoC:         len(b.lines),
 		Seeded:      b.seeded,
+		LintSeeded:  b.lintSeeded,
 	}
 }
 
@@ -329,7 +371,7 @@ func excHandled(b *builder) {
 	b.linef("      throw %s;", e)
 	b.linef("    }")
 	b.linef("  } catch (%s) {", c)
-	b.linef("    %s = 0;", x)
+	b.linef("    consume(%s);", x)
 	b.linef("  }")
 }
 
@@ -399,7 +441,7 @@ func sockLeakOnException(b *builder) {
 	b.linef("    mayFail(cfg);")
 	b.linef("    %s.close();", s)
 	b.linef("  } catch (%s) {", e)
-	b.linef("    cfg = 0;")
+	b.linef("    consume(cfg);")
 	b.linef("  }")
 	b.seed(line, "Socket", "socket", "leak", false)
 }
@@ -492,12 +534,14 @@ func excAliasedFP(b *builder) {
 	b.linef("  try {")
 	b.linef("    throw %s;", e)
 	b.linef("  } catch (%s) {", c)
-	b.linef("    %s = 0;", x)
+	b.linef("    consume(%s);", x)
 	b.linef("  }")
 	b.seed(line, "Exception", "exception", "leak", true)
 }
 
-// filler emits plain integer computation (bulk + SMT work).
+// filler emits plain integer computation (bulk + SMT work). The accumulator
+// is sunk through consume so none of its stores are dead: the generated
+// subjects stay lint-clean apart from the defects planted on purpose.
 func filler(b *builder, n int) {
 	if n <= 0 {
 		return
@@ -518,6 +562,59 @@ func filler(b *builder, n int) {
 			b.linef("  }")
 		}
 	}
+	b.linef("  consume(%s);", v)
+}
+
+// ---- lint-defect patterns (IR-level ground truth for `grapple lint`) ----
+
+// lintDeadBranch plants a branch whose condition constant-folds, so one arm
+// is unreachable (CF001/CF002). SCCP decides the branch; with pruning on the
+// CFET never splits here, which is what the prune ablation measures.
+func lintDeadBranch(b *builder) {
+	d := b.fresh("db")
+	base := b.rng.Intn(5) + 1
+	if b.rng.Intn(2) == 0 {
+		b.linef("  var %s: int = %d;", d, base)
+		line := b.linef("  if (%s > %d) {", d, base+2)
+		b.linef("    %s = %s + 1;", d, d)
+		b.linef("  }")
+		b.lintSeed(line, "CF002")
+	} else {
+		b.linef("  var %s: int = %d;", d, base+3)
+		line := b.linef("  if (%s > %d) {", d, base)
+		b.linef("    %s = %s + 1;", d, d)
+		b.linef("  }")
+		b.lintSeed(line, "CF001")
+	}
+	b.linef("  consume(%s);", d)
+}
+
+// lintUninitRead plants a read of a declared-but-never-initialized local
+// (RD001 on the reading line).
+func lintUninitRead(b *builder) {
+	u := b.fresh("u")
+	z := b.fresh("z")
+	b.linef("  var %s: int;", u)
+	line := b.linef("  var %s: int = %s + cfg;", z, u)
+	b.lintSeed(line, "RD001")
+	b.linef("  consume(%s);", z)
+}
+
+// lintDeadStore plants a store whose value is never read on any path
+// (DS001 on the storing line).
+func lintDeadStore(b *builder) {
+	s := b.fresh("ds")
+	line := b.linef("  var %s: int = cfg + %d;", s, b.rng.Intn(9)+1)
+	b.lintSeed(line, "DS001")
+}
+
+// lintUnusedAlloc plants an allocation that is never used: no events, no
+// stores, no escapes (UA001 on the allocation line). Box is FSM-free, so the
+// typestate checkers are unaffected.
+func lintUnusedAlloc(b *builder) {
+	g := b.fresh("ua")
+	line := b.linef("  var %s: Box = new Box();", g)
+	b.lintSeed(line, "UA001")
 }
 
 // prelude emits the shared helpers every subject includes: a closing helper
@@ -532,6 +629,11 @@ func prelude(b *builder) {
 	b.linef("    var ex: Exception = new Exception();")
 	b.linef("    throw ex;")
 	b.linef("  }")
+	b.linef("  return;")
+	b.linef("}")
+	// consume is a branch-free, throw-free value sink: calling it keeps a
+	// variable live without splitting any CFET path.
+	b.linef("fun consume(n: int) {")
 	b.linef("  return;")
 	b.linef("}")
 	b.linef("")

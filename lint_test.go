@@ -1,0 +1,91 @@
+package grapple
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exampleProgram extracts the embedded MiniLang `program` constant from one
+// examples/*/main.go file.
+func exampleProgram(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	const marker = "const program = `"
+	text := string(data)
+	i := strings.Index(text, marker)
+	if i < 0 {
+		t.Fatalf("%s: no embedded program constant", path)
+	}
+	rest := text[i+len(marker):]
+	j := strings.Index(rest, "`")
+	if j < 0 {
+		t.Fatalf("%s: unterminated program constant", path)
+	}
+	return rest[:j]
+}
+
+// TestLintExamplesClean pins the lint suite's false-positive rate on the
+// shipped examples at zero: every diagnostic on them is by definition noise.
+func TestLintExamplesClean(t *testing.T) {
+	paths, err := filepath.Glob("examples/*/main.go")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	for _, path := range paths {
+		src := exampleProgram(t, path)
+		diags, err := Lint(src)
+		if err != nil {
+			t.Errorf("%s: lint error: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s: false positive: %s", path, d)
+		}
+	}
+}
+
+func TestLintFindsSeededDefects(t *testing.T) {
+	diags, err := Lint(`
+type FileWriter;
+fun main() {
+  var c: int = input();
+  var u: int;
+  var x: int = u + 1;
+  var dead: int = c + 2;
+  var w: FileWriter = new FileWriter();
+  if (0 > 1) {
+    c = c + 7;
+  }
+  if (x > c) {
+    return;
+  }
+  return;
+}`)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	want := map[string]int{"RD001": 1, "DS001": 1, "CF002": 1, "UA001": 1}
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Code]++
+	}
+	for code, n := range want {
+		if got[code] != n {
+			t.Errorf("code %s: got %d, want %d\nall: %v", code, got[code], n, diags)
+		}
+	}
+	if len(diags) != 4 {
+		t.Errorf("total diagnostics = %d, want 4: %v", len(diags), diags)
+	}
+}
+
+func TestLintParseError(t *testing.T) {
+	if _, err := Lint("fun main( {"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
