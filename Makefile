@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race ci bench
+.PHONY: build test vet fmt-check race fuzz golden ci bench
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order, so accidental inter-test
+# state dependence fails loudly instead of by timing luck.
 test: build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -17,9 +19,19 @@ fmt-check:
 		echo "gofmt -w needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Race-check the concurrent core (engine workers, checker pipeline).
+# Race-check the concurrent core (engine workers, checker pipeline, and the
+# batch scheduler, whose determinism test exercises shared-cache and
+# shared-frontend accesses from many workers).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/checker/...
+	$(GO) test -race ./internal/engine/... ./internal/checker/... ./internal/scheduler/...
+
+# Short fuzzing session over the SMT cache-keying invariants.
+fuzz:
+	$(GO) test ./internal/smt/ -fuzz FuzzCacheKeying -fuzztime 30s
+
+# Regenerate the golden-report regression corpus (testdata/golden/).
+golden:
+	$(GO) test -run TestGoldenReports -update .
 
 bench:
 	$(GO) run ./cmd/grapple-bench -all

@@ -1,0 +1,166 @@
+package grapple
+
+import (
+	"context"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/metrics"
+	"github.com/grapple-system/grapple/internal/scheduler"
+)
+
+// Subject is one named compilation unit for batch checking.
+type Subject struct {
+	// Name identifies the subject in merged reports; it must be unique
+	// within a batch.
+	Name string
+	// Source is the subject's MiniLang text.
+	Source string
+}
+
+// BatchReport is one merged-stream warning: a Report annotated with the
+// subject and FSM property group that produced it.
+type BatchReport struct {
+	Subject string
+	Group   string
+	Report
+}
+
+// InstanceStatus summarizes one (subject, property-group) checking
+// instance of a batch.
+type InstanceStatus struct {
+	Subject string
+	Group   string
+	// Err is the instance's failure, nil on success; TimedOut marks it as
+	// the per-instance deadline expiring.
+	Err      error
+	TimedOut bool
+	// Wait is time spent queued for a worker; Elapsed the run itself.
+	Wait    time.Duration
+	Elapsed time.Duration
+	// Reports is this instance's warning count (the warnings themselves
+	// live in the merged stream).
+	Reports  int
+	Alias    PhaseStats
+	Dataflow PhaseStats
+}
+
+// SchedulerStats is the batch scheduler's queue-depth and latency counters.
+type SchedulerStats = metrics.SchedSnapshot
+
+// BatchOptions tunes CheckAll. The embedded Options apply to every
+// instance.
+type BatchOptions struct {
+	Options
+	// BatchWorkers bounds how many checking instances run concurrently
+	// (default GOMAXPROCS). Distinct from Options.Workers, the per-instance
+	// edge-induction parallelism.
+	BatchWorkers int
+	// InstanceTimeout bounds each instance; an expired instance is recorded
+	// as failed and the batch continues. Zero means no per-instance bound.
+	InstanceTimeout time.Duration
+	// CombineProperties checks each subject once against all FSMs instead
+	// of the default paper configuration of one instance per (property,
+	// subject) pair. The merged report stream is the same either way; only
+	// the instance granularity (and so scheduling/sharing behaviour)
+	// changes.
+	CombineProperties bool
+}
+
+// BatchResult is the outcome of a CheckAll run.
+type BatchResult struct {
+	// Reports is the deterministic merged warning stream, totally ordered
+	// by (Subject, Line, Col, FSM, Kind, Object, Type, Group) — byte-
+	// identical output regardless of worker count or submission order.
+	Reports []BatchReport
+	// Instances is sorted by (Subject, Group).
+	Instances []InstanceStatus
+	// Scheduler reports queue depth and latency for the batch.
+	Scheduler SchedulerStats
+	// CacheLookups/CacheHits/CacheHitRate describe the SMT memo cache
+	// shared across all instances (zeros with DisableConstraintCache).
+	CacheLookups int64
+	CacheHits    int64
+	CacheHitRate float64
+	// FrontendPrepares is how many frontend + alias-closure computations the
+	// batch actually performed; with sharing (the default) it equals the
+	// distinct-subject count rather than the instance count.
+	FrontendPrepares int
+	// Wall is the batch's wall-clock time.
+	Wall time.Duration
+}
+
+// Failed returns the statuses of instances that did not finish cleanly.
+func (b *BatchResult) Failed() []InstanceStatus {
+	var out []InstanceStatus
+	for _, st := range b.Instances {
+		if st.Err != nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// CheckAll analyzes many subjects against the FSM properties as one batch:
+// one checking instance per (subject, property) pair — the paper's §5
+// configuration of hundreds of independent Grapple instances under a
+// load-balancing scheduler — fanned across a bounded worker pool, all
+// instances sharing one SMT constraint-memoization cache.
+func CheckAll(subjects []Subject, fsms []*FSM, opts BatchOptions) (*BatchResult, error) {
+	return CheckAllContext(context.Background(), subjects, fsms, opts)
+}
+
+// CheckAllContext is CheckAll under a batch-wide cancellation context (the
+// per-instance deadline is BatchOptions.InstanceTimeout).
+func CheckAllContext(ctx context.Context, subjects []Subject, fsms []*FSM, opts BatchOptions) (*BatchResult, error) {
+	innerFSMs := make([]*fsm.FSM, len(fsms))
+	for i, f := range fsms {
+		innerFSMs[i] = f.inner
+	}
+	groups := scheduler.GroupPerFSM(innerFSMs)
+	if opts.CombineProperties {
+		groups = scheduler.OneGroup(innerFSMs)
+	}
+	subs := make([]scheduler.Subject, len(subjects))
+	for i, s := range subjects {
+		subs[i] = scheduler.Subject{Name: s.Name, Source: s.Source}
+	}
+	instances := scheduler.Expand(subs, groups, checkerOptions(opts.Options))
+	schedOpts := scheduler.Options{
+		Workers: opts.BatchWorkers,
+		Timeout: opts.InstanceTimeout,
+		WorkDir: opts.WorkDir,
+	}
+	if opts.DisableConstraintCache {
+		schedOpts.CacheSize = -1
+	}
+	res, err := scheduler.Run(ctx, instances, schedOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResult{
+		Scheduler:        res.Sched,
+		CacheLookups:     res.CacheLookups,
+		CacheHits:        res.CacheHits,
+		CacheHitRate:     res.CacheHitRate,
+		FrontendPrepares: res.FrontendPrepares,
+		Wall:             res.Wall,
+	}
+	for _, r := range res.Reports {
+		out.Reports = append(out.Reports, BatchReport{Subject: r.Subject, Group: r.Group, Report: r.Report})
+	}
+	for _, ir := range res.Instances {
+		st := InstanceStatus{
+			Subject: ir.Subject, Group: ir.Group,
+			Err: ir.Err, TimedOut: ir.TimedOut,
+			Wait: ir.Wait, Elapsed: ir.Elapsed,
+		}
+		if ir.Result != nil {
+			st.Reports = len(ir.Result.Reports)
+			st.Alias = phaseStats(ir.Result.Alias)
+			st.Dataflow = phaseStats(ir.Result.Dataflow)
+		}
+		out.Instances = append(out.Instances, st)
+	}
+	return out, nil
+}

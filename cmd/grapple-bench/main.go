@@ -8,6 +8,7 @@
 //	grapple-bench -table 4          constraint-caching ablation (Table 4)
 //	grapple-bench -table 5          naive string-engine comparison (Table 5)
 //	grapple-bench -table oom        traditional in-memory OOM result (§5.3)
+//	grapple-bench -table batch      batch-scheduler scaling vs worker count
 //	grapple-bench -all              everything above
 //
 // -subjects restricts the subject set (comma separated), -mem sets the
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|batch")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	subjects := flag.String("subjects", "", "comma-separated subject subset")
@@ -38,7 +39,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|batch | -figure 9")
 		os.Exit(2)
 	}
 
@@ -89,6 +90,14 @@ func main() {
 	if want("prune") {
 		fmt.Fprintln(os.Stderr, "running pruning ablation (each subject twice)...")
 		out, _, err := bench.PruneAblation(names, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("batch") {
+		fmt.Fprintln(os.Stderr, "running batch-scheduler scaling (each subject x each property, 5 configs)...")
+		out, _, err := bench.BatchScaling(names, "")
 		if err != nil {
 			fatal(err)
 		}

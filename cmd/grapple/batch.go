@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	grapple "github.com/grapple-system/grapple"
+	"github.com/grapple-system/grapple/internal/workload"
+)
+
+// jsonBatchReport is the machine-readable merged-stream format
+// (`grapple batch -json`). Field order is fixed and reports are totally
+// ordered, so the output is byte-identical across worker counts and
+// submission orders.
+type jsonBatchReport struct {
+	Subject           string   `json:"subject"`
+	Group             string   `json:"group"`
+	Line              int      `json:"line"`
+	Col               int      `json:"col"`
+	FSM               string   `json:"fsm"`
+	Kind              string   `json:"kind"`
+	Type              string   `json:"type"`
+	States            []string `json:"states"`
+	Object            string   `json:"object,omitempty"`
+	Witness           string   `json:"witness,omitempty"`
+	WitnessConstraint string   `json:"witnessConstraint,omitempty"`
+}
+
+// collectSubjects resolves CLI operands into batch subjects: .ml files are
+// one subject each, directories contribute every .ml file under them
+// (sorted), and -profile names add generated workload subjects.
+func collectSubjects(paths, profiles []string) ([]grapple.Subject, error) {
+	var subjects []grapple.Subject
+	addFile := func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		subjects = append(subjects, grapple.Subject{Name: path, Source: string(data)})
+		return nil
+	}
+	for _, path := range paths {
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			if err := addFile(path); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var files []string
+		err = filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".ml") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("%s: no .ml files", path)
+		}
+		for _, f := range files {
+			if err := addFile(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, name := range profiles {
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload profile %q", name)
+		}
+		s := workload.Generate(p)
+		subjects = append(subjects, grapple.Subject{Name: s.Name, Source: s.Source})
+	}
+	seen := map[string]bool{}
+	for _, s := range subjects {
+		if seen[s.Name] {
+			return nil, fmt.Errorf("duplicate subject %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return subjects, nil
+}
+
+// runBatch implements `grapple batch`: many subjects × FSM property groups
+// under the bounded-worker scheduler, one shared constraint cache, one
+// deterministic merged report stream. Exit 0 clean, 1 warnings, 2 usage/
+// analysis error (including any failed instance).
+func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("grapple batch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var fsmFiles, profiles multiFlag
+	fs.Var(&fsmFiles, "fsm", "FSM specification file (repeatable)")
+	fs.Var(&profiles, "profile", "add a generated workload profile as a subject (repeatable)")
+	workers := fs.Int("workers", 0, "concurrent checking instances (default GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-instance timeout (0 = none)")
+	workDir := fs.String("workdir", "", "partition directory root (temporary if empty)")
+	mem := fs.Int64("mem", 0, "per-instance engine memory budget in bytes")
+	unroll := fs.Int("unroll", 0, "static loop unroll depth")
+	jsonOut := fs.Bool("json", false, "emit merged reports as JSON lines")
+	stats := fs.Bool("stats", false, "print per-instance and scheduler statistics")
+	verbose := fs.Bool("v", false, "verbose reports")
+	combined := fs.Bool("combined", false, "one instance per subject with all properties (instead of one per property)")
+	noPrune := fs.Bool("noprune", false, "disable constant-driven infeasible-branch pruning")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed the error
+	}
+	if fs.NArg() == 0 && len(profiles) == 0 {
+		fmt.Fprintln(stderr, "usage: grapple batch [flags] [path ...]")
+		fmt.Fprintln(stderr, "paths are .ml files or directories; -profile adds generated subjects")
+		fs.PrintDefaults()
+		return 2, nil
+	}
+
+	var fsms []*grapple.FSM
+	if len(fsmFiles) == 0 {
+		fsms = grapple.BuiltinCheckers()
+	} else {
+		for _, path := range fsmFiles {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return 2, err
+			}
+			parsed, err := grapple.ParseFSMs(string(data))
+			if err != nil {
+				return 2, fmt.Errorf("%s: %w", path, err)
+			}
+			fsms = append(fsms, parsed...)
+		}
+	}
+
+	subjects, err := collectSubjects(fs.Args(), profiles)
+	if err != nil {
+		return 2, err
+	}
+
+	prune := grapple.PruneDefault
+	if *noPrune {
+		prune = grapple.PruneOff
+	}
+	res, err := grapple.CheckAll(subjects, fsms, grapple.BatchOptions{
+		Options: grapple.Options{
+			WorkDir:      *workDir,
+			MemoryBudget: *mem,
+			UnrollDepth:  *unroll,
+			Prune:        prune,
+		},
+		BatchWorkers:      *workers,
+		InstanceTimeout:   *timeout,
+		CombineProperties: *combined,
+	})
+	if err != nil {
+		return 2, err
+	}
+
+	for _, r := range res.Reports {
+		if *jsonOut {
+			out, _ := json.Marshal(jsonBatchReport{
+				Subject: r.Subject, Group: r.Group,
+				Line: r.Pos.Line, Col: r.Pos.Col,
+				FSM: r.FSM, Kind: r.Kind.String(), Type: r.Type,
+				States: r.States, Object: r.Object,
+				Witness: r.Witness, WitnessConstraint: r.WitnessConstraint,
+			})
+			fmt.Fprintln(stdout, string(out))
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s: %s object may exit in state(s) %s\n",
+			r.Subject, r.Pos.Line, r.Pos.Col, r.FSM, r.Kind, r.Type,
+			strings.Join(r.States, ","))
+		if *verbose {
+			fmt.Fprintf(stdout, "    object:     %s\n    witness:    %s\n    constraint: %s\n",
+				r.Object, r.Witness, r.WitnessConstraint)
+		}
+	}
+
+	failed := res.Failed()
+	for _, st := range failed {
+		why := st.Err.Error()
+		if st.TimedOut {
+			why = fmt.Sprintf("timed out after %s", timeoutString(*timeout))
+		}
+		fmt.Fprintf(stderr, "grapple batch: instance %s/%s failed: %s\n", st.Subject, st.Group, why)
+	}
+
+	if *stats {
+		fmt.Fprintf(stdout, "\nbatch: %d instances over %d subjects in %v (wall)\n",
+			len(res.Instances), len(subjects), res.Wall.Round(time.Millisecond))
+		fmt.Fprintf(stdout, "scheduler: %s\n", res.Scheduler)
+		fmt.Fprintf(stdout, "shared cache: %d/%d hits (%.1f%%)\n",
+			res.CacheHits, res.CacheLookups, 100*res.CacheHitRate)
+		fmt.Fprintf(stdout, "frontend prepares: %d (shared across %d instances)\n",
+			res.FrontendPrepares, len(res.Instances))
+		for _, st := range res.Instances {
+			status := "ok"
+			if st.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(stdout, "  %-20s %-12s %-6s %3d reports  wait %-10v run %v\n",
+				st.Subject, st.Group, status, st.Reports,
+				st.Wait.Round(time.Microsecond), st.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	switch {
+	case len(failed) > 0:
+		return 2, nil
+	case len(res.Reports) > 0:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+func timeoutString(d time.Duration) string {
+	if d <= 0 {
+		return "deadline"
+	}
+	return d.String()
+}

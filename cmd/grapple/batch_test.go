@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const cleanSrc = `
+type FileWriter;
+fun main() {
+  var w: FileWriter = new FileWriter();
+  w.close();
+  return;
+}
+`
+
+func TestBatchMergesSubjects(t *testing.T) {
+	dir := t.TempDir()
+	leaky := writeFile(t, dir, "leaky.ml", leakySrc)
+	clean := writeFile(t, dir, "clean.ml", cleanSrc)
+
+	var out, errb bytes.Buffer
+	code, err := run([]string{"batch", "-workers", "2", leaky, clean}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, leaky+":4:") || !strings.Contains(text, "[io] leak") {
+		t.Fatalf("missing leak report for %s: %q", leaky, text)
+	}
+	if strings.Contains(text, "clean.ml:") {
+		t.Fatalf("clean subject reported: %q", text)
+	}
+}
+
+func TestBatchDirectoryAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.ml", leakySrc)
+	writeFile(t, dir, "b.ml", cleanSrc)
+	writeFile(t, dir, "c.ml", strings.ReplaceAll(leakySrc, "FileWriter", "Socket"))
+
+	runOnce := func(workers string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		code, err := run([]string{"batch", "-json", "-workers", workers, dir}, &out, &errb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 1 {
+			t.Fatalf("exit code %d, want 1\nstderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	first := runOnce("1")
+	if got := runOnce("8"); got != first {
+		t.Fatalf("-workers=8 output differs from -workers=1:\n%s\nvs\n%s", first, got)
+	}
+	// Every line is valid JSON with a subject field pointing into the dir.
+	for _, line := range strings.Split(strings.TrimSpace(first), "\n") {
+		var rep map[string]any
+		if err := json.Unmarshal([]byte(line), &rep); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		subj, _ := rep["subject"].(string)
+		if !strings.HasPrefix(subj, dir) {
+			t.Fatalf("unexpected subject %q", subj)
+		}
+	}
+}
+
+func TestBatchProfileSubject(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"batch", "-profile", "mini-sim", "-stats"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "mini-sim:") {
+		t.Fatalf("no mini-sim reports: %q", text)
+	}
+	if !strings.Contains(text, "shared cache:") || !strings.Contains(text, "scheduler:") {
+		t.Fatalf("missing -stats sections: %q", text)
+	}
+}
+
+func TestBatchUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	code, err := run([]string{"batch"}, &out, &errb)
+	if err != nil || code != 2 {
+		t.Fatalf("no-args: code %d err %v", code, err)
+	}
+	code, err = run([]string{"batch", "-profile", "no-such-profile"}, &out, &errb)
+	if code != 2 || err == nil {
+		t.Fatalf("bad profile: code %d err %v", code, err)
+	}
+}

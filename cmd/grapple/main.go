@@ -5,8 +5,14 @@
 // Usage:
 //
 //	grapple [flags] program.ml [more.ml ...]
+//	grapple lint [flags] program.ml [more.ml ...]
+//	grapple batch [flags] [path ...]
 //
-// Multiple source files are concatenated into one compilation unit.
+// Multiple source files are concatenated into one compilation unit. The
+// batch subcommand instead treats every path (and every -profile workload
+// subject) as its own compilation unit and checks the whole set under a
+// bounded-worker scheduler with a shared constraint cache, emitting one
+// deterministic merged report stream; see docs/batch.md.
 //
 // Flags:
 //

@@ -71,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if len(args) > 0 && args[0] == "lint" {
 		return runLint(args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "batch" {
+		return runBatch(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("grapple", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var fsmFiles multiFlag

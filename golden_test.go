@@ -1,0 +1,128 @@
+package grapple
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/workload"
+)
+
+// The golden-report regression corpus: for every workload profile the full
+// batch pipeline (per-property instances, shared constraint cache, merged
+// stream) must reproduce testdata/golden/<profile>.json byte for byte.
+// Regenerate with:
+//
+//	go test -run TestGoldenReports -update ./...
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden corpus")
+
+// goldenReport is the canonical serialization. It includes the witness and
+// its path constraint on purpose: both are deterministic functions of the
+// (seeded) subject source, so a change here means the analysis changed, not
+// just the formatting.
+type goldenReport struct {
+	Subject           string   `json:"subject"`
+	Group             string   `json:"group"`
+	Line              int      `json:"line"`
+	Col               int      `json:"col"`
+	FSM               string   `json:"fsm"`
+	Kind              string   `json:"kind"`
+	Type              string   `json:"type"`
+	States            []string `json:"states"`
+	Object            string   `json:"object,omitempty"`
+	Witness           string   `json:"witness,omitempty"`
+	WitnessConstraint string   `json:"witnessConstraint,omitempty"`
+}
+
+func goldenBytes(t *testing.T, reports []BatchReport) []byte {
+	t.Helper()
+	out := make([]goldenReport, 0, len(reports))
+	for _, r := range reports {
+		out = append(out, goldenReport{
+			Subject: r.Subject, Group: r.Group,
+			Line: r.Pos.Line, Col: r.Pos.Col,
+			FSM: r.FSM, Kind: r.Kind.String(), Type: r.Type,
+			States: r.States, Object: r.Object,
+			Witness: r.Witness, WitnessConstraint: r.WitnessConstraint,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+func TestGoldenReports(t *testing.T) {
+	profiles := workload.Profiles()
+	if testing.Short() {
+		profiles = profiles[:1]
+	}
+	for _, p := range profiles {
+		t.Run(p.Name, func(t *testing.T) {
+			s := workload.Generate(p)
+			res, err := CheckAll(
+				[]Subject{{Name: s.Name, Source: s.Source}},
+				BuiltinCheckers(),
+				BatchOptions{Options: Options{WorkDir: t.TempDir()}},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if failed := res.Failed(); len(failed) != 0 {
+				t.Fatalf("failed instances: %+v", failed)
+			}
+			got := goldenBytes(t, res.Reports)
+
+			path := filepath.Join("testdata", "golden", p.Name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d reports)", path, bytes.Count(got, []byte("\n  {")))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal(goldenDiff(want, got))
+			}
+		})
+	}
+}
+
+// goldenDiff renders the first divergence between two golden streams with a
+// little context, so a regression is readable without an external diff tool.
+func goldenDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "golden mismatch at line %d:\n", i+1)
+			for j := lo; j < i; j++ {
+				fmt.Fprintf(&buf, "  %s\n", wl[j])
+			}
+			fmt.Fprintf(&buf, "- %s\n+ %s\n", wl[i], gl[i])
+			return buf.String()
+		}
+	}
+	return fmt.Sprintf("golden length mismatch: want %d lines, got %d", len(wl), len(gl))
+}

@@ -265,17 +265,13 @@ func phaseStats(p checker.PhaseStats) PhaseStats {
 	}
 }
 
-// Check analyzes MiniLang source against the given FSM properties.
-func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
-	inner := make([]*fsm.FSM, len(fsms))
-	for i, f := range fsms {
-		inner[i] = f.inner
-	}
+// checkerOptions lowers public Options into the internal checker's form.
+func checkerOptions(opts Options) checker.Options {
 	cacheSize := 0
 	if opts.DisableConstraintCache {
 		cacheSize = -1
 	}
-	c := checker.New(inner, checker.Options{
+	co := checker.Options{
 		WorkDir:     opts.WorkDir,
 		UnrollDepth: opts.UnrollDepth,
 		Engine: engine.Options{
@@ -288,10 +284,20 @@ func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
 		RecordPointsTo: opts.RecordPointsTo,
 		DumpDOT:        opts.DumpDOT,
 		Prune:          opts.Prune,
-	})
-	if opts.MaxNodesPerMethod > 0 {
-		c.Opts.CFET.MaxNodesPerMethod = opts.MaxNodesPerMethod
 	}
+	if opts.MaxNodesPerMethod > 0 {
+		co.CFET.MaxNodesPerMethod = opts.MaxNodesPerMethod
+	}
+	return co
+}
+
+// Check analyzes MiniLang source against the given FSM properties.
+func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
+	inner := make([]*fsm.FSM, len(fsms))
+	for i, f := range fsms {
+		inner[i] = f.inner
+	}
+	c := checker.New(inner, checkerOptions(opts))
 	res, err := c.CheckSource(source)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/scheduler"
+	"github.com/grapple-system/grapple/internal/workload"
+)
+
+// BatchRow is one scheduler configuration's measurement over the full
+// subject × property-group cross product.
+type BatchRow struct {
+	Label     string
+	Workers   int
+	Shared    bool // one constraint cache shared across every instance
+	Wall      time.Duration
+	Speedup   float64 // vs the unshared workers=1 baseline
+	HitRate   float64 // shared-cache hit rate (0 for the unshared baseline)
+	Prepares  int     // frontend + alias closures actually computed
+	Reports   int
+	Identical bool // merged stream byte-identical to the baseline's
+}
+
+// BatchScaling measures batch wall-clock versus worker count over the
+// named subjects (default: all four profiles), one checking instance per
+// (subject, property) pair. The baseline runs the instances sequentially
+// with private per-engine caches — equivalent to launching one grapple
+// process per instance. Every other row shares one sharded constraint
+// cache across the whole batch; because the alias phase of a subject
+// poses identical constraints in each of its property groups, sharing is
+// where the speedup comes from even on a single core, and the Identical
+// column checks that memoization never changes the merged verdicts.
+func BatchScaling(names []string, workDir string) (string, []BatchRow, error) {
+	var subjects []scheduler.Subject
+	for _, name := range names {
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			return "", nil, fmt.Errorf("bench: unknown subject %q", name)
+		}
+		s := workload.Generate(p)
+		subjects = append(subjects, scheduler.Subject{Name: s.Name, Source: s.Source})
+	}
+	instances := scheduler.Expand(subjects, scheduler.GroupPerFSM(fsm.Builtins()), checker.Options{})
+
+	run := func(workers int, shared bool) (*scheduler.BatchResult, time.Duration, error) {
+		opts := scheduler.Options{Workers: workers, WorkDir: workDir}
+		if !shared {
+			opts.CacheSize = -1 // private per-engine caches
+		}
+		start := time.Now()
+		res, err := scheduler.Run(context.Background(), instances, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		if failed := res.Failed(); len(failed) > 0 {
+			return nil, 0, fmt.Errorf("bench: instance %s/%s failed: %v",
+				failed[0].Subject, failed[0].Group, failed[0].Err)
+		}
+		return res, time.Since(start), nil
+	}
+	render := func(res *scheduler.BatchResult) []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, r := range res.Reports {
+			enc.Encode(r)
+		}
+		return buf.Bytes()
+	}
+
+	base, baseWall, err := run(1, false)
+	if err != nil {
+		return "", nil, err
+	}
+	want := render(base)
+	rows := []BatchRow{{
+		Label: "unshared seq", Workers: 1, Shared: false,
+		Wall: baseWall, Speedup: 1, Prepares: base.FrontendPrepares,
+		Reports: len(base.Reports), Identical: true,
+	}}
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, wall, err := run(workers, true)
+		if err != nil {
+			return "", nil, err
+		}
+		rows = append(rows, BatchRow{
+			Label:     fmt.Sprintf("shared w=%d", workers),
+			Workers:   workers,
+			Shared:    true,
+			Wall:      wall,
+			Speedup:   baseWall.Seconds() / wall.Seconds(),
+			HitRate:   res.CacheHitRate,
+			Prepares:  res.FrontendPrepares,
+			Reports:   len(res.Reports),
+			Identical: bytes.Equal(render(res), want),
+		})
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Batch scaling: wall-clock vs worker count over the\n")
+	sb.WriteString(fmt.Sprintf("%d-instance cross product (%d subjects x %d property groups)\n",
+		len(instances), len(subjects), len(fsm.Builtins())))
+	sb.WriteString(fmt.Sprintf("%-14s %8s %7s %10s %9s %9s %6s %8s %10s\n",
+		"Config", "Workers", "Cache", "Wall", "Speedup", "HitRate", "Preps", "Reports", "Identical"))
+	for _, r := range rows {
+		cache := "private"
+		hit := "-"
+		if r.Shared {
+			cache = "shared"
+			hit = fmt.Sprintf("%.1f%%", 100*r.HitRate)
+		}
+		eq := "yes"
+		if !r.Identical {
+			eq = "NO"
+		}
+		sb.WriteString(fmt.Sprintf("%-14s %8d %7s %10s %8.2fx %9s %6d %8d %10s\n",
+			r.Label, r.Workers, cache, round(r.Wall), r.Speedup, hit, r.Prepares, r.Reports, eq))
+	}
+	return sb.String(), rows, nil
+}

@@ -7,6 +7,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -227,6 +228,14 @@ func (c *Checker) fsmFor(typ string) *fsm.FSM {
 
 // CheckSource parses, lowers and checks a MiniLang compilation unit.
 func (c *Checker) CheckSource(src string) (*Result, error) {
+	return c.CheckSourceContext(context.Background(), src)
+}
+
+// CheckSourceContext is CheckSource with cooperative cancellation: the
+// engine's fixpoint loops observe ctx, so a deadline or cancel aborts the
+// run between partition-pair iterations (the batch scheduler's per-instance
+// timeout mechanism).
+func (c *Checker) CheckSourceContext(ctx context.Context, src string) (*Result, error) {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
@@ -239,11 +248,71 @@ func (c *Checker) CheckSource(src string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
-	return c.CheckIR(p)
+	return c.CheckIRContext(ctx, p)
 }
 
 // CheckIR checks a lowered program.
 func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
+	return c.CheckIRContext(context.Background(), p)
+}
+
+// CheckIRContext checks a lowered program under a cancellation context.
+func (c *Checker) CheckIRContext(ctx context.Context, p *ir.Program) (*Result, error) {
+	prep, err := c.PrepareIR(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return c.CheckPrepared(ctx, prep)
+}
+
+// Prepared is the FSM-independent front half of a subject's analysis:
+// the frontend structures (IR, ICFET, context tree, alias graph) plus the
+// phase-1 alias closure's flowsTo facts, everything phase 2 reads. It is
+// immutable once built, so many property groups of the same subject can
+// share one Prepared — including concurrently — instead of each re-running
+// the frontend and the alias fixpoint. It is only valid for CheckPrepared
+// on a Checker whose Options match the preparing Checker's (the FSM set
+// may differ; that is the point).
+type Prepared struct {
+	ic    *cfet.ICFET
+	pr    *pgraph.Program
+	ag    *pgraph.AliasGraph
+	flows pgraph.AliasResult
+
+	// phase-1 halves of the eventual Result, copied into every
+	// CheckPrepared output.
+	alias        PhaseStats
+	genTime      time.Duration
+	computeTime  time.Duration
+	breakdown    metrics.Snapshot
+	flowCount    int
+	pointsTo     []PointsToFact
+	passes       []metrics.PassStat
+	condsDecided int64
+}
+
+// PrepareSource parses, lowers and prepares a MiniLang compilation unit.
+func (c *Checker) PrepareSource(ctx context.Context, src string) (*Prepared, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := lang.Resolve(prog)
+	if err != nil {
+		return nil, fmt.Errorf("resolve: %w", err)
+	}
+	p, err := ir.Lower(info, ir.Options{UnrollDepth: c.Opts.UnrollDepth})
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return c.PrepareIR(ctx, p)
+}
+
+// PrepareIR runs the frontend (pre-analysis, ICFET, context tree, alias
+// graph) and the phase-1 alias closure over a lowered program. The alias
+// engine's partitions are deleted before returning — the flowsTo facts it
+// produced are held in memory, which is all phase 2 consults (§2.2).
+func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, error) {
 	workDir := c.Opts.WorkDir
 	if workDir == "" {
 		dir, err := os.MkdirTemp("", "grapple-*")
@@ -253,8 +322,7 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 		defer os.RemoveAll(dir)
 		workDir = dir
 	}
-	res := &Result{}
-	bd := &metrics.Breakdown{}
+	prep := &Prepared{}
 
 	// --- Frontend: pre-analysis + ICFET (index) + context tree + alias graph. ---
 	genStart := time.Now()
@@ -265,8 +333,8 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 			return nil, fmt.Errorf("pre-analysis: %w", err)
 		}
 		cfetOpts.BranchVerdict = pre.BranchVerdict
-		res.Passes = pre.Passes.Passes()
-		res.CondsDecided, _ = pre.Prune.Snapshot()
+		prep.passes = pre.Passes.Passes()
+		prep.condsDecided, _ = pre.Prune.Snapshot()
 	}
 	cg := callgraph.Build(p)
 	tab := symbolic.NewTable()
@@ -276,7 +344,8 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 	}
 	pr := pgraph.NewProgram(p, cg, ic, c.Opts.Clone)
 	ag := pgraph.BuildAlias(pr)
-	res.GenTime = time.Since(genStart)
+	prep.ic, prep.pr, prep.ag = ic, pr, ag
+	prep.genTime = time.Since(genStart)
 	if c.Opts.DumpDOT != "" {
 		if err := dumpDOT(filepath.Join(c.Opts.DumpDOT, "alias.dot"), func(w *os.File) error {
 			return ag.WriteAliasDOT(w, pr, ic)
@@ -286,17 +355,18 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 	}
 
 	computeStart := time.Now()
+	bd := &metrics.Breakdown{}
 
 	// --- Phase 1: path-sensitive alias closure. ---
 	aliasOpts := c.Opts.Engine
 	aliasOpts.Dir = filepath.Join(workDir, "alias")
 	aliasOpts.UseRel = false
 	aliasEngine := engine.New(ic, ag.Ptr.G, aliasOpts, bd)
-	aliasStats, err := aliasEngine.Run(ag.Edges, ag.NumVerts)
+	aliasStats, err := aliasEngine.RunContext(ctx, ag.Edges, ag.NumVerts)
 	if err != nil {
 		return nil, fmt.Errorf("alias phase: %w", err)
 	}
-	res.Alias = PhaseStats{
+	prep.alias = PhaseStats{
 		Vertices: ag.NumVerts, Stats: *aliasStats,
 		CFETPaths: ic.PathCount(), PrunedBranches: ic.PrunedBranches(),
 	}
@@ -306,14 +376,42 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Flows = nflows
+	prep.flows = flows
+	prep.flowCount = nflows
 	if c.Opts.RecordPointsTo {
-		res.PointsTo = pointsToFacts(pr, ag, flows, ic)
+		prep.pointsTo = pointsToFacts(pr, ag, flows, ic)
 	}
+	prep.computeTime = time.Since(computeStart)
+	prep.breakdown = bd.Snapshot()
+	return prep, nil
+}
+
+// CheckPrepared runs phases 2 and 3 (dataflow/typestate closure plus FSM
+// checking) against a prepared subject, using this Checker's FSM set.
+func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, error) {
+	workDir := c.Opts.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "grapple-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+	ic, pr, ag := prep.ic, prep.pr, prep.ag
+	res := &Result{
+		Alias:        prep.alias,
+		GenTime:      prep.genTime,
+		Flows:        prep.flowCount,
+		PointsTo:     prep.pointsTo,
+		Passes:       prep.passes,
+		CondsDecided: prep.condsDecided,
+	}
+	bd := &metrics.Breakdown{}
 
 	// --- Phase 2: path-sensitive dataflow/typestate closure. ---
-	genStart = time.Now()
-	dg := pgraph.BuildDataflow(pr, flows, ag, c.fsmFor, c.Opts.Dataflow)
+	genStart := time.Now()
+	dg := pgraph.BuildDataflow(pr, prep.flows, ag, c.fsmFor, c.Opts.Dataflow)
 	res.GenTime += time.Since(genStart)
 	res.TrackedObjects = len(dg.Tracked)
 	if c.Opts.DumpDOT != "" {
@@ -324,11 +422,12 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 		}
 	}
 
+	computeStart := time.Now()
 	dfOpts := c.Opts.Engine
 	dfOpts.Dir = filepath.Join(workDir, "dataflow")
 	dfOpts.UseRel = true
 	dfEngine := engine.New(ic, dg.D.G, dfOpts, bd)
-	dfStats, err := dfEngine.Run(dg.Edges, dg.NumVerts)
+	dfStats, err := dfEngine.RunContext(ctx, dg.Edges, dg.NumVerts)
 	if err != nil {
 		return nil, fmt.Errorf("dataflow phase: %w", err)
 	}
@@ -342,8 +441,14 @@ func (c *Checker) CheckIR(p *ir.Program) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.ComputeTime = time.Since(computeStart)
-	res.Breakdown = bd.Snapshot()
+	res.ComputeTime = prep.computeTime + time.Since(computeStart)
+	s := bd.Snapshot()
+	res.Breakdown = metrics.Snapshot{
+		IO:      prep.breakdown.IO + s.IO,
+		Decode:  prep.breakdown.Decode + s.Decode,
+		Solve:   prep.breakdown.Solve + s.Solve,
+		Compute: prep.breakdown.Compute + s.Compute,
+	}
 	return res, nil
 }
 
@@ -560,15 +665,35 @@ func checkTyped(en *engine.Engine, dg *pgraph.DataflowGraph, ic *cfet.ICFET) ([]
 		})
 		return true
 	})
-	sort.Slice(reports, func(i, j int) bool {
+	sortReports(reports)
+	return reports, err
+}
+
+// sortReports orders warnings for output. The key is total over everything
+// a report is identified by — line, column, FSM, kind, object and type —
+// because the edge-iteration order feeding checkTyped is not specified: a
+// tie left unbroken (two objects flagged on the same line, say) would let
+// the report stream flip between runs, and batch mode promises byte-
+// identical merged reports regardless of scheduling. SliceStable keeps any
+// fully-identical reports in discovery order.
+func sortReports(reports []Report) {
+	sort.SliceStable(reports, func(i, j int) bool {
 		a, b := reports[i], reports[j]
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
 		if a.FSM != b.FSM {
 			return a.FSM < b.FSM
 		}
-		return a.Kind < b.Kind
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Type < b.Type
 	})
-	return reports, err
 }

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,6 +34,17 @@ type Options struct {
 	// CacheSize is the constraint-memoization LRU capacity; zero means the
 	// default, negative disables memoization (Table 4's "without caching").
 	CacheSize int
+	// Cache, when non-nil, is an externally-owned constraint cache shared
+	// with other engine instances (the batch scheduler's single cross-
+	// instance memo store). It overrides CacheSize.
+	Cache *smt.Cache
+	// CacheKeyPrefix namespaces this engine's memoization keys. Encoded-
+	// path keys are positional (method/call indices of one compilation
+	// unit's ICFET), so two different programs produce colliding keys for
+	// unrelated constraints; when a Cache is shared across programs, every
+	// engine working on the same compilation unit must use the same prefix
+	// and engines on different units must use different ones.
+	CacheKeyPrefix string
 	// SolverOpts tunes the SMT solver.
 	SolverOpts smt.Options
 	// MaxVariants caps distinct constraint variants kept per (src, dst,
@@ -151,19 +163,22 @@ func New(ic *cfet.ICFET, g *grammar.Grammar, opts Options, bd *metrics.Breakdown
 		variants: map[storage.Endpoint]int{},
 		pending:  map[int][]storage.Edge{},
 	}
-	if opts.CacheSize >= 0 {
+	switch {
+	case opts.Cache != nil:
+		e.cache = opts.Cache
+	case opts.CacheSize >= 0:
 		e.cache = smt.NewCache(opts.CacheSize)
 	}
 	return e
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. Cache lookups and hits
+// are counted by this engine's own probes, so they stay per-instance even
+// when Options.Cache shares one store across many engines.
 func (en *Engine) Stats() Stats {
+	en.mu.Lock()
 	s := en.stats
-	if en.cache != nil {
-		s.CacheLookups = en.cache.Lookups
-		s.CacheHits = en.cache.Hits
-	}
+	en.mu.Unlock()
 	s.Partitions = len(en.parts)
 	return s
 }
@@ -171,6 +186,13 @@ func (en *Engine) Stats() Stats {
 // Run computes the transitive closure from the initial edges, then leaves
 // the full closed graph on disk. numVertices sizes the partition space.
 func (en *Engine) Run(initial []storage.Edge, numVertices uint32) (*Stats, error) {
+	return en.RunContext(context.Background(), initial, numVertices)
+}
+
+// RunContext is Run with cooperative cancellation: the fixpoint loop checks
+// ctx between partition-pair iterations and returns ctx.Err() once it is
+// done, leaving any partially-computed partitions on disk.
+func (en *Engine) RunContext(ctx context.Context, initial []storage.Edge, numVertices uint32) (*Stats, error) {
 	start := time.Now()
 	if err := os.MkdirAll(en.opts.Dir, 0o755); err != nil {
 		return nil, err
@@ -182,6 +204,9 @@ func (en *Engine) Run(initial []storage.Edge, numVertices uint32) (*Stats, error
 
 	computeStart := time.Now()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		i, j, ok := en.nextPair()
 		if !ok {
 			break

@@ -156,6 +156,7 @@ func encCacheKey(enc cfet.Enc) string {
 func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32, *memPart), last uint32, seen bool, gen uint32) []candidate {
 	solver := &smt.CachedSolver{S: smt.New(en.opts.SolverOpts)}
 	var out []candidate
+	var cacheLookups, cacheHits int64
 	computeStart := time.Now()
 	for _, e1 := range firsts {
 		idxs, mp := lookup(e1.Dst)
@@ -204,8 +205,12 @@ func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32
 				var verdict smt.Result
 				hit := false
 				if en.cache != nil {
-					key = encCacheKey(enc)
+					key = en.opts.CacheKeyPrefix + encCacheKey(enc)
+					cacheLookups++
 					verdict, hit = en.cache.Get(key)
+					if hit {
+						cacheHits++
+					}
 				}
 				if !hit {
 					decodeStart = time.Now()
@@ -239,6 +244,8 @@ func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32
 	en.bd.AddCompute(time.Since(computeStart))
 	en.mu.Lock()
 	en.stats.ConstraintsSolved += solver.S.Calls
+	en.stats.CacheLookups += cacheLookups
+	en.stats.CacheHits += cacheHits
 	en.mu.Unlock()
 	return out
 }

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSchedStatsLifecycle(t *testing.T) {
+	var s SchedStats
+	s.Enqueue()
+	s.Enqueue()
+	s.Enqueue()
+	s.Dequeue(2 * time.Second)
+	s.Done(4*time.Second, true)
+	s.Dequeue(6 * time.Second)
+	s.Done(2*time.Second, false)
+
+	snap := s.Snapshot()
+	if snap.Enqueued != 3 || snap.Started != 2 || snap.Completed != 1 || snap.Failed != 1 {
+		t.Fatalf("counters: %+v", snap)
+	}
+	if snap.MaxDepth != 3 {
+		t.Fatalf("max depth = %d, want 3", snap.MaxDepth)
+	}
+	if snap.TotalWait != 8*time.Second || snap.MaxWait != 6*time.Second {
+		t.Fatalf("wait: total %v max %v", snap.TotalWait, snap.MaxWait)
+	}
+	if snap.AvgWait() != 4*time.Second {
+		t.Fatalf("avg wait = %v, want 4s", snap.AvgWait())
+	}
+	if snap.TotalRun != 6*time.Second || snap.MaxRun != 4*time.Second || snap.AvgRun() != 3*time.Second {
+		t.Fatalf("run: total %v max %v avg %v", snap.TotalRun, snap.MaxRun, snap.AvgRun())
+	}
+	if snap.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSchedStatsZeroAverages(t *testing.T) {
+	var snap SchedSnapshot
+	if snap.AvgWait() != 0 || snap.AvgRun() != 0 {
+		t.Fatal("zero-value snapshot must not divide by zero")
+	}
+}
+
+// TestSchedStatsConcurrent hammers the counters from many goroutines; run
+// with -race this checks the atomics are actually race-free, and the totals
+// check that no update is lost.
+func TestSchedStatsConcurrent(t *testing.T) {
+	var s SchedStats
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Enqueue()
+				s.Dequeue(time.Millisecond)
+				s.Done(time.Millisecond, i%10 != 0)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	n := int64(workers * per)
+	if snap.Enqueued != n || snap.Started != n || snap.Completed+snap.Failed != n {
+		t.Fatalf("lost updates: %+v", snap)
+	}
+	if snap.TotalWait != time.Duration(n)*time.Millisecond {
+		t.Fatalf("total wait %v, want %v", snap.TotalWait, time.Duration(n)*time.Millisecond)
+	}
+	if snap.MaxDepth < 1 || snap.MaxDepth > n {
+		t.Fatalf("max depth %d out of range", snap.MaxDepth)
+	}
+}

@@ -1,0 +1,429 @@
+// Package scheduler is the batch driver of the paper's §5 methodology:
+// instead of one Grapple run per invocation, it fans a set of independent
+// checking instances — the cross product of subjects (compilation units) ×
+// FSM property groups — across a bounded worker pool. Each instance is a
+// complete three-phase pipeline run (alias closure, dataflow closure, FSM
+// checking) and is independently decidable, so instances never communicate;
+// what they *share* is read-only: the SMT constraint-memoization cache
+// (§4.3), which amortizes solver work across instances, and the prepared
+// frontend + alias closure of each subject (checker.Prepared) — the alias
+// phase of one subject is the same no matter which property group is being
+// checked, so only the first instance of a subject computes it and the rest
+// start at phase 2.
+//
+// The scheduler guarantees a deterministic merged report stream: results
+// are keyed by (subject, group) and the merge is a total order over report
+// fields, so the output is byte-identical regardless of worker count,
+// submission order, or goroutine scheduling.
+package scheduler
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/metrics"
+	"github.com/grapple-system/grapple/internal/smt"
+)
+
+// Subject is one named compilation unit.
+type Subject struct {
+	Name   string
+	Source string
+}
+
+// Group is one FSM property group; instances check one group at a time.
+type Group struct {
+	Name string
+	FSMs []*fsm.FSM
+}
+
+// GroupPerFSM splits properties into singleton groups — the paper's
+// configuration: one checking instance per (property, source) pair.
+func GroupPerFSM(fsms []*fsm.FSM) []Group {
+	out := make([]Group, len(fsms))
+	for i, f := range fsms {
+		out[i] = Group{Name: f.Name, FSMs: []*fsm.FSM{f}}
+	}
+	return out
+}
+
+// OneGroup bundles every property into a single group, so each subject is
+// checked exactly once against all FSMs (the single-run behaviour).
+func OneGroup(fsms []*fsm.FSM) []Group {
+	if len(fsms) == 0 {
+		return nil
+	}
+	names := make([]string, len(fsms))
+	for i, f := range fsms {
+		names[i] = f.Name
+	}
+	return []Group{{Name: strings.Join(names, "+"), FSMs: fsms}}
+}
+
+// Instance is one independently-checkable (subject, property group) unit.
+type Instance struct {
+	Subject string
+	Group   string
+	Source  string
+	FSMs    []*fsm.FSM
+	// Opts configures this instance's checker. Engine.Cache is overwritten
+	// with the batch's shared cache when one is in use.
+	Opts checker.Options
+}
+
+// Key is the instance's stable identity; merge order depends only on it.
+func (in *Instance) Key() string { return in.Subject + "\x00" + in.Group }
+
+// Expand builds the instance set subjects × groups.
+func Expand(subjects []Subject, groups []Group, opts checker.Options) []Instance {
+	var out []Instance
+	for _, s := range subjects {
+		for _, g := range groups {
+			out = append(out, Instance{
+				Subject: s.Name, Group: g.Name,
+				Source: s.Source, FSMs: g.FSMs, Opts: opts,
+			})
+		}
+	}
+	return out
+}
+
+// InstanceResult is one instance's outcome.
+type InstanceResult struct {
+	Subject string
+	Group   string
+	// Result is nil when Err is set.
+	Result *checker.Result
+	Err    error
+	// TimedOut marks Err as the per-instance deadline expiring.
+	TimedOut bool
+	// Wait is the time spent in the ready queue; Elapsed the run itself.
+	Wait    time.Duration
+	Elapsed time.Duration
+}
+
+// Report is one warning annotated with the subject and property group that
+// produced it.
+type Report struct {
+	Subject string
+	Group   string
+	checker.Report
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds pool concurrency (default GOMAXPROCS, capped at the
+	// instance count).
+	Workers int
+	// Timeout bounds each instance (0 = none); an expired instance is
+	// recorded as failed with TimedOut set, and the batch continues.
+	Timeout time.Duration
+	// Cache is the SMT memo cache shared by every instance; one is created
+	// when nil (unless CacheSize is negative, which runs instances with
+	// their own private per-engine caches — the unshared baseline). The
+	// created cache's capacity scales with the number of distinct subjects
+	// so that a big batch does not thrash a single-subject-sized LRU.
+	Cache     *smt.Cache
+	CacheSize int
+	// NoSharedFrontend disables per-subject sharing of the prepared
+	// frontend + alias closure (checker.Prepared); every instance then runs
+	// the full three-phase pipeline itself, as an independent process
+	// would. Sharing is also off in the unshared-cache baseline
+	// (CacheSize < 0 with a nil Cache).
+	NoSharedFrontend bool
+	// WorkDir, when non-empty, hosts one partition subdirectory per
+	// instance; each instance otherwise uses its own temp dir.
+	WorkDir string
+}
+
+// BatchResult is a batch run's outcome.
+type BatchResult struct {
+	// Instances is sorted by (Subject, Group).
+	Instances []InstanceResult
+	// Reports is the deterministic merged stream, totally ordered by
+	// (Subject, Line, Col, FSM, Kind, Object, Type, Group).
+	Reports []Report
+	// Sched is the scheduler's queue-depth/latency counters.
+	Sched metrics.SchedSnapshot
+	// CacheLookups/CacheHits/CacheHitRate describe the shared cache (zero
+	// when instances ran with private caches).
+	CacheLookups int64
+	CacheHits    int64
+	CacheHitRate float64
+	// FrontendPrepares is how many frontend + alias-closure artifacts were
+	// actually computed; with sharing on this is the distinct-subject
+	// count, not the instance count.
+	FrontendPrepares int
+	// Wall is the batch's wall-clock time.
+	Wall time.Duration
+}
+
+// Failed returns the results of instances that did not finish cleanly.
+func (b *BatchResult) Failed() []InstanceResult {
+	var out []InstanceResult
+	for _, ir := range b.Instances {
+		if ir.Err != nil {
+			out = append(out, ir)
+		}
+	}
+	return out
+}
+
+// Run checks every instance under a bounded worker pool and merges the
+// per-instance results deterministically. Instance failures (including
+// per-instance timeouts) do not fail the batch; they are reported on the
+// corresponding InstanceResult. Run itself errors only on invalid input —
+// duplicate (subject, group) keys, which would make the merge ambiguous —
+// or when ctx is canceled before all instances finish.
+func Run(ctx context.Context, instances []Instance, opts Options) (*BatchResult, error) {
+	start := time.Now()
+	seen := make(map[string]bool, len(instances))
+	for i := range instances {
+		k := instances[i].Key()
+		if seen[k] {
+			return nil, fmt.Errorf("scheduler: duplicate instance %q/%q", instances[i].Subject, instances[i].Group)
+		}
+		seen[k] = true
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	cache := opts.Cache
+	if cache == nil && opts.CacheSize >= 0 {
+		size := opts.CacheSize
+		if size == 0 {
+			subjects := make(map[string]bool, len(instances))
+			for i := range instances {
+				subjects[instances[i].Subject] = true
+			}
+			// One default-cache's worth of entries per distinct subject,
+			// bounded; a subject's instances share a namespace, so capacity
+			// must grow with the subject count or eviction churn erases the
+			// cross-instance hits sharing exists for.
+			size = len(subjects) * (1 << 16)
+			if size > 1<<21 {
+				size = 1 << 21
+			}
+		}
+		cache = smt.NewCache(size)
+	}
+	var preps *prepStore
+	if cache != nil && !opts.NoSharedFrontend {
+		preps = &prepStore{entries: map[string]*prepEntry{}}
+	}
+
+	stats := &metrics.SchedStats{}
+	type job struct {
+		idx int
+		enq time.Time
+	}
+	jobs := make(chan job, len(instances))
+	results := make([]InstanceResult, len(instances))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				wait := time.Since(jb.enq)
+				stats.Dequeue(wait)
+				results[jb.idx] = runOne(ctx, &instances[jb.idx], opts, cache, preps, stats)
+				results[jb.idx].Wait = wait
+			}
+		}()
+	}
+	for i := range instances {
+		stats.Enqueue()
+		jobs <- job{idx: i, enq: time.Now()}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Subject != results[j].Subject {
+			return results[i].Subject < results[j].Subject
+		}
+		return results[i].Group < results[j].Group
+	})
+	out := &BatchResult{
+		Instances: results,
+		Reports:   mergeReports(results),
+		Sched:     stats.Snapshot(),
+		Wall:      time.Since(start),
+	}
+	if cache != nil {
+		out.CacheLookups = cache.Lookups()
+		out.CacheHits = cache.Hits()
+		out.CacheHitRate = cache.HitRate()
+	}
+	if preps != nil {
+		out.FrontendPrepares = len(preps.entries)
+	} else {
+		out.FrontendPrepares = len(instances)
+	}
+	return out, nil
+}
+
+// prepStore lazily builds and shares one checker.Prepared per compilation
+// unit. The entry mutex serializes same-subject prepares (the second
+// claimant waits and reuses rather than duplicating the alias fixpoint);
+// distinct subjects prepare concurrently. Errors are not memoized: if the
+// building instance's deadline expires mid-prepare, the next instance of
+// that subject retries under its own deadline.
+type prepStore struct {
+	mu      sync.Mutex
+	entries map[string]*prepEntry
+}
+
+type prepEntry struct {
+	mu   sync.Mutex
+	prep *checker.Prepared
+}
+
+func (ps *prepStore) get(ctx context.Context, source string, copts checker.Options) (*checker.Prepared, error) {
+	key := sourceKey(source)
+	ps.mu.Lock()
+	e := ps.entries[key]
+	if e == nil {
+		e = &prepEntry{}
+		ps.entries[key] = e
+	}
+	ps.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prep != nil {
+		return e.prep, nil
+	}
+	prep, err := checker.New(nil, copts).PrepareSource(ctx, source)
+	if err != nil {
+		return nil, err
+	}
+	e.prep = prep
+	return prep, nil
+}
+
+// runOne executes a single instance under its per-instance deadline.
+func runOne(ctx context.Context, in *Instance, opts Options, cache *smt.Cache, preps *prepStore, stats *metrics.SchedStats) InstanceResult {
+	res := InstanceResult{Subject: in.Subject, Group: in.Group}
+	ictx := ctx
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ictx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	copts := in.Opts
+	if cache != nil {
+		copts.Engine.Cache = cache
+		// Encoded-path memo keys are positional within one compilation
+		// unit; namespace by source content so instances of the same
+		// subject share entries while different subjects never collide.
+		copts.Engine.CacheKeyPrefix = sourceKey(in.Source)
+	}
+	if opts.WorkDir != "" && copts.WorkDir == "" {
+		copts.WorkDir = filepath.Join(opts.WorkDir, pathSafe(in.Subject)+"--"+pathSafe(in.Group))
+	}
+	start := time.Now()
+	c := checker.New(in.FSMs, copts)
+	var r *checker.Result
+	var err error
+	if preps != nil {
+		// Share the frontend + alias closure across this subject's property
+		// groups: Prepared is immutable, so only the first instance pays
+		// for it and the rest start at phase 2.
+		var prep *checker.Prepared
+		prep, err = preps.get(ictx, in.Source, copts)
+		if err == nil {
+			r, err = c.CheckPrepared(ictx, prep)
+		}
+	} else {
+		r, err = c.CheckSourceContext(ictx, in.Source)
+	}
+	res.Elapsed = time.Since(start)
+	res.Result, res.Err = r, err
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		res.TimedOut = true
+	}
+	stats.Done(res.Elapsed, err == nil)
+	return res
+}
+
+// sourceKey derives the cache-key namespace for a compilation unit: the
+// FNV-64a of its source, as 8 raw bytes.
+func sourceKey(src string) string {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], h.Sum64())
+	return string(buf[:])
+}
+
+// pathSafe makes a key component usable as a directory name.
+func pathSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', '*', '?', '"', '<', '>', '|', 0:
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// mergeReports flattens per-instance reports into one totally-ordered
+// stream. Instances are already key-sorted; the final order depends only on
+// report content plus the (subject, group) key, never on completion order.
+func mergeReports(results []InstanceResult) []Report {
+	var merged []Report
+	for i := range results {
+		ir := &results[i]
+		if ir.Result == nil {
+			continue
+		}
+		for _, r := range ir.Result.Reports {
+			merged = append(merged, Report{Subject: ir.Subject, Group: ir.Group, Report: r})
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.FSM != b.FSM {
+			return a.FSM < b.FSM
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Group < b.Group
+	})
+	return merged
+}

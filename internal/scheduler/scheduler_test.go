@@ -1,0 +1,235 @@
+package scheduler
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/workload"
+)
+
+// miniSubjects returns a couple of small distinct subjects.
+func miniSubjects(t *testing.T) []Subject {
+	t.Helper()
+	mini := workload.Generate(workload.MiniProfile())
+	second := workload.MiniProfile()
+	second.Name = "mini-b"
+	second.Seed = 43
+	second.IOTP, second.SockTP = 1, 1
+	b := workload.Generate(second)
+	return []Subject{
+		{Name: mini.Name, Source: mini.Source},
+		{Name: b.Name, Source: b.Source},
+	}
+}
+
+// reportBytes renders a merged stream canonically for byte comparison.
+func reportBytes(t *testing.T, reports []Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range reports {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func runBatch(t *testing.T, instances []Instance, workers int) *BatchResult {
+	t.Helper()
+	res, err := Run(context.Background(), instances, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ir := range res.Instances {
+		if ir.Err != nil {
+			t.Fatalf("instance %s/%s: %v", ir.Subject, ir.Group, ir.Err)
+		}
+	}
+	return res
+}
+
+// TestDeterministicAcrossWorkersAndOrder is the batch determinism property:
+// the merged report stream is byte-identical for workers=1 vs workers=N and
+// for shuffled submission order. Run under -race by the Makefile ci target.
+func TestDeterministicAcrossWorkersAndOrder(t *testing.T) {
+	subjects := miniSubjects(t)
+	groups := GroupPerFSM(fsm.Builtins())
+	instances := Expand(subjects, groups, checker.Options{})
+
+	base := runBatch(t, instances, 1)
+	want := reportBytes(t, base.Reports)
+	if len(base.Reports) == 0 {
+		t.Fatal("expected warnings from seeded subjects")
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		got := reportBytes(t, runBatch(t, instances, workers).Reports)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: merged reports differ from workers=1", workers)
+		}
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		shuffled := append([]Instance(nil), instances...)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got := reportBytes(t, runBatch(t, shuffled, 4).Reports)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shuffle trial %d: merged reports differ", trial)
+		}
+	}
+}
+
+// TestSplitEqualsCombined: checking one property per instance merges to the
+// same warning *sites* as checking every property in one instance. The
+// comparison is at (subject, position, FSM, kind) granularity: the listed
+// non-accepting exit states can legitimately differ between granularities,
+// because the combined dataflow graph carries every property's tracked
+// objects at once and its per-endpoint constraint-variant bookkeeping keeps
+// different (equally sound) representatives.
+func TestSplitEqualsCombined(t *testing.T) {
+	subjects := miniSubjects(t)
+
+	split := runBatch(t, Expand(subjects, GroupPerFSM(fsm.Builtins()), checker.Options{}), 4)
+	combined := runBatch(t, Expand(subjects, OneGroup(fsm.Builtins()), checker.Options{}), 2)
+
+	strip := func(rs []Report) []string {
+		var out []string
+		for _, r := range rs {
+			out = append(out, fmt.Sprintf("%s|%d:%d|%s|%s|%s",
+				r.Subject, r.Pos.Line, r.Pos.Col, r.FSM, r.Kind, r.Type))
+		}
+		return out
+	}
+	a, b := strip(split.Reports), strip(combined.Reports)
+	if len(a) != len(b) {
+		t.Fatalf("split %d reports, combined %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d differs:\n split:    %s\n combined: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSharedCacheAcrossInstances: a shared cache must see cross-instance
+// hits — the alias phase of a subject poses identical constraints in every
+// property group, so the 2nd..Nth instances of the same subject hit what
+// the first one filled in.
+func TestSharedCacheAcrossInstances(t *testing.T) {
+	mini := workload.Generate(workload.MiniProfile())
+	subjects := []Subject{{Name: mini.Name, Source: mini.Source}}
+	instances := Expand(subjects, GroupPerFSM(fsm.Builtins()), checker.Options{})
+
+	shared, err := Run(context.Background(), instances, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.CacheLookups == 0 {
+		t.Fatal("shared cache saw no lookups")
+	}
+
+	private, err := Run(context.Background(), instances, Options{Workers: 1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private.CacheLookups != 0 {
+		t.Fatalf("private-cache run reported shared lookups: %d", private.CacheLookups)
+	}
+	// Per-instance engine stats: with sharing, later instances hit more.
+	var sharedHits, privateHits int64
+	for _, ir := range shared.Instances {
+		sharedHits += ir.Result.Alias.CacheHits + ir.Result.Dataflow.CacheHits
+	}
+	for _, ir := range private.Instances {
+		privateHits += ir.Result.Alias.CacheHits + ir.Result.Dataflow.CacheHits
+	}
+	if sharedHits <= privateHits {
+		t.Fatalf("sharing produced no extra hits: shared %d <= private %d", sharedHits, privateHits)
+	}
+	// And identical reports either way (memoization must not change verdicts).
+	if !bytes.Equal(reportBytes(t, shared.Reports), reportBytes(t, private.Reports)) {
+		t.Fatal("shared vs private cache changed the merged reports")
+	}
+}
+
+// TestFrontendSharing: with the default shared mode, the frontend + alias
+// closure is computed once per distinct subject, not once per instance —
+// and turning sharing off restores the one-prepare-per-instance behaviour
+// with the same merged reports.
+func TestFrontendSharing(t *testing.T) {
+	subjects := miniSubjects(t)
+	instances := Expand(subjects, GroupPerFSM(fsm.Builtins()), checker.Options{})
+
+	shared := runBatch(t, instances, 4)
+	if shared.FrontendPrepares != len(subjects) {
+		t.Fatalf("prepares = %d, want one per subject (%d)", shared.FrontendPrepares, len(subjects))
+	}
+
+	unshared, err := Run(context.Background(), instances, Options{Workers: 4, NoSharedFrontend: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unshared.FrontendPrepares != len(instances) {
+		t.Fatalf("unshared prepares = %d, want one per instance (%d)", unshared.FrontendPrepares, len(instances))
+	}
+	if !bytes.Equal(reportBytes(t, shared.Reports), reportBytes(t, unshared.Reports)) {
+		t.Fatal("frontend sharing changed the merged reports")
+	}
+}
+
+// TestInstanceTimeout: an absurdly small per-instance deadline fails that
+// instance but not the batch.
+func TestInstanceTimeout(t *testing.T) {
+	mini := workload.Generate(workload.MiniProfile())
+	instances := Expand(
+		[]Subject{{Name: mini.Name, Source: mini.Source}},
+		OneGroup(fsm.Builtins()), checker.Options{})
+	res, err := Run(context.Background(), instances, Options{Workers: 1, Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := res.Failed()
+	if len(failed) != 1 || !failed[0].TimedOut {
+		t.Fatalf("want 1 timed-out instance, got %+v", failed)
+	}
+	if res.Sched.Failed != 1 {
+		t.Fatalf("sched.Failed = %d want 1", res.Sched.Failed)
+	}
+}
+
+// TestDuplicateKeyRejected: ambiguous merges are refused.
+func TestDuplicateKeyRejected(t *testing.T) {
+	mini := workload.Generate(workload.MiniProfile())
+	in := Instance{Subject: mini.Name, Group: "io", Source: mini.Source, FSMs: fsm.Builtins()[:1]}
+	if _, err := Run(context.Background(), []Instance{in, in}, Options{}); err == nil {
+		t.Fatal("duplicate (subject, group) accepted")
+	}
+}
+
+// TestSchedulerCounters: queue metrics reflect the batch shape.
+func TestSchedulerCounters(t *testing.T) {
+	subjects := miniSubjects(t)
+	instances := Expand(subjects, GroupPerFSM(fsm.Builtins()), checker.Options{})
+	res := runBatch(t, instances, 2)
+	s := res.Sched
+	n := int64(len(instances))
+	if s.Enqueued != n || s.Started != n || s.Completed != n || s.Failed != 0 {
+		t.Fatalf("counters: %+v want %d instances all completed", s, n)
+	}
+	if s.MaxDepth < 1 || s.MaxDepth > n {
+		t.Fatalf("max depth %d out of range [1,%d]", s.MaxDepth, n)
+	}
+	if s.TotalRun <= 0 {
+		t.Fatal("no runtime recorded")
+	}
+}

@@ -3,6 +3,7 @@ package smt
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"github.com/grapple-system/grapple/internal/constraint"
 )
@@ -12,16 +13,28 @@ import (
 // the same program scope share path constraints (temporal locality), so the
 // hit rate is high in practice (Table 4 reports 60–78%).
 //
-// Cache is safe for concurrent use by multiple edge-induction workers.
+// The cache is sharded: keys hash onto independent LRU segments, each with
+// its own lock, so concurrent edge-induction workers — and, in batch mode,
+// whole concurrent checking instances sharing one cache — do not serialize
+// on a single mutex. Statistics are kept in atomics for the same reason.
+//
+// Cache is safe for concurrent use.
 type Cache struct {
+	shards [cacheShards]cacheShard
+
+	lookups atomic.Int64
+	hits    atomic.Int64
+}
+
+// cacheShards is the number of independent LRU segments. Must be a power of
+// two (shard selection masks the key hash).
+const cacheShards = 16
+
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List
 	items    map[string]*list.Element
-
-	// Stats
-	Lookups int64
-	Hits    int64
 }
 
 type cacheEntry struct {
@@ -29,65 +42,101 @@ type cacheEntry struct {
 	res Result
 }
 
-// NewCache returns an LRU cache holding up to capacity verdicts.
+// NewCache returns an LRU cache holding up to capacity verdicts in total,
+// spread across its shards.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element, capacity),
+	per := (capacity + cacheShards - 1) / cacheShards
+	if per < 1 {
+		per = 1
 	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element, per),
+		}
+	}
+	return c
+}
+
+// shardFor selects the segment owning key (FNV-1a, masked).
+func (c *Cache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(cacheShards-1)]
 }
 
 // Get returns the memoized verdict for key if present.
 func (c *Cache) Get(key string) (Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.Lookups++
-	el, ok := c.items[key]
+	c.lookups.Add(1)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return Unknown, false
 	}
-	c.Hits++
-	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	s.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
 
-// Put records a verdict, evicting the least recently used entry when full.
+// Put records a verdict, evicting the shard's least recently used entry
+// when its segment is full.
 func (c *Cache) Put(key string, res Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
 		el.Value.(*cacheEntry).res = res
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, res: res})
-	c.items[key] = el
-	if c.ll.Len() > c.capacity {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+	el := s.ll.PushFront(&cacheEntry{key: key, res: res})
+	s.items[key] = el
+	if s.ll.Len() > s.capacity {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.items, last.Value.(*cacheEntry).key)
 	}
 }
 
-// Len reports the number of cached verdicts.
+// Len reports the number of cached verdicts across all shards.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
+
+// Lookups reports the total number of Get calls.
+func (c *Cache) Lookups() int64 { return c.lookups.Load() }
+
+// Hits reports how many Get calls were served from the cache.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
 
 // HitRate reports the fraction of lookups served from the cache.
 func (c *Cache) HitRate() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.Lookups == 0 {
+	l := c.lookups.Load()
+	if l == 0 {
 		return 0
 	}
-	return float64(c.Hits) / float64(c.Lookups)
+	return float64(c.hits.Load()) / float64(l)
 }
 
 // CachedSolver pairs a Solver with a shared Cache.
@@ -96,16 +145,23 @@ type CachedSolver struct {
 	Cache *Cache // nil disables memoization
 }
 
-// Solve decides c, consulting the cache first when one is configured.
+// Solve decides c, consulting the cache first when one is configured. The
+// solver runs on the *canonical* form of c — the underlying Solver's
+// incomplete integer reasoning can be sensitive to atom order, and the memo
+// key is order-blind, so solving anything other than the canonical form
+// would let the first caller's atom order decide what every logically-equal
+// conjunction gets back. Canonicalizing makes the verdict a pure function
+// of the key.
 func (cs *CachedSolver) Solve(c constraint.Conj) Result {
+	canon := c.Canon()
 	if cs.Cache == nil {
-		return cs.S.Solve(c)
+		return cs.S.Solve(canon)
 	}
-	key := c.Canon().Key()
+	key := canon.Key()
 	if r, ok := cs.Cache.Get(key); ok {
 		return r
 	}
-	r := cs.S.Solve(c)
+	r := cs.S.Solve(canon)
 	cs.Cache.Put(key, r)
 	return r
 }

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -276,21 +277,42 @@ func TestQuickCanonKeyStable(t *testing.T) {
 }
 
 func TestCacheBasics(t *testing.T) {
-	c := NewCache(2)
+	c := NewCache(32)
 	c.Put("a", Sat)
 	c.Put("b", Unsat)
 	if r, ok := c.Get("a"); !ok || r != Sat {
 		t.Fatalf("get a: %v %v", r, ok)
 	}
-	c.Put("c", Sat) // evicts b (a was just used)
-	if _, ok := c.Get("b"); ok {
-		t.Fatal("b should have been evicted")
+	if r, ok := c.Get("b"); !ok || r != Unsat {
+		t.Fatalf("get b: %v %v", r, ok)
 	}
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a should remain")
+	c.Put("a", Unsat) // update in place, no growth
+	if r, ok := c.Get("a"); !ok || r != Unsat {
+		t.Fatalf("get a after update: %v %v", r, ok)
 	}
 	if c.Len() != 2 {
-		t.Fatalf("len = %d", c.Len())
+		t.Fatalf("len = %d want 2", c.Len())
+	}
+	if c.Lookups() != 3 || c.Hits() != 3 {
+		t.Fatalf("lookups/hits = %d/%d want 3/3", c.Lookups(), c.Hits())
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	// Total size stays bounded by the requested capacity no matter how many
+	// distinct keys are inserted; eviction is per-shard LRU.
+	c := NewCache(32)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), Sat)
+	}
+	if c.Len() > 32 {
+		t.Fatalf("len = %d want <= 32", c.Len())
+	}
+	// A freshly-inserted key is always retrievable (nothing can evict it
+	// before any other shard traffic).
+	c.Put("fresh", Unsat)
+	if r, ok := c.Get("fresh"); !ok || r != Unsat {
+		t.Fatalf("fresh: %v %v", r, ok)
 	}
 }
 
@@ -304,8 +326,8 @@ func TestCachedSolverHitRate(t *testing.T) {
 			t.Fatal("want sat")
 		}
 	}
-	if cs.Cache.Hits != 9 {
-		t.Fatalf("hits = %d want 9", cs.Cache.Hits)
+	if cs.Cache.Hits() != 9 {
+		t.Fatalf("hits = %d want 9", cs.Cache.Hits())
 	}
 	if cs.S.Calls != 1 {
 		t.Fatalf("solver calls = %d want 1", cs.S.Calls)
