@@ -19,15 +19,20 @@ fmt-check:
 		echo "gofmt -w needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Race-check the concurrent core (engine workers, checker pipeline, and the
-# batch scheduler, whose determinism test exercises shared-cache and
-# shared-frontend accesses from many workers).
+# Race-check the concurrent core (engine workers + prefetcher, the storage
+# layer they stream through, the checker pipeline, and the batch scheduler,
+# whose determinism test exercises shared-cache and shared-frontend accesses
+# from many workers).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/checker/... ./internal/scheduler/...
+	$(GO) test -race ./internal/storage/... ./internal/engine/... ./internal/checker/... ./internal/scheduler/...
 
-# Short fuzzing session over the SMT cache-keying invariants.
+# Short fuzzing sessions: SMT cache-keying invariants, then the partition
+# store's record decoders (v1 and v2) and whole-file reader.
 fuzz:
 	$(GO) test ./internal/smt/ -fuzz FuzzCacheKeying -fuzztime 30s
+	$(GO) test ./internal/storage/ -fuzz FuzzReadRecord -fuzztime 20s
+	$(GO) test ./internal/storage/ -fuzz FuzzDecodeRecordV2 -fuzztime 20s
+	$(GO) test ./internal/storage/ -fuzz FuzzReadPart -fuzztime 20s
 
 # Regenerate the golden-report regression corpus (testdata/golden/).
 golden:

@@ -86,6 +86,9 @@ type BatchResult struct {
 	// batch actually performed; with sharing (the default) it equals the
 	// distinct-subject count rather than the instance count.
 	FrontendPrepares int
+	// IO aggregates partition-store traffic (bytes, cache and prefetch
+	// effectiveness, load latencies) across every instance's phases.
+	IO IOStats
 	// Wall is the batch's wall-clock time.
 	Wall time.Duration
 }
@@ -159,6 +162,8 @@ func CheckAllContext(ctx context.Context, subjects []Subject, fsms []*FSM, opts 
 			st.Reports = len(ir.Result.Reports)
 			st.Alias = phaseStats(ir.Result.Alias)
 			st.Dataflow = phaseStats(ir.Result.Dataflow)
+			out.IO.Add(st.Alias.IO)
+			out.IO.Add(st.Dataflow.IO)
 		}
 		out.Instances = append(out.Instances, st)
 	}

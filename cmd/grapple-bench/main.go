@@ -9,6 +9,7 @@
 //	grapple-bench -table 5          naive string-engine comparison (Table 5)
 //	grapple-bench -table oom        traditional in-memory OOM result (§5.3)
 //	grapple-bench -table batch      batch-scheduler scaling vs worker count
+//	grapple-bench -table io         partition-store traffic, prefetch on/off
 //	grapple-bench -all              everything above
 //
 // -subjects restricts the subject set (comma separated), -mem sets the
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|batch")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|batch|io")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	subjects := flag.String("subjects", "", "comma-separated subject subset")
@@ -39,7 +40,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|batch | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|batch|io | -figure 9")
 		os.Exit(2)
 	}
 
@@ -90,6 +91,14 @@ func main() {
 	if want("prune") {
 		fmt.Fprintln(os.Stderr, "running pruning ablation (each subject twice)...")
 		out, _, err := bench.PruneAblation(names, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("io") {
+		fmt.Fprintln(os.Stderr, "running partition-store I/O measurement (each subject twice)...")
+		out, _, err := bench.IOTable(names, "")
 		if err != nil {
 			fatal(err)
 		}

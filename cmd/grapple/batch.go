@@ -208,6 +208,7 @@ func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
 			res.CacheHits, res.CacheLookups, 100*res.CacheHitRate)
 		fmt.Fprintf(stdout, "frontend prepares: %d (shared across %d instances)\n",
 			res.FrontendPrepares, len(res.Instances))
+		fmt.Fprintf(stdout, "io: %s\n", res.IO)
 		for _, st := range res.Instances {
 			status := "ok"
 			if st.Err != nil {

@@ -89,6 +89,9 @@ func TestBatchProfileSubject(t *testing.T) {
 	if !strings.Contains(text, "shared cache:") || !strings.Contains(text, "scheduler:") {
 		t.Fatalf("missing -stats sections: %q", text)
 	}
+	if !strings.Contains(text, "io: read ") {
+		t.Fatalf("missing io stats line: %q", text)
+	}
 }
 
 func TestBatchUsageErrors(t *testing.T) {

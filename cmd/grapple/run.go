@@ -197,6 +197,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			res.Alias.CFETPaths, res.Alias.PrunedBranches)
 		printPhase(stdout, "alias", res.Alias)
 		printPhase(stdout, "dataflow", res.Dataflow)
+		io := res.Alias.IO
+		io.Add(res.Dataflow.IO)
+		fmt.Fprintf(stdout, "io: %s\n", io)
+		fmt.Fprintf(stdout, "io latency: %s\n", io.LatencyString())
 		fmt.Fprintf(stdout, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)
 		fmt.Fprintf(stdout, "breakdown: I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%\n",
 			res.Breakdown.IOPct, res.Breakdown.DecodePct, res.Breakdown.SolvePct, res.Breakdown.ComputePct)

@@ -150,7 +150,7 @@ func TestRunVerboseStats(t *testing.T) {
 	if err != nil || code != 1 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
-	for _, want := range []string{"witness:", "constraint:", "tracked objects:", "alias:", "dataflow:", "breakdown:"} {
+	for _, want := range []string{"witness:", "constraint:", "tracked objects:", "alias:", "dataflow:", "breakdown:", "io:", "io latency:"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("missing %q in output", want)
 		}

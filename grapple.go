@@ -38,6 +38,7 @@ import (
 	"github.com/grapple-system/grapple/internal/fsm"
 	"github.com/grapple-system/grapple/internal/ir"
 	"github.com/grapple-system/grapple/internal/lang"
+	"github.com/grapple-system/grapple/internal/metrics"
 	"github.com/grapple-system/grapple/internal/smt"
 )
 
@@ -206,7 +207,16 @@ type PhaseStats struct {
 	RejectedUnsat     int64
 	RejectedConflict  int64
 	SolveTime         time.Duration
+	// IO reports the phase's partition-store traffic: bytes moved, cache
+	// and prefetch effectiveness, and the perceived load-latency histogram.
+	IO IOStats
 }
+
+// IOStats is the partition store's traffic summary for one engine phase.
+// Loads count reads that reached the disk; CacheHits count loads served
+// from the in-memory partition cache; PrefetchHits count disk loads whose
+// latency overlapped the previous iteration's computation.
+type IOStats = metrics.IOSnapshot
 
 // Breakdown is the Figure-9 cost split (percent of summed component time).
 type Breakdown struct {
@@ -262,6 +272,7 @@ func phaseStats(p checker.PhaseStats) PhaseStats {
 		RejectedUnsat:     p.RejectedUnsat,
 		RejectedConflict:  p.RejectedConflict,
 		SolveTime:         p.SolveTime,
+		IO:                p.IO,
 	}
 }
 

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/engine"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/metrics"
+	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/workload"
+)
+
+// IORow is one (subject, prefetch setting) measurement of the partition
+// store's traffic.
+type IORow struct {
+	Subject  string
+	Prefetch bool
+	IO       metrics.IOSnapshot
+	Wall     time.Duration
+}
+
+// ioTableBudget deliberately sits below the default 8 MiB: it forces every
+// profile's dataflow phase to split into many partitions so the out-of-core
+// path — loads, evictions, pending-buffer appends, and the prefetcher —
+// actually runs.
+const ioTableBudget = 4 << 20
+
+// IOTable measures the partition store under the out-of-core budget with
+// prefetching on and off, for the named subjects (default: all four
+// profiles). Prefetching never changes what is computed — the on/off rows
+// must agree on everything except who paid for the disk wait.
+func IOTable(names []string, workDir string) (string, []IORow, error) {
+	if len(names) == 0 {
+		names = SubjectNames()
+	}
+	var rows []IORow
+	for _, name := range names {
+		for _, prefetch := range []bool{true, false} {
+			row, err := runIO(name, workDir, prefetch)
+			if err != nil {
+				return "", nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partition-store I/O under a %d MiB budget (prefetch on vs off).\n", ioTableBudget>>20)
+	fmt.Fprintf(&b, "%-15s %-9s %9s %7s %7s %8s %8s %9s %10s\n",
+		"Subject", "Prefetch", "read MiB", "loads", "cache", "pf hits", "hit %", "evicts", "wall")
+	for _, r := range rows {
+		onOff := "off"
+		if r.Prefetch {
+			onOff = "on"
+		}
+		fmt.Fprintf(&b, "%-15s %-9s %9.1f %7d %7d %8d %8.0f %9d %10s\n",
+			r.Subject, onOff,
+			float64(r.IO.BytesRead)/(1<<20), r.IO.Loads, r.IO.CacheHits,
+			r.IO.PrefetchHits, 100*r.IO.PrefetchHitRate(), r.IO.Evictions,
+			round(r.Wall))
+	}
+	b.WriteString("Perceived load latency (prefetch hits record the join's wait, not the disk's):\n")
+	for _, r := range rows {
+		onOff := "off"
+		if r.Prefetch {
+			onOff = "on"
+		}
+		fmt.Fprintf(&b, "%-15s %-9s %s\n", r.Subject, onOff, r.IO.LatencyString())
+	}
+	return b.String(), rows, nil
+}
+
+func runIO(name, workDir string, prefetch bool) (IORow, error) {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return IORow{}, fmt.Errorf("bench: unknown subject %q", name)
+	}
+	s := workload.Generate(p)
+	dir, err := os.MkdirTemp(workDir, "grapple-io-*")
+	if err != nil {
+		return IORow{}, err
+	}
+	defer os.RemoveAll(dir)
+	c := checker.New(fsm.Builtins(), checker.Options{
+		WorkDir: dir,
+		Engine: engine.Options{
+			MemoryBudget:    ioTableBudget,
+			SolverOpts:      smt.DefaultOptions(),
+			DisablePrefetch: !prefetch,
+		},
+	})
+	start := time.Now()
+	res, err := c.CheckSource(s.Source)
+	if err != nil {
+		return IORow{}, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	io := res.Alias.IO
+	io.Add(res.Dataflow.IO)
+	return IORow{Subject: s.Name, Prefetch: prefetch, IO: io, Wall: time.Since(start)}, nil
+}

@@ -63,6 +63,11 @@ type Options struct {
 	// variable-sized edge data unbalances partitions quickly; this option
 	// exists for the ablation benchmark.
 	DeferRepartition bool
+	// DisablePrefetch turns off the background load of the partition the
+	// scheduler is predicted to need next. Prefetching never changes
+	// results or scheduling — only whether the join waits on the disk — so
+	// this exists for benchmarking the overlap (bench.IOTable).
+	DisablePrefetch bool
 }
 
 // Stats reports everything the evaluation tables need.
@@ -81,6 +86,9 @@ type Stats struct {
 	PreprocessTime    time.Duration
 	ComputeTime       time.Duration
 	SolveTime         time.Duration // summed across workers
+	// IO reports the partition store's traffic: bytes moved, cache and
+	// prefetch effectiveness, and the perceived load-latency histogram.
+	IO metrics.IOSnapshot
 }
 
 // partMeta describes one on-disk partition.
@@ -99,6 +107,9 @@ type memPart struct {
 	edges []storage.Edge
 	bySrc map[uint32][]int32
 	dirty bool
+	// lastUse is the engine's logical clock at the partition's most recent
+	// load or cache hit; ensureBudget evicts the smallest value first.
+	lastUse int64
 }
 
 func (mp *memPart) add(e storage.Edge, sz int64) {
@@ -120,11 +131,21 @@ type Engine struct {
 	g     *grammar.Grammar
 	bd    *metrics.Breakdown
 	cache *smt.Cache
+	io    *metrics.IOStats
+	pf    *prefetcher
 
 	parts   []*partMeta
 	loaded  map[int]*memPart
 	lastGen map[[2]int]uint32
 	curGen  uint32
+	// hot is the most recently processed pair (positions, remapped across
+	// repartitions). nextPair scores against hot — not against the LRU
+	// cache's contents — so pair scheduling is exactly what it was before
+	// partitions could stay cached beyond the active pair: determinism of
+	// insertion order (and thus of widening and reports) is preserved.
+	hot [2]int
+	// tick is the logical clock behind memPart.lastUse.
+	tick int64
 
 	// keys globally dedupes edges (an in-memory index, like the ICFET).
 	keys map[uint64]struct{}
@@ -152,16 +173,20 @@ func New(ic *cfet.ICFET, g *grammar.Grammar, opts Options, bd *metrics.Breakdown
 	if bd == nil {
 		bd = &metrics.Breakdown{}
 	}
+	io := &metrics.IOStats{}
 	e := &Engine{
 		opts:     opts,
 		ic:       ic,
 		g:        g,
 		bd:       bd,
+		io:       io,
+		pf:       newPrefetcher(io),
 		loaded:   map[int]*memPart{},
 		lastGen:  map[[2]int]uint32{},
 		keys:     map[uint64]struct{}{},
 		variants: map[storage.Endpoint]int{},
 		pending:  map[int][]storage.Edge{},
+		hot:      [2]int{-1, -1},
 	}
 	switch {
 	case opts.Cache != nil:
@@ -180,6 +205,7 @@ func (en *Engine) Stats() Stats {
 	s := en.stats
 	en.mu.Unlock()
 	s.Partitions = len(en.parts)
+	s.IO = en.io.Snapshot()
 	return s
 }
 
@@ -194,6 +220,9 @@ func (en *Engine) Run(initial []storage.Edge, numVertices uint32) (*Stats, error
 // done, leaving any partially-computed partitions on disk.
 func (en *Engine) RunContext(ctx context.Context, initial []storage.Edge, numVertices uint32) (*Stats, error) {
 	start := time.Now()
+	// On every exit path, wait out in-flight background loads so no
+	// goroutine outlives the run.
+	defer en.pf.drain()
 	if err := os.MkdirAll(en.opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -216,6 +245,9 @@ func (en *Engine) RunContext(ctx context.Context, initial []storage.Edge, numVer
 		}
 		en.stats.Iterations++
 	}
+	// Drain before the final snapshot so never-consumed prefetches are
+	// counted as wasted in the returned stats.
+	en.pf.drain()
 	if err := en.evictAll(); err != nil {
 		return nil, err
 	}
@@ -269,10 +301,12 @@ func (en *Engine) preprocess(initial []storage.Edge, numVertices uint32) error {
 		}
 		meta.edges = int64(len(cur))
 		ioStart := time.Now()
-		if err := storage.WriteFile(meta.path, cur); err != nil {
+		n, err := storage.WritePart(meta.path, cur, storage.PartInfo{Lo: meta.lo, Hi: meta.hi})
+		if err != nil {
 			return err
 		}
 		en.bd.AddIO(time.Since(ioStart))
+		en.io.AddWrite(n)
 		en.parts = append(en.parts, meta)
 		cur, curBytes = nil, 0
 		lo = hi
@@ -303,9 +337,11 @@ func (en *Engine) preprocess(initial []storage.Edge, numVertices uint32) error {
 	if len(en.parts) == 0 {
 		meta := &partMeta{id: 0, lo: 0, hi: numVertices,
 			path: filepath.Join(en.opts.Dir, "part-000000.edges")}
-		if err := storage.WriteFile(meta.path, nil); err != nil {
+		n, err := storage.WritePart(meta.path, nil, storage.PartInfo{Lo: meta.lo, Hi: meta.hi})
+		if err != nil {
 			return err
 		}
+		en.io.AddWrite(n)
 		en.parts = append(en.parts, meta)
 	}
 	// Widen the last partition to cover the whole vertex space.
@@ -360,7 +396,11 @@ func (en *Engine) partOf(v uint32) int {
 	return len(en.parts) - 1
 }
 
-// nextPair returns a dirty partition pair (favoring loaded partitions).
+// nextPair returns a dirty partition pair, favoring the hot pair — the two
+// partitions the previous iteration worked on. Scoring against hot rather
+// than the LRU cache's contents keeps the schedule (and so insertion order,
+// widening, and reports) independent of how many partitions happen to fit
+// in memory.
 func (en *Engine) nextPair() (int, int, bool) {
 	best, bestScore := [2]int{-1, -1}, -1
 	for i := 0; i < len(en.parts); i++ {
@@ -371,10 +411,10 @@ func (en *Engine) nextPair() (int, int, bool) {
 				continue
 			}
 			score := 0
-			if _, ok := en.loaded[i]; ok {
+			if i == en.hot[0] || i == en.hot[1] {
 				score++
 			}
-			if _, ok := en.loaded[j]; ok {
+			if j == en.hot[0] || j == en.hot[1] {
 				score++
 			}
 			if score > bestScore {
@@ -391,24 +431,52 @@ func (en *Engine) nextPair() (int, int, bool) {
 	return best[0], best[1], true
 }
 
-// load brings a partition into memory (evicting others beyond the pair).
+// load brings a partition into memory, serving from the LRU cache or a
+// completed prefetch when possible.
 func (en *Engine) load(idx int) (*memPart, error) {
+	en.tick++
 	if mp, ok := en.loaded[idx]; ok {
+		mp.lastUse = en.tick
+		en.io.CacheHit()
 		return mp, nil
 	}
 	meta := en.parts[idx]
-	ioStart := time.Now()
-	edges, err := storage.ReadFile(meta.path, nil)
-	if err != nil {
-		return nil, err
+	var edges []storage.Edge
+	var info storage.PartInfo
+	if res, waited, ok := en.pf.take(meta); ok {
+		edges, info = res.edges, res.info
+		// The join only waited this long; the disk time itself overlapped
+		// the previous iteration's computation.
+		en.bd.AddIO(waited)
+		en.io.PrefetchHit(res.bytes, waited)
+	} else {
+		ioStart := time.Now()
+		var n int64
+		var err error
+		edges, info, n, err = storage.ReadPart(meta.path, nil)
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(ioStart)
+		en.bd.AddIO(d)
+		en.io.AddRead(n, d)
 	}
-	en.bd.AddIO(time.Since(ioStart))
+	// Cross-check the file's recorded vertex interval against the partition
+	// table (a swapped or stale file decodes cleanly but holds the wrong
+	// vertices). The header's hi may lag meta.hi: preprocess widens the last
+	// partition's interval after its file is written.
+	if info.Lo != 0 || info.Hi != 0 {
+		if info.Lo != meta.lo || info.Hi > meta.hi {
+			return nil, fmt.Errorf("engine: %s: header interval [%d,%d) does not match partition %d's [%d,%d)",
+				meta.path, info.Lo, info.Hi, meta.id, meta.lo, meta.hi)
+		}
+	}
 	// Merge pending appends.
 	if p := en.pending[idx]; len(p) > 0 {
 		edges = append(edges, p...)
 		delete(en.pending, idx)
 	}
-	mp := &memPart{meta: meta, edges: edges, bySrc: map[uint32][]int32{}}
+	mp := &memPart{meta: meta, edges: edges, bySrc: map[uint32][]int32{}, lastUse: en.tick}
 	for i := range edges {
 		mp.bySrc[edges[i].Src] = append(mp.bySrc[edges[i].Src], int32(i))
 	}
@@ -416,21 +484,66 @@ func (en *Engine) load(idx int) (*memPart, error) {
 	return mp, nil
 }
 
-// evict writes a loaded partition back to disk and drops it from memory.
+// evict writes a loaded partition back to disk (if dirty) and drops it from
+// memory.
 func (en *Engine) evict(idx int) error {
 	mp, ok := en.loaded[idx]
 	if !ok {
 		return nil
 	}
 	if mp.dirty {
+		en.pf.invalidate(mp.meta)
 		ioStart := time.Now()
-		if err := storage.WriteFile(mp.meta.path, mp.edges); err != nil {
+		n, err := storage.WritePart(mp.meta.path, mp.edges, storage.PartInfo{Lo: mp.meta.lo, Hi: mp.meta.hi})
+		if err != nil {
 			return err
 		}
 		en.bd.AddIO(time.Since(ioStart))
+		en.io.AddWrite(n)
 	}
 	delete(en.loaded, idx)
+	en.io.Eviction()
 	return nil
+}
+
+// ensureBudget makes room for the pair (i, j) by evicting cached partitions
+// — never i or j — least-recently-used first, until the pair fits the
+// memory budget alongside whatever stays cached. Victim selection is
+// deterministic: ticks are unique, and equal ticks fall back to the lowest
+// position.
+func (en *Engine) ensureBudget(i, j int) error {
+	need := en.parts[i].bytes
+	if j != i {
+		need += en.parts[j].bytes
+	}
+	for {
+		var cached int64
+		for idx, mp := range en.loaded {
+			if idx != i && idx != j {
+				cached += mp.meta.bytes
+			}
+		}
+		if cached == 0 || cached+need <= en.opts.MemoryBudget {
+			return nil
+		}
+		victim := -1
+		var victimUse int64
+		for idx, mp := range en.loaded {
+			if idx == i || idx == j {
+				continue
+			}
+			if victim < 0 || mp.lastUse < victimUse ||
+				(mp.lastUse == victimUse && idx < victim) {
+				victim, victimUse = idx, mp.lastUse
+			}
+		}
+		if victim < 0 {
+			return nil
+		}
+		if err := en.evict(victim); err != nil {
+			return err
+		}
+	}
 }
 
 func (en *Engine) evictAll() error {
@@ -444,18 +557,22 @@ func (en *Engine) evictAll() error {
 		if len(p) == 0 {
 			continue
 		}
+		en.pf.invalidate(en.parts[idx])
 		ioStart := time.Now()
-		if err := storage.AppendFile(en.parts[idx].path, p); err != nil {
+		n, err := storage.AppendPart(en.parts[idx].path, p)
+		if err != nil {
 			return err
 		}
 		en.bd.AddIO(time.Since(ioStart))
+		en.io.AddAppend(n)
 		delete(en.pending, idx)
 	}
 	return nil
 }
 
 // flushPending appends buffered edges for unloaded partitions once buffers
-// grow; loaded partitions never buffer.
+// grow; loaded partitions never buffer. Any prefetch of the target file is
+// invalidated first: the bytes it read predate the append.
 func (en *Engine) flushPending(force bool) error {
 	for idx, p := range en.pending {
 		if len(p) == 0 {
@@ -464,11 +581,14 @@ func (en *Engine) flushPending(force bool) error {
 		if !force && len(p) < 4096 {
 			continue
 		}
+		en.pf.invalidate(en.parts[idx])
 		ioStart := time.Now()
-		if err := storage.AppendFile(en.parts[idx].path, p); err != nil {
+		n, err := storage.AppendPart(en.parts[idx].path, p)
+		if err != nil {
 			return err
 		}
 		en.bd.AddIO(time.Since(ioStart))
+		en.io.AddAppend(n)
 		delete(en.pending, idx)
 	}
 	return nil

@@ -24,13 +24,10 @@ type candidate struct {
 // we need to consider the constraints of both assignment semantics and
 // paths").
 func (en *Engine) processPair(i, j int) error {
-	// Evict everything but i, j.
-	for idx := range en.loaded {
-		if idx != i && idx != j {
-			if err := en.evict(idx); err != nil {
-				return err
-			}
-		}
+	// Make room for i, j; other cached partitions stay resident until the
+	// memory budget forces them out, least-recently-used first.
+	if err := en.ensureBudget(i, j); err != nil {
+		return err
 	}
 	pi, err := en.load(i)
 	if err != nil {
@@ -42,6 +39,7 @@ func (en *Engine) processPair(i, j int) error {
 			return err
 		}
 	}
+	en.hot = [2]int{i, j}
 	key := [2]int{en.parts[i].id, en.parts[j].id}
 	last, seen := en.lastGen[key]
 	en.curGen++
@@ -94,6 +92,12 @@ func (en *Engine) processPair(i, j int) error {
 			results[w] = en.joinRange(firsts[lo:hi], lookup, last, seen, gen)
 		}(w, lo, hi)
 	}
+	// While the join computes, start loading the partition the scheduler is
+	// predicted to need next, so the next iteration's disk wait overlaps
+	// this iteration's CPU work.
+	if !en.opts.DisablePrefetch {
+		en.speculate(i, j)
+	}
 	wg.Wait()
 
 	// Insert candidates (single-threaded: dedupe set and partitions).
@@ -126,6 +130,51 @@ func (en *Engine) processPair(i, j int) error {
 		}
 	}
 	return nil
+}
+
+// speculate predicts the pair the scheduler will pick once the current one
+// goes clean and starts background loads for its unloaded members. The scan
+// mirrors nextPair (hot scoring, same order) but skips the current pair —
+// re-selecting it costs no I/O — and pairs already fully in memory. A wrong
+// guess costs one stale or wasted prefetch, never correctness: prefetching
+// only changes when bytes are read, not what the engine computes.
+func (en *Engine) speculate(curI, curJ int) {
+	best, bestScore := [2]int{-1, -1}, -1
+	for i := 0; i < len(en.parts); i++ {
+		for j := i; j < len(en.parts); j++ {
+			if i == curI && j == curJ {
+				continue
+			}
+			key := [2]int{en.parts[i].id, en.parts[j].id}
+			last, seen := en.lastGen[key]
+			if seen && en.parts[i].maxGen <= last && en.parts[j].maxGen <= last {
+				continue
+			}
+			_, iLoaded := en.loaded[i]
+			_, jLoaded := en.loaded[j]
+			if iLoaded && jLoaded {
+				continue
+			}
+			score := 0
+			if i == curI || i == curJ {
+				score++
+			}
+			if j == curI || j == curJ {
+				score++
+			}
+			if score > bestScore {
+				best, bestScore = [2]int{i, j}, score
+			}
+		}
+	}
+	if bestScore < 0 {
+		return
+	}
+	for _, idx := range best {
+		if _, ok := en.loaded[idx]; !ok {
+			en.pf.start(en.parts[idx])
+		}
+	}
 }
 
 // encCacheKey builds the memoization key from an encoding's raw elements.
@@ -375,10 +424,12 @@ func (en *Engine) repartition(idx int) error {
 
 	// Persist the new partition; keep the low half loaded.
 	ioStart := time.Now()
-	if err := storage.WriteFile(newMeta.path, hiEdges); err != nil {
+	n, err := storage.WritePart(newMeta.path, hiEdges, storage.PartInfo{Lo: newMeta.lo, Hi: newMeta.hi})
+	if err != nil {
 		return err
 	}
 	en.bd.AddIO(time.Since(ioStart))
+	en.io.AddWrite(n)
 
 	mp.edges = loEdges
 	mp.bySrc = map[uint32][]int32{}
@@ -442,7 +493,13 @@ func (en *Engine) remapAfterInsert(pos int) {
 		}
 	}
 	en.pending = newPending
-	// lastGen is keyed by stable partition IDs, not positions: safe.
+	for k, idx := range en.hot {
+		if idx >= pos {
+			en.hot[k] = idx + 1
+		}
+	}
+	// lastGen is keyed by stable partition IDs, not positions: safe. The
+	// prefetcher is keyed by *partMeta pointers, equally stable.
 }
 
 // ForEach streams every edge of the closed graph from disk (after Run).

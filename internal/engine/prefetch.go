@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/metrics"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// prefetched is the result of one background partition load.
+type prefetched struct {
+	edges []storage.Edge
+	info  storage.PartInfo
+	bytes int64
+	err   error
+}
+
+type prefetchEntry struct {
+	done chan struct{}
+	res  prefetched
+}
+
+// prefetcher overlaps partition loads with the join: while one partition
+// pair computes, the load the scheduler will need next already streams from
+// disk. Entries are keyed by *partMeta — stable across repartitioning, which
+// renumbers partition positions but never reallocates metadata.
+//
+// Prefetched edges live outside the engine's memory-budget accounting; at
+// most a handful of entries exist at once (one speculation per iteration),
+// bounded by the same per-partition size the budget already admits.
+type prefetcher struct {
+	mu      sync.Mutex
+	entries map[*partMeta]*prefetchEntry
+	wg      sync.WaitGroup
+	io      *metrics.IOStats
+}
+
+func newPrefetcher(io *metrics.IOStats) *prefetcher {
+	return &prefetcher{entries: map[*partMeta]*prefetchEntry{}, io: io}
+}
+
+// start begins loading meta's file in the background; no-op when a prefetch
+// for meta is already in flight.
+func (pf *prefetcher) start(meta *partMeta) {
+	pf.mu.Lock()
+	if _, dup := pf.entries[meta]; dup {
+		pf.mu.Unlock()
+		return
+	}
+	e := &prefetchEntry{done: make(chan struct{})}
+	pf.entries[meta] = e
+	pf.mu.Unlock()
+	pf.io.PrefetchIssued()
+	pf.wg.Add(1)
+	go func() {
+		defer pf.wg.Done()
+		edges, info, n, err := storage.ReadPart(meta.path, nil)
+		e.res = prefetched{edges: edges, info: info, bytes: n, err: err}
+		close(e.done)
+	}()
+}
+
+// take claims the prefetch for meta, blocking until the background read
+// finishes. ok is false when no usable prefetch exists (never started,
+// invalidated, or the read failed) — the caller then loads synchronously.
+// waited is how long the caller actually blocked: the join's perceived
+// latency, which a prefetch that overlapped fully drives to ~zero.
+func (pf *prefetcher) take(meta *partMeta) (res prefetched, waited time.Duration, ok bool) {
+	pf.mu.Lock()
+	e, exists := pf.entries[meta]
+	if exists {
+		delete(pf.entries, meta)
+	}
+	pf.mu.Unlock()
+	if !exists {
+		return prefetched{}, 0, false
+	}
+	waitStart := time.Now()
+	<-e.done
+	waited = time.Since(waitStart)
+	if e.res.err != nil {
+		// A failed background read is not fatal: the caller retries
+		// synchronously and surfaces that error if it persists.
+		return prefetched{}, waited, false
+	}
+	return e.res, waited, true
+}
+
+// invalidate discards any prefetch of meta. Callers must invalidate before
+// writing to a partition file that could be prefetch-in-flight; a reader
+// racing an in-place append may see a torn block, so its result must never
+// be consumed. (Whole-file writes rename and cannot tear, but the
+// pre-rename bytes are equally stale.)
+func (pf *prefetcher) invalidate(meta *partMeta) {
+	pf.mu.Lock()
+	_, exists := pf.entries[meta]
+	delete(pf.entries, meta)
+	pf.mu.Unlock()
+	if exists {
+		pf.io.PrefetchStale()
+	}
+}
+
+// drain waits out in-flight reads and counts never-consumed entries. Safe to
+// call more than once.
+func (pf *prefetcher) drain() {
+	pf.wg.Wait()
+	pf.mu.Lock()
+	wasted := len(pf.entries)
+	pf.entries = map[*partMeta]*prefetchEntry{}
+	pf.mu.Unlock()
+	for i := 0; i < wasted; i++ {
+		pf.io.PrefetchWasted()
+	}
+}

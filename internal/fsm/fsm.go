@@ -199,13 +199,18 @@ func (r Rel) Pack(dst []byte) []byte {
 	return dst
 }
 
-// UnpackRel deserializes a relation packed by Pack.
-func UnpackRel(src []byte) (Rel, []byte) {
+// UnpackRel deserializes a relation packed by Pack. It returns an error
+// (never panics) when src is shorter than PackedRelSize, so a truncated or
+// corrupted payload is diagnosable instead of decoding as garbage.
+func UnpackRel(src []byte) (Rel, []byte, error) {
 	var r Rel
+	if len(src) < PackedRelSize {
+		return r, nil, fmt.Errorf("fsm: packed relation needs %d bytes, have %d", PackedRelSize, len(src))
+	}
 	for i := range r {
 		r[i] = uint16(src[2*i]) | uint16(src[2*i+1])<<8
 	}
-	return r, src[2*MaxStates:]
+	return r, src[2*MaxStates:], nil
 }
 
 // PackedRelSize is the byte size of a packed relation.

@@ -141,11 +141,19 @@ func TestRelPackRoundTrip(t *testing.T) {
 		if len(buf) != PackedRelSize {
 			return false
 		}
-		got, rest := UnpackRel(buf)
-		return got == r && len(rest) == 0
+		got, rest, err := UnpackRel(buf)
+		return err == nil && got == r && len(rest) == 0
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestUnpackRelShortInput(t *testing.T) {
+	for _, n := range []int{0, 1, PackedRelSize - 1} {
+		if _, _, err := UnpackRel(make([]byte, n)); err == nil {
+			t.Errorf("UnpackRel accepted %d bytes", n)
+		}
 	}
 }
 

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIOStatsCounters(t *testing.T) {
+	var s IOStats
+	s.AddRead(1000, 80*time.Microsecond)
+	s.AddRead(2000, 10*time.Millisecond)
+	s.AddWrite(500)
+	s.AddAppend(50)
+	s.CacheHit()
+	s.Eviction()
+	s.PrefetchIssued()
+	s.PrefetchHit(3000, 5*time.Microsecond)
+	s.PrefetchStale()
+	s.PrefetchWasted()
+
+	got := s.Snapshot()
+	if got.BytesRead != 6000 {
+		t.Errorf("BytesRead = %d, want 6000", got.BytesRead)
+	}
+	if got.BytesWritten != 550 {
+		t.Errorf("BytesWritten = %d, want 550", got.BytesWritten)
+	}
+	if got.Loads != 3 || got.CacheHits != 1 || got.Evictions != 1 ||
+		got.Writes != 1 || got.Appends != 1 {
+		t.Errorf("counter mismatch: %+v", got)
+	}
+	if got.PrefetchIssued != 1 || got.PrefetchHits != 1 ||
+		got.PrefetchStale != 1 || got.PrefetchWasted != 1 {
+		t.Errorf("prefetch counters: %+v", got)
+	}
+	// 5µs and 80µs land in buckets 0 and 1; 10ms in the <25ms bucket.
+	if got.LoadLatency[0] != 1 || got.LoadLatency[1] != 1 || got.LoadLatency[6] != 1 {
+		t.Errorf("latency histogram: %v", got.LoadLatency)
+	}
+	if r := got.PrefetchHitRate(); r < 0.33 || r > 0.34 {
+		t.Errorf("hit rate = %v, want 1/3", r)
+	}
+}
+
+func TestIOSnapshotAdd(t *testing.T) {
+	a := IOSnapshot{BytesRead: 10, Loads: 2, PrefetchHits: 1}
+	a.LoadLatency[3] = 4
+	b := IOSnapshot{BytesRead: 5, Loads: 1, Evictions: 7}
+	b.LoadLatency[3] = 1
+	a.Add(b)
+	if a.BytesRead != 15 || a.Loads != 3 || a.Evictions != 7 || a.LoadLatency[3] != 5 {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestIOSnapshotStrings(t *testing.T) {
+	var zero IOSnapshot
+	if zero.PrefetchHitRate() != 0 {
+		t.Error("zero snapshot must have zero hit rate")
+	}
+	if zero.LatencyString() != "no loads" {
+		t.Errorf("zero latency string: %q", zero.LatencyString())
+	}
+	var s IOStats
+	s.AddRead(1<<20, 200*time.Microsecond)
+	s.AddRead(1<<20, 100*time.Millisecond)
+	snap := s.Snapshot()
+	if out := snap.String(); !strings.Contains(out, "2 loads") {
+		t.Errorf("String: %q", out)
+	}
+	ls := snap.LatencyString()
+	if !strings.Contains(ls, "<250µs:1") || !strings.Contains(ls, "≥25ms:1") {
+		t.Errorf("LatencyString: %q", ls)
+	}
+}
+
+func TestIOStatsConcurrent(t *testing.T) {
+	var s IOStats
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.AddRead(1, time.Microsecond)
+				s.CacheHit()
+			}
+		}()
+	}
+	wg.Wait()
+	got := s.Snapshot()
+	if got.Loads != 8000 || got.CacheHits != 8000 || got.BytesRead != 8000 {
+		t.Errorf("concurrent totals: %+v", got)
+	}
+}

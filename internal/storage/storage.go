@@ -5,15 +5,22 @@
 // record itself carries the length of the sequence rather than pointing at a
 // separate object, trading random access (which the engine never needs; its
 // accesses are sequential) for locality.
+//
+// Two record encodings exist. Format v2 (the current writer, see file.go)
+// stores the encoding length as a uvarint inside CRC-protected blocks;
+// legacy v1 records use a single length byte and live in bare record
+// streams with no integrity metadata. The v1 codec is kept for transparent
+// read-back of pre-v2 partition files.
 package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
-	"os"
 
 	"github.com/grapple-system/grapple/internal/cfet"
 	"github.com/grapple-system/grapple/internal/fsm"
@@ -69,31 +76,19 @@ func (e *Edge) Endpoint() Endpoint {
 	return Endpoint{Src: e.Src, Dst: e.Dst, Label: e.Label}
 }
 
-// AppendRecord serializes e onto dst.
-func AppendRecord(dst []byte, e *Edge) []byte {
+// maxEncElems bounds a decoded encoding's element count: a defense against
+// corrupted (or adversarial) length fields allocating unbounded memory. Real
+// encodings are bounded by the ICFET's MaxEncLen, orders of magnitude below.
+const maxEncElems = 1 << 20
+
+// errEncTooLong reports a legacy-format record whose encoding does not fit
+// the v1 single-byte length field.
+var errEncTooLong = errors.New("storage: encoding exceeds 255 elements (v1 record limit; write format v2 instead)")
+
+// appendElems serializes the path-encoding elements (shared by v1 and v2).
+func appendElems(dst []byte, enc cfet.Enc) []byte {
 	var tmp [binary.MaxVarintLen64]byte
-	put32 := func(v uint32) {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], v)
-		dst = append(dst, b[:]...)
-	}
-	put32(e.Src)
-	put32(e.Dst)
-	dst = append(dst, byte(e.Label), byte(e.Label>>8))
-	put32(e.Gen)
-	flags := byte(0)
-	if e.HasRel {
-		flags |= 1
-	}
-	dst = append(dst, flags)
-	if e.HasRel {
-		dst = e.Rel.Pack(dst)
-	}
-	if len(e.Enc) > 255 {
-		panic("storage: encoding too long")
-	}
-	dst = append(dst, byte(len(e.Enc)))
-	for _, el := range e.Enc {
+	for _, el := range enc {
 		dst = append(dst, byte(el.Kind))
 		switch el.Kind {
 		case cfet.KInterval:
@@ -111,36 +106,81 @@ func AppendRecord(dst []byte, e *Edge) []byte {
 	return dst
 }
 
-// byteReader adapts bufio.Reader for both byte and block reads.
-type recordReader struct {
-	r *bufio.Reader
+// appendCommon serializes the fixed head shared by both record formats.
+func appendCommon(dst []byte, e *Edge) []byte {
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	put32(e.Src)
+	put32(e.Dst)
+	dst = append(dst, byte(e.Label), byte(e.Label>>8))
+	put32(e.Gen)
+	flags := byte(0)
+	if e.HasRel {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	if e.HasRel {
+		dst = e.Rel.Pack(dst)
+	}
+	return dst
 }
 
-func (rr recordReader) full(buf []byte) error {
-	_, err := io.ReadFull(rr.r, buf)
-	return err
+// AppendRecord serializes e onto dst in the legacy v1 format. It returns an
+// error — never panics — when the path encoding exceeds the v1 single-byte
+// length field; such edges require format v2 (see WritePart).
+func AppendRecord(dst []byte, e *Edge) ([]byte, error) {
+	if len(e.Enc) > 255 {
+		return dst, errEncTooLong
+	}
+	dst = appendCommon(dst, e)
+	dst = append(dst, byte(len(e.Enc)))
+	return appendElems(dst, e.Enc), nil
 }
 
-// ReadRecord deserializes the next edge. Returns io.EOF cleanly at end.
-func ReadRecord(r *bufio.Reader, e *Edge) error {
+// appendRecordV2 serializes e in the v2 format (uvarint encoding length; no
+// length limit, so it cannot fail).
+func appendRecordV2(dst []byte, e *Edge) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = appendCommon(dst, e)
+	n := binary.PutUvarint(tmp[:], uint64(len(e.Enc)))
+	dst = append(dst, tmp[:n]...)
+	return appendElems(dst, e.Enc)
+}
+
+// recordSrc is what the record decoder needs; satisfied by bufio.Reader
+// (legacy streams) and bytes.Reader (v2 block payloads).
+type recordSrc interface {
+	io.Reader
+	io.ByteReader
+}
+
+// decodeRecord deserializes one record. v2 selects the uvarint encoding
+// length; otherwise the legacy single length byte is read.
+func decodeRecord(r recordSrc, e *Edge, v2 bool) error {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:1]); err != nil {
 		return err // io.EOF at a record boundary
 	}
-	rr := recordReader{r}
-	if err := rr.full(head[1:4]); err != nil {
+	full := func(buf []byte) error {
+		_, err := io.ReadFull(r, buf)
+		return err
+	}
+	if err := full(head[1:4]); err != nil {
 		return fmt.Errorf("storage: truncated src: %w", err)
 	}
 	e.Src = binary.LittleEndian.Uint32(head[:])
-	if err := rr.full(head[:4]); err != nil {
+	if err := full(head[:4]); err != nil {
 		return fmt.Errorf("storage: truncated dst: %w", err)
 	}
 	e.Dst = binary.LittleEndian.Uint32(head[:])
-	if err := rr.full(head[:2]); err != nil {
+	if err := full(head[:2]); err != nil {
 		return fmt.Errorf("storage: truncated label: %w", err)
 	}
 	e.Label = grammar.Label(binary.LittleEndian.Uint16(head[:2]))
-	if err := rr.full(head[:4]); err != nil {
+	if err := full(head[:4]); err != nil {
 		return fmt.Errorf("storage: truncated gen: %w", err)
 	}
 	e.Gen = binary.LittleEndian.Uint32(head[:])
@@ -148,21 +188,45 @@ func ReadRecord(r *bufio.Reader, e *Edge) error {
 	if err != nil {
 		return fmt.Errorf("storage: truncated flags: %w", err)
 	}
+	if flags&^byte(1) != 0 {
+		return fmt.Errorf("storage: bad record flags %#x", flags)
+	}
 	e.HasRel = flags&1 != 0
 	if e.HasRel {
 		var relBuf [fsm.PackedRelSize]byte
-		if err := rr.full(relBuf[:]); err != nil {
+		if err := full(relBuf[:]); err != nil {
 			return fmt.Errorf("storage: truncated rel: %w", err)
 		}
-		e.Rel, _ = fsm.UnpackRel(relBuf[:])
+		rel, _, err := fsm.UnpackRel(relBuf[:])
+		if err != nil {
+			return fmt.Errorf("storage: corrupt rel payload: %w", err)
+		}
+		e.Rel = rel
 	} else {
 		e.Rel = fsm.Rel{}
 	}
-	n, err := r.ReadByte()
-	if err != nil {
-		return fmt.Errorf("storage: truncated enc len: %w", err)
+	var n uint64
+	if v2 {
+		n, err = binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("storage: truncated enc len: %w", err)
+		}
+	} else {
+		b, err := r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("storage: truncated enc len: %w", err)
+		}
+		n = uint64(b)
 	}
-	if cap(e.Enc) >= int(n) {
+	if n > maxEncElems {
+		return fmt.Errorf("storage: encoding length %d exceeds limit %d", n, maxEncElems)
+	}
+	// Each element costs at least 2 bytes; when the source knows its
+	// remaining size, reject impossible lengths before allocating.
+	if br, ok := r.(*bytes.Reader); ok && n > uint64(br.Len()) {
+		return fmt.Errorf("storage: encoding length %d exceeds remaining payload %d", n, br.Len())
+	}
+	if uint64(cap(e.Enc)) >= n {
 		e.Enc = e.Enc[:n]
 	} else {
 		e.Enc = make(cfet.Enc, n)
@@ -200,82 +264,14 @@ func ReadRecord(r *bufio.Reader, e *Edge) error {
 	return nil
 }
 
-// WriteFile writes edges to path (atomically via rename).
-func WriteFile(path string, edges []Edge) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	var buf []byte
-	for i := range edges {
-		buf = AppendRecord(buf[:0], &edges[i])
-		if _, err := w.Write(buf); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+// ReadRecord deserializes the next legacy v1 edge record. Returns io.EOF
+// cleanly at a record boundary.
+func ReadRecord(r *bufio.Reader, e *Edge) error {
+	return decodeRecord(r, e, false)
 }
 
-// ReadFile loads all edges from path, appending to dst.
-func ReadFile(path string, dst []Edge) ([]Edge, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return dst, nil
-		}
-		return nil, err
-	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	for {
-		var e Edge
-		err := ReadRecord(r, &e)
-		if err == io.EOF {
-			return dst, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		dst = append(dst, e)
-	}
-}
-
-// AppendFile appends edges to path (creating it if needed).
-func AppendFile(path string, edges []Edge) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	var buf []byte
-	for i := range edges {
-		buf = AppendRecord(buf[:0], &edges[i])
-		if _, err := w.Write(buf); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// RecordSize returns the serialized size of e in bytes.
+// RecordSize returns the serialized v2 size of e in bytes (the size the
+// engine's byte budgets account against).
 func RecordSize(e *Edge) int64 {
-	return int64(len(AppendRecord(nil, e)))
+	return int64(len(appendRecordV2(nil, e)))
 }
