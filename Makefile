@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race fuzz golden ci bench
+.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self
 
 build:
 	$(GO) build ./...
@@ -26,13 +26,30 @@ fmt-check:
 race:
 	$(GO) test -race ./internal/storage/... ./internal/engine/... ./internal/checker/... ./internal/scheduler/...
 
-# Short fuzzing sessions: SMT cache-keying invariants, then the partition
-# store's record decoders (v1 and v2) and whole-file reader.
+# Short fuzzing sessions: SMT cache-keying invariants, the partition
+# store's record decoders (v1 and v2) and whole-file reader, then the
+# interprocedural points-to solver (termination bound + summary
+# idempotence on arbitrary MiniLang inputs).
 fuzz:
 	$(GO) test ./internal/smt/ -fuzz FuzzCacheKeying -fuzztime 30s
 	$(GO) test ./internal/storage/ -fuzz FuzzReadRecord -fuzztime 20s
 	$(GO) test ./internal/storage/ -fuzz FuzzDecodeRecordV2 -fuzztime 20s
 	$(GO) test ./internal/storage/ -fuzz FuzzReadPart -fuzztime 20s
+	$(GO) test ./internal/analysis/ -fuzz FuzzPointsTo -fuzztime 20s
+
+# Self-lint: every shipped example's embedded MiniLang program must pass
+# `grapple lint` (all rules, including the interprocedural ones) with no
+# findings — the linter's zero-false-positive bias, checked against our
+# own code.
+lint-self: build
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	for d in examples/*/main.go; do \
+		name=$$(basename $$(dirname $$d)); \
+		awk '/^const program = `$$/{flag=1;next} flag && /^`$$/{exit} flag' $$d > "$$tmp/$$name.ml"; \
+		echo "lint-self: $$name"; \
+		$(GO) run ./cmd/grapple lint "$$tmp/$$name.ml"; \
+	done
 
 # Regenerate the golden-report regression corpus (testdata/golden/).
 golden:
@@ -41,4 +58,4 @@ golden:
 bench:
 	$(GO) run ./cmd/grapple-bench -all
 
-ci: vet fmt-check race test
+ci: vet fmt-check race test lint-self

@@ -10,6 +10,8 @@
 //	grapple-bench -table oom        traditional in-memory OOM result (§5.3)
 //	grapple-bench -table batch      batch-scheduler scaling vs worker count
 //	grapple-bench -table io         partition-store traffic, prefetch on/off
+//	grapple-bench -table prune      infeasible-branch pruning ablation
+//	grapple-bench -table slice      property-relevance slicing ablation
 //	grapple-bench -all              everything above
 //
 // -subjects restricts the subject set (comma separated), -mem sets the
@@ -27,7 +29,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|batch|io")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	subjects := flag.String("subjects", "", "comma-separated subject subset")
@@ -40,7 +42,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|batch|io | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io | -figure 9")
 		os.Exit(2)
 	}
 
@@ -91,6 +93,14 @@ func main() {
 	if want("prune") {
 		fmt.Fprintln(os.Stderr, "running pruning ablation (each subject twice)...")
 		out, _, err := bench.PruneAblation(names, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("slice") {
+		fmt.Fprintln(os.Stderr, "running slicing ablation (each subject x each property, twice)...")
+		out, _, err := bench.SliceAblation(names, "")
 		if err != nil {
 			fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
 	grapple "github.com/grapple-system/grapple"
 )
@@ -27,6 +28,7 @@ func runLint(args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("grapple lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines")
+	rules := fs.String("rules", "", "comma-separated diagnostic codes to run (e.g. ND001,LK001); default all")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
 	}
@@ -35,12 +37,18 @@ func runLint(args []string, stdout, stderr io.Writer) (int, error) {
 		fs.PrintDefaults()
 		return 2, nil
 	}
+	var ruleCodes []string
+	for _, code := range strings.Split(*rules, ",") {
+		if code = strings.TrimSpace(code); code != "" {
+			ruleCodes = append(ruleCodes, code)
+		}
+	}
 
 	combined, locate, err := loadSources(fs.Args())
 	if err != nil {
 		return 2, err
 	}
-	diags, err := grapple.Lint(combined)
+	diags, err := grapple.LintWith(combined, ruleCodes)
 	if err != nil {
 		return 2, err
 	}

@@ -127,6 +127,38 @@ fun main() {
 	}
 }
 
+func TestLintRulesFilter(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", defectiveSrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", "-rules", "RD001,UA001", prog}, &out, &errb)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v out=%q", code, err, out.String())
+	}
+	for _, want := range []string{"RD001", "UA001"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in filtered output:\n%s", want, out.String())
+		}
+	}
+	// CF002 fires on defectiveSrc but was not requested.
+	if strings.Contains(out.String(), "CF002") {
+		t.Errorf("unrequested CF002 in filtered output:\n%s", out.String())
+	}
+}
+
+func TestLintUnknownRuleExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", defectiveSrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", "-rules", "ND001,XX999", prog}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("unknown-rule exit code %d, want 2", code)
+	}
+	if err == nil || !strings.Contains(err.Error(), "unknown lint rule") {
+		t.Fatalf("unknown-rule error %v, want mention of unknown lint rule", err)
+	}
+}
+
 func TestLintUsageAndParseErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code, _ := run([]string{"lint"}, &out, &errb); code != 2 {
@@ -181,5 +213,51 @@ fun main() {
 	}
 	if rp, ru := reportLine(pruned.String()), reportLine(unpruned.String()); rp == "" || rp != ru {
 		t.Fatalf("reports differ with pruning:\n  pruned:   %q\n  unpruned: %q", rp, ru)
+	}
+}
+
+func TestRunNoSliceFlag(t *testing.T) {
+	dir := t.TempDir()
+	// tune touches no tracked object, so the slicer drops it; reports must be
+	// identical either way.
+	prog := writeFile(t, dir, "p.ml", `
+type FileWriter;
+fun tune(n: int) {
+  var k: int = n + 2;
+  k = k * 3;
+  return;
+}
+fun main() {
+  var cfg: int = input();
+  tune(cfg);
+  var w: FileWriter = new FileWriter();
+  if (cfg > 4) {
+    w.write();
+  }
+  return;
+}
+`)
+	var sliced, unsliced, errb bytes.Buffer
+	codeS, errS := run([]string{"-stats", prog}, &sliced, &errb)
+	codeU, errU := run([]string{"-stats", "-noslice", prog}, &unsliced, &errb)
+	if errS != nil || errU != nil || codeS != 1 || codeU != 1 {
+		t.Fatalf("codes=%d/%d errs=%v/%v", codeS, codeU, errS, errU)
+	}
+	if !strings.Contains(sliced.String(), "sliced functions: 1") {
+		t.Fatalf("sliced run stats: %q", sliced.String())
+	}
+	if !strings.Contains(unsliced.String(), "sliced functions: 0") {
+		t.Fatalf("unsliced run stats: %q", unsliced.String())
+	}
+	reportLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "[io]") {
+				return line
+			}
+		}
+		return ""
+	}
+	if rs, ru := reportLine(sliced.String()), reportLine(unsliced.String()); rs == "" || rs != ru {
+		t.Fatalf("reports differ with slicing:\n  sliced:   %q\n  unsliced: %q", rs, ru)
 	}
 }

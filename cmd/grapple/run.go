@@ -87,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	query := fs.String("query", "", "points-to query 'method.variable' (e.g. main.w)")
 	dotDir := fs.String("dot", "", "write program graphs as Graphviz files into this directory")
 	noPrune := fs.Bool("noprune", false, "disable constant-driven infeasible-branch pruning")
+	noSlice := fs.Bool("noslice", false, "disable property-relevance slicing")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
 	}
@@ -124,6 +125,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if *noPrune {
 		prune = grapple.PruneOff
 	}
+	slice := grapple.SliceDefault
+	if *noSlice {
+		slice = grapple.SliceOff
+	}
 	res, err := grapple.Check(combined, fsms, grapple.Options{
 		WorkDir:        *workDir,
 		MemoryBudget:   *mem,
@@ -131,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		RecordPointsTo: *query != "",
 		DumpDOT:        *dotDir,
 		Prune:          prune,
+		Slice:          slice,
 	})
 	if err != nil {
 		return 2, err
@@ -195,6 +201,8 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "\ntracked objects: %d\n", res.TrackedObjects)
 		fmt.Fprintf(stdout, "cfet paths: %d (pruned branches: %d)\n",
 			res.Alias.CFETPaths, res.Alias.PrunedBranches)
+		fmt.Fprintf(stdout, "sliced functions: %d (sliced branches: %d)\n",
+			res.Alias.SlicedFunctions, res.Alias.SlicedBranches)
 		printPhase(stdout, "alias", res.Alias)
 		printPhase(stdout, "dataflow", res.Dataflow)
 		io := res.Alias.IO

@@ -72,7 +72,7 @@ fun audit(amount: int) {
 }
 
 // report queries after commit: BUG (error transition).
-fun report(amount: int) {
+fun report() {
   var t: Txn = new Txn();
   t.begin();
   t.commit();
@@ -84,7 +84,7 @@ fun main() {
   var amount: int = input();
   transfer(amount);
   audit(amount);
-  report(amount);
+  report();
   return;
 }
 `

@@ -46,7 +46,7 @@ fun handleGuarded(n: int) {
 }
 
 // handleBroken mis-orders unlock and lock (the HDFS bug shape).
-fun handleBroken(n: int) {
+fun handleBroken() {
   var mu: Lock = new Lock();
   mu.unlock();   // BUG: unlock before lock
   mu.lock();
@@ -58,7 +58,7 @@ fun main() {
   var n: int = input();
   handleRead(n);
   handleGuarded(n);
-  handleBroken(n);
+  handleBroken();
   return;
 }
 `

@@ -30,6 +30,8 @@ package grapple
 import (
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/grapple-system/grapple/internal/analysis"
@@ -168,6 +170,15 @@ type Options struct {
 	// identical but the trees — and every downstream phase — are smaller.
 	// Set PruneOff for the unpruned baseline.
 	Prune PruneMode
+	// Slice controls property-relevance slicing (default on). A
+	// flow-insensitive points-to pass computes which functions and branches
+	// can possibly affect an object of a checked FSM's type; irrelevant
+	// functions collapse to stubs and irrelevant branches never split the
+	// CFET. Verdicts are preserved (docs/slicing.md gives the argument);
+	// set SliceOff for the unsliced baseline. Slicing is skipped
+	// automatically when RecordPointsTo is set, since that query class
+	// spans untracked variables too.
+	Slice SliceMode
 }
 
 // PruneMode selects whether infeasible-branch pruning runs.
@@ -183,6 +194,19 @@ const (
 	PruneOff = checker.PruneOff
 )
 
+// SliceMode selects whether property-relevance slicing runs.
+type SliceMode = checker.SliceMode
+
+// Slice modes.
+const (
+	// SliceDefault (the zero value) enables slicing.
+	SliceDefault = checker.SliceDefault
+	// SliceOn explicitly enables slicing.
+	SliceOn = checker.SliceOn
+	// SliceOff disables slicing.
+	SliceOff = checker.SliceOff
+)
+
 // PointsToFact is one alias-phase result: under one clone of Method, Var
 // may reference the object of type ObjType allocated at ObjPos, under
 // Constraint ("true" when unconditional).
@@ -194,8 +218,13 @@ type PhaseStats struct {
 	// CFETPaths is the number of encoded CFET paths the phase decodes
 	// against; PrunedBranches counts the branch sites the pre-analysis
 	// resolved before the tree was built (0 with Options.Prune off).
-	CFETPaths         int
-	PrunedBranches    int
+	CFETPaths      int
+	PrunedBranches int
+	// SlicedFunctions and SlicedBranches count what property-relevance
+	// slicing removed: methods collapsed to stubs, and branch sites whose
+	// both arms were irrelevant (0 with Options.Slice off).
+	SlicedFunctions   int
+	SlicedBranches    int
 	EdgesBefore       int64
 	EdgesAfter        int64
 	Iterations        int64
@@ -261,6 +290,8 @@ func phaseStats(p checker.PhaseStats) PhaseStats {
 		Vertices:          p.Vertices,
 		CFETPaths:         p.CFETPaths,
 		PrunedBranches:    p.PrunedBranches,
+		SlicedFunctions:   p.SlicedFunctions,
+		SlicedBranches:    p.SlicedBranches,
 		EdgesBefore:       p.EdgesBefore,
 		EdgesAfter:        p.EdgesAfter,
 		Iterations:        p.Iterations,
@@ -295,6 +326,7 @@ func checkerOptions(opts Options) checker.Options {
 		RecordPointsTo: opts.RecordPointsTo,
 		DumpDOT:        opts.DumpDOT,
 		Prune:          opts.Prune,
+		Slice:          opts.Slice,
 	}
 	if opts.MaxNodesPerMethod > 0 {
 		co.CFET.MaxNodesPerMethod = opts.MaxNodesPerMethod
@@ -370,4 +402,77 @@ func LintFile(path string) ([]Diagnostic, error) {
 		return nil, fmt.Errorf("grapple: %w", err)
 	}
 	return Lint(string(data))
+}
+
+// lintRules maps each stable diagnostic code to the analyzer that emits it
+// (two constant-condition codes share one analyzer).
+var lintRules = map[string]*analysis.Analyzer{
+	"RD001": analysis.ReachDef,
+	"DS001": analysis.DeadStore,
+	"CF001": analysis.Unreachable,
+	"CF002": analysis.Unreachable,
+	"UA001": analysis.UnusedAlloc,
+	"ND001": analysis.NilDeref,
+	"LK001": analysis.LeakCall,
+	"DP001": analysis.DeadParam,
+}
+
+// LintCodes returns every stable diagnostic code Lint can emit, sorted.
+func LintCodes() []string {
+	out := make([]string, 0, len(lintRules))
+	for code := range lintRules {
+		out = append(out, code)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LintWith runs only the lint passes that emit the requested diagnostic
+// codes (dependencies like the points-to solver are pulled in as needed but
+// report nothing themselves). An unknown code is a usage error. An empty
+// code list behaves like Lint.
+func LintWith(source string, ruleCodes []string) ([]Diagnostic, error) {
+	if len(ruleCodes) == 0 {
+		return Lint(source)
+	}
+	want := map[string]bool{}
+	var passes []*analysis.Analyzer
+	seen := map[*analysis.Analyzer]bool{}
+	for _, code := range ruleCodes {
+		a, ok := lintRules[code]
+		if !ok {
+			return nil, fmt.Errorf("unknown lint rule %q (known rules: %s)",
+				code, strings.Join(LintCodes(), ", "))
+		}
+		want[code] = true
+		if !seen[a] {
+			seen[a] = true
+			passes = append(passes, a)
+		}
+	}
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := lang.Resolve(prog)
+	if err != nil {
+		return nil, fmt.Errorf("resolve: %w", err)
+	}
+	p, err := ir.Lower(info, ir.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	res, err := analysis.Run(p, passes)
+	if err != nil {
+		return nil, err
+	}
+	// A shared analyzer can emit sibling codes the caller did not ask for
+	// (CF001 vs CF002); keep only the requested ones.
+	var out []Diagnostic
+	for _, d := range res.Diagnostics {
+		if want[d.Code] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
 }

@@ -15,10 +15,12 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"github.com/grapple-system/grapple/internal/callgraph"
 	"github.com/grapple-system/grapple/internal/ir"
 	"github.com/grapple-system/grapple/internal/lang"
 	"github.com/grapple-system/grapple/internal/metrics"
@@ -53,18 +55,32 @@ type Analyzer struct {
 	// Requires lists analyzers whose per-function results this pass reads
 	// via Pass.ResultOf. The manager runs them first.
 	Requires []*Analyzer
-	// Run executes the pass on one function.
+	// Run executes the pass on one function. Exactly one of Run and
+	// ProgramRun must be set.
 	Run func(p *Pass) (any, error)
+	// ProgramRun executes the pass once for the whole program, before any
+	// per-function pass. Pass.Fn and Pass.CFG are nil; Pass.CG carries the
+	// call graph. A program-scoped analyzer may only require other
+	// program-scoped analyzers, and its single result is what dependents see
+	// through ResultOf in every function.
+	ProgramRun func(p *Pass) (any, error)
 }
+
+func (a *Analyzer) programScoped() bool { return a.ProgramRun != nil }
 
 // Pass carries one analyzer invocation's inputs and sinks.
 type Pass struct {
 	Analyzer *Analyzer
-	// Prog is the whole lowered program; Fn the function under analysis.
+	// Prog is the whole lowered program; Fn the function under analysis
+	// (nil during a ProgramRun).
 	Prog *ir.Program
 	Fn   *ir.Func
-	// CFG is Fn's control-flow graph, built once and shared by all passes.
+	// CFG is Fn's control-flow graph, built once and shared by all passes
+	// (nil during a ProgramRun).
 	CFG *ir.CFG
+	// CG is the program's call graph; set for ProgramRun invocations, built
+	// once per Run when any program-scoped analyzer participates.
+	CG *callgraph.Graph
 
 	deps  map[*Analyzer]any
 	diags *[]Diagnostic
@@ -82,8 +98,12 @@ func (p *Pass) ResultOf(a *Analyzer) any {
 
 // Reportf records a diagnostic against this pass.
 func (p *Pass) Reportf(code string, pos lang.Pos, format string, args ...any) {
+	fn := ""
+	if p.Fn != nil {
+		fn = p.Fn.Name
+	}
 	*p.diags = append(*p.diags, Diagnostic{
-		Pass: p.Analyzer.Name, Code: code, Pos: pos, Func: p.Fn.Name,
+		Pass: p.Analyzer.Name, Code: code, Pos: pos, Func: fn,
 		Message: fmt.Sprintf(format, args...),
 	})
 }
@@ -100,12 +120,20 @@ type Result struct {
 
 	// facts maps analyzer -> function -> that pass's result.
 	facts map[*Analyzer]map[*ir.Func]any
+	// progFacts maps a program-scoped analyzer to its single result.
+	progFacts map[*Analyzer]any
 }
 
 // FactsOf returns an analyzer's per-function results ("" when it did not
 // run). Consumers outside the pass pipeline (the checker) use this.
 func (r *Result) FactsOf(a *Analyzer) map[*ir.Func]any {
 	return r.facts[a]
+}
+
+// ProgramFactsOf returns a program-scoped analyzer's single result (nil
+// when it did not run).
+func (r *Result) ProgramFactsOf(a *Analyzer) any {
+	return r.progFacts[a]
 }
 
 // BranchVerdict reports the statically-proven verdict for an If condition
@@ -125,9 +153,12 @@ func (r *Result) BranchVerdict(s *ir.If) int {
 }
 
 // Default returns every analyzer in dependency-safe order: the lint suite
-// the `grapple lint` command runs.
+// the `grapple lint` command runs. The interprocedural passes (backed by
+// the whole-program points-to solution) come after the classical
+// intraprocedural ones.
 func Default() []*Analyzer {
-	return []*Analyzer{ReachDef, DeadStore, SCCP, Unreachable, UnusedAlloc}
+	return []*Analyzer{ReachDef, DeadStore, SCCP, Unreachable, UnusedAlloc,
+		NilDeref, LeakCall, DeadParam}
 }
 
 // PruneAnalyzers returns just the passes the checker's infeasible-branch
@@ -137,28 +168,67 @@ func PruneAnalyzers() []*Analyzer {
 }
 
 // Run executes the analyzers (plus their transitive requirements) over
-// every function of the program.
+// every function of the program. Program-scoped analyzers (ProgramRun) go
+// first, once; per-function analyzers then run over each function with
+// both kinds of requirement visible through ResultOf. Invalid analyzer
+// graphs are rejected up front with every problem aggregated into one
+// error (not just the first), so a broken suite reads as one report.
 func Run(prog *ir.Program, analyzers []*Analyzer) (*Result, error) {
+	if err := validate(analyzers); err != nil {
+		return nil, err
+	}
 	order, err := toposort(analyzers)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Passes: &metrics.PassBreakdown{},
-		facts:  map[*Analyzer]map[*ir.Func]any{},
+		Passes:    &metrics.PassBreakdown{},
+		facts:     map[*Analyzer]map[*ir.Func]any{},
+		progFacts: map[*Analyzer]any{},
 	}
+	var progOrder, fnOrder []*Analyzer
 	for _, a := range order {
-		res.facts[a] = map[*ir.Func]any{}
+		if a.programScoped() {
+			progOrder = append(progOrder, a)
+		} else {
+			fnOrder = append(fnOrder, a)
+			res.facts[a] = map[*ir.Func]any{}
+		}
+	}
+	var cg *callgraph.Graph
+	if len(progOrder) > 0 {
+		cg = callgraph.Build(prog)
+	}
+	for _, a := range progOrder {
+		deps := map[*Analyzer]any{}
+		for _, req := range a.Requires {
+			deps[req] = res.progFacts[req]
+		}
+		p := &Pass{
+			Analyzer: a, Prog: prog, CG: cg,
+			deps: deps, diags: &res.Diagnostics,
+		}
+		start := time.Now()
+		out, err := a.ProgramRun(p)
+		res.Passes.AddPass(a.Name, time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("analysis %s: %w", a.Name, err)
+		}
+		res.progFacts[a] = out
 	}
 	for _, fn := range prog.Funs {
 		cfg := ir.BuildCFG(fn)
-		for _, a := range order {
+		for _, a := range fnOrder {
 			deps := map[*Analyzer]any{}
 			for _, req := range a.Requires {
-				deps[req] = res.facts[req][fn]
+				if req.programScoped() {
+					deps[req] = res.progFacts[req]
+				} else {
+					deps[req] = res.facts[req][fn]
+				}
 			}
 			p := &Pass{
-				Analyzer: a, Prog: prog, Fn: fn, CFG: cfg,
+				Analyzer: a, Prog: prog, Fn: fn, CFG: cfg, CG: cg,
 				deps: deps, diags: &res.Diagnostics,
 			}
 			start := time.Now()
@@ -189,6 +259,43 @@ func Run(prog *ir.Program, analyzers []*Analyzer) (*Result, error) {
 		return a.Message < b.Message
 	})
 	return res, nil
+}
+
+// validate walks the transitive analyzer set and collects every structural
+// problem — nil requirements, analyzers without exactly one of Run and
+// ProgramRun, and program-scoped analyzers requiring per-function ones —
+// into a single joined error, so a suite with several broken dependencies
+// reports all of them at once.
+func validate(in []*Analyzer) error {
+	var problems []error
+	seen := map[*Analyzer]bool{}
+	var visit func(a *Analyzer, dependent string)
+	visit = func(a *Analyzer, dependent string) {
+		if a == nil {
+			problems = append(problems,
+				fmt.Errorf("analysis: %s requires a nil analyzer", dependent))
+			return
+		}
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		if (a.Run == nil) == (a.ProgramRun == nil) {
+			problems = append(problems,
+				fmt.Errorf("analysis: %s must set exactly one of Run and ProgramRun", a.Name))
+		}
+		for _, req := range a.Requires {
+			if req != nil && a.programScoped() && !req.programScoped() {
+				problems = append(problems,
+					fmt.Errorf("analysis: program-scoped %s requires per-function %s", a.Name, req.Name))
+			}
+			visit(req, a.Name)
+		}
+	}
+	for _, a := range in {
+		visit(a, "analyzer list")
+	}
+	return errors.Join(problems...)
 }
 
 // toposort orders analyzers so that requirements run before dependents,

@@ -1,0 +1,303 @@
+// Interprocedural diagnostics on top of the points-to summaries:
+//
+//	ND001  possible-nil dereference of a call result
+//	LK001  resource obtained from a call, not released on some path
+//	DP001  dead parameter / ignored object result
+//
+// All three read callee behaviour only through FuncSummary — the passes
+// themselves stay per-function, so the pass manager's cost model is
+// unchanged. The trigger rules are deliberately narrow (each requires a
+// summary fact no intraprocedural pass can see) to hold the lint suite's
+// false-positive rate on clean code at zero; docs/lint.md records the
+// caveats.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// NilDeref reports ND001: a variable assigned from a call whose summary
+// says "may return null", dereferenced (event or field access) before any
+// redefinition or intervening branch. The same-basic-block scope means no
+// null check can possibly guard the dereference, so every report is a real
+// feasible-path nil dereference under the summary.
+var NilDeref = &Analyzer{
+	Name:     "nilderef",
+	Doc:      "possible-nil dereference through call returns (ND001)",
+	Requires: []*Analyzer{Summary},
+	Run:      runNilDeref,
+}
+
+func runNilDeref(p *Pass) (any, error) {
+	sums := p.ResultOf(Summary).(*Summaries)
+	// The CFG duplicates try/catch continuations into the normal and
+	// exception paths, so one source statement can sit in several blocks;
+	// dedupe by statement identity.
+	reported := map[ir.Stmt]bool{}
+	for _, b := range p.CFG.Blocks {
+		// maybeNil maps a variable to the call statement that made it
+		// possibly-nil, within this block.
+		maybeNil := map[string]*ir.Call{}
+		for _, st := range b.Stmts {
+			recv, pos := deref(st)
+			if recv != "" {
+				if c, ok := maybeNil[recv]; ok {
+					if !reported[st] {
+						reported[st] = true
+						p.Reportf("ND001", pos,
+							"%q may be null here: %s can return null (declared at line %d) and no check intervenes",
+							recv, c.Callee, calleePosLine(p.Prog, c.Callee))
+					}
+					delete(maybeNil, recv) // one report per poisoned definition
+				}
+			}
+			for _, d := range ir.Defs(st) {
+				delete(maybeNil, d)
+			}
+			if c, ok := st.(*ir.Call); ok && c.Dst != "" && c.DstIsObject {
+				if sum := sums.ByName[c.Callee]; sum != nil && sum.MayReturnNull {
+					maybeNil[c.Dst] = c
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// deref returns the receiver a statement dereferences, if any.
+func deref(st ir.Stmt) (string, lang.Pos) {
+	switch st := st.(type) {
+	case *ir.Event:
+		return st.Recv, st.Pos
+	case *ir.Store:
+		return st.Recv, st.Pos
+	case *ir.Load:
+		return st.Recv, st.Pos
+	}
+	return "", lang.Pos{}
+}
+
+func calleePosLine(p *ir.Program, name string) int {
+	if fn := p.FunByName[name]; fn != nil {
+		return fn.Pos.Line
+	}
+	return 0
+}
+
+// LeakCall reports LK001: a call returns a fresh tracked resource (the
+// callee's summary proves sole ownership transfers to this caller), the
+// resource's FSM alphabet has release events, and some path from the call
+// to function exit performs none of them on the result. Results that
+// escape the caller (stored, passed on, returned, copied, thrown) are
+// skipped — ownership moved again and a later holder may release.
+var LeakCall = &Analyzer{
+	Name:     "leakcall",
+	Doc:      "call-returned resource not released on some caller path (LK001)",
+	Requires: []*Analyzer{Summary},
+	Run:      runLeakCall,
+}
+
+// releaseAlphabet maps an object type to the FSM events that move a
+// non-accepting state into an accepting one — "release" in the typestate
+// sense (io close, lock unlock, socket close). Built from the builtin
+// property set; a custom property checked via the full pipeline gets the
+// same treatment through the checker's slicer, not through lint.
+func releaseAlphabet(fsms []*fsm.FSM) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range fsms {
+		rel := map[string]bool{}
+		for _, ev := range f.Events() {
+			for s := 1; s < len(f.States); s++ {
+				if !f.IsAccept(s) && f.Step(s, ev) != fsm.ErrorState && f.IsAccept(f.Step(s, ev)) {
+					rel[ev] = true
+				}
+			}
+		}
+		if len(rel) > 0 {
+			out[f.Type] = rel
+		}
+	}
+	return out
+}
+
+func runLeakCall(p *Pass) (any, error) {
+	sums := p.ResultOf(Summary).(*Summaries)
+	release := releaseAlphabet(fsm.Builtins())
+
+	// escaped: call-result variables whose ownership moves on within this
+	// function (flow-insensitive over the whole body: any escape anywhere
+	// disqualifies the variable).
+	escaped := map[string]bool{}
+	for _, b := range p.CFG.Blocks {
+		for _, st := range b.Stmts {
+			switch st := st.(type) {
+			case *ir.ObjAssign:
+				if st.Src != "" {
+					escaped[st.Src] = true
+				}
+			case *ir.Store:
+				escaped[st.Src] = true
+			case *ir.Call:
+				for _, a := range st.ObjArgs {
+					escaped[a.Arg] = true
+				}
+			case *ir.Return:
+				if st.SrcIsObject {
+					escaped[st.Src.Var] = true
+				}
+			}
+		}
+	}
+
+	// One source statement can sit in several blocks (try/catch continuation
+	// duplication); report each leaking call once.
+	reported := map[*ir.Call]bool{}
+	for bi, b := range p.CFG.Blocks {
+		for si, st := range b.Stmts {
+			c, ok := st.(*ir.Call)
+			if !ok || c.Dst == "" || !c.DstIsObject || escaped[c.Dst] || reported[c] {
+				continue
+			}
+			sum := sums.ByName[c.Callee]
+			if sum == nil || !sum.FreshReturn {
+				continue
+			}
+			rel := releaseEventsFor(p.Prog, sums, c.Callee, release)
+			if rel == nil {
+				continue // not a tracked resource type
+			}
+			if leakPath(p.CFG, bi, si+1, c.Dst, rel) {
+				reported[c] = true
+				p.Reportf("LK001", c.Pos,
+					"resource returned by %s may never be released: a path to exit performs no release event on %q",
+					c.Callee, c.Dst)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// releaseEventsFor merges the release alphabets of every type the callee
+// may return; nil when none of the returned types is tracked.
+func releaseEventsFor(p *ir.Program, sums *Summaries, callee string, release map[string]map[string]bool) map[string]bool {
+	var out map[string]bool
+	for _, typ := range sums.ReturnedTypes(callee) {
+		for ev := range release[typ] {
+			if out == nil {
+				out = map[string]bool{}
+			}
+			out[ev] = true
+		}
+	}
+	return out
+}
+
+// leakPath reports whether some CFG path from (block bi, statement si) to a
+// function exit performs no release event on v. A redefinition of v drops
+// the handle (that path leaks); an escape was already excluded by the
+// caller.
+func leakPath(cfg *ir.CFG, bi, si int, v string, release map[string]bool) bool {
+	// scan returns +1 when the suffix of block b from statement s releases
+	// v, -1 when it redefines v first (leak), 0 when neither.
+	scan := func(b *ir.CFGBlock, s int) int {
+		for _, st := range b.Stmts[s:] {
+			if ev, ok := st.(*ir.Event); ok && ev.Recv == v && release[ev.Method] {
+				return 1
+			}
+			for _, d := range ir.Defs(st) {
+				if d == v {
+					return -1
+				}
+			}
+		}
+		return 0
+	}
+	switch scan(cfg.Blocks[bi], si) {
+	case 1:
+		return false
+	case -1:
+		return true
+	}
+	// DFS over block successors from the call block's end.
+	seen := map[int]bool{}
+	var walk func(int) bool
+	walk = func(cur int) bool {
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		b := cfg.Blocks[cur]
+		if len(b.Succs) == 0 {
+			return true // reached exit without a release
+		}
+		for _, nxt := range b.Succs {
+			switch scan(cfg.Blocks[nxt], 0) {
+			case 1:
+				continue
+			case -1:
+				return true
+			}
+			if walk(nxt) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(bi)
+}
+
+// DeadParam reports DP001: (a) a function parameter no statement or branch
+// condition ever reads, and (b) a call whose object-typed result is
+// discarded. Discarded int/bool results are idiomatic (status codes) and
+// stay silent.
+var DeadParam = &Analyzer{
+	Name: "deadparam",
+	Doc:  "dead parameters and ignored object results (DP001)",
+	Run:  runDeadParam,
+}
+
+func runDeadParam(p *Pass) (any, error) {
+	used := map[string]bool{}
+	for _, b := range p.CFG.Blocks {
+		for _, st := range b.Stmts {
+			for _, u := range ir.Uses(st) {
+				used[u] = true
+			}
+		}
+		if b.Branch != nil {
+			for _, u := range ir.CondUses(b.Branch.Cond) {
+				used[u] = true
+			}
+		}
+	}
+	var dead []string
+	for _, prm := range p.Fn.Params {
+		if !used[prm.Name] {
+			dead = append(dead, prm.Name)
+		}
+	}
+	sort.Strings(dead)
+	for _, name := range dead {
+		p.Reportf("DP001", p.Fn.Pos, "parameter %q of %s is never used", name, p.Fn.Name)
+	}
+	reported := map[*ir.Call]bool{}
+	for _, b := range p.CFG.Blocks {
+		for _, st := range b.Stmts {
+			c, ok := st.(*ir.Call)
+			if !ok || c.Dst != "" || reported[c] {
+				continue
+			}
+			callee := p.Prog.FunByName[c.Callee]
+			if callee != nil && lang.IsObjectType(callee.RetType) {
+				reported[c] = true
+				p.Reportf("DP001", c.Pos,
+					"result of %s (a %s) is ignored", c.Callee, callee.RetType)
+			}
+		}
+	}
+	return nil, nil
+}

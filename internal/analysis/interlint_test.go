@@ -1,0 +1,488 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/callgraph"
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// solve lowers src and runs the points-to pass over its call graph.
+func solve(t *testing.T, src string) (*ir.Program, *PointsToResult) {
+	t.Helper()
+	p := lower(t, src)
+	return p, SolvePointsTo(p, callgraph.Build(p))
+}
+
+// siteOfType returns the single allocation site with the given type.
+func siteOfType(t *testing.T, p *ir.Program, typ string) int32 {
+	t.Helper()
+	found := int32(-1)
+	for site, st := range p.AllocSiteType {
+		if st == typ {
+			if found >= 0 {
+				t.Fatalf("multiple %s sites", typ)
+			}
+			found = int32(site)
+		}
+	}
+	if found < 0 {
+		t.Fatalf("no %s site", typ)
+	}
+	return found
+}
+
+func TestPointsToInterprocedural(t *testing.T) {
+	p, pts := solve(t, `
+type Obj;
+type Box;
+
+fun make(flag: int): Obj {
+  var o: Obj = null;
+  if (flag > 0) {
+    o = new Obj();
+  }
+  return o;
+}
+
+fun pass(q: Obj): Obj {
+  return q;
+}
+
+fun main() {
+  var a: Obj = make(input());
+  var b: Obj = pass(a);
+  var box: Box = new Box();
+  box.fld = b;
+  var d: Obj = box.fld;
+  d.use();
+  return;
+}`)
+	obj := siteOfType(t, p, "Obj")
+	box := siteOfType(t, p, "Box")
+
+	if !pts.MayReturnNull("make") {
+		t.Error("make must may-return-null")
+	}
+	if got := pts.ReturnSites("make"); len(got) != 1 || got[0] != obj {
+		t.Errorf("make return sites = %v, want [%d]", got, obj)
+	}
+	// The site and the null flow through the call into a, through pass into
+	// b, through the field store/load into d.
+	for _, v := range []string{"a", "b", "d"} {
+		if got := pts.VarPointsTo("main", v); len(got) != 2 || got[0] != NullSite || got[1] != obj {
+			t.Errorf("main.%s points to %v, want [-1 %d]", v, got, obj)
+		}
+		if !pts.MayBeNull("main", v) {
+			t.Errorf("main.%s must be possibly-null", v)
+		}
+	}
+	if !pts.MayReturnNull("pass") {
+		t.Error("pass forwards a possibly-null argument")
+	}
+	if got := pts.FieldPointsTo(box, "fld"); len(got) != 2 || got[1] != obj {
+		t.Errorf("Box.fld points to %v, want [-1 %d]", got, obj)
+	}
+	if got := pts.VarPointsTo("main", "box"); len(got) != 1 || got[0] != box {
+		t.Errorf("main.box points to %v, want [%d]", got, box)
+	}
+}
+
+func TestSummariesFreshReturn(t *testing.T) {
+	p, pts := solve(t, `
+type Res;
+type Box;
+
+fun fresh(): Res {
+  var r: Res = new Res();
+  return r;
+}
+
+fun ident(q: Res): Res {
+  return q;
+}
+
+fun register(r: Res) {
+  r.use();
+  return;
+}
+
+fun freshButPassed(): Res {
+  var r: Res = new Res();
+  register(r);
+  return r;
+}
+
+fun freshButStored(box: Box): Res {
+  var r: Res = new Res();
+  box.keep = r;
+  return r;
+}
+
+fun main() {
+  var a: Res = fresh();
+  var b: Res = ident(a);
+  var c: Res = freshButPassed();
+  var box: Box = new Box();
+  var d: Res = freshButStored(box);
+  a.use(); b.use(); c.use(); d.use();
+  return;
+}`)
+	sums := BuildSummaries(p, pts)
+	cases := []struct {
+		fn    string
+		fresh bool
+	}{
+		{"fresh", true},
+		{"ident", false},          // returns its caller's object
+		{"freshButPassed", false}, // object escapes through register's formal
+		{"freshButStored", false}, // object escapes into a field
+	}
+	for _, c := range cases {
+		sum := sums.ByName[c.fn]
+		if sum == nil {
+			t.Fatalf("no summary for %s", c.fn)
+		}
+		if sum.FreshReturn != c.fresh {
+			t.Errorf("%s: FreshReturn = %v, want %v", c.fn, sum.FreshReturn, c.fresh)
+		}
+		if len(sum.ReturnSites) == 0 {
+			t.Errorf("%s: expected concrete return sites", c.fn)
+		}
+	}
+	if got := sums.ReturnedTypes("fresh"); len(got) != 1 || got[0] != "Res" {
+		t.Errorf("ReturnedTypes(fresh) = %v, want [Res]", got)
+	}
+	if sums.ByName["main"].MayReturnNull {
+		t.Error("main never returns null")
+	}
+}
+
+func TestNilDerefRule(t *testing.T) {
+	p := lower(t, `
+type W;
+
+fun may(n: int): W {
+  var w: W = null;
+  if (n > 0) {
+    w = new W();
+  }
+  return w;
+}
+
+fun never(): W {
+  var w: W = new W();
+  return w;
+}
+
+fun bad() {
+  var a: W = may(input());
+  a.use();
+  return;
+}
+
+fun guarded() {
+  var b: W = may(input());
+  var n: int = input();
+  if (n > 0) {
+    b.use();
+  }
+  return;
+}
+
+fun redefined() {
+  var c: W = may(input());
+  c = never();
+  c.use();
+  return;
+}
+
+fun clean() {
+  var d: W = never();
+  d.use();
+  return;
+}
+
+fun main() {
+  bad(); guarded(); redefined(); clean();
+  return;
+}`)
+	res, err := Run(p, []*Analyzer{NilDeref})
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	if got := codes(res.Diagnostics); !eqCodes(got, []string{"ND001"}) {
+		t.Fatalf("codes = %v, want exactly one ND001 (in bad)", got)
+	}
+	d := res.Diagnostics[0]
+	if d.Func != "bad" || !strings.Contains(d.Message, "may") {
+		t.Fatalf("ND001 in %q (%s), want the unchecked deref in bad", d.Func, d.Message)
+	}
+}
+
+func TestLeakCallRule(t *testing.T) {
+	p := lower(t, `
+type FileWriter;
+
+fun open(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  return w;
+}
+
+fun leak() {
+  var a: FileWriter = open();
+  var n: int = input();
+  if (n > 0) {
+    a.close();
+  }
+  return;
+}
+
+fun balanced() {
+  var b: FileWriter = open();
+  b.write();
+  b.close();
+  return;
+}
+
+fun redef() {
+  var c: FileWriter = open();
+  c = open();
+  c.close();
+  return;
+}
+
+fun handoff(): FileWriter {
+  var d: FileWriter = open();
+  return d;
+}
+
+fun main() {
+  leak(); balanced(); redef();
+  var h: FileWriter = handoff();
+  h.close();
+  return;
+}`)
+	res, err := Run(p, []*Analyzer{LeakCall})
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	byFunc := map[string]int{}
+	for _, d := range res.Diagnostics {
+		if d.Code != "LK001" {
+			t.Fatalf("unexpected code %s", d.Code)
+		}
+		byFunc[d.Func]++
+	}
+	// leak: close on one branch only. redef: the first handle is dropped by
+	// the reassignment. balanced is clean; handoff's result escapes by
+	// return (and handoff itself is not fresh-returning to main, since the
+	// site belongs to open).
+	want := map[string]int{"leak": 1, "redef": 1}
+	if fmt.Sprint(byFunc) != fmt.Sprint(want) {
+		t.Fatalf("LK001 by function = %v, want %v", byFunc, want)
+	}
+}
+
+func TestDeadParamRule(t *testing.T) {
+	p := lower(t, `
+type Box;
+
+fun make(): Box {
+  var b: Box = new Box();
+  return b;
+}
+
+fun calc(a: int, extra: int): int {
+  return a + 1;
+}
+
+fun main() {
+  var x: int = calc(input(), 4);
+  make();
+  var y: Box = make();
+  y.put();
+  calc(x, x);
+  return;
+}`)
+	res, err := Run(p, []*Analyzer{DeadParam})
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	if got := codes(res.Diagnostics); !eqCodes(got, []string{"DP001", "DP001"}) {
+		t.Fatalf("codes = %v, want [DP001 DP001]", got)
+	}
+	var msgs []string
+	for _, d := range res.Diagnostics {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, `parameter "extra"`) {
+		t.Errorf("missing dead-parameter report for extra:\n%s", joined)
+	}
+	if !strings.Contains(joined, "result of make") {
+		t.Errorf("missing ignored-object-result report for make():\n%s", joined)
+	}
+	// The discarded int result of calc(x, x) must stay silent.
+	if strings.Contains(joined, "result of calc") {
+		t.Errorf("ignored int result must not be flagged:\n%s", joined)
+	}
+}
+
+func TestComputeRelevance(t *testing.T) {
+	src := `
+type T;
+type U;
+
+fun useT(o: T) {
+  o.ev();
+  return;
+}
+
+fun makeU(): U {
+  var u: U = new U();
+  return u;
+}
+
+fun uOnly(n: int) {
+  var u: U = makeU();
+  u.ping();
+  if (n > 0) {
+    u.ping();
+  }
+  return;
+}
+
+fun tPath(n: int) {
+  var t: T = new T();
+  useT(t);
+  if (n > 2) {
+    var u2: U = new U();
+    u2.ping();
+  }
+  if (n > 5) {
+    var m: int = n + 1;
+    uOnly(m);
+  }
+  return;
+}
+
+fun main() {
+  var n: int = input();
+  tPath(n);
+  uOnly(n);
+  return;
+}`
+	p, pts := solve(t, src)
+	cg := callgraph.Build(p)
+	rel := ComputeRelevance(p, cg, pts, map[string]bool{"T": true})
+
+	if rel.TrackedSites != 1 {
+		t.Fatalf("TrackedSites = %d, want 1 (the new T in tPath)", rel.TrackedSites)
+	}
+	for _, fn := range []string{"useT", "tPath", "main"} {
+		if !rel.KeepFunc(fn) {
+			t.Errorf("%s must be kept", fn)
+		}
+	}
+	for _, fn := range []string{"uOnly", "makeU"} {
+		if rel.KeepFunc(fn) {
+			t.Errorf("%s must be sliced away", fn)
+		}
+	}
+	if got := rel.SlicedFunctions(p); got != 2 {
+		t.Errorf("SlicedFunctions = %d, want 2", got)
+	}
+
+	// Branch inertness inside tPath: the U-touching branch is inert, the
+	// scalar-writing branch is not.
+	var ifs []*ir.If
+	eachStmt(p.FunByName["tPath"].Body, func(st ir.Stmt) {
+		if s, ok := st.(*ir.If); ok {
+			ifs = append(ifs, s)
+		}
+	})
+	if len(ifs) != 2 {
+		t.Fatalf("tPath has %d ifs, want 2", len(ifs))
+	}
+	if !rel.InertBranch(ifs[0]) {
+		t.Error("the untracked-allocation branch must be inert")
+	}
+	if rel.InertBranch(ifs[1]) {
+		t.Error("the scalar-writing branch must not be inert")
+	}
+
+	// Zero tracked sites: only roots survive, every kept branch is inert.
+	empty := ComputeRelevance(p, cg, pts, map[string]bool{"Missing": true})
+	if empty.TrackedSites != 0 {
+		t.Fatalf("TrackedSites = %d, want 0", empty.TrackedSites)
+	}
+	if !empty.KeepFunc("main") {
+		t.Error("roots must survive even with no tracked sites")
+	}
+	if empty.KeepFunc("tPath") || empty.KeepFunc("useT") {
+		t.Error("non-roots must be sliced when nothing is tracked")
+	}
+}
+
+func TestComputeRelevanceIntReturnKeep(t *testing.T) {
+	// decide has no tracked statement, but a kept caller binds its integer
+	// return — the value can feed a path condition, so decide must survive.
+	p, pts := solve(t, `
+type T;
+
+fun decide(n: int): int {
+  return n * 2;
+}
+
+fun main() {
+  var n: int = input();
+  var k: int = decide(n);
+  var t: T = new T();
+  if (k > 3) {
+    t.ev();
+  }
+  return;
+}`)
+	cg := callgraph.Build(p)
+	rel := ComputeRelevance(p, cg, pts, map[string]bool{"T": true})
+	if !rel.KeepFunc("decide") {
+		t.Error("decide's integer return feeds a kept path condition; it must be kept")
+	}
+}
+
+// TestRunValidateReportsAllProblems is the regression test for the pass
+// manager reporting every configuration problem at once instead of stopping
+// at the first (companion to TestRunDependencyOrderAndMissingDep).
+func TestRunValidateReportsAllProblems(t *testing.T) {
+	progBad := &Analyzer{
+		Name:       "progbad",
+		ProgramRun: func(p *Pass) (any, error) { return nil, nil },
+		Requires:   []*Analyzer{ReachDef},
+	}
+	neither := &Analyzer{Name: "neither"}
+	nilReq := &Analyzer{
+		Name:     "nilreq",
+		Run:      func(p *Pass) (any, error) { return nil, nil },
+		Requires: []*Analyzer{nil},
+	}
+	p := lower(t, `
+fun main() {
+  return;
+}`)
+	_, err := Run(p, []*Analyzer{progBad, neither, nilReq})
+	if err == nil {
+		t.Fatal("Run must reject the invalid analyzer list")
+	}
+	for _, want := range []string{
+		"program-scoped progbad requires per-function reachdef",
+		"neither must set exactly one of Run and ProgramRun",
+		"nilreq requires a nil analyzer",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %q:\n%v", want, err)
+		}
+	}
+}

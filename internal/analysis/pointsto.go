@@ -1,0 +1,326 @@
+// Andersen-style whole-program points-to analysis over the lowered IR.
+//
+// The solver is flow- and context-insensitive (one abstract cell per
+// variable per function, one per allocation-site field), inclusion-based,
+// and solved to a fixpoint with a worklist. Interprocedural flow follows
+// the paper's §2.1 cloning structure without the cloning: per-function
+// summaries connect argument cells to formal cells and "$ret"/"$exc"
+// channel cells back to call sites, and constraint generation visits
+// functions bottom-up over the call graph's SCC condensation (recursion
+// groups collapsed) so most facts are final the first time a caller reads
+// them. The result over-approximates every context-sensitive solution the
+// checker later computes, which is what makes it safe to slice with.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/callgraph"
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// NullSite is the pseudo allocation site for the `null` literal; it appears
+// in points-to sets next to real ir.Program alloc-site IDs.
+const NullSite int32 = -1
+
+// ptKey names one abstract pointer cell: a (function, variable) pair for
+// locals/formals/"$ret"/"$exc" channels (site == -1), or an (allocation
+// site, field) cell for object fields (fn == "").
+type ptKey struct {
+	fn   string
+	name string
+	site int32
+}
+
+func varKey(fn, name string) ptKey        { return ptKey{fn: fn, name: name, site: -1} }
+func fieldKey(site int32, f string) ptKey { return ptKey{name: f, site: site} }
+
+// retVar and excVar are the per-function return/exception channel cells.
+const retVar = "$ret"
+
+type ptLoad struct {
+	field string
+	dst   ptKey
+}
+
+type ptStore struct {
+	field string
+	src   ptKey
+}
+
+// PointsToResult is the solved inclusion constraint system.
+type PointsToResult struct {
+	prog *ir.Program
+
+	pts map[ptKey]map[int32]bool
+
+	// iterations counts worklist propagation steps (fuzzing asserts the
+	// solver terminates within a polynomial budget).
+	iterations int
+}
+
+// solver carries the constraint graph during solving.
+type solver struct {
+	prog *ir.Program
+	res  *PointsToResult
+
+	succ   map[ptKey]map[ptKey]bool
+	loads  map[ptKey][]ptLoad
+	stores map[ptKey][]ptStore
+	work   []ptKey
+	queued map[ptKey]bool
+
+	// siteCallee maps a call-site ID to its callee, for CatchBind's
+	// exception re-binding (the lowering records only the site).
+	siteCallee map[int32]string
+}
+
+// SolvePointsTo computes the whole-program points-to solution. The call
+// graph parameter supplies the bottom-up SCC order used for constraint
+// generation; pass callgraph.Build(p) when no graph is at hand.
+func SolvePointsTo(p *ir.Program, cg *callgraph.Graph) *PointsToResult {
+	s := &solver{
+		prog: p,
+		res: &PointsToResult{
+			prog: p,
+			pts:  map[ptKey]map[int32]bool{},
+		},
+		succ:       map[ptKey]map[ptKey]bool{},
+		loads:      map[ptKey][]ptLoad{},
+		stores:     map[ptKey][]ptStore{},
+		queued:     map[ptKey]bool{},
+		siteCallee: map[int32]string{},
+	}
+	for _, fn := range p.Funs {
+		eachStmt(fn.Body, func(st ir.Stmt) {
+			if c, ok := st.(*ir.Call); ok && c.Site >= 0 {
+				s.siteCallee[c.Site] = c.Callee
+			}
+		})
+	}
+	// Bottom-up constraint generation: callees before callers, recursion
+	// groups adjacent. The fixpoint below is order-independent; the order
+	// only shortens it.
+	for _, name := range cg.BottomUpNames() {
+		fn := p.FunByName[name]
+		if fn == nil {
+			continue
+		}
+		s.genFunc(fn)
+	}
+	s.solve()
+	return s.res
+}
+
+// eachStmt visits every statement of a lowered block tree, including both
+// If arms (and TryRegion parts, defensively — the checker's input has
+// exceptions expanded away).
+func eachStmt(b *ir.Block, f func(ir.Stmt)) {
+	for _, st := range b.Stmts {
+		f(st)
+		switch st := st.(type) {
+		case *ir.If:
+			eachStmt(st.Then, f)
+			eachStmt(st.Else, f)
+		case *ir.TryRegion:
+			eachStmt(st.Body, f)
+			eachStmt(st.Catch, f)
+		}
+	}
+}
+
+// genFunc emits the inclusion constraints for one function's statements.
+func (s *solver) genFunc(fn *ir.Func) {
+	f := fn.Name
+	eachStmt(fn.Body, func(st ir.Stmt) {
+		switch st := st.(type) {
+		case *ir.NewObj:
+			s.addPts(varKey(f, st.Dst), st.Site)
+		case *ir.ObjAssign:
+			if st.Src == "" {
+				s.addPts(varKey(f, st.Dst), NullSite)
+			} else {
+				s.addEdge(varKey(f, st.Src), varKey(f, st.Dst))
+			}
+		case *ir.Load:
+			k := varKey(f, st.Recv)
+			s.loads[k] = append(s.loads[k], ptLoad{field: st.Field, dst: varKey(f, st.Dst)})
+			s.resolveRecv(k)
+		case *ir.Store:
+			k := varKey(f, st.Recv)
+			s.stores[k] = append(s.stores[k], ptStore{field: st.Field, src: varKey(f, st.Src)})
+			s.resolveRecv(k)
+		case *ir.Call:
+			for _, a := range st.ObjArgs {
+				s.addEdge(varKey(f, a.Arg), varKey(st.Callee, a.Formal))
+			}
+			if st.Dst != "" && st.DstIsObject {
+				s.addEdge(varKey(st.Callee, retVar), varKey(f, st.Dst))
+			}
+		case *ir.Return:
+			if st.SrcIsObject {
+				if st.Src.Var == "" {
+					s.addPts(varKey(f, retVar), NullSite)
+				} else {
+					s.addEdge(varKey(f, st.Src.Var), varKey(f, retVar))
+				}
+			}
+		case *ir.CatchBind:
+			if st.FromCall >= 0 {
+				if callee, ok := s.siteCallee[st.FromCall]; ok {
+					s.addEdge(varKey(callee, ir.ExcVar), varKey(f, st.Var))
+				}
+			}
+			// Local raises (FromCall < 0) are lowered as an ObjAssign into
+			// the bound variable; nothing more to do here.
+		}
+	})
+}
+
+// resolveRecv replays a receiver's known pointees against its (possibly
+// just-registered) load/store constraints.
+func (s *solver) resolveRecv(k ptKey) {
+	if len(s.res.pts[k]) > 0 {
+		s.enqueue(k)
+	}
+}
+
+func (s *solver) addPts(k ptKey, site int32) {
+	set := s.res.pts[k]
+	if set == nil {
+		set = map[int32]bool{}
+		s.res.pts[k] = set
+	}
+	if !set[site] {
+		set[site] = true
+		s.enqueue(k)
+	}
+}
+
+func (s *solver) addEdge(from, to ptKey) {
+	m := s.succ[from]
+	if m == nil {
+		m = map[ptKey]bool{}
+		s.succ[from] = m
+	}
+	if !m[to] {
+		m[to] = true
+		if len(s.res.pts[from]) > 0 {
+			s.enqueue(from)
+		}
+	}
+}
+
+func (s *solver) enqueue(k ptKey) {
+	if !s.queued[k] {
+		s.queued[k] = true
+		s.work = append(s.work, k)
+	}
+}
+
+// solve runs the worklist to fixpoint. Each step flushes one node's set
+// into its copy successors and expands its pending field loads/stores into
+// concrete field-cell edges.
+func (s *solver) solve() {
+	for len(s.work) > 0 {
+		k := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		s.queued[k] = false
+		s.res.iterations++
+
+		set := s.res.pts[k]
+		for to := range s.succ[k] {
+			for site := range set {
+				s.addPts(to, site)
+			}
+		}
+		for _, ld := range s.loads[k] {
+			for site := range set {
+				if site < 0 {
+					continue // loading through null: no cell
+				}
+				s.addEdge(fieldKey(site, ld.field), ld.dst)
+			}
+		}
+		for _, st := range s.stores[k] {
+			for site := range set {
+				if site < 0 {
+					continue
+				}
+				s.addEdge(st.src, fieldKey(site, st.field))
+			}
+		}
+	}
+}
+
+// VarPointsTo returns the sorted allocation sites variable name in function
+// fn may reference; NullSite (-1) marks a possible null.
+func (r *PointsToResult) VarPointsTo(fn, name string) []int32 {
+	return sortedSites(r.pts[varKey(fn, name)])
+}
+
+// FieldPointsTo returns the sorted allocation sites field f of objects
+// allocated at site may reference.
+func (r *PointsToResult) FieldPointsTo(site int32, f string) []int32 {
+	return sortedSites(r.pts[fieldKey(site, f)])
+}
+
+// MayBeNull reports whether null reaches variable name of function fn.
+func (r *PointsToResult) MayBeNull(fn, name string) bool {
+	return r.pts[varKey(fn, name)][NullSite]
+}
+
+// MayReturnNull reports whether fn's return channel includes null.
+func (r *PointsToResult) MayReturnNull(fn string) bool {
+	return r.pts[varKey(fn, retVar)][NullSite]
+}
+
+// ReturnSites returns the sorted real allocation sites fn may return
+// (NullSite excluded; see MayReturnNull).
+func (r *PointsToResult) ReturnSites(fn string) []int32 {
+	var out []int32
+	for site := range r.pts[varKey(fn, retVar)] {
+		if site >= 0 {
+			out = append(out, site)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Iterations is the number of worklist steps the solve took.
+func (r *PointsToResult) Iterations() int { return r.iterations }
+
+// pointsIntoSet reports whether (fn, name) may reference any site in the
+// given set — the relevance slicer's "tracked variable" test.
+func (r *PointsToResult) pointsIntoSet(fn, name string, sites map[int32]bool) bool {
+	for site := range r.pts[varKey(fn, name)] {
+		if site >= 0 && sites[site] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedSites(set map[int32]bool) []int32 {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(set))
+	for site := range set {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PointsTo is the program-scoped pass wrapping SolvePointsTo; its result is
+// a *PointsToResult. It reports no diagnostics itself — NilDeref, LeakCall,
+// and the checker's relevance slicer consume it.
+var PointsTo = &Analyzer{
+	Name: "pointsto",
+	Doc:  "whole-program Andersen-style points-to solution (no diagnostics)",
+	ProgramRun: func(p *Pass) (any, error) {
+		return SolvePointsTo(p.Prog, p.CG), nil
+	},
+}

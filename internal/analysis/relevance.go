@@ -1,0 +1,222 @@
+// Property-relevance slicing: given the solved points-to relation and the
+// set of object types an FSM property tracks, compute which functions and
+// which branch sites can possibly matter to the property's verdict. The
+// CFET builder skips everything else before symbolic execution enumerates
+// a single path (docs/slicing.md gives the full soundness argument).
+//
+// The two facts computed are:
+//
+//   - KeepFunc(f): f can transitively reach a statement that touches a
+//     tracked object (allocation, event, field traffic, call/return flow,
+//     throw of a tracked exception), or a kept caller observes f's integer
+//     return value (the value may feed a path condition, so f's leaf
+//     structure must survive for the constraint encoding).
+//
+//   - InertBranch(s): both arms of If s contain only statements whose
+//     removal cannot change any tracked object's event sequences or the
+//     satisfiability of any kept path's condition: no scalar writes (those
+//     feed later conditions), no tracked allocations/events/flow, no calls
+//     into kept functions, no returns or throw exits (control structure).
+//     Skipping such a branch keeps one unsplit path through statements that
+//     cannot be observed, because for a total condition c and any suffix
+//     constraint R, sat(R ∧ c) ∨ sat(R ∧ ¬c) ⟺ sat(R).
+package analysis
+
+import (
+	"github.com/grapple-system/grapple/internal/callgraph"
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// Relevance is the slicer's answer for one (program, tracked-type set).
+type Relevance struct {
+	keep  map[string]bool
+	inert map[*ir.If]bool
+	// TrackedSites is how many allocation sites have a tracked type.
+	TrackedSites int
+}
+
+// KeepFunc reports whether the CFET builder must encode fn.
+func (r *Relevance) KeepFunc(fn string) bool { return r.keep[fn] }
+
+// InertBranch reports whether both arms of s are property-irrelevant and
+// the branch can be skipped without splitting the path.
+func (r *Relevance) InertBranch(s *ir.If) bool { return r.inert[s] }
+
+// SlicedFunctions counts the functions relevance dropped.
+func (r *Relevance) SlicedFunctions(p *ir.Program) int {
+	n := 0
+	for _, fn := range p.Funs {
+		if !r.keep[fn.Name] {
+			n++
+		}
+	}
+	return n
+}
+
+// ComputeRelevance runs the slicer. trackedTypes is the union of the
+// checked FSMs' object types (plus any Bind'd types); an empty set keeps
+// everything (slicing disabled is expressed by not calling this at all).
+func ComputeRelevance(p *ir.Program, cg *callgraph.Graph, pts *PointsToResult, trackedTypes map[string]bool) *Relevance {
+	r := &Relevance{keep: map[string]bool{}, inert: map[*ir.If]bool{}}
+
+	trackedSites := map[int32]bool{}
+	for site, typ := range p.AllocSiteType {
+		if trackedTypes[typ] {
+			trackedSites[int32(site)] = true
+		}
+	}
+	r.TrackedSites = len(trackedSites)
+	if len(trackedSites) == 0 {
+		// Nothing of the tracked types is ever allocated: no statement can
+		// generate a property event on a live object, but the roots must
+		// still exist for the pipeline. Keep only the call-graph roots as
+		// stubs.
+		for _, root := range cg.Roots() {
+			r.keep[root] = true
+		}
+		markAllInert(p, r)
+		return r
+	}
+
+	tracked := func(fn, v string) bool {
+		return v != "" && pts.pointsIntoSet(fn, v, trackedSites)
+	}
+
+	// relevantStmt: the statement itself touches a tracked object.
+	relevantStmt := func(fn string, st ir.Stmt) bool {
+		switch st := st.(type) {
+		case *ir.NewObj:
+			return trackedSites[st.Site] || tracked(fn, st.Dst)
+		case *ir.ObjAssign:
+			return tracked(fn, st.Dst) || tracked(fn, st.Src)
+		case *ir.Store:
+			return tracked(fn, st.Recv) || tracked(fn, st.Src)
+		case *ir.Load:
+			return tracked(fn, st.Recv) || tracked(fn, st.Dst)
+		case *ir.Event:
+			return tracked(fn, st.Recv)
+		case *ir.Call:
+			for _, a := range st.ObjArgs {
+				if tracked(fn, a.Arg) {
+					return true
+				}
+			}
+			return st.DstIsObject && tracked(fn, st.Dst)
+		case *ir.Return:
+			return st.SrcIsObject && tracked(fn, st.Src.Var)
+		case *ir.CatchBind:
+			return tracked(fn, st.Var)
+		case *ir.ThrowExit:
+			return tracked(fn, ir.ExcVar)
+		}
+		return false
+	}
+
+	// Base relevance: functions containing a tracked-touching statement.
+	base := map[string]bool{}
+	for _, fn := range p.Funs {
+		name := fn.Name
+		eachStmt(fn.Body, func(st ir.Stmt) {
+			if !base[name] && relevantStmt(name, st) {
+				base[name] = true
+			}
+		})
+	}
+
+	// Keep closure 1: reverse call-graph reachability — every (transitive)
+	// caller of a base-relevant function stays, since its call/branch
+	// structure scopes the callee's events.
+	work := make([]string, 0, len(base))
+	for name := range base {
+		work = append(work, name)
+	}
+	for len(work) > 0 {
+		name := work[len(work)-1]
+		work = work[:len(work)-1]
+		if r.keep[name] {
+			continue
+		}
+		r.keep[name] = true
+		work = append(work, cg.Callers[name]...)
+	}
+	// Roots always survive (the context tree grows from them).
+	for _, root := range cg.Roots() {
+		r.keep[root] = true
+	}
+
+	// Keep closure 2: a kept function observing a dropped callee's integer
+	// return needs that callee's summary equation, so the callee's CFET
+	// must exist. Iterate to fixpoint (the newly kept callee may itself
+	// observe further integer returns).
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funs {
+			if !r.keep[fn.Name] {
+				continue
+			}
+			eachStmt(fn.Body, func(st ir.Stmt) {
+				c, ok := st.(*ir.Call)
+				if ok && c.Dst != "" && !c.DstIsObject && !r.keep[c.Callee] {
+					r.keep[c.Callee] = true
+					changed = true
+				}
+			})
+		}
+	}
+
+	// Branch inertness within kept functions.
+	var inertStmt func(fn string, st ir.Stmt) bool
+	inertStmt = func(fn string, st ir.Stmt) bool {
+		switch st := st.(type) {
+		case *ir.NewObj, *ir.ObjAssign, *ir.Store, *ir.Load:
+			return !relevantStmt(fn, st)
+		case *ir.Event:
+			// An event binding a scalar result participates in later path
+			// conditions even on an untracked receiver.
+			return st.Dst == "" && !relevantStmt(fn, st)
+		case *ir.Call:
+			return st.Dst == "" && !r.keep[st.Callee] && !relevantStmt(fn, st)
+		case *ir.If:
+			return allInert(fn, st.Then, inertStmt) && allInert(fn, st.Else, inertStmt)
+		}
+		// Scalar writes feed later conditions; Return/ThrowExit/CatchBind
+		// shape control flow and exception paths. Never inert.
+		return false
+	}
+	for _, fn := range p.Funs {
+		if !r.keep[fn.Name] {
+			continue
+		}
+		name := fn.Name
+		eachStmt(fn.Body, func(st ir.Stmt) {
+			if s, ok := st.(*ir.If); ok && inertStmt(name, s) {
+				r.inert[s] = true
+			}
+		})
+	}
+	return r
+}
+
+func allInert(fn string, b *ir.Block, inertStmt func(string, ir.Stmt) bool) bool {
+	for _, st := range b.Stmts {
+		if !inertStmt(fn, st) {
+			return false
+		}
+	}
+	return true
+}
+
+// markAllInert marks every branch of every kept function inert — used when
+// no tracked object exists at all, so no branch can matter.
+func markAllInert(p *ir.Program, r *Relevance) {
+	for _, fn := range p.Funs {
+		if !r.keep[fn.Name] {
+			continue
+		}
+		eachStmt(fn.Body, func(st ir.Stmt) {
+			if s, ok := st.(*ir.If); ok {
+				r.inert[s] = true
+			}
+		})
+	}
+}

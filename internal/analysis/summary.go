@@ -1,0 +1,132 @@
+// Per-function interprocedural summaries derived from the points-to
+// solution. A summary is the caller-visible abstract of a function: what it
+// may return (null, which allocation sites), whether those returns are
+// fresh (ownership transfers to the caller), and whether it may throw. The
+// interprocedural diagnostics (ND001/LK001) and the relevance slicer read
+// callee behaviour exclusively through summaries, never callee bodies —
+// the "file-at-a-time" structure that keeps the pre-analysis linear.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// FuncSummary is one function's caller-visible abstract.
+type FuncSummary struct {
+	Name string
+	// MayReturnNull: null flows to the function's return channel.
+	MayReturnNull bool
+	// ReturnSites are the real allocation sites the function may return,
+	// sorted (empty for int/void functions).
+	ReturnSites []int32
+	// FreshReturn: the function returns only objects it allocated itself,
+	// and it escapes them solely through the return value — the function
+	// never stores them into a field, passes them onward, or throws them.
+	// A caller of a fresh-returning function becomes the object's only
+	// owner, so releasing it is the caller's obligation (the premise of
+	// LK001; what the caller then does with the object is judged at the
+	// caller).
+	FreshReturn bool
+	// MayThrow mirrors ir.Func.MayThrow.
+	MayThrow bool
+}
+
+// Summaries holds every function's summary plus the points-to solution the
+// summaries were derived from.
+type Summaries struct {
+	ByName map[string]*FuncSummary
+	PTS    *PointsToResult
+}
+
+// BuildSummaries derives all function summaries from a solved points-to
+// result.
+func BuildSummaries(p *ir.Program, pts *PointsToResult) *Summaries {
+	// siteOwner: which function contains each allocation site.
+	siteOwner := map[int32]string{}
+	for _, fn := range p.Funs {
+		eachStmt(fn.Body, func(st ir.Stmt) {
+			if n, ok := st.(*ir.NewObj); ok {
+				siteOwner[n.Site] = fn.Name
+			}
+		})
+	}
+	// escaped: sites whose OWNER function shares them before (or instead of)
+	// returning them — stored into a field, passed to another function,
+	// thrown. Only owner-side escapes disqualify freshness: what a *caller*
+	// does with a returned object is that caller's business and is judged at
+	// the caller (runLeakCall's local escape set).
+	escaped := map[int32]bool{}
+	markOwned := func(fn, v string) {
+		for _, site := range pts.VarPointsTo(fn, v) {
+			if site >= 0 && siteOwner[site] == fn {
+				escaped[site] = true
+			}
+		}
+	}
+	for _, fn := range p.Funs {
+		name := fn.Name
+		eachStmt(fn.Body, func(st ir.Stmt) {
+			switch st := st.(type) {
+			case *ir.Store:
+				markOwned(name, st.Src)
+			case *ir.Call:
+				for _, a := range st.ObjArgs {
+					markOwned(name, a.Arg)
+				}
+			}
+		})
+		markOwned(name, ir.ExcVar)
+	}
+
+	out := &Summaries{ByName: map[string]*FuncSummary{}, PTS: pts}
+	for _, fn := range p.Funs {
+		s := &FuncSummary{
+			Name:          fn.Name,
+			MayReturnNull: pts.MayReturnNull(fn.Name),
+			ReturnSites:   pts.ReturnSites(fn.Name),
+			MayThrow:      fn.MayThrow,
+		}
+		s.FreshReturn = len(s.ReturnSites) > 0
+		for _, site := range s.ReturnSites {
+			if siteOwner[site] != fn.Name || escaped[site] {
+				s.FreshReturn = false
+				break
+			}
+		}
+		out.ByName[fn.Name] = s
+	}
+	return out
+}
+
+// ReturnedTypes lists the distinct object types a summary may return,
+// sorted.
+func (s *Summaries) ReturnedTypes(name string) []string {
+	sum := s.ByName[name]
+	if sum == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, site := range sum.ReturnSites {
+		typ := s.PTS.prog.AllocSiteType[site]
+		if !seen[typ] {
+			seen[typ] = true
+			out = append(out, typ)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary is the program-scoped pass wrapping BuildSummaries; its result is
+// a *Summaries. The interprocedural diagnostics require it.
+var Summary = &Analyzer{
+	Name:     "summaries",
+	Doc:      "per-function interprocedural summaries over the points-to solution",
+	Requires: []*Analyzer{PointsTo},
+	ProgramRun: func(p *Pass) (any, error) {
+		return BuildSummaries(p.Prog, p.ResultOf(PointsTo).(*PointsToResult)), nil
+	},
+}

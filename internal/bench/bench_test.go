@@ -90,6 +90,29 @@ func TestUnknownSubject(t *testing.T) {
 	}
 }
 
+func TestSliceAblationMini(t *testing.T) {
+	out, rows, err := SliceAblation([]string{"mini-sim"}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	r := rows[0]
+	if !r.ReportsEqual {
+		t.Fatalf("slicing changed a report set: %+v", r)
+	}
+	if r.FuncsSliced == 0 {
+		t.Fatalf("no functions sliced on mini-sim: %+v", r)
+	}
+	if r.PathsSliced >= r.PathsUnsliced {
+		t.Fatalf("slicing did not reduce encoded paths: %+v", r)
+	}
+	if !strings.Contains(out, "mini-sim") {
+		t.Fatalf("table output missing subject:\n%s", out)
+	}
+}
+
 func TestPruneAblationMini(t *testing.T) {
 	out, rows, err := PruneAblation([]string{"mini-sim"}, t.TempDir())
 	if err != nil {

@@ -166,6 +166,30 @@ func (g *Graph) tarjan() {
 	}
 }
 
+// BottomUpNames flattens the SCC condensation into one callees-first
+// function order: every callee appears before its callers, and the members
+// of a recursion group appear adjacently (sorted within the group). This is
+// the evaluation order for summary-based interprocedural analyses — by the
+// time a function is visited, all of its non-recursive callees have been.
+func (g *Graph) BottomUpNames() []string {
+	out := make([]string, 0, len(g.Prog.Funs))
+	for _, id := range g.BottomUp {
+		out = append(out, g.SCCs[id]...)
+	}
+	return out
+}
+
+// SCCOf returns the sorted members of name's strongly connected component;
+// a non-recursive function is alone in its component. Unknown names return
+// nil.
+func (g *Graph) SCCOf(name string) []string {
+	id, ok := g.SCCIndex[name]
+	if !ok {
+		return nil
+	}
+	return g.SCCs[id]
+}
+
 // IsRecursive reports whether name participates in recursion (its SCC has
 // more than one member, or it calls itself).
 func (g *Graph) IsRecursive(name string) bool {

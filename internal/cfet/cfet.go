@@ -95,6 +95,14 @@ type CFET struct {
 	// continued straight into the statically-live arm instead of splitting
 	// the tree.
 	Pruned int
+	// Sliced counts branch sites skipped by Options.SliceBranch: both arms
+	// were property-irrelevant, so the walker continued past the conditional
+	// without splitting.
+	Sliced int
+	// SlicedAway marks a method Options.SliceFunc dropped entirely: the tree
+	// is a single-leaf stub (immediate return) kept so method IDs and call
+	// edges stay well-formed.
+	SlicedAway bool
 
 	symsSet map[symbolic.Sym]bool // lazy cache, see symSet
 }
@@ -150,6 +158,18 @@ type Options struct {
 	// never changes a path constraint's satisfiability; it only spares the
 	// engine from enumerating and refuting the dead subtree.
 	BranchVerdict func(*ir.If) int
+	// SliceFunc, when non-nil, names functions the property-relevance
+	// slicer proved irrelevant: their trees collapse to a single-return
+	// stub (see CFET.SlicedAway). docs/slicing.md gives the argument.
+	SliceFunc func(name string) bool
+	// SliceBranch, when non-nil, marks Ifs whose two arms contain only
+	// property-irrelevant statements: the walker skips the conditional and
+	// both arms without splitting the path. For a total condition c and any
+	// surrounding constraint R, sat(R∧c) ∨ sat(R∧¬c) ⟺ sat(R), so
+	// removing the split preserves every feasibility verdict as long as the
+	// skipped arms write nothing a later statement reads — which is exactly
+	// what the slicer's inertness check guarantees.
+	SliceBranch func(*ir.If) bool
 }
 
 // maxNodeID keeps child IDs representable: beyond depth ~61 we truncate.
@@ -186,6 +206,11 @@ func Build(p *ir.Program, syms *symbolic.Table, opts Options) (*ICFET, error) {
 			m:       ic.Methods[i],
 			budget:  opts.MaxNodesPerMethod,
 			verdict: opts.BranchVerdict,
+			slice:   opts.SliceBranch,
+		}
+		if opts.SliceFunc != nil && opts.SliceFunc(fn.Name) {
+			b.stub(fn)
+			continue
 		}
 		if err := b.run(fn); err != nil {
 			return nil, err
@@ -215,6 +240,28 @@ func (ic *ICFET) PrunedBranches() int {
 	n := 0
 	for _, m := range ic.Methods {
 		n += m.Pruned
+	}
+	return n
+}
+
+// SlicedFunctions returns how many methods Options.SliceFunc collapsed to
+// stubs.
+func (ic *ICFET) SlicedFunctions() int {
+	n := 0
+	for _, m := range ic.Methods {
+		if m.SlicedAway {
+			n++
+		}
+	}
+	return n
+}
+
+// SlicedBranches returns the total number of branch sites skipped by
+// Options.SliceBranch across all methods.
+func (ic *ICFET) SlicedBranches() int {
+	n := 0
+	for _, m := range ic.Methods {
+		n += m.Sliced
 	}
 	return n
 }
@@ -261,6 +308,7 @@ type walker struct {
 	budget  int
 	nodes   int
 	verdict func(*ir.If) int
+	slice   func(*ir.If) bool
 	// opqSyms caches stable symbols for opaque branch conditions.
 	opqSyms map[int32]symbolic.Sym
 }
@@ -314,6 +362,18 @@ func (w *walker) run(fn *ir.Func) error {
 	root := w.newNode(0)
 	w.walk(fn.Body.Stmts, nil, root, e)
 	return nil
+}
+
+// stub replaces a sliced-away method's tree with a single immediate-return
+// leaf. Parameter symbols are still interned so call edges into the stub
+// bind their equations as usual.
+func (w *walker) stub(fn *ir.Func) {
+	for _, p := range fn.Params {
+		w.m.ParamSym[p.Name] = w.intern(p.Name)
+	}
+	root := w.newNode(0)
+	w.endLeaf(root, LeafReturn, RetInfo{Kind: LeafReturn})
+	w.m.SlicedAway = true
 }
 
 // walk executes stmts in node n under environment e; k holds statements
@@ -373,6 +433,13 @@ func (w *walker) walk(stmts []ir.Stmt, k *contFrame, n *Node, e env) {
 			w.endLeaf(n, LeafThrow, RetInfo{Kind: LeafThrow})
 			return
 		case *ir.If:
+			if w.slice != nil && w.slice(s) {
+				// Property-irrelevant on both arms: continue past the
+				// conditional without splitting and without either arm.
+				w.m.Sliced++
+				stmts = rest
+				continue
+			}
 			if w.verdict != nil {
 				if v := w.verdict(s); v != 0 {
 					// Statically decided: continue into the live arm inside

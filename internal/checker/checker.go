@@ -44,6 +44,26 @@ const (
 // Enabled reports whether the mode turns pruning on.
 func (m PruneMode) Enabled() bool { return m != PruneOff }
 
+// SliceMode controls property-relevance slicing: before CFET construction,
+// an Andersen-style points-to pass and the relevance slicer
+// (internal/analysis) decide which functions and branches can possibly
+// matter to the checked FSM properties; everything else is skipped. The
+// zero value enables it.
+type SliceMode uint8
+
+// Slice modes.
+const (
+	// SliceDefault is the zero value: slicing on.
+	SliceDefault SliceMode = iota
+	// SliceOn explicitly enables slicing.
+	SliceOn
+	// SliceOff disables slicing (every function and branch is encoded).
+	SliceOff
+)
+
+// Enabled reports whether the mode turns slicing on.
+func (m SliceMode) Enabled() bool { return m != SliceOff }
+
 // Options configures a checking run.
 type Options struct {
 	// WorkDir holds the engine's partition files; a temp dir when empty.
@@ -75,6 +95,15 @@ type Options struct {
 	// only statically-impossible subtrees are dropped — but the tree, and
 	// everything downstream of it, is smaller.
 	Prune PruneMode
+	// Slice controls property-relevance slicing (default on): functions that
+	// can never touch an object of a checked FSM's type (and whose scalar
+	// returns no kept caller observes) collapse to stubs, and branches whose
+	// both arms are property-irrelevant do not split the CFET. Verdicts are
+	// preserved (docs/slicing.md); only the trees and the context graph
+	// shrink. Slicing is skipped when the checker has no FSMs or when
+	// RecordPointsTo is set — the points-to query class spans ALL variables,
+	// tracked or not, so sliced facts would be incomplete.
+	Slice SliceMode
 }
 
 // PointsToFact is one phase-1 result: under clone Ctx of Method, variable
@@ -156,6 +185,12 @@ type PhaseStats struct {
 	// PrunedBranches counts branch sites the pre-analysis resolved during
 	// CFET construction (0 when Options.Prune is off).
 	PrunedBranches int
+	// SlicedFunctions counts methods the property-relevance slicer
+	// collapsed to stubs (0 when Options.Slice is off).
+	SlicedFunctions int
+	// SlicedBranches counts branch sites skipped because both arms were
+	// property-irrelevant (0 when Options.Slice is off).
+	SlicedBranches int
 	engine.Stats
 }
 
@@ -337,12 +372,33 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 		prep.condsDecided, _ = pre.Prune.Snapshot()
 	}
 	cg := callgraph.Build(p)
+	cloneOpts := c.Opts.Clone
+	if c.Opts.Slice.Enabled() && len(c.FSMs) > 0 && !c.Opts.RecordPointsTo &&
+		cfetOpts.SliceFunc == nil && cfetOpts.SliceBranch == nil {
+		tracked := map[string]bool{}
+		for _, f := range c.FSMs {
+			tracked[f.Type] = true
+		}
+		for typ, name := range c.Opts.Bind {
+			for _, f := range c.FSMs {
+				if f.Name == name {
+					tracked[typ] = true
+				}
+			}
+		}
+		pts := analysis.SolvePointsTo(p, cg)
+		rel := analysis.ComputeRelevance(p, cg, pts, tracked)
+		drop := func(name string) bool { return !rel.KeepFunc(name) }
+		cfetOpts.SliceFunc = drop
+		cfetOpts.SliceBranch = rel.InertBranch
+		cloneOpts.Skip = drop
+	}
 	tab := symbolic.NewTable()
 	ic, err := cfet.Build(p, tab, cfetOpts)
 	if err != nil {
 		return nil, fmt.Errorf("icfet: %w", err)
 	}
-	pr := pgraph.NewProgram(p, cg, ic, c.Opts.Clone)
+	pr := pgraph.NewProgram(p, cg, ic, cloneOpts)
 	ag := pgraph.BuildAlias(pr)
 	prep.ic, prep.pr, prep.ag = ic, pr, ag
 	prep.genTime = time.Since(genStart)
@@ -369,6 +425,7 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	prep.alias = PhaseStats{
 		Vertices: ag.NumVerts, Stats: *aliasStats,
 		CFETPaths: ic.PathCount(), PrunedBranches: ic.PrunedBranches(),
+		SlicedFunctions: ic.SlicedFunctions(), SlicedBranches: ic.SlicedBranches(),
 	}
 
 	// Extract flowsTo facts; held in memory for phase 2 (paper §2.2).
@@ -434,6 +491,7 @@ func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, e
 	res.Dataflow = PhaseStats{
 		Vertices: dg.NumVerts, Stats: *dfStats,
 		CFETPaths: ic.PathCount(), PrunedBranches: ic.PrunedBranches(),
+		SlicedFunctions: ic.SlicedFunctions(), SlicedBranches: ic.SlicedBranches(),
 	}
 
 	// --- Phase 3: FSM checking of source->exit relations. ---

@@ -28,6 +28,11 @@ type Options struct {
 	MaxContexts int
 	// MaxDepth caps the context-tree depth the same way. Zero means 32.
 	MaxDepth int
+	// Skip, when non-nil, names methods the property-relevance slicer
+	// dropped: call sites into them get no callee context at all (their
+	// CFETs are single-return stubs anyway), so the context tree never
+	// grows below them.
+	Skip func(name string) bool
 }
 
 // NoContext marks absent parent contexts.
@@ -128,6 +133,9 @@ func (pr *Program) expand(ctx uint32) {
 		if !ok {
 			continue
 		}
+		if pr.Opts.Skip != nil && pr.Opts.Skip(call.Callee) {
+			continue
+		}
 		key := ctxSiteKey{ctx: ctx, site: call.Site}
 		if _, done := pr.children[key]; done {
 			continue
@@ -154,6 +162,9 @@ func (pr *Program) expandShared(ctx uint32) {
 	for _, call := range pr.CG.CallSites[name] {
 		calleeID, ok := pr.IC.MethodByName[call.Callee]
 		if !ok {
+			continue
+		}
+		if pr.Opts.Skip != nil && pr.Opts.Skip(call.Callee) {
 			continue
 		}
 		key := ctxSiteKey{ctx: ctx, site: call.Site}

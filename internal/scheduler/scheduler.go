@@ -330,6 +330,12 @@ func runOne(ctx context.Context, in *Instance, opts Options, cache *smt.Cache, p
 		defer cancel()
 	}
 	copts := in.Opts
+	// The batch contract is byte-identical merged reports for any worker
+	// count or sharing mode. Property-relevance slicing is property-directed:
+	// a sliced CFET differs per FSM group, which would defeat per-subject
+	// frontend sharing and perturb witness encodings between sharing modes,
+	// so batch instances always build full CFETs.
+	copts.Slice = checker.SliceOff
 	if cache != nil {
 		copts.Engine.Cache = cache
 		// Encoded-path memo keys are positional within one compilation

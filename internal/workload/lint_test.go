@@ -41,8 +41,10 @@ func TestLintGroundTruthExact(t *testing.T) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			s := Generate(p)
+			lkSock, lkIO := p.LeakyCallSplit()
 			wantTotal := p.LintDeadBranches + p.LintUninitReads +
-				p.LintDeadStores + p.LintUnusedAllocs
+				p.LintDeadStores + p.LintUnusedAllocs +
+				p.LintNilRets + p.LintDeadParams + lkSock + lkIO
 			if len(s.LintSeeded) != wantTotal {
 				t.Fatalf("manifest has %d entries, knobs promise %d",
 					len(s.LintSeeded), wantTotal)
@@ -94,10 +96,14 @@ func TestLintSeedsDeterministic(t *testing.T) {
 	for _, ls := range a.LintSeeded {
 		counts[ls.Code]++
 	}
+	lkSock, lkIO := p.LeakyCallSplit()
 	if counts["CF001"]+counts["CF002"] != p.LintDeadBranches ||
 		counts["RD001"] != p.LintUninitReads ||
 		counts["DS001"] != p.LintDeadStores ||
-		counts["UA001"] != p.LintUnusedAllocs {
+		counts["UA001"] != p.LintUnusedAllocs ||
+		counts["ND001"] != p.LintNilRets ||
+		counts["DP001"] != p.LintDeadParams ||
+		counts["LK001"] != lkSock+lkIO {
 		t.Fatalf("per-code counts %v do not match knobs %+v", counts, p)
 	}
 }

@@ -82,6 +82,28 @@ type Profile struct {
 	LintUninitReads  int // reads of never-initialized locals (RD001)
 	LintDeadStores   int // stores never read on any path (DS001)
 	LintUnusedAllocs int // allocations with no observable use (UA001)
+	// Interprocedural lint defects (each uses a per-instance helper function
+	// so every seed has a unique line):
+	LintNilRets    int // may-return-null helpers dereferenced unchecked (ND001)
+	LintDeadParams int // dead parameters / ignored object results (DP001)
+	// LintLeakyCalls converts direct typestate leaks into interprocedural
+	// ones (resource allocated in a helper, leaked by the caller): each
+	// instance seeds BOTH the usual typestate leak (at the helper's
+	// allocation line) and an LK001 lint defect (at the call line), drawing
+	// from the socket budget first, then io. The per-checker TP totals are
+	// unchanged; Table 2 still holds.
+	LintLeakyCalls int
+}
+
+// LeakyCallSplit returns how many interprocedural leaky-call patterns the
+// generator actually emits as (socket-typed, io-typed): the knob is capped
+// by the direct leak budgets it converts.
+func (p Profile) LeakyCallSplit() (sock, io int) {
+	sockDirect := maxInt(0, p.SockTP-p.SockFP)
+	ioDirect := maxInt(0, p.IOTP-p.IOFP)
+	sock = minInt(p.LintLeakyCalls, sockDirect)
+	io = minInt(p.LintLeakyCalls-sock, ioDirect)
+	return sock, io
 }
 
 // Profiles returns the four subject profiles, scaled to this harness while
@@ -97,6 +119,7 @@ func Profiles() []Profile {
 			CorrectPerBug: 1, FillerStmts: 6,
 			LintDeadBranches: 6, LintUninitReads: 3,
 			LintDeadStores: 3, LintUnusedAllocs: 3,
+			LintNilRets: 2, LintDeadParams: 2, LintLeakyCalls: 2,
 		},
 		{
 			Name: "hadoop-sim", Version: "2.7.5-sim",
@@ -107,6 +130,7 @@ func Profiles() []Profile {
 			CorrectPerBug: 2, FillerStmts: 8,
 			LintDeadBranches: 4, LintUninitReads: 2,
 			LintDeadStores: 2, LintUnusedAllocs: 2,
+			LintNilRets: 2, LintDeadParams: 2, LintLeakyCalls: 0,
 		},
 		{
 			Name: "hdfs-sim", Version: "2.0.3-sim",
@@ -117,6 +141,7 @@ func Profiles() []Profile {
 			CorrectPerBug: 2, FillerStmts: 8,
 			LintDeadBranches: 4, LintUninitReads: 2,
 			LintDeadStores: 2, LintUnusedAllocs: 2,
+			LintNilRets: 2, LintDeadParams: 2, LintLeakyCalls: 2,
 		},
 		{
 			Name: "hbase-sim", Version: "1.1.6-sim",
@@ -127,6 +152,7 @@ func Profiles() []Profile {
 			CorrectPerBug: 1, FillerStmts: 10,
 			LintDeadBranches: 8, LintUninitReads: 4,
 			LintDeadStores: 4, LintUnusedAllocs: 4,
+			LintNilRets: 3, LintDeadParams: 4, LintLeakyCalls: 3,
 		},
 	}
 }
@@ -143,6 +169,7 @@ func MiniProfile() Profile {
 		CorrectPerBug: 1, FillerStmts: 4,
 		LintDeadBranches: 2, LintUninitReads: 1,
 		LintDeadStores: 1, LintUnusedAllocs: 1,
+		LintNilRets: 1, LintDeadParams: 1, LintLeakyCalls: 1,
 	}
 }
 
@@ -166,6 +193,10 @@ type builder struct {
 	lintSeeded []LintSeeded
 	rng        *rand.Rand
 	varN       int
+	// helpers are deferred emitters for per-instance helper functions:
+	// interprocedural patterns queue one while writing a worker body and the
+	// generator drains the queue at top level after the workers.
+	helpers []func(b *builder)
 }
 
 func (b *builder) linef(format string, args ...any) int {
@@ -211,10 +242,14 @@ func Generate(p Profile) *Subject {
 			plan = append(plan, f)
 		}
 	}
-	ioDirect := maxInt(0, p.IOTP-p.IOFP)
-	sockDirect := maxInt(0, p.SockTP-p.SockFP)
+	// Interprocedural leaky calls replace direct leaks one-for-one, so the
+	// per-checker TP totals still match Table 2.
+	lkSock, lkIO := p.LeakyCallSplit()
+	ioDirect := maxInt(0, p.IOTP-p.IOFP) - lkIO
+	sockDirect := maxInt(0, p.SockTP-p.SockFP) - lkSock
 	addN(ioDirect/2, ioLeakBranch)
 	addN(ioDirect-ioDirect/2, ioWriteAfterClose)
+	addN(lkIO, ioLeakViaHelper)
 	addN(p.IOFP, ioCollectionFP)
 	addN(p.LockTP, lockMisorder)
 	addN(p.LockFP, lockCollectionFP)
@@ -222,6 +257,7 @@ func Generate(p Profile) *Subject {
 	addN(p.ExcFP, excAliasedFP)
 	addN(sockDirect/2, sockLeakOnException)
 	addN(sockDirect-sockDirect/2, sockReassignLeak)
+	addN(lkSock, sockLeakViaHelper)
 	addN(p.SockFP, sockCollectionFP)
 	bugCount := len(plan)
 	// Lint defects ride along after the typestate bug plan is sized; they
@@ -230,6 +266,14 @@ func Generate(p Profile) *Subject {
 	addN(p.LintUninitReads, lintUninitRead)
 	addN(p.LintDeadStores, lintDeadStore)
 	addN(p.LintUnusedAllocs, lintUnusedAlloc)
+	addN(p.LintNilRets, ndNilReturn)
+	for i := 0; i < p.LintDeadParams; i++ {
+		if i%2 == 0 {
+			plan = append(plan, dpDeadParam)
+		} else {
+			plan = append(plan, dpIgnoredResult)
+		}
+	}
 	correct := []func(b *builder){
 		ioCorrect, ioPathSensitiveSafe, ioHelperClose, lockCorrect,
 		sockCorrect, excHandled, sockCorrectBothPaths,
@@ -263,6 +307,15 @@ func Generate(p Profile) *Subject {
 			b.linef("}")
 			b.linef("")
 			w++
+		}
+	}
+	// Emit the helper functions the interprocedural patterns queued while
+	// their call sites were being written.
+	for len(b.helpers) > 0 {
+		hs := b.helpers
+		b.helpers = nil
+		for _, h := range hs {
+			h(b)
 		}
 	}
 	for s := 0; s < p.Services; s++ {
@@ -405,6 +458,13 @@ func ioWriteAfterClose(b *builder) {
 
 func maxInt(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
 		return a
 	}
 	return b
@@ -617,6 +677,114 @@ func lintUnusedAlloc(b *builder) {
 	b.lintSeed(line, "UA001")
 }
 
+// ---- interprocedural lint patterns (per-instance helper functions) ----
+
+// sockLeakViaHelper converts a direct socket leak into an interprocedural
+// one: a helper allocates, binds and returns a fresh socket, and the caller
+// closes it on only one branch. It seeds the usual typestate leak at the
+// helper's allocation line AND an LK001 lint defect at the call line.
+func sockLeakViaHelper(b *builder) {
+	h := b.fresh("openSock")
+	s := b.fresh("s")
+	x := b.fresh("x")
+	line := b.linef("  var %s: Socket = %s();", s, h)
+	b.lintSeed(line, "LK001")
+	b.linef("  var %s: int = input();", x)
+	b.linef("  if (%s > 0) {", x)
+	b.linef("    %s.close();", s)
+	b.linef("  }")
+	b.helpers = append(b.helpers, func(b *builder) {
+		hs := b.fresh("hs")
+		b.linef("fun %s(): Socket {", h)
+		alloc := b.linef("  var %s: Socket = new Socket();", hs)
+		b.linef("  %s.bind();", hs)
+		b.linef("  return %s;", hs)
+		b.linef("}")
+		b.linef("")
+		b.seed(alloc, "Socket", "socket", "leak", false)
+	})
+}
+
+// ioLeakViaHelper is the FileWriter variant of sockLeakViaHelper.
+func ioLeakViaHelper(b *builder) {
+	h := b.fresh("openLog")
+	w := b.fresh("w")
+	x := b.fresh("x")
+	line := b.linef("  var %s: FileWriter = %s();", w, h)
+	b.lintSeed(line, "LK001")
+	b.linef("  var %s: int = input();", x)
+	b.linef("  if (%s > 3) {", x)
+	b.linef("    %s.close();", w)
+	b.linef("  }")
+	b.helpers = append(b.helpers, func(b *builder) {
+		hw := b.fresh("hw")
+		b.linef("fun %s(): FileWriter {", h)
+		alloc := b.linef("  var %s: FileWriter = new FileWriter();", hw)
+		b.linef("  %s.write();", hw)
+		b.linef("  return %s;", hw)
+		b.linef("}")
+		b.linef("")
+		b.seed(alloc, "FileWriter", "io", "leak", false)
+	})
+}
+
+// ndNilReturn plants an unchecked dereference of a may-return-null helper:
+// ND001 fires at the first dereference line. The pattern is
+// typestate-neutral — on the path where the helper allocates, the writer is
+// written and closed; on the null path no tracked object exists.
+func ndNilReturn(b *builder) {
+	h := b.fresh("findWriter")
+	w := b.fresh("w")
+	b.linef("  var %s: FileWriter = %s(cfg);", w, h)
+	line := b.linef("  %s.write();", w)
+	b.lintSeed(line, "ND001")
+	b.linef("  %s.close();", w)
+	b.helpers = append(b.helpers, func(b *builder) {
+		hw := b.fresh("hw")
+		b.linef("fun %s(sel: int): FileWriter {", h)
+		b.linef("  var %s: FileWriter = null;", hw)
+		b.linef("  if (sel > 3) {")
+		b.linef("    %s = new FileWriter();", hw)
+		b.linef("  }")
+		b.linef("  return %s;", hw)
+		b.linef("}")
+		b.linef("")
+	})
+}
+
+// dpDeadParam plants a helper with one never-read parameter: DP001 fires at
+// the helper's declaration line.
+func dpDeadParam(b *builder) {
+	h := b.fresh("tune")
+	t := b.fresh("t")
+	b.linef("  var %s: int = %s(cfg, cfg);", t, h)
+	b.linef("  consume(%s);", t)
+	b.helpers = append(b.helpers, func(b *builder) {
+		line := b.linef("fun %s(a: int, extra: int): int {", h)
+		b.linef("  return a + 1;")
+		b.linef("}")
+		b.linef("")
+		b.lintSeed(line, "DP001")
+	})
+}
+
+// dpIgnoredResult plants a call whose object-typed result is discarded:
+// DP001 fires at the call line. Box carries no FSM, so typestate checkers
+// are unaffected.
+func dpIgnoredResult(b *builder) {
+	h := b.fresh("makeBox")
+	line := b.linef("  %s();", h)
+	b.lintSeed(line, "DP001")
+	b.helpers = append(b.helpers, func(b *builder) {
+		hb := b.fresh("hb")
+		b.linef("fun %s(): Box {", h)
+		b.linef("  var %s: Box = new Box();", hb)
+		b.linef("  return %s;", hb)
+		b.linef("}")
+		b.linef("")
+	})
+}
+
 // prelude emits the shared helpers every subject includes: a closing helper
 // (interprocedural close) and a guarded thrower (exception-path workloads).
 func prelude(b *builder) {
@@ -632,9 +800,11 @@ func prelude(b *builder) {
 	b.linef("  return;")
 	b.linef("}")
 	// consume is a branch-free, throw-free value sink: calling it keeps a
-	// variable live without splitting any CFET path.
-	b.linef("fun consume(n: int) {")
-	b.linef("  return;")
+	// variable live without splitting any CFET path. It passes its argument
+	// back out so the parameter is genuinely used (no DP001) and the ignored
+	// int result stays idiomatic.
+	b.linef("fun consume(n: int): int {")
+	b.linef("  return n;")
 	b.linef("}")
 	b.linef("")
 }
