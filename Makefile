@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self
+.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self check-self
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test ./internal/storage/ -fuzz FuzzDecodeRecordV2 -fuzztime 20s
 	$(GO) test ./internal/storage/ -fuzz FuzzReadPart -fuzztime 20s
 	$(GO) test ./internal/analysis/ -fuzz FuzzPointsTo -fuzztime 20s
+	$(GO) test ./internal/gofront/ -fuzz FuzzLowerGo -fuzztime 20s
 
 # Self-lint: every shipped example's embedded MiniLang program must pass
 # `grapple lint` (all rules, including the interprocedural ones) with no
@@ -51,11 +52,20 @@ lint-self: build
 		$(GO) run ./cmd/grapple lint "$$tmp/$$name.ml"; \
 	done
 
-# Regenerate the golden-report regression corpus (testdata/golden/).
+# Regenerate the golden-report regression corpus (testdata/golden/):
+# the synthetic workload profiles plus the real-Go self-check subject.
 golden:
-	$(GO) test -run TestGoldenReports -update .
+	$(GO) test -run 'TestGolden(Go)?Reports' -update .
+
+# Self-check: run the full typestate pipeline — gofront lowering, alias and
+# dataflow closure phases, disk engine, SMT feasibility — over our own
+# storage layer with the file-handle and use-after-release packs, and
+# require a clean report. Grapple checks grapple.
+check-self: build
+	@echo "check-self: internal/storage (file-handle, use-after-release)"
+	$(GO) run ./cmd/grapple run -pack file-handle -pack use-after-release ./internal/storage
 
 bench:
 	$(GO) run ./cmd/grapple-bench -all
 
-ci: vet fmt-check race test lint-self
+ci: vet fmt-check race test lint-self check-self

@@ -12,6 +12,7 @@
 //	grapple-bench -table io         partition-store traffic, prefetch on/off
 //	grapple-bench -table prune      infeasible-branch pruning ablation
 //	grapple-bench -table slice      property-relevance slicing ablation
+//	grapple-bench -table gofront    synthetic subjects vs a real Go package
 //	grapple-bench -all              everything above
 //
 // -subjects restricts the subject set (comma separated), -mem sets the
@@ -29,7 +30,8 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|gofront")
+	goDir := flag.String("godir", "internal/storage", "real-Go package for -table gofront")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	subjects := flag.String("subjects", "", "comma-separated subject subset")
@@ -42,7 +44,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|gofront | -figure 9")
 		os.Exit(2)
 	}
 
@@ -101,6 +103,14 @@ func main() {
 	if want("slice") {
 		fmt.Fprintln(os.Stderr, "running slicing ablation (each subject x each property, twice)...")
 		out, _, err := bench.SliceAblation(names, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("gofront") {
+		fmt.Fprintln(os.Stderr, "running gofront bridge comparison (synthetic subjects + real Go)...")
+		out, _, err := bench.GofrontTable(names, *goDir, "")
 		if err != nil {
 			fatal(err)
 		}

@@ -29,11 +29,14 @@ func runLint(args []string, stdout, stderr io.Writer) (int, error) {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines")
 	rules := fs.String("rules", "", "comma-separated diagnostic codes to run (e.g. ND001,LK001); default all")
+	var packNames multiFlag
+	fs.Var(&packNames, "pack", "property pack whose binding rules shape Go lowering (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: grapple lint [flags] program.ml [more.ml ...]")
+		fmt.Fprintln(stderr, "       grapple lint [flags] ./gopkg")
 		fs.PrintDefaults()
 		return 2, nil
 	}
@@ -44,13 +47,32 @@ func runLint(args []string, stdout, stderr io.Writer) (int, error) {
 		}
 	}
 
-	combined, locate, err := loadSources(fs.Args())
-	if err != nil {
-		return 2, err
-	}
-	diags, err := grapple.LintWith(combined, ruleCodes)
-	if err != nil {
-		return 2, err
+	var (
+		diags  []grapple.Diagnostic
+		locate func(int) (string, int)
+	)
+	if goArgs(fs.Args()) {
+		if fs.NArg() != 1 {
+			return 2, fmt.Errorf("go lint takes one package directory")
+		}
+		ds, pkg, err := grapple.LintGoPackage(fs.Arg(0), packNames, ruleCodes)
+		if err != nil {
+			return 2, err
+		}
+		diags, locate = ds, pkg.Locate
+	} else {
+		if len(packNames) > 0 {
+			return 2, fmt.Errorf("-pack applies to Go input; got MiniLang sources")
+		}
+		combined, loc, err := loadSources(fs.Args())
+		if err != nil {
+			return 2, err
+		}
+		ds, err := grapple.LintWith(combined, ruleCodes)
+		if err != nil {
+			return 2, err
+		}
+		diags, locate = ds, loc
 	}
 	for _, d := range diags {
 		file, line := locate(d.Pos.Line)

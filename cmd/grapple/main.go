@@ -4,19 +4,28 @@
 //
 // Usage:
 //
-//	grapple [flags] program.ml [more.ml ...]
+//	grapple [run] [flags] program.ml [more.ml ...]
+//	grapple run -pack <name> [flags] ./gopkg | files.go ...
+//	grapple run -packs
 //	grapple lint [flags] program.ml [more.ml ...]
+//	grapple lint -pack <name> [flags] ./gopkg
 //	grapple batch [flags] [path ...]
 //
-// Multiple source files are concatenated into one compilation unit. The
-// batch subcommand instead treats every path (and every -profile workload
-// subject) as its own compilation unit and checks the whole set under a
-// bounded-worker scheduler with a shared constraint cache, emitting one
-// deterministic merged report stream; see docs/batch.md.
+// Multiple MiniLang source files are concatenated into one compilation
+// unit. A directory or .go arguments select Go mode: the package is lowered
+// through the gofront bridge using the selected property packs' binding
+// rules and checked by the unchanged pipeline, with reports mapped back to
+// Go file:line (docs/gofront.md). The batch subcommand instead treats every
+// path (and every -profile workload subject) as its own compilation unit
+// and checks the whole set under a bounded-worker scheduler with a shared
+// constraint cache, emitting one deterministic merged report stream; see
+// docs/batch.md.
 //
 // Flags:
 //
 //	-fsm file      FSM spec file (repeatable); default: built-in checkers
+//	-pack name     property pack for Go input (repeatable)
+//	-packs         list the property-pack library and exit
 //	-workdir dir   partition directory (default: temporary)
 //	-mem bytes     engine memory budget (default 256 MiB)
 //	-unroll n      loop unroll depth (default 2)

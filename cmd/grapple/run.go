@@ -74,10 +74,17 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if len(args) > 0 && args[0] == "batch" {
 		return runBatch(args[1:], stdout, stderr)
 	}
+	if len(args) > 0 && args[0] == "run" {
+		// `grapple run` is an explicit alias of the default mode.
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet("grapple", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var fsmFiles multiFlag
 	fs.Var(&fsmFiles, "fsm", "FSM specification file (repeatable)")
+	var packNames multiFlag
+	fs.Var(&packNames, "pack", "property pack for Go input (repeatable; see -packs)")
+	listPacks := fs.Bool("packs", false, "list the built-in property packs and exit")
 	workDir := fs.String("workdir", "", "partition directory (temporary if empty)")
 	mem := fs.Int64("mem", 0, "engine memory budget in bytes")
 	unroll := fs.Int("unroll", 0, "static loop unroll depth")
@@ -91,11 +98,30 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
 	}
+	if *listPacks {
+		for _, p := range grapple.Packs() {
+			fmt.Fprintf(stdout, "%-18s %s (tracks %s, fsm %s)\n", p.Name, p.Doc, p.Type, p.FSMName)
+		}
+		return 0, nil
+	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: grapple [flags] program.ml [more.ml ...]")
+		fmt.Fprintln(stderr, "usage: grapple [run] [flags] program.ml [more.ml ...]")
+		fmt.Fprintln(stderr, "       grapple [run] [flags] -pack name ./gopkg | file.go ...")
 		fmt.Fprintln(stderr, "       grapple lint [flags] program.ml [more.ml ...]")
 		fs.PrintDefaults()
 		return 2, nil
+	}
+
+	if goArgs(fs.Args()) {
+		return runGo(goOpts{
+			args: fs.Args(), packs: packNames,
+			workDir: *workDir, mem: *mem, unroll: *unroll,
+			jsonOut: *jsonOut, stats: *stats, verbose: *verbose,
+			dotDir: *dotDir, noPrune: *noPrune, noSlice: *noSlice,
+		}, stdout, stderr)
+	}
+	if len(packNames) > 0 {
+		return 2, fmt.Errorf("-pack selects property packs for Go input (.go files or a package directory); got MiniLang sources")
 	}
 
 	var fsms []*grapple.FSM
@@ -169,9 +195,21 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		}
 	}
 
-	for _, r := range res.Reports {
+	emitReports(stdout, res.Reports, locate, *jsonOut, *verbose)
+	if *stats {
+		emitStats(stdout, res)
+	}
+	if len(res.Reports) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// emitReports prints warnings, mapping combined-unit lines through locate.
+func emitReports(stdout io.Writer, reports []grapple.Report, locate func(int) (string, int), jsonOut, verbose bool) {
+	for _, r := range reports {
 		file, line := locate(r.Pos.Line)
-		if *jsonOut {
+		if jsonOut {
 			out, _ := json.Marshal(jsonReport{
 				File: file, Line: line, Col: r.Pos.Col,
 				FSM: r.FSM, Kind: r.Kind.String(), Type: r.Type,
@@ -184,7 +222,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s: %s object may exit in state(s) %s\n",
 			file, line, r.Pos.Col, r.FSM, r.Kind, r.Type,
 			strings.Join(r.States, ","))
-		if *verbose {
+		if verbose {
 			fmt.Fprintf(stdout, "    object:     %s\n    witness:    %s\n    constraint: %s\n",
 				r.Object, r.Witness, r.WitnessConstraint)
 			for _, step := range r.Steps {
@@ -197,26 +235,27 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			}
 		}
 	}
-	if *stats {
-		fmt.Fprintf(stdout, "\ntracked objects: %d\n", res.TrackedObjects)
-		fmt.Fprintf(stdout, "cfet paths: %d (pruned branches: %d)\n",
-			res.Alias.CFETPaths, res.Alias.PrunedBranches)
-		fmt.Fprintf(stdout, "sliced functions: %d (sliced branches: %d)\n",
-			res.Alias.SlicedFunctions, res.Alias.SlicedBranches)
-		printPhase(stdout, "alias", res.Alias)
-		printPhase(stdout, "dataflow", res.Dataflow)
-		io := res.Alias.IO
-		io.Add(res.Dataflow.IO)
-		fmt.Fprintf(stdout, "io: %s\n", io)
-		fmt.Fprintf(stdout, "io latency: %s\n", io.LatencyString())
-		fmt.Fprintf(stdout, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)
-		fmt.Fprintf(stdout, "breakdown: I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%\n",
-			res.Breakdown.IOPct, res.Breakdown.DecodePct, res.Breakdown.SolvePct, res.Breakdown.ComputePct)
+}
+
+// emitStats prints the -stats block.
+func emitStats(stdout io.Writer, res *grapple.Result) {
+	fmt.Fprintf(stdout, "\ntracked objects: %d\n", res.TrackedObjects)
+	fmt.Fprintf(stdout, "cfet paths: %d (pruned branches: %d)\n",
+		res.Alias.CFETPaths, res.Alias.PrunedBranches)
+	fmt.Fprintf(stdout, "sliced functions: %d (sliced branches: %d)\n",
+		res.Alias.SlicedFunctions, res.Alias.SlicedBranches)
+	if res.Alias.Unlowered > 0 {
+		fmt.Fprintf(stdout, "unlowered constructs (havocked): %d\n", res.Alias.Unlowered)
 	}
-	if len(res.Reports) > 0 {
-		return 1, nil
-	}
-	return 0, nil
+	printPhase(stdout, "alias", res.Alias)
+	printPhase(stdout, "dataflow", res.Dataflow)
+	io := res.Alias.IO
+	io.Add(res.Dataflow.IO)
+	fmt.Fprintf(stdout, "io: %s\n", io)
+	fmt.Fprintf(stdout, "io latency: %s\n", io.LatencyString())
+	fmt.Fprintf(stdout, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)
+	fmt.Fprintf(stdout, "breakdown: I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%\n",
+		res.Breakdown.IOPct, res.Breakdown.DecodePct, res.Breakdown.SolvePct, res.Breakdown.ComputePct)
 }
 
 func printPhase(w io.Writer, name string, p grapple.PhaseStats) {

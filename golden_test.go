@@ -100,6 +100,63 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// TestGoldenGoReports pins the real-Go self-check: lowering
+// internal/storage through the gofront bridge and running the file-handle
+// pack must reproduce testdata/golden/go-storage.json byte for byte, and the
+// stream must not depend on engine parallelism (checked at Workers 1 and 4).
+func TestGoldenGoReports(t *testing.T) {
+	const subject = "go-storage"
+	var golden []byte
+	for _, workers := range []int{1, 4} {
+		res, pkg, err := CheckGoPackage(
+			filepath.Join("internal", "storage"),
+			[]string{"file-handle"},
+			Options{WorkDir: t.TempDir(), Workers: workers},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]goldenReport, 0, len(res.Reports))
+		for _, r := range res.Reports {
+			file, goLine := pkg.Locate(r.Pos.Line)
+			out = append(out, goldenReport{
+				Subject: subject, Group: file,
+				Line: goLine, Col: r.Pos.Col,
+				FSM: r.FSM, Kind: r.Kind.String(), Type: r.Type,
+				States: r.States, Object: r.Object,
+				Witness: r.Witness, WitnessConstraint: r.WitnessConstraint,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append(data, '\n')
+		if golden == nil {
+			golden = got
+		} else if !bytes.Equal(golden, got) {
+			t.Fatalf("go golden stream differs across worker counts:\n%s",
+				goldenDiff(golden, got))
+		}
+	}
+
+	path := filepath.Join("testdata", "golden", subject+".json")
+	if *updateGolden {
+		if err := os.WriteFile(path, golden, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(golden, want) {
+		t.Fatal(goldenDiff(want, golden))
+	}
+}
+
 // goldenDiff renders the first divergence between two golden streams with a
 // little context, so a regression is readable without an external diff tool.
 func goldenDiff(want, got []byte) string {

@@ -38,6 +38,8 @@ import (
 	"github.com/grapple-system/grapple/internal/checker"
 	"github.com/grapple-system/grapple/internal/engine"
 	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/fsm/packs"
+	"github.com/grapple-system/grapple/internal/gofront"
 	"github.com/grapple-system/grapple/internal/ir"
 	"github.com/grapple-system/grapple/internal/lang"
 	"github.com/grapple-system/grapple/internal/metrics"
@@ -236,6 +238,10 @@ type PhaseStats struct {
 	RejectedUnsat     int64
 	RejectedConflict  int64
 	SolveTime         time.Duration
+	// Unlowered counts Go constructs the frontend soundly over-approximated
+	// (havocked) instead of modeling precisely. It is a frontend-wide count,
+	// reported identically on both phases; always 0 in MiniLang mode.
+	Unlowered int
 	// IO reports the phase's partition-store traffic: bytes moved, cache
 	// and prefetch effectiveness, and the perceived load-latency histogram.
 	IO IOStats
@@ -334,6 +340,20 @@ func checkerOptions(opts Options) checker.Options {
 	return co
 }
 
+// publicResult converts the internal checker result.
+func publicResult(res *checker.Result) *Result {
+	io, dec, sol, comp := res.Breakdown.Percentages()
+	return &Result{
+		Reports:  res.Reports,
+		Alias:    phaseStats(res.Alias),
+		Dataflow: phaseStats(res.Dataflow),
+		GenTime:  res.GenTime, ComputeTime: res.ComputeTime,
+		Breakdown:      Breakdown{IOPct: io, DecodePct: dec, SolvePct: sol, ComputePct: comp},
+		TrackedObjects: res.TrackedObjects,
+		PointsTo:       res.PointsTo,
+	}
+}
+
 // Check analyzes MiniLang source against the given FSM properties.
 func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
 	inner := make([]*fsm.FSM, len(fsms))
@@ -345,16 +365,7 @@ func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	io, dec, sol, comp := res.Breakdown.Percentages()
-	return &Result{
-		Reports:  res.Reports,
-		Alias:    phaseStats(res.Alias),
-		Dataflow: phaseStats(res.Dataflow),
-		GenTime:  res.GenTime, ComputeTime: res.ComputeTime,
-		Breakdown:      Breakdown{IOPct: io, DecodePct: dec, SolvePct: sol, ComputePct: comp},
-		TrackedObjects: res.TrackedObjects,
-		PointsTo:       res.PointsTo,
-	}, nil
+	return publicResult(res), nil
 }
 
 // CheckFile analyzes a MiniLang source file.
@@ -475,4 +486,179 @@ func LintWith(source string, ruleCodes []string) ([]Diagnostic, error) {
 		}
 	}
 	return out, nil
+}
+
+// PropertyPack describes one entry of the built-in property-pack library:
+// an FSM typestate property plus the Go binding rules that map real call
+// patterns (os.Open, mu.Lock, rows.Close, ...) onto its alphabet. Packs are
+// selected by name in CheckGoPackage and `grapple run -pack`.
+type PropertyPack struct {
+	// Name selects the pack.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Type is the tracked object type (gofront spelling, e.g. "os_File").
+	Type string
+	// FSMName is the name of the pack's FSM.
+	FSMName string
+}
+
+// Packs lists the built-in property packs, sorted by name.
+func Packs() []PropertyPack {
+	all := packs.All()
+	out := make([]PropertyPack, len(all))
+	for i, p := range all {
+		out[i] = PropertyPack{Name: p.Name, Doc: p.Doc, Type: p.FSM.Type, FSMName: p.FSM.Name}
+	}
+	return out
+}
+
+// GoPackage is a Go package lowered to MiniLang: the analyzable program
+// text plus the machinery to map combined-unit report lines back to the
+// original Go files.
+type GoPackage struct {
+	res *gofront.Result
+}
+
+// Source returns the lowered MiniLang program text.
+func (g *GoPackage) Source() string { return g.res.Source() }
+
+// Locate maps a combined-unit line (Report.Pos.Line, Diagnostic.Pos.Line)
+// back to the original (Go file, line).
+func (g *GoPackage) Locate(line int) (file string, goLine int) { return g.res.Locate(line) }
+
+// Unlowered counts the Go constructs the frontend havocked (soundly
+// over-approximated) instead of modeling precisely.
+func (g *GoPackage) Unlowered() int { return g.res.Stats.Havocs }
+
+// UnloweredByKind breaks Unlowered down by construct kind.
+func (g *GoPackage) UnloweredByKind() map[string]int {
+	out := make(map[string]int, len(g.res.Stats.ByKind))
+	for k, v := range g.res.Stats.ByKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Functions is the number of Go functions and methods lowered (including
+// lifted closures).
+func (g *GoPackage) Functions() int { return g.res.Stats.Functions }
+
+// resolvePacks maps pack names to library entries; at least one is required.
+func resolvePacks(packNames []string) ([]*packs.Pack, error) {
+	if len(packNames) == 0 {
+		return nil, fmt.Errorf("grapple: checking Go source requires at least one property pack (have: %s)",
+			strings.Join(packs.Names(), ", "))
+	}
+	out := make([]*packs.Pack, 0, len(packNames))
+	seen := map[string]bool{}
+	for _, name := range packNames {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		p, err := packs.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// checkLoweredGo runs the full pipeline on an already-lowered package.
+func checkLoweredGo(g *gofront.Result, selected []*packs.Pack, opts Options) (*Result, error) {
+	info, err := lang.Resolve(g.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("resolve lowered Go: %w", err)
+	}
+	p, err := ir.Lower(info, ir.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("lower lowered Go: %w", err)
+	}
+	inner := make([]*fsm.FSM, len(selected))
+	for i, pk := range selected {
+		inner[i] = pk.FSM
+	}
+	co := checkerOptions(opts)
+	if co.Engine.MaxVariants == 0 {
+		// Real-Go subjects produce more per-edge path variants than
+		// hand-written MiniLang (lifted closures, defer flushing, and
+		// branch duplication multiply call edges per site), so the default
+		// widening cap loses the call/return balance that keeps helper
+		// frames honest. A higher cap keeps self-checks report-clean.
+		co.Engine.MaxVariants = 32
+	}
+	res, err := checker.New(inner, co).CheckIR(p)
+	if err != nil {
+		return nil, err
+	}
+	out := publicResult(res)
+	out.Alias.Unlowered = g.Stats.Havocs
+	out.Dataflow.Unlowered = g.Stats.Havocs
+	return out, nil
+}
+
+// CheckGoPackage lowers the non-test .go files of dir through the Go
+// frontend using the named property packs' binding rules, then runs the
+// full pipeline — points-to, slicing, CFET construction, interval encoding,
+// the disk engine, SMT path conditions — on the lowered program. Report
+// positions are in the combined lowered unit; map them back with
+// GoPackage.Locate.
+func CheckGoPackage(dir string, packNames []string, opts Options) (*Result, *GoPackage, error) {
+	selected, err := resolvePacks(packNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := gofront.LowerPackage(dir, packs.MergedRules(selected))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := checkLoweredGo(g, selected, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &GoPackage{res: g}, nil
+}
+
+// CheckGoFiles is CheckGoPackage over an explicit file list (one package).
+func CheckGoFiles(paths []string, packNames []string, opts Options) (*Result, *GoPackage, error) {
+	selected, err := resolvePacks(packNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := gofront.LowerFiles(paths, packs.MergedRules(selected))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := checkLoweredGo(g, selected, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, &GoPackage{res: g}, nil
+}
+
+// LintGoPackage lowers the non-test .go files of dir and runs the IR-level
+// lint passes on the result. packNames select whose binding rules shape the
+// lowering (allocation and event mapping); empty means every pack's rules
+// merged. Diagnostic positions map back through GoPackage.Locate.
+func LintGoPackage(dir string, packNames []string, ruleCodes []string) ([]Diagnostic, *GoPackage, error) {
+	var selected []*packs.Pack
+	if len(packNames) == 0 {
+		selected = packs.All()
+	} else {
+		var err error
+		if selected, err = resolvePacks(packNames); err != nil {
+			return nil, nil, err
+		}
+	}
+	g, err := gofront.LowerPackage(dir, packs.MergedRules(selected))
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := LintWith(g.Source(), ruleCodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, &GoPackage{res: g}, nil
 }

@@ -90,6 +90,20 @@ func (e Enc) Clone() Enc {
 	return out
 }
 
+// Skeleton returns just the call/return elements of the encoding. Widening
+// an edge to its skeleton discards interval (branch) precision while
+// preserving frame balance: a skeletonized path still cannot enter a callee
+// through one call-edge instance and leave through another.
+func (e Enc) Skeleton() Enc {
+	var out Enc
+	for _, el := range e {
+		if el.Kind == KCall || el.Kind == KRet {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
 // Merge combines the encodings of two consecutive edges x->y (e1) and y->z
 // (e2) into the encoding of the induced edge x->z, implementing the four
 // cases of §4.2:
@@ -214,7 +228,21 @@ func (ic *ICFET) reduce(e Enc) (Enc, bool) {
 					depth--
 				}
 			}
-			if j < 0 || e[j].Call != e[i].Call {
+			if j < 0 {
+				continue
+			}
+			if e[j].Call != e[i].Call {
+				// The fragment between j and i is balanced, so e[j] opens
+				// the very frame e[i] closes. A frame returns through the
+				// call-edge instance that entered it, so differing IDs on
+				// the same callee describe a path no single execution can
+				// take (enter helper via one caller node, leave toward
+				// another). Cross-callee mismatches stay: alias-grammar
+				// splices (flowsToBar·flowsTo through store/load) join
+				// legs of different frames legitimately.
+				if ic.sameCallee(e[j].Call, e[i].Call) {
+					return nil, false
+				}
 				continue
 			}
 			if !ic.eliminable(e[j : i+1]) {
@@ -251,6 +279,17 @@ func (ic *ICFET) reduce(e Enc) (Enc, bool) {
 // span branch conditionals — otherwise the "y = bar(2*x)" correlation of
 // §3.2 would be lost the moment the call completes. Pairs referencing
 // unknown call edges (foreign encodings) are eliminated as in the paper.
+// sameCallee reports whether two call-edge IDs target the same callee
+// method. Unknown IDs (foreign encodings, hand-built tests) report false so
+// the mismatch falls through to plain concatenation.
+func (ic *ICFET) sameCallee(a, b int32) bool {
+	if a < 0 || b < 0 || int(a) >= len(ic.CallEdges) || int(b) >= len(ic.CallEdges) {
+		return false
+	}
+	ea, eb := ic.CallEdges[a], ic.CallEdges[b]
+	return ea != nil && eb != nil && ea.Callee == eb.Callee
+}
+
 func (ic *ICFET) eliminable(frag Enc) bool {
 	call := frag[0]
 	if int(call.Call) < len(ic.CallEdges) {

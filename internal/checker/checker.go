@@ -400,6 +400,13 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	}
 	pr := pgraph.NewProgram(p, cg, ic, cloneOpts)
 	ag := pgraph.BuildAlias(pr)
+	// The pointer grammar interns one store/load label pair per distinct
+	// field; a program with enough fields to exhaust the 16-bit label space
+	// must fail with the grammar's sized diagnostic, not analyze nonsense
+	// NoLabel edges.
+	if err := ag.Ptr.G.Err(); err != nil {
+		return nil, err
+	}
 	prep.ic, prep.pr, prep.ag = ic, pr, ag
 	prep.genTime = time.Since(genStart)
 	if c.Opts.DumpDOT != "" {

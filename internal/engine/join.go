@@ -334,8 +334,17 @@ func (en *Engine) insert(e storage.Edge, loadedI, loadedJ int) {
 		}
 		ep := v.Endpoint()
 		if en.variants[ep] >= en.opts.MaxVariants && len(v.Enc) > 0 {
-			// Widen: keep the edge but drop its constraint (weaker, sound).
-			v.Enc = nil
+			// Widen: drop interval (branch) precision but keep call/return
+			// structure — erasing it would let composed paths enter a
+			// callee through one call-edge instance and exit through
+			// another, stitching execution fragments no single run can
+			// connect. Only past twice the cap does the edge widen to the
+			// fully unconstrained variant.
+			if sk := v.Enc.Skeleton(); len(sk) > 0 && en.variants[ep] < 2*en.opts.MaxVariants {
+				v.Enc = sk
+			} else {
+				v.Enc = nil
+			}
 			k = v.Key()
 			if _, dup := en.keys[k]; dup {
 				continue

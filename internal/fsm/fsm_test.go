@@ -1,6 +1,7 @@
 package fsm
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -219,5 +220,31 @@ func TestFSMString(t *testing.T) {
 	s := f.String()
 	if s == "" {
 		t.Fatal("empty render")
+	}
+}
+
+func TestParseSpecWrapsErrSpec(t *testing.T) {
+	bad := []string{
+		`fsm x for T { states A; init B; }`,
+		`fsm x for T { states A;`,
+		`init A;`,
+	}
+	for _, src := range bad {
+		_, err := ParseSpec(src)
+		if err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("error for %q is not ErrSpec: %v", src, err)
+		}
+	}
+}
+
+func TestBuiltinsConstructCleanly(t *testing.T) {
+	if len(Builtins()) != 4 {
+		t.Fatal("want four builtin checkers")
+	}
+	if err := BuiltinsErr(); err != nil {
+		t.Fatalf("builtin construction failed: %v", err)
 	}
 }

@@ -1,0 +1,264 @@
+// Package packs is the curated property-pack library: each pack pairs an FSM
+// typestate property with the gofront binding rules that map real Go call
+// patterns onto the FSM's alphabet. Packs are what `grapple run -pack` and
+// `grapple lint -pack` select.
+//
+// Packs that track the same object type MUST agree on event names (the
+// file-handle and use-after-release packs both spell their alphabet
+// new/use/close over os_File); gofront merges the rule sets of every
+// selected pack with first-binding-wins semantics, so a disagreement would
+// silently drop events.
+package packs
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/gofront"
+)
+
+// Pack binds one FSM property to the Go call patterns that drive it.
+type Pack struct {
+	// Name selects the pack on the command line.
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// FSM is the typestate property, over the pack's tracked object type.
+	FSM *fsm.FSM
+	// Rules bind Go calls to allocations and FSM events.
+	Rules *gofront.Rules
+}
+
+var (
+	registry []*Pack
+	buildErr error
+)
+
+func init() { registry, buildErr = build() }
+
+// All returns every registered pack, sorted by name.
+func All() []*Pack { return registry }
+
+// BuildErr reports whether the static pack definitions failed to construct;
+// always nil in a correct build (asserted by tests).
+func BuildErr() error { return buildErr }
+
+// Get returns the named pack, or an error listing what exists.
+func Get(name string) (*Pack, error) {
+	for _, p := range registry {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown property pack %q (have: %v)", name, Names())
+}
+
+// Names returns the sorted pack names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// MergedRules folds the rules of the given packs into one set.
+func MergedRules(ps []*Pack) *gofront.Rules {
+	r := gofront.NewRules()
+	for _, p := range ps {
+		r.Merge(p.Rules)
+	}
+	return r
+}
+
+// fsmBuilder accumulates the first error across FSM construction calls so
+// pack definitions read declaratively without panics.
+type fsmBuilder struct {
+	f   *fsm.FSM
+	err error
+}
+
+func newFSM(name, typ string, states ...string) *fsmBuilder {
+	f, err := fsm.New(name, typ, states...)
+	return &fsmBuilder{f: f, err: err}
+}
+
+func (b *fsmBuilder) trans(from, event, to string) *fsmBuilder {
+	if b.err == nil {
+		b.err = b.f.AddTransition(from, event, to)
+	}
+	return b
+}
+
+func (b *fsmBuilder) accept(states ...string) *fsmBuilder {
+	if b.err == nil {
+		b.err = b.f.SetAccept(states...)
+	}
+	return b
+}
+
+func (b *fsmBuilder) done() (*fsm.FSM, error) { return b.f, b.err }
+
+// fileUseEvents maps every value-observing *os.File method to the shared
+// "use" event; Close maps to "close".
+func fileRules() *gofront.Rules {
+	r := gofront.NewRules()
+	for _, fn := range []string{"Open", "Create", "OpenFile", "CreateTemp"} {
+		r.FuncAllocs["os."+fn] = gofront.Alloc{Type: "os_File", Obj: 0, Err: 1}
+	}
+	// os.NewFile cannot fail.
+	r.FuncAllocs["os.NewFile"] = gofront.Alloc{Type: "os_File", Obj: 0, Err: -1}
+	for _, m := range []string{
+		"Read", "ReadAt", "ReadFrom", "Write", "WriteAt", "WriteString",
+		"Seek", "Sync", "Truncate", "Stat", "Fd", "Name", "Chmod", "Chown",
+		"SetDeadline", "SetReadDeadline", "SetWriteDeadline",
+	} {
+		r.Events[gofront.TypeMethod{Type: "os_File", Method: m}] = "use"
+	}
+	r.Events[gofront.TypeMethod{Type: "os_File", Method: "Close"}] = "close"
+	return r
+}
+
+func build() ([]*Pack, error) {
+	var out []*Pack
+
+	// file-handle: every opened file must be closed exactly once; uses are
+	// legal only while open. Leak = dying in Open.
+	fh, err := newFSM("file-handle", "os_File", "Init", "Open", "Closed").
+		trans("Init", "new", "Open").
+		trans("Open", "use", "Open").
+		trans("Open", "close", "Closed").
+		trans("Closed", "close", "Closed").
+		accept("Init", "Closed").done()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, &Pack{
+		Name:  "file-handle",
+		Doc:   "os.File lifecycle: opened files are used while open and closed before death",
+		FSM:   fh,
+		Rules: fileRules(),
+	})
+
+	// use-after-release: same alphabet, but ONLY flags operations on a
+	// released handle; never leak-reports (all states accept at death).
+	uar, err := newFSM("use-after-release", "os_File", "Init", "Live", "Released").
+		trans("Init", "new", "Live").
+		trans("Live", "use", "Live").
+		trans("Live", "close", "Released").
+		trans("Released", "close", "Released").
+		accept("Init", "Live", "Released").done()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, &Pack{
+		Name:  "use-after-release",
+		Doc:   "no reads/writes/seeks on an os.File after Close (double Close allowed)",
+		FSM:   uar,
+		Rules: fileRules(),
+	})
+
+	// mutex: Unlock only while locked; dying locked is a leak.
+	mu, err := newFSM("mutex", "sync_Mutex", "Unlocked", "Locked").
+		trans("Unlocked", "new", "Unlocked").
+		trans("Unlocked", "lock", "Locked").
+		trans("Locked", "unlock", "Unlocked").
+		accept("Unlocked").done()
+	if err != nil {
+		return nil, err
+	}
+	muRules := gofront.NewRules()
+	muRules.CompositeAllocs["sync.Mutex"] = "sync_Mutex"
+	muRules.CompositeAllocs["sync.RWMutex"] = "sync_Mutex"
+	muRules.Events[gofront.TypeMethod{Type: "sync_Mutex", Method: "Lock"}] = "lock"
+	muRules.Events[gofront.TypeMethod{Type: "sync_Mutex", Method: "Unlock"}] = "unlock"
+	out = append(out, &Pack{
+		Name:  "mutex",
+		Doc:   "sync.Mutex ordering: no double-lock/double-unlock, no exit while locked",
+		FSM:   mu,
+		Rules: muRules,
+	})
+
+	// context-cancel: the CancelFunc returned by context.WithCancel must be
+	// invoked on every path (dying Armed leaks the context's resources).
+	cc, err := newFSM("context-cancel", "context_CancelFunc", "Init", "Armed", "Done").
+		trans("Init", "new", "Armed").
+		trans("Armed", "cancel", "Done").
+		trans("Done", "cancel", "Done").
+		accept("Init", "Done").done()
+	if err != nil {
+		return nil, err
+	}
+	ccRules := gofront.NewRules()
+	for _, fn := range []string{"WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause"} {
+		ccRules.FuncAllocs["context."+fn] = gofront.Alloc{Type: "context_CancelFunc", Obj: 1, Err: -1}
+	}
+	// Calling the tracked func value IS the cancel event.
+	ccRules.CallEvents["context_CancelFunc"] = "cancel"
+	out = append(out, &Pack{
+		Name:  "context-cancel",
+		Doc:   "context.CancelFunc propagation: every WithCancel/WithTimeout cancel func is called",
+		FSM:   cc,
+		Rules: ccRules,
+	})
+
+	// http-body: http.Response bodies must be closed (events fire through
+	// the Body field, attributed to the response object).
+	hb, err := newFSM("http-body", "http_Response", "Init", "Open", "Closed").
+		trans("Init", "new", "Open").
+		trans("Open", "use", "Open").
+		trans("Open", "close", "Closed").
+		trans("Closed", "close", "Closed").
+		accept("Init", "Closed").done()
+	if err != nil {
+		return nil, err
+	}
+	hbRules := gofront.NewRules()
+	for _, fn := range []string{"Get", "Post", "PostForm", "Head"} {
+		hbRules.FuncAllocs["http."+fn] = gofront.Alloc{Type: "http_Response", Obj: 0, Err: 1}
+	}
+	hbRules.MethodAllocs[gofront.TypeMethod{Type: "http_Client", Method: "Do"}] =
+		gofront.Alloc{Type: "http_Response", Obj: 0, Err: 1}
+	hbRules.FieldEvents[gofront.TypeFieldMethod{Type: "http_Response", Field: "Body", Method: "Close"}] = "close"
+	hbRules.FieldEvents[gofront.TypeFieldMethod{Type: "http_Response", Field: "Body", Method: "Read"}] = "use"
+	out = append(out, &Pack{
+		Name:  "http-body",
+		Doc:   "http.Response.Body close: every response body is closed before death",
+		FSM:   hb,
+		Rules: hbRules,
+	})
+
+	// sql-rows: result sets must be closed; iteration only while open.
+	sr, err := newFSM("sql-rows", "sql_Rows", "Init", "Open", "Closed").
+		trans("Init", "new", "Open").
+		trans("Open", "use", "Open").
+		trans("Open", "close", "Closed").
+		trans("Closed", "close", "Closed").
+		accept("Init", "Closed").done()
+	if err != nil {
+		return nil, err
+	}
+	srRules := gofront.NewRules()
+	for _, recv := range []string{"sql_DB", "sql_Tx", "sql_Stmt"} {
+		for _, m := range []string{"Query", "QueryContext"} {
+			srRules.MethodAllocs[gofront.TypeMethod{Type: recv, Method: m}] =
+				gofront.Alloc{Type: "sql_Rows", Obj: 0, Err: 1}
+		}
+	}
+	// sql.Open supplies the receiver type without tracking the DB itself.
+	srRules.FuncAllocs["sql.Open"] = gofront.Alloc{Type: "sql_DB", Obj: 0, Err: 1}
+	for _, m := range []string{"Next", "Scan", "Err", "NextResultSet", "Columns", "ColumnTypes"} {
+		srRules.Events[gofront.TypeMethod{Type: "sql_Rows", Method: m}] = "use"
+	}
+	srRules.Events[gofront.TypeMethod{Type: "sql_Rows", Method: "Close"}] = "close"
+	out = append(out, &Pack{
+		Name:  "sql-rows",
+		Doc:   "database/sql.Rows close: result sets are closed, iterated only while open",
+		FSM:   sr,
+		Rules: srRules,
+	})
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

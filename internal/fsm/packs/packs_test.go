@@ -1,0 +1,85 @@
+package packs
+
+import "testing"
+
+func TestRegistryBuilds(t *testing.T) {
+	if err := BuildErr(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"context-cancel", "file-handle", "http-body", "mutex", "sql-rows", "use-after-release"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("pack names %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pack names %v, want %v", got, want)
+		}
+	}
+	for _, p := range All() {
+		if p.Doc == "" {
+			t.Errorf("pack %s has no doc line", p.Name)
+		}
+		if p.FSM == nil || p.Rules == nil {
+			t.Fatalf("pack %s incomplete", p.Name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-pack"); err == nil {
+		t.Fatal("want error for unknown pack")
+	}
+	p, err := Get("mutex")
+	if err != nil || p.Name != "mutex" {
+		t.Fatalf("Get(mutex) = %v, %v", p, err)
+	}
+}
+
+// TestSharedTypePacksAgree enforces the package contract: packs tracking the
+// same object type must spell identical event names for identical call
+// patterns, or first-binding-wins merging would silently drop events.
+func TestSharedTypePacksAgree(t *testing.T) {
+	byType := map[string][]*Pack{}
+	for _, p := range All() {
+		byType[p.FSM.Type] = append(byType[p.FSM.Type], p)
+	}
+	for typ, ps := range byType {
+		if len(ps) < 2 {
+			continue
+		}
+		base := ps[0]
+		for _, p := range ps[1:] {
+			for tm, ev := range p.Rules.Events {
+				if got, ok := base.Rules.Events[tm]; ok && got != ev {
+					t.Errorf("type %s: packs %s/%s disagree on %v: %q vs %q",
+						typ, base.Name, p.Name, tm, got, ev)
+				}
+			}
+			for fn, al := range p.Rules.FuncAllocs {
+				if got, ok := base.Rules.FuncAllocs[fn]; ok && got != al {
+					t.Errorf("type %s: packs %s/%s disagree on alloc %s",
+						typ, base.Name, p.Name, fn)
+				}
+			}
+		}
+	}
+}
+
+// TestMergedRulesCoverAllPacks asserts every pack's bindings survive a
+// whole-library merge (the `lint -pack`-less default path).
+func TestMergedRulesCoverAllPacks(t *testing.T) {
+	merged := MergedRules(All())
+	for _, p := range All() {
+		for tm, ev := range p.Rules.Events {
+			if merged.Events[tm] != ev {
+				t.Errorf("pack %s: merged rules lost event %v=%q", p.Name, tm, ev)
+			}
+		}
+		for fn := range p.Rules.FuncAllocs {
+			if _, ok := merged.FuncAllocs[fn]; !ok {
+				t.Errorf("pack %s: merged rules lost alloc %s", p.Name, fn)
+			}
+		}
+	}
+}

@@ -1,9 +1,15 @@
 package fsm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrSpec marks FSM spec-file failures: parse errors and inconsistent
+// definitions. Callers test with errors.Is and report the position carried
+// in the message instead of crashing.
+var ErrSpec = errors.New("fsm spec")
 
 // ParseSpec parses one or more FSM specifications from a small text format:
 //
@@ -34,67 +40,67 @@ func ParseSpec(src string) ([]*FSM, error) {
 		switch {
 		case strings.HasPrefix(line, "fsm "):
 			if cur != nil {
-				return nil, fmt.Errorf("line %d: nested fsm", lineNo)
+				return nil, fmt.Errorf("%w: line %d: nested fsm", ErrSpec, lineNo)
 			}
 			rest := strings.TrimSuffix(strings.TrimSpace(line[4:]), "{")
 			parts := strings.Fields(rest)
 			if len(parts) != 3 || parts[1] != "for" {
-				return nil, fmt.Errorf("line %d: want 'fsm <name> for <Type> {'", lineNo)
+				return nil, fmt.Errorf("%w: line %d: want 'fsm <name> for <Type> {'", ErrSpec, lineNo)
 			}
 			cur = &FSM{Name: parts[0], Type: parts[2]}
 		case line == "}":
 			if cur == nil {
-				return nil, fmt.Errorf("line %d: stray }", lineNo)
+				return nil, fmt.Errorf("%w: line %d: stray }", ErrSpec, lineNo)
 			}
 			if len(cur.States) == 0 {
-				return nil, fmt.Errorf("line %d: fsm %s has no states", lineNo, cur.Name)
+				return nil, fmt.Errorf("%w: line %d: fsm %s has no states", ErrSpec, lineNo, cur.Name)
 			}
 			out = append(out, cur)
 			cur = nil
 		case strings.HasPrefix(line, "states "):
 			if cur == nil || cur.States != nil {
-				return nil, fmt.Errorf("line %d: misplaced states", lineNo)
+				return nil, fmt.Errorf("%w: line %d: misplaced states", ErrSpec, lineNo)
 			}
 			names := strings.Fields(strings.TrimSuffix(line[7:], ";"))
 			f, err := New(cur.Name, cur.Type, names...)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSpec, lineNo, err)
 			}
 			*cur = *f
 		case strings.HasPrefix(line, "init "):
 			if cur == nil {
-				return nil, fmt.Errorf("line %d: misplaced init", lineNo)
+				return nil, fmt.Errorf("%w: line %d: misplaced init", ErrSpec, lineNo)
 			}
 			if err := cur.SetInit(strings.TrimSuffix(strings.TrimSpace(line[5:]), ";")); err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSpec, lineNo, err)
 			}
 		case strings.HasPrefix(line, "accept "):
 			if cur == nil {
-				return nil, fmt.Errorf("line %d: misplaced accept", lineNo)
+				return nil, fmt.Errorf("%w: line %d: misplaced accept", ErrSpec, lineNo)
 			}
 			if err := cur.SetAccept(strings.Fields(strings.TrimSuffix(line[7:], ";"))...); err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSpec, lineNo, err)
 			}
 		default:
 			// event: From -> To;
 			if cur == nil {
-				return nil, fmt.Errorf("line %d: statement outside fsm", lineNo)
+				return nil, fmt.Errorf("%w: line %d: statement outside fsm", ErrSpec, lineNo)
 			}
 			colon := strings.Index(line, ":")
 			arrow := strings.Index(line, "->")
 			if colon < 0 || arrow < colon {
-				return nil, fmt.Errorf("line %d: want 'event: From -> To;'", lineNo)
+				return nil, fmt.Errorf("%w: line %d: want 'event: From -> To;'", ErrSpec, lineNo)
 			}
 			event := strings.TrimSpace(line[:colon])
 			from := strings.TrimSpace(line[colon+1 : arrow])
 			to := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line[arrow+2:]), ";"))
 			if err := cur.AddTransition(from, event, to); err != nil {
-				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				return nil, fmt.Errorf("%w: line %d: %v", ErrSpec, lineNo, err)
 			}
 		}
 	}
 	if cur != nil {
-		return nil, fmt.Errorf("unterminated fsm %s", cur.Name)
+		return nil, fmt.Errorf("%w: unterminated fsm %s", ErrSpec, cur.Name)
 	}
 	return out, nil
 }
@@ -170,8 +176,17 @@ func Builtins() []*FSM {
 	return []*FSM{BuiltinIO(), BuiltinLock(), BuiltinException(), BuiltinSocket()}
 }
 
+// builtinErr records the first builtin-construction failure. The builtin
+// definitions are static, so this is always nil in a correct build — the
+// package tests assert it — but a definition bug now surfaces as a checkable
+// error instead of an init-time crash in every importer.
+var builtinErr error
+
+// BuiltinsErr reports whether builtin checker construction failed.
+func BuiltinsErr() error { return builtinErr }
+
 func must(err error) {
-	if err != nil {
-		panic(err)
+	if err != nil && builtinErr == nil {
+		builtinErr = fmt.Errorf("%w: builtin: %v", ErrSpec, err)
 	}
 }

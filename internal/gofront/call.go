@@ -1,0 +1,325 @@
+package gofront
+
+import (
+	"go/ast"
+
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// lowerCall is the central call dispatcher. want is "int", "bool", "obj", or
+// "void"; the returned category is the call's natural single-value category
+// (callers coerce). A nil expression means the call produced no usable value
+// (void, or fully opaque after effects were emitted).
+//
+// Dispatch order: builtins -> local variables (closures, tracked call-events,
+// func values) -> local functions -> conversions -> pack rules (predicates,
+// allocators, events) -> external havoc.
+func (f *fnLowerer) lowerCall(call *ast.CallExpr, want string, out *[]lang.Stmt) (lang.Expr, string) {
+	pos := f.pos(call)
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.lowerIdentCall(call, fun, want, out)
+	case *ast.SelectorExpr:
+		return f.lowerSelectorCall(call, fun, want, out)
+	case *ast.FuncLit:
+		// Immediately-invoked literal: lift it, then call it.
+		clo := f.liftClosure(fun, "iife")
+		return f.callLocal(clo.meta, nil, call.Args, clo, pos, out)
+	case *ast.ArrayType, *ast.StarExpr, *ast.MapType, *ast.ChanType,
+		*ast.FuncType, *ast.InterfaceType:
+		if len(call.Args) == 1 {
+			return f.lowerConversion(call.Args[0], f.typeNameOf(call.Fun), pos, out)
+		}
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](args): retry with the uninstantiated fun.
+		inner := &ast.CallExpr{Fun: fun.X, Args: call.Args, Lparen: call.Lparen, Rparen: call.Rparen}
+		return f.lowerCall(inner, want, out)
+	}
+	f.evalEffects(call.Fun, out)
+	f.evalArgs(call.Args, out)
+	f.havoc("dynamic-call")
+	return nil, ""
+}
+
+func (f *fnLowerer) lowerIdentCall(call *ast.CallExpr, fun *ast.Ident, want string, out *[]lang.Stmt) (lang.Expr, string) {
+	pos := f.pos(call)
+	switch fun.Name {
+	case "len", "cap", "copy", "min", "max", "real", "imag", "complex", "recover":
+		f.evalArgs(call.Args, out)
+		return opaqueInt(pos), "int"
+	case "append":
+		if len(call.Args) == 0 {
+			return nil, ""
+		}
+		first, typ := f.lowerObj(call.Args[0], out)
+		f.evalArgs(call.Args[1:], out)
+		return first, typ
+	case "make":
+		if len(call.Args) == 0 {
+			return nil, ""
+		}
+		typ := f.typeNameOf(call.Args[0])
+		f.evalArgs(call.Args[1:], out)
+		if !lang.IsObjectType(typ) {
+			return opaqueInt(pos), "int"
+		}
+		f.p.regObjType(typ)
+		return &lang.NewExpr{Type: typ, Pos: pos}, typ
+	case "new":
+		if len(call.Args) == 0 {
+			return nil, ""
+		}
+		typ := f.typeNameOf(call.Args[0])
+		if !lang.IsObjectType(typ) {
+			typ = "Ext"
+		}
+		f.p.regObjType(typ)
+		return &lang.NewExpr{Type: typ, Pos: pos}, typ
+	case "delete", "print", "println", "clear":
+		f.evalArgs(call.Args, out)
+		return nil, ""
+	case "panic":
+		f.evalArgs(call.Args, out)
+		f.lowerPanic(pos, out)
+		return nil, ""
+	}
+	if vi := f.lookup(fun.Name); vi != nil {
+		if vi.clo != nil {
+			return f.callLocal(vi.clo.meta, nil, call.Args, vi.clo, pos, out)
+		}
+		if lang.IsObjectType(vi.cat) {
+			if ev, ok := f.p.rules.CallEvents[vi.cat]; ok {
+				// Calling a tracked func-valued object IS the event
+				// (e.g. invoking a context.CancelFunc).
+				f.evalArgs(call.Args, out)
+				return &lang.MethodCall{Recv: f.ident(vi, pos), Method: ev, Pos: pos}, "int"
+			}
+		}
+		// Calling through an untracked func value.
+		f.evalArgs(call.Args, out)
+		f.havoc("indirect-call")
+		return nil, ""
+	}
+	if meta := f.p.funcs[fun.Name]; meta != nil {
+		return f.callLocal(meta, nil, call.Args, nil, pos, out)
+	}
+	// Conversion to a local named type or a basic type.
+	if _, ok := f.p.localType[fun.Name]; ok || basicIntTypes[fun.Name] || fun.Name == "bool" {
+		if len(call.Args) == 1 {
+			return f.lowerConversion(call.Args[0], f.typeNameOf(fun), pos, out)
+		}
+	}
+	f.evalArgs(call.Args, out)
+	f.havoc("ext-call")
+	return nil, ""
+}
+
+func (f *fnLowerer) lowerSelectorCall(call *ast.CallExpr, sel *ast.SelectorExpr, want string, out *[]lang.Stmt) (lang.Expr, string) {
+	pos := f.pos(call)
+	// Package-qualified call: pkg.Fn(args).
+	if x, ok := unparen(sel.X).(*ast.Ident); ok && f.lookup(x.Name) == nil {
+		if base, isPkg := f.imp[x.Name]; isPkg {
+			qname := base + "." + sel.Sel.Name
+			if errPredicates[qname] && len(call.Args) >= 1 {
+				return f.lowerPredicate(call, pos, out), "bool"
+			}
+			if al, ok := f.p.rules.FuncAllocs[qname]; ok {
+				f.evalArgs(call.Args, out)
+				return f.allocValue(al, pos, out), al.Type
+			}
+			f.evalArgs(call.Args, out)
+			f.havoc("ext-call")
+			return nil, ""
+		}
+		// Unknown bare identifier (package-level var, dot import).
+		f.evalArgs(call.Args, out)
+		f.havoc("ext-call")
+		return nil, ""
+	}
+	// Method call on a value.
+	recvCat := f.catOf(sel.X)
+	if lang.IsObjectType(recvCat) && recvCat != "nil" {
+		// Depth-two field event: recv.Field.Method() (resp.Body.Close()).
+		if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+			if iv := f.identVar(inner.X); iv != nil && lang.IsObjectType(iv.cat) {
+				key := TypeFieldMethod{Type: iv.cat, Field: inner.Sel.Name, Method: sel.Sel.Name}
+				if ev, ok := f.p.rules.FieldEvents[key]; ok {
+					f.evalArgs(call.Args, out)
+					return &lang.MethodCall{Recv: f.ident(iv, pos), Method: ev, Pos: pos}, "int"
+				}
+			}
+		}
+		recvExpr, typ := f.lowerObj(sel.X, out)
+		if typ == "" {
+			typ = recvCat
+		}
+		if ev, ok := f.p.rules.Events[TypeMethod{Type: typ, Method: sel.Sel.Name}]; ok {
+			recv := f.materialize(recvExpr, typ, pos, out)
+			f.evalArgs(call.Args, out)
+			return &lang.MethodCall{Recv: recv, Method: ev, Pos: pos}, "int"
+		}
+		if al, ok := f.p.rules.MethodAllocs[TypeMethod{Type: typ, Method: sel.Sel.Name}]; ok {
+			f.evalArgs(call.Args, out)
+			return f.allocValue(al, pos, out), al.Type
+		}
+		if mm := f.p.methods[typeMethodKey{typ, sel.Sel.Name}]; mm != nil {
+			return f.callLocal(mm, recvExpr, call.Args, nil, pos, out)
+		}
+		// Unmapped method on an object: NEVER an event (an incomplete
+		// alphabet must not drive the FSM to its implicit error state).
+		f.evalArgs(call.Args, out)
+		f.havoc("ext-method")
+		return nil, ""
+	}
+	// Method on a scalar or unclassifiable receiver.
+	f.evalEffects(sel.X, out)
+	f.evalArgs(call.Args, out)
+	f.havoc("ext-method")
+	return nil, ""
+}
+
+// identVar resolves e to a local variable if it is a plain identifier.
+func (f *fnLowerer) identVar(e ast.Expr) *varInfo {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return f.lookup(id.Name)
+}
+
+// lowerPredicate lowers an error-classification call like os.IsNotExist(err)
+// to `err != 0 && input() != 0`: false when the error is nil, opaque
+// otherwise, keeping the error symbol in the path condition.
+func (f *fnLowerer) lowerPredicate(call *ast.CallExpr, pos lang.Pos, out *[]lang.Stmt) lang.Expr {
+	arg := f.lowerInt(call.Args[0], out)
+	f.evalArgs(call.Args[1:], out)
+	nonNil := &lang.Binary{Op: lang.OpNe, L: arg, R: &lang.IntLit{Value: 0, Pos: pos}, Pos: pos}
+	return &lang.Binary{Op: lang.OpAnd, L: nonNil, R: opaqueBool(pos), Pos: pos}
+}
+
+// allocValue materializes an allocator call used in single-value position.
+// Fallible allocators (Err >= 0) still guard the allocation on an opaque
+// error — the discarded error means the caller cannot branch on it, but the
+// object may legitimately be nil.
+func (f *fnLowerer) allocValue(al Alloc, pos lang.Pos, out *[]lang.Stmt) lang.Expr {
+	f.p.regObjType(al.Type)
+	if al.Err < 0 {
+		return &lang.NewExpr{Type: al.Type, Pos: pos}
+	}
+	errName := f.temp("err")
+	objName := f.temp("obj")
+	*out = append(*out,
+		&lang.VarDecl{Name: errName, Type: "int", Init: opaqueInt(pos), Pos: pos},
+		&lang.VarDecl{Name: objName, Type: al.Type, Init: &lang.NullLit{Pos: pos}, Pos: pos},
+		&lang.IfStmt{
+			Cond: &lang.Binary{Op: lang.OpEq, L: &lang.Ident{Name: errName, Pos: pos},
+				R: &lang.IntLit{Value: 0, Pos: pos}, Pos: pos},
+			Then: []lang.Stmt{&lang.AssignStmt{
+				LHS: &lang.Ident{Name: objName, Pos: pos},
+				RHS: &lang.NewExpr{Type: al.Type, Pos: pos}, Pos: pos}},
+			Pos: pos,
+		})
+	return &lang.Ident{Name: objName, Pos: pos}
+}
+
+// callLocal builds a MiniLang call to a lowered function/method/closure.
+// recvExpr is non-nil for method calls; clo carries capture bindings for
+// closure calls (captures resolve to the caller's CURRENT variables, a
+// by-reference approximation evaluated at call time).
+func (f *fnLowerer) callLocal(meta *funcMeta, recvExpr lang.Expr, goArgs []ast.Expr, clo *closureBinding, pos lang.Pos, out *[]lang.Stmt) (lang.Expr, string) {
+	// Tuple-forwarding call g(h()) where h is multi-result: argument values
+	// are unrecoverable; evaluate for effect and havoc the parameters.
+	forwarded := len(goArgs) == 1 && meta.nGoArgs > 1 && hasCall(goArgs[0])
+	if forwarded {
+		if c, ok := goArgs[0].(*ast.CallExpr); ok {
+			f.lowerCall(c, "void", out)
+			f.havoc("tuple-forward")
+			goArgs = nil
+		}
+	}
+	args := make([]lang.Expr, 0, len(meta.params))
+	if meta.recvOffset == 1 {
+		if recvExpr == nil {
+			recvExpr = &lang.NullLit{Pos: pos}
+		}
+		args = append(args, recvExpr)
+	}
+	nFixed := meta.nGoArgs
+	nCap := len(meta.captures)
+	for i := 0; i < nFixed; i++ {
+		pi := meta.recvOffset + i
+		cat := meta.params[pi].Type
+		if i < len(goArgs) {
+			args = append(args, f.lowerByCat(goArgs[i], cat, out))
+			continue
+		}
+		args = append(args, zeroFor(cat, pos))
+	}
+	// Variadic tail: evaluated for effect, not passed.
+	if len(goArgs) > nFixed {
+		f.evalArgs(goArgs[nFixed:], out)
+		if meta.variadic {
+			f.havoc("variadic")
+		}
+	}
+	// Captures resolve against the caller's scope at the call site.
+	if clo != nil && nCap > 0 {
+		for i := 0; i < nCap; i++ {
+			pi := len(meta.params) - nCap + i
+			cm := meta.captures[i]
+			if vi := f.lookup(cm.goName); vi != nil {
+				args = append(args, f.ident(vi, pos))
+				continue
+			}
+			args = append(args, zeroFor(meta.params[pi].Type, pos))
+		}
+	}
+	callExpr := &lang.CallExpr{Name: meta.name, Args: args, Pos: pos}
+	if meta.retType == "" {
+		*out = append(*out, &lang.ExprStmt{X: callExpr, Pos: pos})
+		return nil, ""
+	}
+	return callExpr, meta.retType
+}
+
+func zeroFor(cat string, pos lang.Pos) lang.Expr {
+	switch cat {
+	case "int":
+		return &lang.InputExpr{Pos: pos}
+	case "bool":
+		return &lang.Binary{Op: lang.OpNe, L: &lang.InputExpr{Pos: pos},
+			R: &lang.IntLit{Value: 0, Pos: pos}, Pos: pos}
+	default:
+		return &lang.NullLit{Pos: pos}
+	}
+}
+
+// lowerConversion lowers T(x). Same-category conversions are identity
+// (object conversions preserve aliasing — io.Writer(f) is still f); cross-
+// category conversions are opaque.
+func (f *fnLowerer) lowerConversion(x ast.Expr, target string, pos lang.Pos, out *[]lang.Stmt) (lang.Expr, string) {
+	srcCat := f.catOf(x)
+	switch {
+	case target == "int" && (srcCat == "int" || srcCat == "nil"):
+		return f.lowerInt(x, out), "int"
+	case target == "bool" && srcCat == "bool":
+		return f.lowerBool(x, out), "bool"
+	case lang.IsObjectType(target) && lang.IsObjectType(srcCat) && srcCat != "nil":
+		expr, _ := f.lowerObj(x, out)
+		return expr, target
+	case lang.IsObjectType(target):
+		f.evalEffects(x, out)
+		return &lang.NullLit{Pos: pos}, target
+	default:
+		f.evalEffects(x, out)
+		return opaqueInt(pos), "int"
+	}
+}
+
+// lowerPanic flushes pending defers then raises a Panic object through the
+// existing throw/catch machinery.
+func (f *fnLowerer) lowerPanic(pos lang.Pos, out *[]lang.Stmt) {
+	f.flushDefers(out)
+	f.p.regObjType("Panic")
+	*out = append(*out, &lang.ThrowStmt{X: &lang.NewExpr{Type: "Panic", Pos: pos}, Pos: pos})
+}

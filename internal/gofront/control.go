@@ -1,0 +1,333 @@
+package gofront
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+func (f *fnLowerer) ifStmt(s *ast.IfStmt, out *[]lang.Stmt) {
+	f.push()
+	defer f.pop()
+	if s.Init != nil {
+		f.stmt(s.Init, out)
+	}
+	pos := f.pos(s)
+	cond := f.lowerBool(s.Cond, out)
+	var thenStmts []lang.Stmt
+	f.push()
+	for _, st := range s.Body.List {
+		f.stmt(st, &thenStmts)
+	}
+	f.pop()
+	var elseStmts []lang.Stmt
+	if s.Else != nil {
+		f.push()
+		f.stmt(s.Else, &elseStmts)
+		f.pop()
+	}
+	*out = append(*out, &lang.IfStmt{Cond: cond, Then: thenStmts, Else: elseStmts, Pos: pos})
+}
+
+// forStmt lowers a C-style for loop to while. A condition that needs
+// statements of its own (it performs calls, e.g. rows.Next()) is staged in a
+// condition variable re-evaluated at the end of each iteration, so the
+// per-iteration event count matches Go's evaluation order.
+func (f *fnLowerer) forStmt(s *ast.ForStmt, out *[]lang.Stmt) {
+	f.push()
+	defer f.pop()
+	if s.Init != nil {
+		f.stmt(s.Init, out)
+	}
+	pos := f.pos(s)
+	var pre []lang.Stmt
+	var cond lang.Expr = &lang.BoolLit{Value: true, Pos: pos}
+	if s.Cond != nil {
+		cond = f.lowerBool(s.Cond, &pre)
+	}
+	if len(pre) == 0 {
+		var body []lang.Stmt
+		f.lowerLoopBody(s.Body, s.Post, &body)
+		*out = append(*out, &lang.WhileStmt{Cond: cond, Body: body, Pos: pos})
+		return
+	}
+	cv := f.temp("cond")
+	*out = append(*out, &lang.VarDecl{Name: cv, Type: "bool",
+		Init: &lang.BoolLit{Value: false, Pos: pos}, Pos: pos})
+	*out = append(*out, pre...)
+	*out = append(*out, &lang.AssignStmt{LHS: &lang.Ident{Name: cv, Pos: pos}, RHS: cond, Pos: pos})
+	var body []lang.Stmt
+	f.lowerLoopBody(s.Body, s.Post, &body)
+	var pre2 []lang.Stmt
+	cond2 := f.lowerBool(s.Cond, &pre2)
+	body = append(body, pre2...)
+	body = append(body, &lang.AssignStmt{LHS: &lang.Ident{Name: cv, Pos: pos}, RHS: cond2, Pos: pos})
+	*out = append(*out, &lang.WhileStmt{Cond: &lang.Ident{Name: cv, Pos: pos}, Body: body, Pos: pos})
+}
+
+func (f *fnLowerer) lowerLoopBody(b *ast.BlockStmt, post ast.Stmt, out *[]lang.Stmt) {
+	f.push()
+	defer f.pop()
+	for _, st := range b.List {
+		f.stmt(st, out)
+	}
+	if post != nil {
+		f.stmt(post, out)
+	}
+}
+
+// rangeStmt over-approximates range loops: an opaque trip count, opaque
+// key/value bindings refreshed each iteration.
+func (f *fnLowerer) rangeStmt(s *ast.RangeStmt, out *[]lang.Stmt) {
+	f.push()
+	defer f.pop()
+	pos := f.pos(s)
+	f.evalEffects(s.X, out)
+	f.havoc("range")
+	bindVar := func(e ast.Expr, cat string) *varInfo {
+		if e == nil || isBlank(e) {
+			return nil
+		}
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if s.Tok == token.ASSIGN {
+			if vi := f.lookup(id.Name); vi != nil {
+				return vi
+			}
+			return nil
+		}
+		ml := f.fresh(id.Name)
+		vi := &varInfo{ml: ml, cat: cat}
+		f.bind(id.Name, vi)
+		f.p.regObjType(cat)
+		*out = append(*out, &lang.VarDecl{Name: ml, Type: cat, Init: zeroFor(cat, pos), Pos: pos})
+		return vi
+	}
+	valCat := "int"
+	if c := f.catOf(s.X); c != "" {
+		if el, ok := cutSliceSuffix(c); ok {
+			valCat = el
+		}
+	}
+	if valCat == "" {
+		valCat = "int"
+	}
+	keyVi := bindVar(s.Key, "int")
+	valVi := bindVar(s.Value, valCat)
+	var body []lang.Stmt
+	if keyVi != nil {
+		body = append(body, &lang.AssignStmt{LHS: &lang.Ident{Name: keyVi.ml, Pos: pos},
+			RHS: zeroFor(keyVi.cat, pos), Pos: pos})
+	}
+	if valVi != nil {
+		body = append(body, &lang.AssignStmt{LHS: &lang.Ident{Name: valVi.ml, Pos: pos},
+			RHS: zeroFor(valVi.cat, pos), Pos: pos})
+	}
+	f.push()
+	for _, st := range s.Body.List {
+		f.stmt(st, &body)
+	}
+	f.pop()
+	*out = append(*out, &lang.WhileStmt{Cond: opaqueBool(pos), Body: body, Pos: pos})
+}
+
+func cutSliceSuffix(c string) (string, bool) {
+	const suf = "_slice"
+	if len(c) > len(suf) && c[len(c)-len(suf):] == suf {
+		return c[:len(c)-len(suf)], true
+	}
+	return "", false
+}
+
+// switchStmt lowers to an if/else chain on a staged tag. Integer case
+// comparisons stay symbolic; everything else is an opaque branch.
+func (f *fnLowerer) switchStmt(s *ast.SwitchStmt, out *[]lang.Stmt) {
+	f.push()
+	defer f.pop()
+	if s.Init != nil {
+		f.stmt(s.Init, out)
+	}
+	pos := f.pos(s)
+	var tag *lang.Ident
+	tagCat := ""
+	if s.Tag != nil {
+		e, cat := f.lowerAny(s.Tag, out)
+		tagCat = cat
+		if cat == "int" {
+			tag = f.materialize(e, "int", pos, out)
+		}
+	}
+	var clauses []*ast.CaseClause
+	var defaultClause *ast.CaseClause
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		clauses = append(clauses, cc)
+	}
+	*out = append(*out, f.caseChain(clauses, defaultClause, tag, tagCat, s.Tag == nil, pos)...)
+}
+
+// caseChain builds the nested if/else structure for switch clauses. Each
+// clause's condition statements (calls in case expressions) live in the
+// enclosing else arm, preserving Go's top-to-bottom evaluation.
+func (f *fnLowerer) caseChain(clauses []*ast.CaseClause, def *ast.CaseClause, tag *lang.Ident, tagCat string, tagless bool, pos lang.Pos) []lang.Stmt {
+	if len(clauses) == 0 {
+		var body []lang.Stmt
+		if def != nil {
+			f.push()
+			for _, st := range def.Body {
+				f.stmt(st, &body)
+			}
+			f.pop()
+		}
+		return body
+	}
+	cc := clauses[0]
+	var arm []lang.Stmt
+	var cond lang.Expr
+	for _, ce := range cc.List {
+		var one lang.Expr
+		switch {
+		case tagless:
+			one = f.lowerBool(ce, &arm)
+		case tag != nil && (f.catOf(ce) == "int" || f.catOf(ce) == "nil"):
+			v := f.lowerInt(ce, &arm)
+			one = &lang.Binary{Op: lang.OpEq, L: &lang.Ident{Name: tag.Name, Pos: pos}, R: v, Pos: pos}
+		default:
+			f.evalEffects(ce, &arm)
+			one = opaqueBool(pos)
+		}
+		if cond == nil {
+			cond = one
+		} else {
+			cond = &lang.Binary{Op: lang.OpOr, L: cond, R: one, Pos: pos}
+		}
+	}
+	if cond == nil {
+		cond = opaqueBool(pos)
+	}
+	var body []lang.Stmt
+	f.push()
+	for _, st := range cc.Body {
+		f.stmt(st, &body)
+	}
+	f.pop()
+	rest := f.caseChain(clauses[1:], def, tag, tagCat, tagless, pos)
+	arm = append(arm, &lang.IfStmt{Cond: cond, Then: body, Else: rest, Pos: pos})
+	return arm
+}
+
+// typeSwitchStmt lowers to an opaque-condition chain; each clause binding
+// keeps the subject's identity (the assert does not copy the object).
+func (f *fnLowerer) typeSwitchStmt(s *ast.TypeSwitchStmt, out *[]lang.Stmt) {
+	f.push()
+	defer f.pop()
+	if s.Init != nil {
+		f.stmt(s.Init, out)
+	}
+	pos := f.pos(s)
+	f.havoc("type-switch")
+	// Extract the subject and optional binding name.
+	var subject ast.Expr
+	bindName := ""
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				subject = ta.X
+			}
+		}
+		if len(a.Lhs) == 1 {
+			if id, ok := unparen(a.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+				bindName = id.Name
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := unparen(a.X).(*ast.TypeAssertExpr); ok {
+			subject = ta.X
+		}
+	}
+	var subjID *lang.Ident
+	subjCat := ""
+	if subject != nil {
+		if c := f.catOf(subject); lang.IsObjectType(c) && c != "nil" {
+			e, typ := f.lowerObj(subject, out)
+			if typ != "" {
+				c = typ
+			}
+			subjID = f.materialize(e, c, pos, out)
+			subjCat = c
+		} else {
+			f.evalEffects(subject, out)
+		}
+	}
+	var chain []lang.Stmt
+	for i := len(s.Body.List) - 1; i >= 0; i-- {
+		cc, ok := s.Body.List[i].(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		var body []lang.Stmt
+		f.push()
+		if bindName != "" && subjID != nil {
+			cat := subjCat
+			if len(cc.List) == 1 && cc.List[0] != nil && !isNilIdent(cc.List[0]) {
+				if c := f.typeNameOf(cc.List[0]); lang.IsObjectType(c) {
+					cat = c
+				}
+			}
+			ml := f.fresh(bindName)
+			f.bind(bindName, &varInfo{ml: ml, cat: cat})
+			f.p.regObjType(cat)
+			body = append(body, &lang.VarDecl{Name: ml, Type: cat,
+				Init: &lang.Ident{Name: subjID.Name, Pos: pos}, Pos: pos})
+		}
+		for _, st := range cc.Body {
+			f.stmt(st, &body)
+		}
+		f.pop()
+		if cc.List == nil && chain == nil {
+			chain = body
+			continue
+		}
+		chain = []lang.Stmt{&lang.IfStmt{Cond: opaqueBool(pos), Then: body, Else: chain, Pos: pos}}
+	}
+	*out = append(*out, chain...)
+}
+
+// selectStmt lowers to an opaque-condition chain over the comm clauses.
+func (f *fnLowerer) selectStmt(s *ast.SelectStmt, out *[]lang.Stmt) {
+	pos := f.pos(s)
+	f.havoc("select")
+	var chain []lang.Stmt
+	for i := len(s.Body.List) - 1; i >= 0; i-- {
+		cc, ok := s.Body.List[i].(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		var body []lang.Stmt
+		f.push()
+		if cc.Comm != nil {
+			f.stmt(cc.Comm, &body)
+		}
+		for _, st := range cc.Body {
+			f.stmt(st, &body)
+		}
+		f.pop()
+		if cc.Comm == nil && chain == nil {
+			chain = body
+			continue
+		}
+		chain = []lang.Stmt{&lang.IfStmt{Cond: opaqueBool(pos), Then: body, Else: chain, Pos: pos}}
+	}
+	*out = append(*out, chain...)
+}

@@ -1,0 +1,107 @@
+package gofront_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/fsm/packs"
+	"github.com/grapple-system/grapple/internal/gofront"
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// corpusDir is the table-driven lowering-fidelity corpus.
+const corpusDir = "../../testdata/gofront"
+
+func allRules(t *testing.T) *gofront.Rules {
+	t.Helper()
+	if err := packs.BuildErr(); err != nil {
+		t.Fatal(err)
+	}
+	return packs.MergedRules(packs.All())
+}
+
+// TestCorpusRoundTrip lowers every corpus snippet and asserts the produced
+// program round-trips through the internal/lang printer: parse(print(p))
+// prints byte-identically, resolves, and lowers to IR.
+func TestCorpusRoundTrip(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := allRules(t)
+	if len(entries) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, e := range entries {
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(corpusDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := gofront.LowerSource(string(data), rules)
+			if err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+			src := res.Source()
+			reparsed, err := lang.Parse(src)
+			if err != nil {
+				t.Fatalf("lowered output does not parse: %v\n%s", err, src)
+			}
+			if again := lang.Format(reparsed); again != src {
+				t.Fatalf("print/parse/print not stable:\n--- first\n%s\n--- second\n%s", src, again)
+			}
+			info, err := lang.Resolve(reparsed)
+			if err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+			if _, err := ir.Lower(info, ir.Options{}); err != nil {
+				t.Fatalf("ir lower: %v", err)
+			}
+		})
+	}
+}
+
+// TestCorpusDeterministic asserts the lowering is byte-stable across runs
+// (a golden-corpus requirement).
+func TestCorpusDeterministic(t *testing.T) {
+	rules := allRules(t)
+	data, err := os.ReadFile(filepath.Join(corpusDir, "closure.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := gofront.LowerSource(string(data), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := gofront.LowerSource(string(data), rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Source() != first.Source() {
+			t.Fatal("lowering is not deterministic")
+		}
+	}
+}
+
+// TestHavocCounted asserts unsupported constructs are havocked and counted
+// rather than rejected.
+func TestHavocCounted(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(corpusDir, "havoc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gofront.LowerSource(string(data), allRules(t))
+	if err != nil {
+		t.Fatalf("havoc-heavy source must still lower: %v", err)
+	}
+	if res.Stats.Havocs == 0 {
+		t.Fatal("expected nonzero havoc count")
+	}
+	if len(res.Stats.ByKind) == 0 {
+		t.Fatal("expected per-kind havoc breakdown")
+	}
+}

@@ -1,0 +1,390 @@
+package gofront
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// Defer is desugared to exit-edge calls: each defer statement registers an
+// emitter on a lexical stack; the stack is flushed in reverse registration
+// order before every return, before panic-throws, and at the end of a
+// function falling off its body. Arguments (and the receiver identity) are
+// evaluated at registration time into temps, matching Go's semantics; each
+// flush re-emits fresh AST nodes so a function with several returns gets an
+// independent exit edge per return.
+//
+// This is an under-approximation in one corner: a defer registered inside a
+// conditional flushes on exits that Go would not run it on only if the exit
+// is lexically AFTER the registration — which matches the dominant
+// `open; if err { return }; defer close` idiom that motivates the design.
+
+func (f *fnLowerer) flushDefers(out *[]lang.Stmt) {
+	for i := len(f.defers) - 1; i >= 0; i-- {
+		f.defers[i].emit(out)
+	}
+}
+
+func (f *fnLowerer) deferStmt(s *ast.DeferStmt, out *[]lang.Stmt) {
+	call := s.Call
+	pos := f.pos(s)
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		// defer recv.Field.Method() — depth-two field event.
+		if inner, ok := unparen(fun.X).(*ast.SelectorExpr); ok {
+			if iv := f.identVar(inner.X); iv != nil && lang.IsObjectType(iv.cat) {
+				key := TypeFieldMethod{Type: iv.cat, Field: inner.Sel.Name, Method: fun.Sel.Name}
+				if ev, ok := f.p.rules.FieldEvents[key]; ok {
+					f.evalArgs(call.Args, out)
+					f.pushDeferEvent(iv.ml, ev, pos)
+					return
+				}
+			}
+		}
+		// defer on a package function: external, effects now, no exit edge.
+		if x, ok := unparen(fun.X).(*ast.Ident); ok && f.lookup(x.Name) == nil {
+			f.evalArgs(call.Args, out)
+			f.havoc("defer-ext")
+			return
+		}
+		recvCat := f.catOf(fun.X)
+		if lang.IsObjectType(recvCat) && recvCat != "nil" {
+			recvExpr, typ := f.lowerObj(fun.X, out)
+			if typ == "" {
+				typ = recvCat
+			}
+			recv := f.materialize(recvExpr, typ, pos, out)
+			if ev, ok := f.p.rules.Events[TypeMethod{Type: typ, Method: fun.Sel.Name}]; ok {
+				f.evalArgs(call.Args, out)
+				f.pushDeferEvent(recv.Name, ev, pos)
+				return
+			}
+			if mm := f.p.methods[typeMethodKey{typ, fun.Sel.Name}]; mm != nil {
+				args := f.stageDeferArgs(mm, call.Args, out)
+				recvName := recv.Name
+				f.pushDeferCall(mm, append([]string{recvName}, args...), pos)
+				return
+			}
+		}
+		f.evalEffects(fun.X, out)
+		f.evalArgs(call.Args, out)
+		f.havoc("defer-ext")
+	case *ast.Ident:
+		if vi := f.lookup(fun.Name); vi != nil {
+			if vi.clo != nil {
+				// Captures resolve at flush time — matching Go closures,
+				// which read captured variables when the defer runs.
+				clo := vi.clo
+				args := f.stageDeferArgs(clo.meta, call.Args, out)
+				f.pushDeferClosure(clo, args, pos)
+				return
+			}
+			if lang.IsObjectType(vi.cat) {
+				if ev, ok := f.p.rules.CallEvents[vi.cat]; ok {
+					f.evalArgs(call.Args, out)
+					f.pushDeferEvent(vi.ml, ev, pos)
+					return
+				}
+			}
+			f.evalArgs(call.Args, out)
+			f.havoc("defer-ext")
+			return
+		}
+		if meta := f.p.funcs[fun.Name]; meta != nil {
+			args := f.stageDeferArgs(meta, call.Args, out)
+			f.pushDeferCall(meta, args, pos)
+			return
+		}
+		f.evalArgs(call.Args, out)
+		f.havoc("defer-ext")
+	case *ast.FuncLit:
+		clo := f.liftClosure(fun, "deferred")
+		args := f.stageDeferArgs(clo.meta, call.Args, out)
+		f.pushDeferClosure(clo, args, pos)
+	default:
+		f.evalEffects(call.Fun, out)
+		f.evalArgs(call.Args, out)
+		f.havoc("defer-ext")
+	}
+}
+
+// stageDeferArgs evaluates the fixed Go arguments into temps at registration
+// time and returns the temp names (parallel to the callee's Go params).
+func (f *fnLowerer) stageDeferArgs(meta *funcMeta, args []ast.Expr, out *[]lang.Stmt) []string {
+	names := make([]string, 0, meta.nGoArgs)
+	for i := 0; i < meta.nGoArgs; i++ {
+		pi := meta.recvOffset + i
+		cat := meta.params[pi].Type
+		pos := lang.Pos{Line: 1, Col: 1}
+		var e lang.Expr
+		if i < len(args) {
+			pos = f.pos(args[i])
+			e = f.lowerByCat(args[i], cat, out)
+		} else {
+			e = zeroFor(cat, pos)
+		}
+		id := f.materialize(e, cat, pos, out)
+		names = append(names, id.Name)
+	}
+	if len(args) > meta.nGoArgs {
+		f.evalArgs(args[meta.nGoArgs:], out)
+	}
+	return names
+}
+
+func (f *fnLowerer) pushDeferEvent(recvML, event string, pos lang.Pos) {
+	f.defers = append(f.defers, deferEntry{emit: func(out *[]lang.Stmt) {
+		*out = append(*out, &lang.ExprStmt{
+			X:   &lang.MethodCall{Recv: &lang.Ident{Name: recvML, Pos: pos}, Method: event, Pos: pos},
+			Pos: pos,
+		})
+	}})
+}
+
+// pushDeferCall registers a deferred call to a lowered function; argNames
+// are staged temps (receiver first when the callee is a method).
+func (f *fnLowerer) pushDeferCall(meta *funcMeta, argNames []string, pos lang.Pos) {
+	f.defers = append(f.defers, deferEntry{emit: func(out *[]lang.Stmt) {
+		args := make([]lang.Expr, 0, len(meta.params))
+		for i := range meta.params {
+			if i < len(argNames) {
+				args = append(args, &lang.Ident{Name: argNames[i], Pos: pos})
+				continue
+			}
+			args = append(args, zeroFor(meta.params[i].Type, pos))
+		}
+		call := &lang.CallExpr{Name: meta.name, Args: args, Pos: pos}
+		*out = append(*out, callOrDrop(call, meta, pos))
+	}})
+}
+
+// pushDeferClosure registers a deferred closure call; captures resolve
+// against the caller's scope when each exit edge is emitted.
+func (f *fnLowerer) pushDeferClosure(clo *closureBinding, argNames []string, pos lang.Pos) {
+	f.defers = append(f.defers, deferEntry{emit: func(out *[]lang.Stmt) {
+		meta := clo.meta
+		nCap := len(meta.captures)
+		args := make([]lang.Expr, 0, len(meta.params))
+		nFixed := len(meta.params) - nCap
+		for i := 0; i < nFixed; i++ {
+			if i < len(argNames) {
+				args = append(args, &lang.Ident{Name: argNames[i], Pos: pos})
+				continue
+			}
+			args = append(args, zeroFor(meta.params[i].Type, pos))
+		}
+		for i := 0; i < nCap; i++ {
+			cm := meta.captures[i]
+			if vi := f.lookup(cm.goName); vi != nil {
+				args = append(args, &lang.Ident{Name: vi.ml, Pos: pos})
+				continue
+			}
+			args = append(args, zeroFor(meta.params[nFixed+i].Type, pos))
+		}
+		call := &lang.CallExpr{Name: meta.name, Args: args, Pos: pos}
+		*out = append(*out, callOrDrop(call, meta, pos))
+	}})
+}
+
+// callOrDrop wraps a deferred call as a statement; non-void results are
+// discarded into the expression statement directly (MiniLang allows call
+// statements regardless of return type).
+func callOrDrop(call *lang.CallExpr, meta *funcMeta, pos lang.Pos) lang.Stmt {
+	return &lang.ExprStmt{X: call, Pos: pos}
+}
+
+// ---------------------------------------------------------------------------
+// Return
+
+// returnStmt computes the chosen result value FIRST, then flushes defers,
+// then returns the staged value — so `return use(f)` runs its use event
+// before a deferred f.Close() fires.
+func (f *fnLowerer) returnStmt(s *ast.ReturnStmt, out *[]lang.Stmt) {
+	pos := f.pos(s)
+	meta := f.meta
+	if meta.retIndex < 0 {
+		// Void function.
+		for _, r := range s.Results {
+			f.evalEffects(r, out)
+		}
+		f.flushDefers(out)
+		*out = append(*out, &lang.ReturnStmt{Pos: pos})
+		return
+	}
+	cat := meta.retType
+	var value lang.Expr
+	switch {
+	case len(s.Results) == 0:
+		// Bare return: named results carry the value.
+		name := ""
+		if meta.retIndex < len(meta.resultNames) {
+			name = meta.resultNames[meta.retIndex]
+		}
+		if name != "" {
+			if vi := f.lookup(name); vi != nil {
+				value = f.ident(vi, pos)
+			}
+		}
+		if value == nil {
+			value = zeroFor(cat, pos)
+		}
+	case len(s.Results) == 1 && len(meta.results) > 1:
+		// Tuple passthrough: return g(...) forwarding g's whole tuple.
+		value = f.lowerForwardedReturn(s.Results[0], cat, pos, out)
+	default:
+		// Evaluate results in order; the chosen one supplies the value.
+		for i, r := range s.Results {
+			if i == meta.retIndex {
+				value = f.lowerByCat(r, cat, out)
+				continue
+			}
+			f.evalEffects(r, out)
+		}
+		if value == nil {
+			value = zeroFor(cat, pos)
+		}
+	}
+	// Bool return values must be staged: the IR return path only lowers
+	// int-category operands (idents, literals, calls), not comparisons.
+	if cat == "bool" {
+		if _, ok := value.(*lang.Ident); !ok {
+			id := f.materialize(value, "bool", pos, out)
+			value = &lang.Ident{Name: id.Name, Pos: pos}
+		}
+	}
+	if len(f.defers) > 0 {
+		id := f.materialize(value, cat, pos, out)
+		value = &lang.Ident{Name: id.Name, Pos: pos}
+		f.flushDefers(out)
+	}
+	*out = append(*out, &lang.ReturnStmt{X: value, Pos: pos})
+}
+
+// lowerForwardedReturn handles `return g(...)` where g's result tuple is
+// forwarded whole. If the callee's chosen result index matches ours, the
+// call value passes through; otherwise the call runs for effect and our
+// result is opaque.
+func (f *fnLowerer) lowerForwardedReturn(r ast.Expr, cat string, pos lang.Pos, out *[]lang.Stmt) lang.Expr {
+	call, ok := unparen(r).(*ast.CallExpr)
+	if !ok {
+		f.evalEffects(r, out)
+		return zeroFor(cat, pos)
+	}
+	if meta, clo, recvExpr, ok := f.matchLocalCall(call, out); ok {
+		expr, _ := f.callLocal(meta, recvExpr, call.Args, clo, pos, out)
+		if expr != nil && meta.retIndex == f.meta.retIndex {
+			return expr
+		}
+		if expr != nil {
+			*out = append(*out, &lang.ExprStmt{X: expr, Pos: pos})
+		}
+		f.havoc("tuple-forward")
+		return zeroFor(cat, pos)
+	}
+	if al, ok := f.matchAlloc(call, out); ok {
+		obj := f.allocValue(al, pos, out)
+		if lang.IsObjectType(cat) && al.Obj == f.meta.retIndex {
+			return obj
+		}
+		return zeroFor(cat, pos)
+	}
+	f.lowerCall(call, "void", out)
+	return zeroFor(cat, pos)
+}
+
+// ---------------------------------------------------------------------------
+// Closures
+
+// liftClosure lifts a function literal to a synthesized top-level function
+// whose trailing parameters are the literal's free variables; the binding is
+// remembered so calls resolve captures against the caller's current scope.
+func (f *fnLowerer) liftClosure(lit *ast.FuncLit, hint string) *closureBinding {
+	p := f.p
+	meta := &funcMeta{retIndex: -1, name: p.freshTop(f.meta.name + "_" + hint)}
+	p.collectSignature(meta, lit.Type, f.imp)
+	for _, cap := range f.freeVars(lit) {
+		meta.captures = append(meta.captures, cap)
+		p.addParam(meta, cap.goName, cap.typ)
+	}
+	p.lowerClosure(meta, lit, f.imp)
+	return &closureBinding{meta: meta}
+}
+
+// freeVars lists, in first-use order, the enclosing-scope variables a
+// literal's body references. Shadowing inside the literal is approximated:
+// a name both captured and re-declared inside simply yields an unused
+// parameter, which is harmless.
+func (f *fnLowerer) freeVars(lit *ast.FuncLit) []captureMeta {
+	declared := map[string]bool{}
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, n := range field.Names {
+				declared[n.Name] = true
+			}
+		}
+	}
+	if lit.Type.Results != nil {
+		for _, field := range lit.Type.Results.List {
+			for _, n := range field.Names {
+				declared[n.Name] = true
+			}
+		}
+	}
+	// Names declared anywhere inside the body shadow the capture.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, l := range n.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						declared[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				declared[id.Name] = true
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	// Selector fields and composite-literal keys are not variable uses.
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			skip[n.Sel] = true
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+		return true
+	})
+	var out []captureMeta
+	seen := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || skip[id] || declared[id.Name] || seen[id.Name] {
+			return true
+		}
+		vi := f.lookup(id.Name)
+		if vi == nil || vi.clo != nil {
+			return true
+		}
+		seen[id.Name] = true
+		out = append(out, captureMeta{goName: id.Name, typ: vi.cat})
+		return true
+	})
+	return out
+}

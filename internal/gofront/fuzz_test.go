@@ -1,0 +1,45 @@
+package gofront_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/fsm/packs"
+	"github.com/grapple-system/grapple/internal/gofront"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// FuzzLowerGo feeds arbitrary Go-ish text through the frontend:
+// parse-what-compiles, never panic, and everything lowered must re-parse as
+// MiniLang.
+func FuzzLowerGo(f *testing.F) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("package p\nfunc f() {}\n")
+	rules := packs.MergedRules(packs.All())
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution); err != nil {
+			t.Skip() // not Go; the frontend only sees parseable files
+		}
+		res, err := gofront.LowerSource(src, rules)
+		if err != nil {
+			return // rejected cleanly is fine; panics are not
+		}
+		if _, err := lang.Parse(res.Source()); err != nil {
+			t.Fatalf("lowered output does not parse: %v\ninput:\n%s\noutput:\n%s", err, src, res.Source())
+		}
+	})
+}

@@ -1,0 +1,668 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// The lowering maps every expression into one of MiniLang's three value
+// categories: "int" (all Go numerics, strings, and — deliberately — error
+// values, with nil == 0), "bool", or an object type name (pointers, structs,
+// interfaces, slices, maps, funcs). Modeling errors as integers is the load-
+// bearing decision: `f, err := os.Open(p)` lowers to a guarded allocation
+// under `err == 0`, and every later `if err != nil` re-tests the same
+// integer symbol, so the engine's SMT path conditions correlate acquisition
+// guards with error-path returns exactly as they do for MiniLang programs.
+
+type typeMethodKey struct {
+	typ    string
+	method string
+}
+
+// pkgLowerer is the per-package lowering context.
+type pkgLowerer struct {
+	fset  *token.FileSet
+	files []namedFile
+	rules *Rules
+	res   *Result
+	info  *types.Info
+
+	spanOf       map[string]int                 // filename -> combined line offset
+	localType    map[string]ast.Expr            // local named type -> definition
+	fields       map[string]map[string]ast.Expr // struct type -> field -> type expr
+	methods      map[typeMethodKey]*funcMeta
+	funcs        map[string]*funcMeta // plain function go-name -> meta
+	metaByDecl   map[*ast.FuncDecl]*funcMeta
+	usedNames    map[string]bool // top-level MiniLang names
+	usedObjTypes map[string]bool
+}
+
+// funcMeta is the call-interface of a lowered function, method, or lifted
+// closure: the MiniLang parameter list (receiver first for methods, captured
+// variables last for closures) and which Go result the single MiniLang
+// return value carries.
+type funcMeta struct {
+	name       string
+	params     []lang.Param
+	goNames    []string // Go-side name per param ("" for synthetic)
+	recvOffset int      // 1 for methods, 0 otherwise
+	nGoArgs    int      // fixed (non-variadic) Go argument count
+	variadic   bool
+
+	results     []string // category per Go result
+	resultNames []string // named-result Go names ("" when unnamed)
+	// retIndex selects the Go result the MiniLang function returns: the
+	// first object-category result if any (tracked values flow through
+	// returns), otherwise the last error result (callers branch on it),
+	// otherwise the first result. -1 for void.
+	retIndex int
+	retType  string
+
+	captures []captureMeta // closures only
+}
+
+type captureMeta struct {
+	goName string
+	typ    string
+}
+
+type closureBinding struct {
+	meta *funcMeta
+}
+
+type varInfo struct {
+	ml  string
+	cat string // "int", "bool", or an object type name
+	clo *closureBinding
+}
+
+// ---------------------------------------------------------------------------
+// Names and categories
+
+var miniKeywords = map[string]bool{
+	"fun": true, "var": true, "if": true, "else": true, "while": true,
+	"return": true, "new": true, "null": true, "true": true, "false": true,
+	"try": true, "catch": true, "throw": true, "type": true, "input": true,
+	"int": true, "bool": true,
+}
+
+// sanitizeName makes an arbitrary Go identifier or type spelling a valid
+// MiniLang identifier.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('T')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		out = "T"
+	}
+	if miniKeywords[out] {
+		out += "_"
+	}
+	return out
+}
+
+var basicIntTypes = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "byte": true, "rune": true, "float32": true,
+	"float64": true, "complex64": true, "complex128": true, "string": true,
+	"error": true,
+}
+
+// typeName reduces a Go type expression to a MiniLang type: "int", "bool",
+// or an object type name. Pointers are transparent; error is an int.
+func (p *pkgLowerer) typeName(e ast.Expr, imp map[string]string) string {
+	return p.typeNameDepth(e, imp, 0)
+}
+
+func (p *pkgLowerer) typeNameDepth(e ast.Expr, imp map[string]string, depth int) string {
+	if depth > 8 {
+		return "Ext"
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if basicIntTypes[e.Name] {
+			return "int"
+		}
+		if e.Name == "bool" {
+			return "bool"
+		}
+		if e.Name == "any" {
+			return "Any"
+		}
+		if def, ok := p.localType[e.Name]; ok {
+			u := p.typeNameDepth(def, imp, depth+1)
+			if u == "int" || u == "bool" {
+				return u
+			}
+			return sanitizeName(e.Name)
+		}
+		return sanitizeName(e.Name)
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			pkg := x.Name
+			if base, ok := imp[x.Name]; ok {
+				pkg = base
+			}
+			return sanitizeName(pkg + "_" + e.Sel.Name)
+		}
+		return "Ext"
+	case *ast.StarExpr:
+		return p.typeNameDepth(e.X, imp, depth+1)
+	case *ast.ArrayType:
+		el := p.typeNameDepth(e.Elt, imp, depth+1)
+		return sanitizeName(el + "_slice")
+	case *ast.Ellipsis:
+		return p.typeNameDepth(e.Elt, imp, depth+1)
+	case *ast.MapType:
+		return "Map"
+	case *ast.ChanType:
+		return "Chan"
+	case *ast.FuncType:
+		return "Func"
+	case *ast.InterfaceType:
+		return "Any"
+	case *ast.StructType:
+		return "Struct"
+	case *ast.ParenExpr:
+		return p.typeNameDepth(e.X, imp, depth+1)
+	case *ast.IndexExpr:
+		return p.typeNameDepth(e.X, imp, depth+1)
+	case *ast.IndexListExpr:
+		return p.typeNameDepth(e.X, imp, depth+1)
+	}
+	return "Ext"
+}
+
+// typesCat consults the lenient go/types pass as a category oracle of last
+// resort.
+func (p *pkgLowerer) typesCat(e ast.Expr) (string, bool) {
+	if p.info == nil {
+		return "", false
+	}
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	return catFromType(tv.Type)
+}
+
+func (p *pkgLowerer) typesDefCat(id *ast.Ident) (string, bool) {
+	if p.info == nil {
+		return "", false
+	}
+	obj := p.info.Defs[id]
+	if obj == nil || obj.Type() == nil {
+		return "", false
+	}
+	return catFromType(obj.Type())
+}
+
+func catFromType(t types.Type) (string, bool) {
+	if n, ok := t.(*types.Named); ok {
+		if n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error" {
+			return "int", true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.Invalid || u.Kind() == types.UntypedNil {
+			return "", false
+		}
+		if u.Info()&types.IsBoolean != 0 {
+			return "bool", true
+		}
+		return "int", true
+	case *types.Pointer:
+		return catFromType(u.Elem())
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj() != nil {
+		return sanitizeName(n.Obj().Name()), true
+	}
+	return "Ext", true
+}
+
+func isScalarCat(c string) bool { return c == "int" || c == "bool" }
+
+func (p *pkgLowerer) regObjType(t string) {
+	if !lang.IsObjectType(t) {
+		return
+	}
+	if p.usedObjTypes == nil {
+		p.usedObjTypes = map[string]bool{}
+	}
+	p.usedObjTypes[t] = true
+}
+
+func (p *pkgLowerer) freshTop(base string) string {
+	name := sanitizeName(base)
+	if !p.usedNames[name] {
+		p.usedNames[name] = true
+		return name
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s_%d", name, i)
+		if !p.usedNames[cand] {
+			p.usedNames[cand] = true
+			return cand
+		}
+	}
+}
+
+func (p *pkgLowerer) mapPos(tp token.Pos) lang.Pos {
+	if !tp.IsValid() {
+		return lang.Pos{Line: 1, Col: 1}
+	}
+	pos := p.fset.Position(tp)
+	return lang.Pos{Line: p.spanOf[pos.Filename] + pos.Line, Col: pos.Column}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// hasCall reports whether evaluating e can perform a call (and therefore
+// emit an event or exercise an allocator).
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Collect pass
+
+func (p *pkgLowerer) collect() {
+	for _, nf := range p.files {
+		for _, d := range nf.ast.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				p.localType[ts.Name.Name] = ts.Type
+				if st, ok := ts.Type.(*ast.StructType); ok && st.Fields != nil {
+					m := map[string]ast.Expr{}
+					for _, fl := range st.Fields.List {
+						for _, n := range fl.Names {
+							m[n.Name] = fl.Type
+						}
+					}
+					p.fields[sanitizeName(ts.Name.Name)] = m
+				}
+			}
+		}
+	}
+	for _, nf := range p.files {
+		imp := importsOf(nf.ast)
+		for _, d := range nf.ast.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.collectFunc(fd, imp)
+		}
+	}
+}
+
+func (p *pkgLowerer) collectFunc(fd *ast.FuncDecl, imp map[string]string) {
+	meta := &funcMeta{retIndex: -1}
+	goName := fd.Name.Name
+	var recvType string
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		recvType = p.typeName(fd.Recv.List[0].Type, imp)
+		meta.name = p.freshTop(recvType + "_" + goName)
+		recvName := "recv"
+		if names := fd.Recv.List[0].Names; len(names) > 0 && names[0].Name != "_" {
+			recvName = names[0].Name
+		}
+		meta.recvOffset = 1
+		p.addParam(meta, recvName, recvType)
+	} else {
+		meta.name = p.freshTop(goName)
+	}
+	p.collectSignature(meta, fd.Type, imp)
+	if recvType != "" && lang.IsObjectType(recvType) {
+		p.methods[typeMethodKey{recvType, goName}] = meta
+	} else if fd.Recv == nil {
+		if _, dup := p.funcs[goName]; !dup {
+			p.funcs[goName] = meta
+		}
+	}
+	if p.metaByDecl == nil {
+		p.metaByDecl = map[*ast.FuncDecl]*funcMeta{}
+	}
+	p.metaByDecl[fd] = meta
+}
+
+// collectSignature fills params and the return plan from a function type.
+func (p *pkgLowerer) collectSignature(meta *funcMeta, ft *ast.FuncType, imp map[string]string) {
+	synth := 0
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if _, ok := field.Type.(*ast.Ellipsis); ok {
+				meta.variadic = true
+				continue
+			}
+			typ := p.typeName(field.Type, imp)
+			if len(field.Names) == 0 {
+				p.addParam(meta, fmt.Sprintf("p%d", synth), typ)
+				synth++
+				continue
+			}
+			for _, n := range field.Names {
+				name := n.Name
+				if name == "_" {
+					name = fmt.Sprintf("p%d", synth)
+					synth++
+				}
+				p.addParam(meta, name, typ)
+			}
+		}
+	}
+	meta.nGoArgs = len(meta.params) - meta.recvOffset
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			typ := p.typeName(field.Type, imp)
+			isErr := false
+			if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
+				isErr = true
+			}
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			_ = isErr
+			for i := 0; i < n; i++ {
+				name := ""
+				if i < len(field.Names) && field.Names[i].Name != "_" {
+					name = field.Names[i].Name
+				}
+				meta.results = append(meta.results, typ)
+				meta.resultNames = append(meta.resultNames, name)
+			}
+		}
+		meta.retIndex = chooseRet(ft, meta.results)
+		if meta.retIndex >= 0 {
+			meta.retType = meta.results[meta.retIndex]
+		}
+	}
+}
+
+// chooseRet picks the Go result the MiniLang return value carries.
+func chooseRet(ft *ast.FuncType, cats []string) int {
+	for i, c := range cats {
+		if lang.IsObjectType(c) {
+			return i
+		}
+	}
+	// Last error result, scanned via the syntax (error fields).
+	idx := -1
+	i := 0
+	for _, field := range ft.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		isErr := false
+		if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
+			isErr = true
+		}
+		for j := 0; j < n; j++ {
+			if isErr {
+				idx = i
+			}
+			i++
+		}
+	}
+	if idx >= 0 {
+		return idx
+	}
+	if len(cats) > 0 {
+		return 0
+	}
+	return -1
+}
+
+func (p *pkgLowerer) addParam(meta *funcMeta, goName, typ string) {
+	ml := sanitizeName(goName)
+	for _, prev := range meta.params {
+		if prev.Name == ml {
+			ml = fmt.Sprintf("%s_%d", ml, len(meta.params))
+			break
+		}
+	}
+	meta.params = append(meta.params, lang.Param{Name: ml, Type: typ})
+	meta.goNames = append(meta.goNames, goName)
+	p.regObjType(typ)
+}
+
+// ---------------------------------------------------------------------------
+// Function lowering
+
+type deferEntry struct {
+	emit func(out *[]lang.Stmt)
+}
+
+type fnLowerer struct {
+	p      *pkgLowerer
+	imp    map[string]string
+	meta   *funcMeta
+	scopes []map[string]*varInfo
+	used   map[string]bool
+	tmpN   int
+	defers []deferEntry
+}
+
+func (p *pkgLowerer) newFn(meta *funcMeta, imp map[string]string) *fnLowerer {
+	f := &fnLowerer{p: p, imp: imp, meta: meta, used: map[string]bool{}}
+	scope := map[string]*varInfo{}
+	for i, goN := range meta.goNames {
+		f.used[meta.params[i].Name] = true
+		if goN == "" {
+			continue
+		}
+		scope[goN] = &varInfo{ml: meta.params[i].Name, cat: meta.params[i].Type}
+	}
+	f.scopes = []map[string]*varInfo{scope}
+	return f
+}
+
+func (p *pkgLowerer) lowerFunc(fd *ast.FuncDecl, imp map[string]string) {
+	meta := p.metaByDecl[fd]
+	if meta == nil {
+		return
+	}
+	f := p.newFn(meta, imp)
+	fun := &lang.FunDecl{
+		Name: meta.name, Params: meta.params, RetType: meta.retType,
+		Pos: p.mapPos(fd.Pos()),
+	}
+	p.regObjType(meta.retType)
+	p.res.Prog.Funs = append(p.res.Prog.Funs, fun)
+	p.res.Stats.Functions++
+	var body []lang.Stmt
+	f.declareNamedResults(&body, fd.Pos())
+	for _, st := range fd.Body.List {
+		f.stmt(st, &body)
+	}
+	if !terminates(body) {
+		f.flushDefers(&body)
+	}
+	fun.Body = body
+}
+
+// lowerClosure lowers a lifted function literal under a synthesized name.
+func (p *pkgLowerer) lowerClosure(meta *funcMeta, lit *ast.FuncLit, imp map[string]string) {
+	f := p.newFn(meta, imp)
+	fun := &lang.FunDecl{
+		Name: meta.name, Params: meta.params, RetType: meta.retType,
+		Pos: p.mapPos(lit.Pos()),
+	}
+	p.regObjType(meta.retType)
+	p.res.Prog.Funs = append(p.res.Prog.Funs, fun)
+	p.res.Stats.Functions++
+	var body []lang.Stmt
+	f.declareNamedResults(&body, lit.Pos())
+	for _, st := range lit.Body.List {
+		f.stmt(st, &body)
+	}
+	if !terminates(body) {
+		f.flushDefers(&body)
+	}
+	fun.Body = body
+}
+
+func (f *fnLowerer) declareNamedResults(out *[]lang.Stmt, at token.Pos) {
+	pos := f.p.mapPos(at)
+	for i, name := range f.meta.resultNames {
+		if name == "" {
+			continue
+		}
+		cat := f.meta.results[i]
+		ml := f.fresh(name)
+		f.bind(name, &varInfo{ml: ml, cat: cat})
+		var init lang.Expr
+		switch cat {
+		case "int":
+			init = &lang.IntLit{Value: 0, Pos: pos}
+		case "bool":
+			init = &lang.BoolLit{Value: false, Pos: pos}
+		default:
+			init = &lang.NullLit{Pos: pos}
+		}
+		f.p.regObjType(cat)
+		*out = append(*out, &lang.VarDecl{Name: ml, Type: cat, Init: init, Pos: pos})
+	}
+}
+
+func terminates(body []lang.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	switch body[len(body)-1].(type) {
+	case *lang.ReturnStmt, *lang.ThrowStmt:
+		return true
+	}
+	return false
+}
+
+// --- scope helpers ---
+
+func (f *fnLowerer) push() { f.scopes = append(f.scopes, map[string]*varInfo{}) }
+func (f *fnLowerer) pop()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+
+func (f *fnLowerer) lookup(name string) *varInfo {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if vi, ok := f.scopes[i][name]; ok {
+			return vi
+		}
+	}
+	return nil
+}
+
+func (f *fnLowerer) bind(goName string, vi *varInfo) {
+	f.scopes[len(f.scopes)-1][goName] = vi
+}
+
+func (f *fnLowerer) inCurrentScope(name string) *varInfo {
+	return f.scopes[len(f.scopes)-1][name]
+}
+
+// fresh returns an unused MiniLang variable name derived from base.
+func (f *fnLowerer) fresh(base string) string {
+	name := sanitizeName(base)
+	if !f.used[name] {
+		f.used[name] = true
+		return name
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s_%d", name, i)
+		if !f.used[cand] {
+			f.used[cand] = true
+			return cand
+		}
+	}
+}
+
+func (f *fnLowerer) temp(prefix string) string { // tg: "temporary, generated"
+	f.tmpN++
+	return f.fresh(fmt.Sprintf("tg%s%d", prefix, f.tmpN))
+}
+
+func (f *fnLowerer) pos(n ast.Node) lang.Pos { return f.p.mapPos(n.Pos()) }
+
+func (f *fnLowerer) havoc(kind string) { f.p.res.Stats.havoc(kind) }
+
+// opaqueInt is a fresh unconstrained integer.
+func opaqueInt(pos lang.Pos) lang.Expr { return &lang.InputExpr{Pos: pos} }
+
+// opaqueBool is a fresh unconstrained boolean (input() != 0).
+func opaqueBool(pos lang.Pos) lang.Expr {
+	return &lang.Binary{Op: lang.OpNe, L: &lang.InputExpr{Pos: pos},
+		R: &lang.IntLit{Value: 0, Pos: pos}, Pos: pos}
+}
+
+func (f *fnLowerer) ident(vi *varInfo, pos lang.Pos) *lang.Ident {
+	return &lang.Ident{Name: vi.ml, Pos: pos}
+}
+
+// materialize binds e to a temp var unless it is already an atom, returning
+// an Ident (several MiniLang forms require identifier receivers).
+func (f *fnLowerer) materialize(e lang.Expr, cat string, pos lang.Pos, out *[]lang.Stmt) *lang.Ident {
+	if id, ok := e.(*lang.Ident); ok {
+		return id
+	}
+	typ := cat
+	name := f.temp("v")
+	f.p.regObjType(typ)
+	*out = append(*out, &lang.VarDecl{Name: name, Type: typ, Init: e, Pos: pos})
+	return &lang.Ident{Name: name, Pos: pos}
+}

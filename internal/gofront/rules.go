@@ -1,0 +1,153 @@
+package gofront
+
+import "sort"
+
+// Alloc describes a call pattern that produces a tracked object: which
+// MiniLang object type to allocate, which result-tuple index carries the
+// object, and which (if any) carries an error that guards the allocation.
+// A call with Err >= 0 lowers to a guarded allocation — the object exists
+// only on the error == nil arm — so error-checked acquisition sites do not
+// produce spurious leak paths.
+type Alloc struct {
+	Type string
+	// Obj is the index of the tracked object in the result tuple (0 for
+	// single-result allocators).
+	Obj int
+	// Err is the index of the error result, or -1 when the allocator
+	// cannot fail.
+	Err int
+}
+
+// TypeMethod keys a method-call pattern by receiver type and method name.
+// Type names use the sanitized MiniLang spelling ("os_File", "sql_DB").
+type TypeMethod struct {
+	Type   string
+	Method string
+}
+
+// TypeFieldMethod keys a depth-two pattern like resp.Body.Close(): a method
+// invoked on a named field of a typed receiver. The event is attributed to
+// the receiver itself (the tracked object), because the field's content is
+// installed by library code the frontend never sees.
+type TypeFieldMethod struct {
+	Type   string
+	Field  string
+	Method string
+}
+
+// Rules bind Go call patterns to lowering actions. Property packs provide
+// them; the lowering consults the merged rule set of every selected pack.
+type Rules struct {
+	// FuncAllocs matches qualified package-function calls ("os.Open").
+	FuncAllocs map[string]Alloc
+	// MethodAllocs matches method calls on a typed receiver
+	// (sql_DB.Query -> sql_Rows).
+	MethodAllocs map[TypeMethod]Alloc
+	// CompositeAllocs matches composite literals and zero-value variable
+	// declarations of a qualified type ("sync.Mutex" -> "sync_Mutex").
+	CompositeAllocs map[string]string
+	// Events map (receiver type, method) to the FSM event emitted.
+	// Methods invoked on a tracked type but absent here lower to opaque
+	// havoc, never to events, so an incomplete alphabet cannot push the
+	// FSM into its implicit error state.
+	Events map[TypeMethod]string
+	// FieldEvents map receiver.field.method() chains to events.
+	FieldEvents map[TypeFieldMethod]string
+	// CallEvents fire when a tracked func-valued object is itself called,
+	// e.g. the CancelFunc returned by context.WithCancel.
+	CallEvents map[string]string
+}
+
+// NewRules returns an empty, non-nil rule set.
+func NewRules() *Rules {
+	return &Rules{
+		FuncAllocs:      map[string]Alloc{},
+		MethodAllocs:    map[TypeMethod]Alloc{},
+		CompositeAllocs: map[string]string{},
+		Events:          map[TypeMethod]string{},
+		FieldEvents:     map[TypeFieldMethod]string{},
+		CallEvents:      map[string]string{},
+	}
+}
+
+// Merge folds o into r. On a key collision the earlier binding wins, so
+// packs sharing a tracked type must (and do) agree on event names.
+func (r *Rules) Merge(o *Rules) {
+	if o == nil {
+		return
+	}
+	for k, v := range o.FuncAllocs {
+		if _, ok := r.FuncAllocs[k]; !ok {
+			r.FuncAllocs[k] = v
+		}
+	}
+	for k, v := range o.MethodAllocs {
+		if _, ok := r.MethodAllocs[k]; !ok {
+			r.MethodAllocs[k] = v
+		}
+	}
+	for k, v := range o.CompositeAllocs {
+		if _, ok := r.CompositeAllocs[k]; !ok {
+			r.CompositeAllocs[k] = v
+		}
+	}
+	for k, v := range o.Events {
+		if _, ok := r.Events[k]; !ok {
+			r.Events[k] = v
+		}
+	}
+	for k, v := range o.FieldEvents {
+		if _, ok := r.FieldEvents[k]; !ok {
+			r.FieldEvents[k] = v
+		}
+	}
+	for k, v := range o.CallEvents {
+		if _, ok := r.CallEvents[k]; !ok {
+			r.CallEvents[k] = v
+		}
+	}
+}
+
+// TrackedTypes returns the sorted set of object types any rule mentions.
+func (r *Rules) TrackedTypes() []string {
+	set := map[string]bool{}
+	for _, a := range r.FuncAllocs {
+		set[a.Type] = true
+	}
+	for _, a := range r.MethodAllocs {
+		set[a.Type] = true
+	}
+	for _, t := range r.CompositeAllocs {
+		set[t] = true
+	}
+	for k := range r.Events {
+		set[k.Type] = true
+	}
+	for k := range r.FieldEvents {
+		set[k.Type] = true
+	}
+	for t := range r.CallEvents {
+		set[t] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// errPredicates are error-classification functions whose result is known
+// false when the inspected error is nil. Calls lower to
+// "err != 0 && input() != 0", which keeps the error symbol in the path
+// condition: a branch like `if os.IsNotExist(err)` taken before a deferred
+// Close stays correlated with the acquisition guard, instead of opening a
+// spurious leak path. These are frontend-global, not per-pack.
+var errPredicates = map[string]bool{
+	"os.IsNotExist":   true,
+	"os.IsExist":      true,
+	"os.IsPermission": true,
+	"os.IsTimeout":    true,
+	"errors.Is":       true,
+	"errors.As":       true,
+}

@@ -29,6 +29,9 @@ type Grammar struct {
 	// Final marks labels whose edges are analysis results (e.g. flowsTo,
 	// alias); the engine reports counts per final label.
 	final map[Label]bool
+
+	// err records label-space exhaustion (sticky); see Err.
+	err error
 }
 
 // New returns an empty grammar.
@@ -42,19 +45,31 @@ func New() *Grammar {
 	}
 }
 
-// Intern returns the label for name, creating it if needed.
+// Intern returns the label for name, creating it if needed. When the 16-bit
+// label space is exhausted it returns NoLabel and records a sized error
+// (see Err) instead of crashing mid-run; callers building grammars from
+// program-derived names (one store/load pair per distinct field) check Err
+// once after construction.
 func (g *Grammar) Intern(name string) Label {
 	if l, ok := g.byName[name]; ok {
 		return l
 	}
 	l := Label(len(g.names))
 	if l == NoLabel {
-		panic("grammar: label space exhausted")
+		if g.err == nil {
+			g.err = fmt.Errorf("grammar: label space exhausted: %d labels interned, limit %d; the input declares too many distinct field names for one analysis unit — split the package or reduce tracked fields",
+				len(g.names), NoLabel)
+		}
+		return NoLabel
 	}
 	g.names = append(g.names, name)
 	g.byName[name] = l
 	return l
 }
+
+// Err reports label-space exhaustion: nil, or one sized error no matter how
+// many Intern calls overflowed.
+func (g *Grammar) Err() error { return g.err }
 
 // Lookup returns the label for name, or NoLabel.
 func (g *Grammar) Lookup(name string) Label {

@@ -1,6 +1,10 @@
 package grammar
 
-import "testing"
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
 
 func TestInternStable(t *testing.T) {
 	g := New()
@@ -105,5 +109,38 @@ func TestHasLeft(t *testing.T) {
 		// store_f alias is binary with alias on the RIGHT; alias never left?
 		// alias is not a left symbol in the pointer grammar.
 		t.Skip("alias is right-only; acceptable")
+	}
+}
+
+func TestInternLabelSpaceExhaustion(t *testing.T) {
+	g := New()
+	for i := 0; i < int(NoLabel); i++ {
+		if l := g.Intern(fmt.Sprintf("l%d", i)); l == NoLabel {
+			t.Fatalf("premature exhaustion at %d", i)
+		}
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("unexpected error before overflow: %v", err)
+	}
+	if l := g.Intern("overflow-a"); l != NoLabel {
+		t.Fatalf("overflow intern returned %d, want NoLabel", l)
+	}
+	err := g.Err()
+	if err == nil {
+		t.Fatal("no error after overflow")
+	}
+	if !strings.Contains(err.Error(), "65535") {
+		t.Fatalf("error not sized: %v", err)
+	}
+	// Sticky: further overflows neither crash nor replace the error.
+	if l := g.Intern("overflow-b"); l != NoLabel {
+		t.Fatal("second overflow must also return NoLabel")
+	}
+	if g.Err() != err {
+		t.Fatal("error must be sticky")
+	}
+	// Existing labels still resolve after exhaustion.
+	if g.Intern("l7") != g.Lookup("l7") {
+		t.Fatal("existing labels must survive exhaustion")
 	}
 }

@@ -68,7 +68,12 @@ type item struct {
 	event    string     // event name (event/alloc/catch)
 	encs     []cfet.Enc // alias-attribution encodings (nil = definite)
 	definite bool
-	site     int32 // call site (call items)
+	// entryDefinite lists the call edges whose entry into this clone
+	// already implies the event's attribution (entry-node events only):
+	// a flow entering through such an edge definitely observes the event,
+	// so the caller routes it past the may-not-alias bypass.
+	entryDefinite map[int32]bool
+	site          int32 // call site (call items)
 	// summary marks a call into an *irrelevant* callee whose integer
 	// return value feeds path constraints: the item contributes one
 	// identity edge per callee exit path, carrying {(c [0,leaf] )c} so the
@@ -306,7 +311,116 @@ func (b *objBuilder) eventItem(event string, ctx uint32, node uint64, recv strin
 		}
 		it.encs = append(it.encs, ft.Enc)
 	}
+	// Intra-frame subsumption failed, but an attribution may still be
+	// implied interprocedurally: the event sits at the entry node of a
+	// private clone and the attribution's caller-side prefix is implied by
+	// simply reaching the call node that enters it. Flows arriving through
+	// such a call edge definitely observe the event; the caller-side
+	// builder routes them past the may-not-alias bypass (per edge, so
+	// entries on branch arms where the receiver is a different object keep
+	// the bypass).
+	if unique && node == 0 {
+		c := b.pr.Contexts[ctx]
+		if !c.Shared && c.Parent != NoContext {
+			pm := b.pr.Method(c.Parent)
+			for _, ce := range b.pr.IC.CallEdges {
+				if ce == nil || ce.Callee != c.Method || ce.Site != c.Site || ce.Caller != pm.Method {
+					continue
+				}
+				for _, ft := range fts {
+					if b.entryCovered(ft.Enc, ctx, node, ce.ID) {
+						if it.entryDefinite == nil {
+							it.entryDefinite = map[int32]bool{}
+						}
+						it.entryDefinite[ce.ID] = true
+						break
+					}
+				}
+			}
+		}
+	}
 	return it
+}
+
+// entryCovered checks one attribution encoding against one entry edge: the
+// encoding must end with intervals of ctx's frame implied by reaching
+// `node`, preceded by the given call edge, preceded (recursively) by a
+// caller-side prefix implied by reaching the call node in the parent frame.
+func (b *objBuilder) entryCovered(enc cfet.Enc, ctx uint32, node uint64, entry int32) bool {
+	m := b.pr.Method(ctx)
+	pathConj, err := m.PathConstraint(0, node, nil, nil)
+	if err != nil {
+		return false
+	}
+	pathKeys := map[string]bool{}
+	for _, a := range pathConj {
+		pathKeys[a.Key()] = true
+	}
+	i := len(enc)
+	for i > 0 && enc[i-1].Kind == cfet.KInterval && enc[i-1].Method == m.Method {
+		i--
+	}
+	if tail := enc[i:]; len(tail) > 0 && !b.subsumedByPath(tail, m, node, pathKeys) {
+		return false
+	}
+	rest := enc[:i]
+	if len(rest) == 0 {
+		// No caller-side constraint at all: implied by any entry.
+		return true
+	}
+	last := rest[len(rest)-1]
+	if last.Kind != cfet.KCall || last.Call != entry {
+		return false
+	}
+	c := b.pr.Contexts[ctx]
+	if c.Shared || c.Parent == NoContext {
+		return false
+	}
+	ce := b.pr.IC.CallEdges[entry]
+	// The caller prefix must itself be implied by reaching the call node;
+	// recurse with the parent clone's own entry edges.
+	prefix := rest[:len(rest)-1]
+	if len(prefix) == 0 {
+		return true
+	}
+	pm := b.pr.Method(c.Parent)
+	callConj, err := pm.PathConstraint(0, ce.CallerNode, nil, nil)
+	if err != nil {
+		return false
+	}
+	callKeys := map[string]bool{}
+	for _, a := range callConj {
+		callKeys[a.Key()] = true
+	}
+	j := len(prefix)
+	for j > 0 && prefix[j-1].Kind == cfet.KInterval && prefix[j-1].Method == pm.Method {
+		j--
+	}
+	if tail := prefix[j:]; len(tail) > 0 && !b.subsumedByPath(tail, pm, ce.CallerNode, callKeys) {
+		return false
+	}
+	if j == 0 {
+		return true
+	}
+	// Deeper frames: the remaining prefix must enter the parent clone via
+	// one of ITS entry edges.
+	pc := b.pr.Contexts[c.Parent]
+	if pc.Shared || pc.Parent == NoContext {
+		return false
+	}
+	if prefix[j-1].Kind != cfet.KCall {
+		return false
+	}
+	deep := prefix[j-1].Call
+	if int(deep) >= len(b.pr.IC.CallEdges) {
+		return false
+	}
+	de := b.pr.IC.CallEdges[deep]
+	if de == nil || de.Callee != pc.Method || de.Site != pc.Site ||
+		de.Caller != b.pr.Method(pc.Parent).Method {
+		return false
+	}
+	return b.entryCovered(prefix[:j], c.Parent, ce.CallerNode, deep)
 }
 
 // subsumedByPath reports whether the attribution encoding adds no
@@ -517,8 +631,19 @@ func (b *objBuilder) buildCtx(ctx uint32) {
 					b.edge(prev, next, id, hereEnc)
 					continue
 				}
+				// Entry-definite event in the callee: the first statement of
+				// the callee is an event whose attribution is implied by
+				// entering through this very call edge, so the entering flow
+				// observes it unconditionally — land past the event's
+				// may-not-alias bypass, applying its relation on the way in.
 				calleeEntry := b.point(callee, 0, 0)
-				b.edge(prev, calleeEntry, id, cfet.Enc{cfet.CallElem(callEdge)})
+				entryRel := id
+				if hd := b.nodeItems[callee][0]; len(hd) > 0 &&
+					hd[0].kind == itemEvent && hd[0].seq == 0 && hd[0].entryDefinite[callEdge] {
+					calleeEntry = b.point(callee, 0, 1)
+					entryRel = fsm.EventRel(b.fsm, hd[0].event)
+				}
+				b.edge(prev, calleeEntry, entryRel, cfet.Enc{cfet.CallElem(callEdge)})
 				b.edge(b.exitN[callee], next, id, cfet.Enc{cfet.RetElem(callEdge)})
 				if hasThrowLeaf(b.pr.Method(callee)) {
 					p := b.vert()

@@ -1,0 +1,14 @@
+package subject
+
+import "os"
+
+// openClose is the canonical file-handle happy path.
+func openClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	f.Read(nil)
+	f.Close()
+	return nil
+}

@@ -1,0 +1,19 @@
+package subject
+
+import "os"
+
+// calls exercises cross-function flow: the handle escapes to a helper that
+// closes it.
+func helperClose(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}
+
+func calls(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	helperClose(f)
+}

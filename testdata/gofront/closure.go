@@ -1,0 +1,19 @@
+package subject
+
+import "os"
+
+// closure exercises closure lifting with captured file handles.
+func closure(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fail := func(e error) error {
+		f.Close()
+		return e
+	}
+	if _, err := f.Write(nil); err != nil {
+		return fail(err)
+	}
+	return fail(nil)
+}

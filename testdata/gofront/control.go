@@ -1,0 +1,23 @@
+package subject
+
+// control exercises if/else chains, for loops, and switch lowering.
+func control(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	switch {
+	case total > 10:
+		total = 10
+	case total < 0:
+		total = 0
+	default:
+		total++
+	}
+	if total == 5 {
+		return -1
+	} else if total == 6 {
+		return -2
+	}
+	return total
+}

@@ -1,0 +1,17 @@
+package subject
+
+import "os"
+
+// deferred closes through a defer flushed on every return edge.
+func deferred(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := f.Read(nil)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

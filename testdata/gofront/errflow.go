@@ -1,0 +1,20 @@
+package subject
+
+import "os"
+
+// errflow exercises the error-return modeling: err != nil guards must ride
+// the SMT path-condition correlation.
+func errflow(a, b string) error {
+	f, err := os.Open(a)
+	if err != nil {
+		return err
+	}
+	g, err2 := os.Open(b)
+	if err2 != nil {
+		f.Close()
+		return err2
+	}
+	f.Close()
+	g.Close()
+	return nil
+}

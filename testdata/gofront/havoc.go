@@ -1,0 +1,22 @@
+package subject
+
+// havoc piles up constructs outside the supported subset; every one must
+// lower soundly (over-approximated) rather than error.
+func havoc(xs []int, m map[string]int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	total := <-ch
+	for _, x := range xs {
+		total += x
+	}
+	for k := range m {
+		total += len(k)
+	}
+	defer func() { recover() }()
+	select {
+	case v := <-ch:
+		total += v
+	default:
+	}
+	return total
+}

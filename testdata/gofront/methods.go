@@ -1,0 +1,22 @@
+package subject
+
+import "sync"
+
+// Counter exercises methods, struct fields, and mutex tracking.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
