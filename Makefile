@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self check-self
+.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self check-self crash
 
 build:
 	$(GO) build ./...
@@ -27,16 +27,27 @@ race:
 	$(GO) test -race ./internal/storage/... ./internal/engine/... ./internal/checker/... ./internal/scheduler/...
 
 # Short fuzzing sessions: SMT cache-keying invariants, the partition
-# store's record decoders (v1 and v2) and whole-file reader, then the
-# interprocedural points-to solver (termination bound + summary
+# store's record decoders (v1 and v2), whole-file reader, and journal
+# reader (resume must never crash or silently accept corrupt state), then
+# the interprocedural points-to solver (termination bound + summary
 # idempotence on arbitrary MiniLang inputs).
 fuzz:
 	$(GO) test ./internal/smt/ -fuzz FuzzCacheKeying -fuzztime 30s
 	$(GO) test ./internal/storage/ -fuzz FuzzReadRecord -fuzztime 20s
 	$(GO) test ./internal/storage/ -fuzz FuzzDecodeRecordV2 -fuzztime 20s
 	$(GO) test ./internal/storage/ -fuzz FuzzReadPart -fuzztime 20s
+	$(GO) test ./internal/storage/ -fuzz FuzzReadJournal -fuzztime 20s
 	$(GO) test ./internal/analysis/ -fuzz FuzzPointsTo -fuzztime 20s
 	$(GO) test ./internal/gofront/ -fuzz FuzzLowerGo -fuzztime 20s
+
+# Crash-injection harness: kill the engine at EVERY superstep boundary (and
+# mid-journal-write for torn-record coverage), resume from the journal, and
+# require a byte-identical final report; same at checker granularity (both
+# closure phases) and batch granularity (kill between instances, resume
+# reruns only the unfinished ones). Superstep counts are bounded by small
+# workloads so the every-boundary sweep stays fast.
+crash: build
+	$(GO) test ./internal/engine/ ./internal/checker/ ./internal/scheduler/ ./cmd/grapple/ -run 'Resume|Torn|Journal' -count=1
 
 # Self-lint: every shipped example's embedded MiniLang program must pass
 # `grapple lint` (all rules, including the interprocedural ones) with no
@@ -68,4 +79,4 @@ check-self: build
 bench:
 	$(GO) run ./cmd/grapple-bench -all
 
-ci: vet fmt-check race test lint-self check-self
+ci: vet fmt-check race test crash lint-self check-self

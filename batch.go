@@ -35,6 +35,10 @@ type InstanceStatus struct {
 	// the per-instance deadline expiring.
 	Err      error
 	TimedOut bool
+	// Resumed marks an instance restored from a previous journaled batch's
+	// completion log (BatchOptions.Resume) rather than recomputed; only the
+	// report set and Elapsed survive, so phase stats are zero.
+	Resumed bool
 	// Wait is time spent queued for a worker; Elapsed the run itself.
 	Wait    time.Duration
 	Elapsed time.Duration
@@ -49,7 +53,10 @@ type InstanceStatus struct {
 type SchedulerStats = metrics.SchedSnapshot
 
 // BatchOptions tunes CheckAll. The embedded Options apply to every
-// instance.
+// instance, except Journal and Resume, which act at batch granularity:
+// Journal logs each finished instance's reports to WorkDir, and Resume
+// reruns only the instances a previous journaled batch did not finish,
+// merging restored and fresh results into a byte-identical report stream.
 type BatchOptions struct {
 	Options
 	// BatchWorkers bounds how many checking instances run concurrently
@@ -128,11 +135,18 @@ func CheckAllContext(ctx context.Context, subjects []Subject, fsms []*FSM, opts 
 	for i, s := range subjects {
 		subs[i] = scheduler.Subject{Name: s.Name, Source: s.Source}
 	}
-	instances := scheduler.Expand(subs, groups, checkerOptions(opts.Options))
+	// Batch crash recovery is instance-granular: the scheduler's completion
+	// log (not per-engine journals) decides what reruns, so the per-instance
+	// checker options carry no journal flags.
+	iopts := opts.Options
+	iopts.Journal, iopts.Resume = false, false
+	instances := scheduler.Expand(subs, groups, checkerOptions(iopts))
 	schedOpts := scheduler.Options{
 		Workers: opts.BatchWorkers,
 		Timeout: opts.InstanceTimeout,
 		WorkDir: opts.WorkDir,
+		Journal: opts.Journal,
+		Resume:  opts.Resume,
 	}
 	if opts.DisableConstraintCache {
 		schedOpts.CacheSize = -1
@@ -155,7 +169,7 @@ func CheckAllContext(ctx context.Context, subjects []Subject, fsms []*FSM, opts 
 	for _, ir := range res.Instances {
 		st := InstanceStatus{
 			Subject: ir.Subject, Group: ir.Group,
-			Err: ir.Err, TimedOut: ir.TimedOut,
+			Err: ir.Err, TimedOut: ir.TimedOut, Resumed: ir.Resumed,
 			Wait: ir.Wait, Elapsed: ir.Elapsed,
 		}
 		if ir.Result != nil {

@@ -10,6 +10,7 @@
 //	grapple-bench -table oom        traditional in-memory OOM result (§5.3)
 //	grapple-bench -table batch      batch-scheduler scaling vs worker count
 //	grapple-bench -table io         partition-store traffic, prefetch on/off
+//	grapple-bench -table resume     journal overhead and kill-at-midpoint resume latency
 //	grapple-bench -table prune      infeasible-branch pruning ablation
 //	grapple-bench -table slice      property-relevance slicing ablation
 //	grapple-bench -table gofront    synthetic subjects vs a real Go package
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|gofront")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|resume|gofront")
 	goDir := flag.String("godir", "internal/storage", "real-Go package for -table gofront")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -44,7 +45,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|gofront | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|resume|gofront | -figure 9")
 		os.Exit(2)
 	}
 
@@ -119,6 +120,14 @@ func main() {
 	if want("io") {
 		fmt.Fprintln(os.Stderr, "running partition-store I/O measurement (each subject twice)...")
 		out, _, err := bench.IOTable(names, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("resume") {
+		fmt.Fprintln(os.Stderr, "running checkpoint/resume measurement (each subject four times)...")
+		out, _, err := bench.ResumeTable(names, "")
 		if err != nil {
 			fatal(err)
 		}

@@ -119,8 +119,13 @@ func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
 	verbose := fs.Bool("v", false, "verbose reports")
 	combined := fs.Bool("combined", false, "one instance per subject with all properties (instead of one per property)")
 	noPrune := fs.Bool("noprune", false, "disable constant-driven infeasible-branch pruning")
+	journal := fs.Bool("journal", false, "log finished instances to -workdir so an interrupted batch can be resumed")
+	resume := fs.Bool("resume", false, "rerun only the instances a previous -journal batch did not finish (implies -journal)")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
+	}
+	if (*journal || *resume) && *workDir == "" {
+		return 2, fmt.Errorf("-journal/-resume require -workdir (the completion log lives there)")
 	}
 	if fs.NArg() == 0 && len(profiles) == 0 {
 		fmt.Fprintln(stderr, "usage: grapple batch [flags] [path ...]")
@@ -161,6 +166,8 @@ func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
 			MemoryBudget: *mem,
 			UnrollDepth:  *unroll,
 			Prune:        prune,
+			Journal:      *journal,
+			Resume:       *resume,
 		},
 		BatchWorkers:      *workers,
 		InstanceTimeout:   *timeout,
@@ -211,6 +218,9 @@ func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "io: %s\n", res.IO)
 		for _, st := range res.Instances {
 			status := "ok"
+			if st.Resumed {
+				status = "resumed"
+			}
 			if st.Err != nil {
 				status = "FAILED"
 			}

@@ -36,6 +36,8 @@ type goOpts struct {
 	dotDir  string
 	noPrune bool
 	noSlice bool
+	journal bool
+	resume  bool
 }
 
 // runGo checks real Go input against the selected property packs through
@@ -74,6 +76,8 @@ func runGo(o goOpts, stdout, stderr io.Writer) (int, error) {
 		DumpDOT:      o.dotDir,
 		Prune:        prune,
 		Slice:        slice,
+		Journal:      o.journal,
+		Resume:       o.resume,
 	}
 	var (
 		res *grapple.Result

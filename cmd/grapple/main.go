@@ -32,6 +32,15 @@
 //	-json          emit reports as JSON (one object per line)
 //	-stats         print phase statistics and the cost breakdown
 //	-v             verbose reports (witness encodings and constraints)
+//	-journal       checkpoint engine state to -workdir every superstep
+//	-resume        continue a killed -journal run from its last checkpoint
+//
+// -journal/-resume require -workdir and guarantee that a run killed at any
+// superstep boundary resumes to a byte-identical report; a missing, corrupt,
+// or stale journal makes -resume exit 2 instead of silently starting cold
+// (docs/resume.md). `grapple batch` accepts the same pair at instance
+// granularity: -resume reruns only the instances a previous -journal batch
+// did not finish.
 //
 // Exit status: 0 no warnings, 1 warnings found, 2 usage/analysis error.
 package main

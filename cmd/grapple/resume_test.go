@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunResumeRequiresWorkdir(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	for _, flag := range []string{"-resume", "-journal"} {
+		var out, errb bytes.Buffer
+		code, err := run([]string{flag, prog}, &out, &errb)
+		if code != 2 || err == nil || !strings.Contains(err.Error(), "-workdir") {
+			t.Fatalf("%s without -workdir: code=%d err=%v", flag, code, err)
+		}
+	}
+}
+
+func TestRunResumeMissingJournalExits2(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"-resume", "-workdir", t.TempDir(), prog}, &out, &errb)
+	if code != 2 || err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("-resume with no journal: code=%d err=%v", code, err)
+	}
+}
+
+// TestRunJournalThenResume journals a complete run, then resumes it: the
+// resumed invocation replays the completed checkpoints and must print the
+// same reports with the same exit code.
+func TestRunJournalThenResume(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	work := t.TempDir()
+	var out1, err1 bytes.Buffer
+	code1, err := run([]string{"-journal", "-workdir", work, prog}, &out1, &err1)
+	if err != nil || code1 != 1 {
+		t.Fatalf("journaled run: code=%d err=%v", code1, err)
+	}
+	var out2, err2 bytes.Buffer
+	code2, err := run([]string{"-resume", "-workdir", work, prog}, &out2, &err2)
+	if err != nil || code2 != 1 {
+		t.Fatalf("resumed run: code=%d err=%v", code2, err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("resumed output differs:\n%q\nvs\n%q", out2.String(), out1.String())
+	}
+}
+
+func TestBatchResumeFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	prog := writeFile(t, dir, "p.ml", leakySrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"batch", "-resume", prog}, &out, &errb)
+	if code != 2 || err == nil || !strings.Contains(err.Error(), "-workdir") {
+		t.Fatalf("batch -resume without -workdir: code=%d err=%v", code, err)
+	}
+}
+
+// TestBatchJournalThenResume journals a complete batch, then resumes it:
+// every instance restores from the completion log and the merged JSON
+// stream must be byte-identical.
+func TestBatchJournalThenResume(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.ml", leakySrc)
+	b := writeFile(t, dir, "b.ml", `
+type Socket;
+fun main() {
+  var s: Socket = new Socket();
+  s.connect();
+  return;
+}
+`)
+	work := t.TempDir()
+	var out1, err1 bytes.Buffer
+	code1, err := run([]string{"batch", "-json", "-journal", "-workdir", work, a, b}, &out1, &err1)
+	if err != nil || code1 != 1 {
+		t.Fatalf("journaled batch: code=%d err=%v stderr=%s", code1, err, err1.String())
+	}
+	var out2, err2 bytes.Buffer
+	code2, err := run([]string{"batch", "-json", "-resume", "-workdir", work, a, b}, &out2, &err2)
+	if err != nil || code2 != 1 {
+		t.Fatalf("resumed batch: code=%d err=%v stderr=%s", code2, err, err2.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatalf("resumed merged stream differs:\n%q\nvs\n%q", out2.String(), out1.String())
+	}
+}

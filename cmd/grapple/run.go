@@ -95,8 +95,13 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	dotDir := fs.String("dot", "", "write program graphs as Graphviz files into this directory")
 	noPrune := fs.Bool("noprune", false, "disable constant-driven infeasible-branch pruning")
 	noSlice := fs.Bool("noslice", false, "disable property-relevance slicing")
+	journal := fs.Bool("journal", false, "checkpoint engine state to -workdir after every superstep (crash recovery)")
+	resume := fs.Bool("resume", false, "continue a previous -journal run from -workdir (implies -journal)")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
+	}
+	if (*journal || *resume) && *workDir == "" {
+		return 2, fmt.Errorf("-journal/-resume require -workdir (the journal lives beside the partitions)")
 	}
 	if *listPacks {
 		for _, p := range grapple.Packs() {
@@ -118,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			workDir: *workDir, mem: *mem, unroll: *unroll,
 			jsonOut: *jsonOut, stats: *stats, verbose: *verbose,
 			dotDir: *dotDir, noPrune: *noPrune, noSlice: *noSlice,
+			journal: *journal, resume: *resume,
 		}, stdout, stderr)
 	}
 	if len(packNames) > 0 {
@@ -163,6 +169,8 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		DumpDOT:        *dotDir,
 		Prune:          prune,
 		Slice:          slice,
+		Journal:        *journal,
+		Resume:         *resume,
 	})
 	if err != nil {
 		return 2, err
@@ -253,6 +261,10 @@ func emitStats(stdout io.Writer, res *grapple.Result) {
 	io.Add(res.Dataflow.IO)
 	fmt.Fprintf(stdout, "io: %s\n", io)
 	fmt.Fprintf(stdout, "io latency: %s\n", io.LatencyString())
+	if ck := res.Alias.Checkpoints + res.Dataflow.Checkpoints; ck > 0 {
+		fmt.Fprintf(stdout, "journal: %d checkpoints, %.1f KiB\n",
+			ck, float64(res.Alias.JournalBytes+res.Dataflow.JournalBytes)/(1<<10))
+	}
 	fmt.Fprintf(stdout, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)
 	fmt.Fprintf(stdout, "breakdown: I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%\n",
 		res.Breakdown.IOPct, res.Breakdown.DecodePct, res.Breakdown.SolvePct, res.Breakdown.ComputePct)

@@ -181,6 +181,17 @@ type Options struct {
 	// automatically when RecordPointsTo is set, since that query class
 	// spans untracked variables too.
 	Slice SliceMode
+	// Journal checkpoints the engines' superstep state to per-phase run
+	// journals under WorkDir after every superstep, so a crashed or killed
+	// run can be continued with Resume instead of restarting (docs/
+	// resume.md). Requires a persistent WorkDir to be useful.
+	Journal bool
+	// Resume continues a previously journaled run from WorkDir, replaying
+	// each phase from its last durable checkpoint; the reports are identical
+	// to an uninterrupted run. Requires WorkDir and implies Journal. A
+	// missing, corrupt, or mismatched journal is an error — resume never
+	// silently starts cold.
+	Resume bool
 }
 
 // PruneMode selects whether infeasible-branch pruning runs.
@@ -238,6 +249,10 @@ type PhaseStats struct {
 	RejectedUnsat     int64
 	RejectedConflict  int64
 	SolveTime         time.Duration
+	// Checkpoints and JournalBytes describe the phase's crash-recovery
+	// journal traffic (both 0 with Options.Journal off).
+	Checkpoints  int64
+	JournalBytes int64
 	// Unlowered counts Go constructs the frontend soundly over-approximated
 	// (havocked) instead of modeling precisely. It is a frontend-wide count,
 	// reported identically on both phases; always 0 in MiniLang mode.
@@ -309,6 +324,8 @@ func phaseStats(p checker.PhaseStats) PhaseStats {
 		RejectedUnsat:     p.RejectedUnsat,
 		RejectedConflict:  p.RejectedConflict,
 		SolveTime:         p.SolveTime,
+		Checkpoints:       p.Checkpoints,
+		JournalBytes:      p.JournalBytes,
 		IO:                p.IO,
 	}
 }
@@ -333,6 +350,8 @@ func checkerOptions(opts Options) checker.Options {
 		DumpDOT:        opts.DumpDOT,
 		Prune:          opts.Prune,
 		Slice:          opts.Slice,
+		Journal:        opts.Journal,
+		Resume:         opts.Resume,
 	}
 	if opts.MaxNodesPerMethod > 0 {
 		co.CFET.MaxNodesPerMethod = opts.MaxNodesPerMethod

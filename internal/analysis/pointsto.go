@@ -291,6 +291,50 @@ func (r *PointsToResult) ReturnSites(fn string) []int32 {
 // Iterations is the number of worklist steps the solve took.
 func (r *PointsToResult) Iterations() int { return r.iterations }
 
+// EscapingSites returns the allocation sites that may leave the analyzed
+// unit through one of the given entry functions' return values — directly
+// returned, or reachable from a returned object through any chain of
+// fields. An escaping object's lifetime continues in a caller the analysis
+// cannot see, so "still open at program exit" is not evidence of a leak
+// for it (the caller inherited the release obligation, exactly as LK001's
+// fresh-return contract states it).
+func (r *PointsToResult) EscapingSites(entries []string) map[int32]bool {
+	out := map[int32]bool{}
+	var work []int32
+	add := func(site int32) {
+		if site >= 0 && !out[site] {
+			out[site] = true
+			work = append(work, site)
+		}
+	}
+	for _, fn := range entries {
+		for site := range r.pts[varKey(fn, retVar)] {
+			add(site)
+		}
+	}
+	// Field closure: anything a reachable object's fields point to is
+	// reachable from the caller too.
+	fields := map[int32][]int32{}
+	for k, set := range r.pts {
+		if k.site < 0 {
+			continue
+		}
+		for site := range set {
+			if site >= 0 {
+				fields[k.site] = append(fields[k.site], site)
+			}
+		}
+	}
+	for len(work) > 0 {
+		site := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range fields[site] {
+			add(s)
+		}
+	}
+	return out
+}
+
 // pointsIntoSet reports whether (fn, name) may reference any site in the
 // given set — the relevance slicer's "tracked variable" test.
 func (r *PointsToResult) pointsIntoSet(fn, name string, sites map[int32]bool) bool {

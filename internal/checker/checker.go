@@ -9,6 +9,7 @@ package checker
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"github.com/grapple-system/grapple/internal/callgraph"
 	"github.com/grapple-system/grapple/internal/cfet"
 	"github.com/grapple-system/grapple/internal/engine"
+	"github.com/grapple-system/grapple/internal/faultpoint"
 	"github.com/grapple-system/grapple/internal/fsm"
 	"github.com/grapple-system/grapple/internal/ir"
 	"github.com/grapple-system/grapple/internal/lang"
@@ -104,6 +106,24 @@ type Options struct {
 	// RecordPointsTo is set — the points-to query class spans ALL variables,
 	// tracked or not, so sliced facts would be incomplete.
 	Slice SliceMode
+	// Journal checkpoints both engine phases' superstep state to per-phase
+	// run journals under WorkDir (docs/resume.md) so a crashed or killed run
+	// can be continued with Resume. Useless (but harmless) without a
+	// persistent WorkDir.
+	Journal bool
+	// Resume continues a previously journaled run from WorkDir instead of
+	// starting cold, replaying each phase from its last durable checkpoint.
+	// It requires a non-empty WorkDir and implies Journal. A missing alias
+	// journal is an error wrapping storage.ErrNoJournal, and a journal from
+	// a different subject or property set is rejected with engine.ErrStale —
+	// resume never silently restarts from scratch.
+	Resume bool
+	// JournalEvery checkpoints every n supersteps (default 1: every
+	// boundary).
+	JournalEvery int
+	// Faults injects deterministic crash points into the engines and the
+	// journal write path (crash-injection tests only).
+	Faults *faultpoint.Set
 }
 
 // PointsToFact is one phase-1 result: under clone Ctx of Method, variable
@@ -245,6 +265,43 @@ func New(fsms []*fsm.FSM, opts Options) *Checker {
 	return &Checker{FSMs: fsms, Opts: opts}
 }
 
+// journaling reports whether the engine phases should checkpoint.
+func (c *Checker) journaling() bool { return c.Opts.Journal || c.Opts.Resume }
+
+// journalTag fingerprints one phase's input — phase name, graph shape, CFET
+// path count, and the property set — so Resume rejects a journal left behind
+// by a different subject, property group, or phase (engine.ErrStale) instead
+// of replaying checkpoints into the wrong graph.
+func (c *Checker) journalTag(phase string, numVerts uint32, numEdges, paths int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", phase, numVerts, numEdges, paths)
+	for _, f := range c.FSMs {
+		fmt.Fprintf(h, "|%s", f.Name)
+	}
+	return h.Sum64()
+}
+
+// phaseEngineOpts lowers the checker's journal settings onto one phase's
+// engine options.
+func (c *Checker) phaseEngineOpts(base engine.Options, phase string, numVerts uint32, numEdges, paths int) engine.Options {
+	if c.journaling() {
+		base.Journal = true
+		base.JournalEvery = c.Opts.JournalEvery
+		base.JournalTag = c.journalTag(phase, numVerts, numEdges, paths)
+		base.Faults = c.Opts.Faults
+	}
+	return base
+}
+
+// hasJournal reports whether dir holds a run journal. Resume uses it to pick
+// up where the crash happened: a run killed during the alias phase never
+// created the dataflow journal, so that phase legitimately starts cold
+// (journaled, so a later kill is resumable there too).
+func hasJournal(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, storage.JournalName))
+	return err == nil
+}
+
 func (c *Checker) fsmFor(typ string) *fsm.FSM {
 	for _, f := range c.FSMs {
 		if f.Type == typ {
@@ -314,6 +371,11 @@ type Prepared struct {
 	ag    *pgraph.AliasGraph
 	flows pgraph.AliasResult
 
+	// escaped holds the allocation sites whose objects may leave the unit
+	// through an entry function's return value; leak verdicts on them are
+	// the unseen caller's to make (checkTyped skips them).
+	escaped map[int32]bool
+
 	// phase-1 halves of the eventual Result, copied into every
 	// CheckPrepared output.
 	alias        PhaseStats
@@ -349,6 +411,9 @@ func (c *Checker) PrepareSource(ctx context.Context, src string) (*Prepared, err
 // produced are held in memory, which is all phase 2 consults (§2.2).
 func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, error) {
 	workDir := c.Opts.WorkDir
+	if c.Opts.Resume && workDir == "" {
+		return nil, fmt.Errorf("checker: Resume requires a persistent WorkDir")
+	}
 	if workDir == "" {
 		dir, err := os.MkdirTemp("", "grapple-*")
 		if err != nil {
@@ -373,6 +438,7 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	}
 	cg := callgraph.Build(p)
 	cloneOpts := c.Opts.Clone
+	var pts *analysis.PointsToResult
 	if c.Opts.Slice.Enabled() && len(c.FSMs) > 0 && !c.Opts.RecordPointsTo &&
 		cfetOpts.SliceFunc == nil && cfetOpts.SliceBranch == nil {
 		tracked := map[string]bool{}
@@ -386,12 +452,23 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 				}
 			}
 		}
-		pts := analysis.SolvePointsTo(p, cg)
+		pts = analysis.SolvePointsTo(p, cg)
 		rel := analysis.ComputeRelevance(p, cg, pts, tracked)
 		drop := func(name string) bool { return !rel.KeepFunc(name) }
 		cfetOpts.SliceFunc = drop
 		cfetOpts.SliceBranch = rel.InertBranch
 		cloneOpts.Skip = drop
+	}
+	if len(c.FSMs) > 0 {
+		// Objects handed to an unseen caller through an entry function's
+		// return are not leak candidates at our exit — the caller owns them
+		// now. Entry functions are the call-graph roots: for a whole program
+		// that is main (which returns nothing, so nothing escapes); for a
+		// library-style unit it is every uncalled exported constructor.
+		if pts == nil {
+			pts = analysis.SolvePointsTo(p, cg)
+		}
+		prep.escaped = pts.EscapingSites(cg.Roots())
 	}
 	tab := symbolic.NewTable()
 	ic, err := cfet.Build(p, tab, cfetOpts)
@@ -424,8 +501,14 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	aliasOpts := c.Opts.Engine
 	aliasOpts.Dir = filepath.Join(workDir, "alias")
 	aliasOpts.UseRel = false
+	aliasOpts = c.phaseEngineOpts(aliasOpts, "alias", ag.NumVerts, len(ag.Edges), ic.PathCount())
 	aliasEngine := engine.New(ic, ag.Ptr.G, aliasOpts, bd)
-	aliasStats, err := aliasEngine.RunContext(ctx, ag.Edges, ag.NumVerts)
+	var aliasStats *engine.Stats
+	if c.Opts.Resume {
+		aliasStats, err = aliasEngine.ResumeContext(ctx, ag.NumVerts)
+	} else {
+		aliasStats, err = aliasEngine.RunContext(ctx, ag.Edges, ag.NumVerts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("alias phase: %w", err)
 	}
@@ -490,8 +573,15 @@ func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, e
 	dfOpts := c.Opts.Engine
 	dfOpts.Dir = filepath.Join(workDir, "dataflow")
 	dfOpts.UseRel = true
+	dfOpts = c.phaseEngineOpts(dfOpts, "dataflow", dg.NumVerts, len(dg.Edges), ic.PathCount())
 	dfEngine := engine.New(ic, dg.D.G, dfOpts, bd)
-	dfStats, err := dfEngine.RunContext(ctx, dg.Edges, dg.NumVerts)
+	var dfStats *engine.Stats
+	var err error
+	if c.Opts.Resume && hasJournal(dfOpts.Dir) {
+		dfStats, err = dfEngine.ResumeContext(ctx, dg.NumVerts)
+	} else {
+		dfStats, err = dfEngine.RunContext(ctx, dg.Edges, dg.NumVerts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dataflow phase: %w", err)
 	}
@@ -502,7 +592,7 @@ func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, e
 	}
 
 	// --- Phase 3: FSM checking of source->exit relations. ---
-	res.Reports, err = checkTyped(dfEngine, dg, ic)
+	res.Reports, err = checkTyped(dfEngine, dg, ic, prep.escaped)
 	if err != nil {
 		return nil, err
 	}
@@ -671,7 +761,7 @@ func explainWitness(ic *cfet.ICFET, enc cfet.Enc) []WitnessStep {
 	return steps
 }
 
-func checkTyped(en *engine.Engine, dg *pgraph.DataflowGraph, ic *cfet.ICFET) ([]Report, error) {
+func checkTyped(en *engine.Engine, dg *pgraph.DataflowGraph, ic *cfet.ICFET, escaped map[int32]bool) ([]Report, error) {
 	byEndpoint := map[[2]uint32]*pgraph.TrackedObj{}
 	for i := range dg.Tracked {
 		t := &dg.Tracked[i]
@@ -705,6 +795,13 @@ func checkTyped(en *engine.Engine, dg *pgraph.DataflowGraph, ic *cfet.ICFET) ([]
 			}
 		}
 		if len(bad) == 0 {
+			return true
+		}
+		// A leak verdict says "still open when the program ends" — but an
+		// object that escapes to an unseen caller doesn't end here, and the
+		// release obligation went with it. Error states (a forbidden event
+		// actually happened) stand regardless of ownership.
+		if kind == KindLeak && escaped[t.Info.ID.Site] {
 			return true
 		}
 		k := repKey{site: t.Info.ID.Site, ctx: t.Info.ID.Ctx, fsm: t.FSM.Name, kind: kind}

@@ -518,3 +518,84 @@ fun main() {
 		t.Fatalf("witness should cross the call: %v", res.Reports[0].Steps)
 	}
 }
+
+// TestEscapeSuppressesLeakNotError pins the ownership-transfer rule: an
+// object returned (directly or through a field of a returned container) by
+// an entry function — one nothing in the unit calls — escapes to an unseen
+// caller, so "still Open at exit" is that caller's leak to find, not ours.
+// The same object leaked by an in-unit caller, or driven into an error
+// state before escaping, is still reported.
+func TestEscapeSuppressesLeakNotError(t *testing.T) {
+	t.Run("direct return escapes", func(t *testing.T) {
+		res := check(t, `
+type FileWriter;
+fun producer(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  w.write();
+  return w;
+}
+fun main() {
+  return;
+}`)
+		if len(res.Reports) != 0 {
+			t.Fatalf("escaping object flagged: %v", res.Reports)
+		}
+	})
+
+	t.Run("field of returned container escapes", func(t *testing.T) {
+		res := check(t, `
+type FileWriter;
+type Box;
+fun wrap(): Box {
+  var w: FileWriter = new FileWriter();
+  w.write();
+  var b: Box = new Box();
+  b.held = w;
+  return b;
+}
+fun main() {
+  return;
+}`)
+		if len(res.Reports) != 0 {
+			t.Fatalf("field-escaping object flagged: %v", res.Reports)
+		}
+	})
+
+	t.Run("in-unit caller still leaks", func(t *testing.T) {
+		res := check(t, `
+type FileWriter;
+fun producer(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  w.write();
+  return w;
+}
+fun main() {
+  var w: FileWriter = producer();
+  w.write();
+  return;
+}`)
+		if countKind(res, KindLeak) != 1 {
+			t.Fatalf("in-unit leak lost: %v", res.Reports)
+		}
+	})
+
+	t.Run("error state survives escape", func(t *testing.T) {
+		res := check(t, `
+type FileWriter;
+fun producer(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  w.close();
+  w.write();
+  return w;
+}
+fun main() {
+  return;
+}`)
+		if countKind(res, KindError) == 0 {
+			t.Fatalf("error on escaping object suppressed: %v", res.Reports)
+		}
+		if countKind(res, KindLeak) != 0 {
+			t.Fatalf("leak on escaping object flagged: %v", res.Reports)
+		}
+	})
+}

@@ -1,0 +1,286 @@
+package checker
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/engine"
+	"github.com/grapple-system/grapple/internal/faultpoint"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// resumeSrc tracks writers, a lock and sockets across calls and branches —
+// big enough to force several partitions (and so several superstep
+// checkpoints) under the small memory budget below, in both engine phases:
+// with the 64 KiB budget the run crosses ~26 superstep boundaries (~7
+// alias, ~19 dataflow), so the kill-at-every-boundary sweep covers both
+// phases while staying a few seconds.
+const resumeSrc = `
+type FileWriter;
+type Socket;
+type Lock;
+fun open(): FileWriter {
+  var w: FileWriter = new FileWriter();
+  w.write();
+  return w;
+}
+fun maybeClose(w: FileWriter, n: int) {
+  if (n > 0) {
+    w.close();
+  }
+  return;
+}
+fun useSock(n: int) {
+  var s: Socket = new Socket();
+  if (n > 1) {
+    s.connect();
+    s.close();
+  }
+  return;
+}
+fun main() {
+  var n: int = input();
+  var m: int = n - 1;
+  var a: FileWriter = open();
+  var b: FileWriter = open();
+  maybeClose(a, n);
+  maybeClose(b, m);
+  var l: Lock = new Lock();
+  l.lock();
+  if (n > 2) {
+    l.unlock();
+  }
+  useSock(n);
+  useSock(m);
+  var c: FileWriter = null;
+  if (n < 0) {
+    c = new FileWriter();
+    c.write();
+  } else {
+    c = a;
+  }
+  if (n < 0) {
+    c.close();
+  }
+  return;
+}`
+
+func resumeSource(t *testing.T) string {
+	t.Helper()
+	return resumeSrc
+}
+
+func resumeOpts(dir string) Options {
+	return Options{
+		WorkDir: dir,
+		Engine:  engine.Options{MemoryBudget: 65536, Workers: 2},
+		Journal: true,
+	}
+}
+
+// renderReports serializes every report field; two runs agree byte-for-byte
+// iff their report streams are identical.
+func renderReports(rs []Report) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s|%s|%d|%s|%s|%v|%s|%s|%v\n",
+			r.FSM, r.Type, r.Kind, r.Pos, r.Object, r.States,
+			r.Witness, r.WitnessConstraint, r.Steps)
+	}
+	return b.String()
+}
+
+// TestCheckerResumeAtEveryBoundary is the pipeline-level crash-injection
+// property: kill the run at EVERY engine superstep boundary (across both the
+// alias and dataflow phases), resume from the journal, and require the
+// report stream byte-identical to an uninterrupted run. Also checks the
+// journal-off ablation: checkpointing must not perturb results.
+func TestCheckerResumeAtEveryBoundary(t *testing.T) {
+	src := resumeSource(t)
+
+	refFaults := faultpoint.New()
+	refOpts := resumeOpts(t.TempDir())
+	refOpts.Faults = refFaults
+	ref, err := New(fsm.Builtins(), refOpts).CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderReports(ref.Reports)
+	if len(ref.Reports) == 0 {
+		t.Fatal("reference run found no reports; subject too small to mean anything")
+	}
+	if ref.Alias.Checkpoints == 0 || ref.Dataflow.Checkpoints == 0 {
+		t.Fatalf("phases did not checkpoint: alias=%d dataflow=%d",
+			ref.Alias.Checkpoints, ref.Dataflow.Checkpoints)
+	}
+	boundaries := refFaults.Count(faultpoint.EngineSuperstep)
+	if boundaries < 4 {
+		t.Fatalf("only %d superstep boundaries; subject too small for the kill sweep", boundaries)
+	}
+
+	// Journal-off ablation: identical reports.
+	off := resumeOpts(t.TempDir())
+	off.Journal = false
+	ablation, err := New(fsm.Builtins(), off).CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderReports(ablation.Reports); got != want {
+		t.Fatalf("journal-off ablation changed reports:\n%s\nvs\n%s", got, want)
+	}
+
+	for k := 1; k <= boundaries; k++ {
+		dir := t.TempDir()
+		faults := faultpoint.New()
+		faults.Arm(faultpoint.EngineSuperstep, k)
+		opts := resumeOpts(dir)
+		opts.Faults = faults
+		if _, err := New(fsm.Builtins(), opts).CheckSource(src); !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("k=%d: kill did not fire: %v", k, err)
+		}
+		ropts := resumeOpts(dir)
+		ropts.Resume = true
+		res, err := New(fsm.Builtins(), ropts).CheckSource(src)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		if got := renderReports(res.Reports); got != want {
+			t.Fatalf("k=%d: resumed reports differ:\n%s\nvs\n%s", k, got, want)
+		}
+	}
+}
+
+// TestCheckerResumeTornJournal kills mid-journal-append. Tearing the very
+// first record (the alias phase's baseline) leaves nothing durable, so
+// resume must refuse rather than silently cold-start; tearing a later record
+// resumes from the previous checkpoint with identical reports.
+func TestCheckerResumeTornJournal(t *testing.T) {
+	src := resumeSource(t)
+	ref, err := New(fsm.Builtins(), resumeOpts(t.TempDir())).CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderReports(ref.Reports)
+
+	t.Run("torn baseline refuses resume", func(t *testing.T) {
+		dir := t.TempDir()
+		faults := faultpoint.New()
+		faults.Arm(faultpoint.JournalAppendMid, 1)
+		opts := resumeOpts(dir)
+		opts.Faults = faults
+		if _, err := New(fsm.Builtins(), opts).CheckSource(src); !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("kill did not fire: %v", err)
+		}
+		ropts := resumeOpts(dir)
+		ropts.Resume = true
+		if _, err := New(fsm.Builtins(), ropts).CheckSource(src); !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("resume over a record-less journal: %v", err)
+		}
+	})
+
+	for _, k := range []int{2, 3} {
+		dir := t.TempDir()
+		faults := faultpoint.New()
+		faults.Arm(faultpoint.JournalAppendMid, k)
+		opts := resumeOpts(dir)
+		opts.Faults = faults
+		if _, err := New(fsm.Builtins(), opts).CheckSource(src); !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("k=%d: kill did not fire: %v", k, err)
+		}
+		ropts := resumeOpts(dir)
+		ropts.Resume = true
+		res, err := New(fsm.Builtins(), ropts).CheckSource(src)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		if got := renderReports(res.Reports); got != want {
+			t.Fatalf("k=%d: resumed reports differ", k)
+		}
+	}
+}
+
+func TestCheckerResumeMissingJournal(t *testing.T) {
+	opts := resumeOpts(t.TempDir())
+	opts.Resume = true
+	_, err := New(fsm.Builtins(), opts).CheckSource(resumeSource(t))
+	if !errors.Is(err, storage.ErrNoJournal) {
+		t.Fatalf("resume of an empty workdir: %v", err)
+	}
+}
+
+func TestCheckerResumeRequiresWorkDir(t *testing.T) {
+	opts := resumeOpts("")
+	opts.WorkDir = ""
+	opts.Resume = true
+	_, err := New(fsm.Builtins(), opts).CheckSource(resumeSource(t))
+	if err == nil || !strings.Contains(err.Error(), "WorkDir") {
+		t.Fatalf("resume without a workdir: %v", err)
+	}
+}
+
+func TestCheckerResumeStaleJournal(t *testing.T) {
+	src := resumeSource(t)
+	dir := t.TempDir()
+	if _, err := New(fsm.Builtins(), resumeOpts(dir)).CheckSource(src); err != nil {
+		t.Fatal(err)
+	}
+	// A different property set means a different run: the journal tag
+	// mismatches and resume must reject it instead of replaying checkpoints
+	// into the wrong graph.
+	ropts := resumeOpts(dir)
+	ropts.Resume = true
+	_, err := New(fsm.Builtins()[:1], ropts).CheckSource(src)
+	if !errors.Is(err, engine.ErrStale) {
+		t.Fatalf("resume under a different FSM set: %v", err)
+	}
+}
+
+func TestCheckerResumeCorruptJournal(t *testing.T) {
+	src := resumeSource(t)
+	dir := t.TempDir()
+	if _, err := New(fsm.Builtins(), resumeOpts(dir)).CheckSource(src); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "alias", storage.JournalName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ropts := resumeOpts(dir)
+	ropts.Resume = true
+	if _, err := New(fsm.Builtins(), ropts).CheckSource(src); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("resume over a mangled journal header: %v", err)
+	}
+}
+
+// TestCheckerResumeCompletedRun re-resumes a run that already finished: both
+// phase journals carry completed records, so resume restores the final
+// graphs and reproduces the reports without recomputation.
+func TestCheckerResumeCompletedRun(t *testing.T) {
+	src := resumeSource(t)
+	dir := t.TempDir()
+	ref, err := New(fsm.Builtins(), resumeOpts(dir)).CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := resumeOpts(dir)
+	ropts.Resume = true
+	res, err := New(fsm.Builtins(), ropts).CheckSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderReports(res.Reports), renderReports(ref.Reports); got != want {
+		t.Fatalf("re-resumed reports differ:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/faultpoint"
 	"github.com/grapple-system/grapple/internal/grammar"
 	"github.com/grapple-system/grapple/internal/metrics"
 	"github.com/grapple-system/grapple/internal/smt"
@@ -68,6 +69,20 @@ type Options struct {
 	// results or scheduling — only whether the join waits on the disk — so
 	// this exists for benchmarking the overlap (bench.IOTable).
 	DisablePrefetch bool
+	// Journal makes superstep state durable: each checkpoint flushes every
+	// partition and appends one record to a per-run journal in Dir, so a
+	// killed run can continue via ResumeContext. Journaling never changes
+	// results — only whether progress survives a crash.
+	Journal bool
+	// JournalEvery checkpoints every N supersteps; zero or one means every
+	// superstep. Larger values trade re-computable work for journal I/O.
+	JournalEvery int
+	// JournalTag fingerprints the run's inputs. ResumeContext refuses a
+	// journal whose tag differs (ErrStale): same directory, different graph.
+	JournalTag uint64
+	// Faults is the crash-injection switchboard threaded through the
+	// checkpoint and journal write sites; nil (the default) is inert.
+	Faults *faultpoint.Set
 }
 
 // Stats reports everything the evaluation tables need.
@@ -83,6 +98,8 @@ type Stats struct {
 	RejectedUnsat     int64 // candidate edges pruned by path sensitivity
 	RejectedConflict  int64 // pruned structurally by encoding merge
 	Widened           int64 // variants widened at the per-endpoint cap
+	Checkpoints       int64 // journal records made durable (0 when not journaling)
+	JournalBytes      int64 // bytes appended to the run journal
 	PreprocessTime    time.Duration
 	ComputeTime       time.Duration
 	SolveTime         time.Duration // summed across workers
@@ -155,6 +172,11 @@ type Engine struct {
 	// pending buffers edges owned by unloaded partitions.
 	pending map[int][]storage.Edge
 
+	// jw is the run journal while Options.Journal is on (or after resume);
+	// jseq numbers the next checkpoint record.
+	jw   *storage.JournalWriter
+	jseq uint64
+
 	stats Stats
 	mu    sync.Mutex
 }
@@ -226,14 +248,36 @@ func (en *Engine) RunContext(ctx context.Context, initial []storage.Edge, numVer
 	if err := os.MkdirAll(en.opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
+	if en.opts.Journal {
+		// A cold journaled start owns the directory: stale partitions or a
+		// journal from a previous run must not interleave with this one.
+		if err := en.clearRunDir(); err != nil {
+			return nil, err
+		}
+	}
 	if err := en.preprocess(initial, numVertices); err != nil {
 		return nil, err
 	}
+	if en.opts.Journal {
+		if err := en.startJournal(numVertices); err != nil {
+			en.closeJournal()
+			return nil, err
+		}
+	}
 	en.stats.PreprocessTime = time.Since(start)
+	return en.runLoop(ctx)
+}
 
+// runLoop drives partition-pair iterations to fixpoint. Both cold starts
+// (RunContext) and resumed runs (ResumeContext) finish through here.
+func (en *Engine) runLoop(ctx context.Context) (*Stats, error) {
 	computeStart := time.Now()
 	for {
 		if err := ctx.Err(); err != nil {
+			// Leave a final record so a deadline-killed run resumes from
+			// right here instead of the last JournalEvery boundary.
+			en.journalOnCancel()
+			en.closeJournal()
 			return nil, err
 		}
 		i, j, ok := en.nextPair()
@@ -241,9 +285,26 @@ func (en *Engine) RunContext(ctx context.Context, initial []storage.Edge, numVer
 			break
 		}
 		if err := en.processPair(i, j); err != nil {
+			en.closeJournal()
 			return nil, err
 		}
 		en.stats.Iterations++
+		if en.jw != nil && en.stats.Iterations%en.journalEvery() == 0 {
+			if err := en.opts.Faults.Hit(faultpoint.EngineCheckpointPre); err != nil {
+				en.closeJournal()
+				return nil, err
+			}
+			if err := en.checkpoint(false); err != nil {
+				en.closeJournal()
+				return nil, err
+			}
+		}
+	}
+	if en.jw != nil {
+		if err := en.checkpoint(true); err != nil {
+			en.closeJournal()
+			return nil, err
+		}
 	}
 	// Drain before the final snapshot so never-consumed prefetches are
 	// counted as wasted in the returned stats.

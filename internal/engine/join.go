@@ -2,6 +2,8 @@ package engine
 
 import (
 	"encoding/binary"
+	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -430,6 +432,16 @@ func (en *Engine) repartition(idx int) error {
 	meta.edges = int64(len(loEdges))
 	meta.bytes = loBytes
 	meta.maxGen = loGen
+	if en.jw != nil {
+		// Shrinking the low half under its original path would be the one
+		// write that destroys a checkpointed file prefix. Redirect the
+		// survivor to a fresh path instead: the pre-split file stays frozen
+		// on disk (the last journal record still references it) until a
+		// newer record supersedes it. Repartitions is already incremented,
+		// so the suffix is unique for the run.
+		meta.path = filepath.Join(en.opts.Dir,
+			fmt.Sprintf("part-%06d-r%06d.edges", meta.id, en.stats.Repartitions))
+	}
 
 	// Persist the new partition; keep the low half loaded.
 	ioStart := time.Now()

@@ -1,0 +1,349 @@
+// Checkpoint/resume: the engine journals its superstep state so a killed
+// run continues from the last completed partition-pair iteration instead of
+// starting over (the paper's production runs take up to 33 hours).
+//
+// The scheme leans on one invariant of the storage layer: between
+// checkpoints a partition file's checkpointed prefix is never disturbed.
+// Appends extend the file past the old (verified) trailer; dirty-partition
+// writebacks rewrite the file in memory order, which is the loaded file
+// order plus newly-inserted edges as a suffix; and the one operation that
+// would shrink a file in place — repartitioning keeping the low half under
+// the original path — is redirected to a fresh path while journaling, so
+// the pre-split file stays frozen until a newer checkpoint supersedes it.
+// Resume therefore needs no undo log: the journal records each partition's
+// edge count at the checkpoint, and reading exactly that prefix back
+// (storage.ReadPartPrefix, tolerant of any damage past it) reproduces the
+// checkpoint state byte for byte, including edge order — which is what makes
+// a resumed run's report identical to an uninterrupted one: insertion order
+// drives variant widening, and the journaled hot pair drives scheduling.
+//
+// The in-memory dedupe index and variant counters rebuild exactly from the
+// surviving edges: insert() records only the final (post-widening) key of
+// every edge it keeps, one keys entry and one variants increment per disk
+// edge. The constraint cache is deliberately not journaled — verdicts are a
+// pure function of the cache key, so losing the cache costs time, never
+// changes results.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/faultpoint"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// ErrStale reports a journal that parsed cleanly but was written by a
+// different run (vertex space or tag mismatch): resuming under it would
+// silently compute over the wrong graph, so it is rejected instead.
+var ErrStale = errors.New("engine: journal does not match this run")
+
+// journalEvery returns the checkpoint cadence in supersteps.
+func (en *Engine) journalEvery() int64 {
+	if en.opts.JournalEvery <= 0 {
+		return 1
+	}
+	return int64(en.opts.JournalEvery)
+}
+
+// clearRunDir removes a previous run's journal and partition files so a
+// cold journaled start cannot interleave with stale state. Only journaled
+// runs clear: unjournaled engines keep their historical behavior.
+func (en *Engine) clearRunDir() error {
+	if err := os.Remove(filepath.Join(en.opts.Dir, storage.JournalName)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	for _, pat := range []string{"part-*.edges", "part-*.edges.tmp"} {
+		matches, err := filepath.Glob(filepath.Join(en.opts.Dir, pat))
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// startJournal creates the run journal and makes the post-preprocess state
+// durable as the seq-0 baseline record.
+func (en *Engine) startJournal(numVertices uint32) error {
+	jw, err := storage.CreateJournal(en.opts.Dir,
+		storage.JournalMeta{NumVertices: numVertices, Tag: en.opts.JournalTag}, en.opts.Faults)
+	if err != nil {
+		return err
+	}
+	en.jw = jw
+	return en.checkpoint(false)
+}
+
+func (en *Engine) closeJournal() {
+	if en.jw != nil {
+		en.jw.Close()
+		en.jw = nil
+	}
+}
+
+// checkpoint makes the current superstep boundary durable: flush every
+// buffered and dirty partition so disk equals memory, then append one
+// journal record committing that state. Partitions stay loaded (and clean),
+// so checkpointing does not perturb the LRU cache or pair scheduling.
+func (en *Engine) checkpoint(completed bool) error {
+	if err := en.flushPending(true); err != nil {
+		return err
+	}
+	for idx := 0; idx < len(en.parts); idx++ {
+		mp, ok := en.loaded[idx]
+		if !ok || !mp.dirty {
+			continue
+		}
+		en.pf.invalidate(mp.meta)
+		ioStart := time.Now()
+		n, err := storage.WritePart(mp.meta.path, mp.edges, storage.PartInfo{Lo: mp.meta.lo, Hi: mp.meta.hi})
+		if err != nil {
+			return err
+		}
+		en.bd.AddIO(time.Since(ioStart))
+		en.io.AddWrite(n)
+		mp.dirty = false
+	}
+	rec := &storage.JournalRecord{
+		Seq:          en.jseq,
+		Completed:    completed,
+		Iterations:   en.stats.Iterations,
+		CurGen:       en.curGen,
+		EdgesBefore:  en.stats.EdgesBefore,
+		Repartitions: en.stats.Repartitions,
+		Widened:      en.stats.Widened,
+		HotA:         -1,
+		HotB:         -1,
+	}
+	if en.hot[0] >= 0 && en.hot[0] < len(en.parts) {
+		rec.HotA = en.parts[en.hot[0]].id
+	}
+	if en.hot[1] >= 0 && en.hot[1] < len(en.parts) {
+		rec.HotB = en.parts[en.hot[1]].id
+	}
+	for _, meta := range en.parts {
+		rec.Parts = append(rec.Parts, storage.JournalPart{
+			ID: meta.id, Lo: meta.lo, Hi: meta.hi,
+			Edges: meta.edges, MaxGen: meta.maxGen,
+			Path: filepath.Base(meta.path),
+		})
+	}
+	pairs := make([][2]int, 0, len(en.lastGen))
+	for k := range en.lastGen {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	for _, k := range pairs {
+		rec.LastGen = append(rec.LastGen, storage.JournalGen{A: k[0], B: k[1], Gen: en.lastGen[k]})
+	}
+	ioStart := time.Now()
+	n, err := en.jw.Append(rec)
+	if err != nil {
+		return err
+	}
+	en.bd.AddIO(time.Since(ioStart))
+	en.io.AddJournal(n)
+	en.jseq++
+	en.stats.Checkpoints++
+	en.stats.JournalBytes += n
+	if completed {
+		en.closeJournal()
+		en.removeUnreferenced()
+	}
+	// The canonical kill site: everything up to and including this record is
+	// durable; a crash here loses nothing.
+	return en.opts.Faults.Hit(faultpoint.EngineSuperstep)
+}
+
+// journalOnCancel makes a cancelled run resumable: if supersteps have run
+// since the last checkpoint (JournalEvery > 1 windows), flush one final
+// record before RunContext returns ctx.Err(). A failure here is swallowed —
+// the previous durable record stays valid, which is exactly the guarantee a
+// real mid-flush crash would leave.
+func (en *Engine) journalOnCancel() {
+	if en.jw == nil || en.stats.Iterations%en.journalEvery() == 0 {
+		return
+	}
+	_ = en.checkpoint(false)
+}
+
+// removeUnreferenced deletes partition files the current partition table no
+// longer points at: pre-split files frozen by the repartition redirect, and
+// (on resume) files a crashed run created after its last durable record.
+func (en *Engine) removeUnreferenced() {
+	live := make(map[string]bool, len(en.parts))
+	for _, meta := range en.parts {
+		live[filepath.Base(meta.path)] = true
+	}
+	for _, pat := range []string{"part-*.edges", "part-*.edges.tmp"} {
+		matches, err := filepath.Glob(filepath.Join(en.opts.Dir, pat))
+		if err != nil {
+			continue
+		}
+		for _, m := range matches {
+			if !live[filepath.Base(m)] {
+				os.Remove(m)
+			}
+		}
+	}
+}
+
+// Resume continues a journaled run from its last durable checkpoint.
+func (en *Engine) Resume(numVertices uint32) (*Stats, error) {
+	return en.ResumeContext(context.Background(), numVertices)
+}
+
+// ResumeContext validates the journal in Options.Dir against this run
+// (format, checksums, vertex space, tag) and against the partition
+// directory (per-partition edge counts, intervals, generations), replays
+// the repartition history embedded in the last record's partition table,
+// and continues the fixpoint from the last completed superstep. A missing
+// journal wraps storage.ErrNoJournal, a damaged one storage.ErrCorrupt, a
+// mismatched one ErrStale — resume never silently starts cold.
+func (en *Engine) ResumeContext(ctx context.Context, numVertices uint32) (*Stats, error) {
+	defer en.pf.drain()
+	jw, meta, recs, err := storage.OpenJournal(en.opts.Dir, en.opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		jw.Close()
+		return nil, fmt.Errorf("engine: %s: %w: journal has no usable checkpoint record",
+			en.opts.Dir, storage.ErrCorrupt)
+	}
+	if meta.NumVertices != numVertices || meta.Tag != en.opts.JournalTag {
+		jw.Close()
+		return nil, fmt.Errorf("%w: journal written for vertices=%d tag=%#x, this run is vertices=%d tag=%#x (delete %s to start cold)",
+			ErrStale, meta.NumVertices, meta.Tag, numVertices, en.opts.JournalTag,
+			filepath.Join(en.opts.Dir, storage.JournalName))
+	}
+	rec := recs[len(recs)-1]
+	if err := en.restoreFrom(rec, numVertices); err != nil {
+		jw.Close()
+		return nil, err
+	}
+	en.jw = jw
+	en.jseq = rec.Seq + 1
+	if rec.Completed {
+		// Nothing left to compute; surface the closed graph's stats.
+		en.closeJournal()
+		en.stats.EdgesAfter = en.EdgesAfter()
+		s := en.Stats()
+		return &s, nil
+	}
+	return en.runLoop(ctx)
+}
+
+// restoreFrom rebuilds the engine's in-memory state from one journal
+// record: the partition table, the global dedupe index and variant
+// counters (from the surviving edges themselves), pair generations, and
+// the scheduler's hot pair.
+func (en *Engine) restoreFrom(rec *storage.JournalRecord, numVertices uint32) error {
+	for _, jp := range rec.Parts {
+		path := filepath.Join(en.opts.Dir, jp.Path)
+		ioStart := time.Now()
+		edges, info, exact, err := storage.ReadPartPrefix(path, jp.Edges)
+		if err != nil {
+			return err
+		}
+		en.bd.AddIO(time.Since(ioStart))
+		if (info.Lo != 0 || info.Hi != 0) && (info.Lo != jp.Lo || info.Hi > jp.Hi) {
+			return fmt.Errorf("engine: %s: %w: header interval [%d,%d) does not match journaled [%d,%d)",
+				path, storage.ErrCorrupt, info.Lo, info.Hi, jp.Lo, jp.Hi)
+		}
+		meta := &partMeta{id: jp.ID, lo: jp.Lo, hi: jp.Hi, path: path, edges: jp.Edges}
+		var maxGen uint32
+		for i := range edges {
+			e := &edges[i]
+			if e.Src < jp.Lo || e.Src >= jp.Hi {
+				return fmt.Errorf("engine: %s: %w: edge source %d outside journaled interval [%d,%d)",
+					path, storage.ErrCorrupt, e.Src, jp.Lo, jp.Hi)
+			}
+			if e.Gen > rec.CurGen {
+				return fmt.Errorf("engine: %s: %w: edge generation %d beyond journaled generation %d",
+					path, storage.ErrCorrupt, e.Gen, rec.CurGen)
+			}
+			if e.Gen > maxGen {
+				maxGen = e.Gen
+			}
+			meta.bytes += storage.RecordSize(e)
+			k := e.Key()
+			if _, dup := en.keys[k]; dup {
+				return fmt.Errorf("engine: %s: %w: duplicate edge in checkpointed prefix", path, storage.ErrCorrupt)
+			}
+			en.keys[k] = struct{}{}
+			en.variants[e.Endpoint()]++
+		}
+		if maxGen != jp.MaxGen {
+			return fmt.Errorf("engine: %s: %w: max generation %d does not match journaled %d",
+				path, storage.ErrCorrupt, maxGen, jp.MaxGen)
+		}
+		meta.maxGen = jp.MaxGen
+		if !exact {
+			// Cut the file back to exactly the checkpointed prefix (dropping
+			// any post-checkpoint suffix or torn tail) so subsequent appends
+			// land on a pristine v2 file. WritePart is atomic: a crash during
+			// this rewrite leaves a file this same path can recover again.
+			ioStart := time.Now()
+			n, err := storage.WritePart(path, edges, storage.PartInfo{Lo: meta.lo, Hi: meta.hi})
+			if err != nil {
+				return err
+			}
+			en.bd.AddIO(time.Since(ioStart))
+			en.io.AddWrite(n)
+		}
+		en.parts = append(en.parts, meta)
+	}
+	if len(en.parts) == 0 {
+		return fmt.Errorf("engine: %s: %w: journal record has no partitions", en.opts.Dir, storage.ErrCorrupt)
+	}
+	// The partition table must tile the vertex space, in order — partOf
+	// depends on it, and any violation means the journal and directory
+	// disagree about history.
+	if en.parts[0].lo != 0 || en.parts[len(en.parts)-1].hi != numVertices {
+		return fmt.Errorf("engine: %s: %w: partition table covers [%d,%d), want [0,%d)",
+			en.opts.Dir, storage.ErrCorrupt, en.parts[0].lo, en.parts[len(en.parts)-1].hi, numVertices)
+	}
+	for idx := 1; idx < len(en.parts); idx++ {
+		if en.parts[idx].lo != en.parts[idx-1].hi {
+			return fmt.Errorf("engine: %s: %w: partition intervals do not tile at position %d",
+				en.opts.Dir, storage.ErrCorrupt, idx)
+		}
+	}
+	// Files past the last durable record — partitions a crashed run split
+	// off, stale temp files — are unreachable history; drop them.
+	en.removeUnreferenced()
+	for _, g := range rec.LastGen {
+		en.lastGen[[2]int{g.A, g.B}] = g.Gen
+	}
+	en.curGen = rec.CurGen
+	en.stats.Iterations = rec.Iterations
+	en.stats.EdgesBefore = rec.EdgesBefore
+	en.stats.Repartitions = rec.Repartitions
+	en.stats.Widened = rec.Widened
+	en.hot = [2]int{-1, -1}
+	for idx, p := range en.parts {
+		if p.id == rec.HotA {
+			en.hot[0] = idx
+		}
+		if p.id == rec.HotB {
+			en.hot[1] = idx
+		}
+	}
+	return nil
+}

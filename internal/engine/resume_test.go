@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/faultpoint"
+	"github.com/grapple-system/grapple/internal/grammar"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// fingerprint hashes the closed graph exactly as it lies on disk — edge
+// order included, since insertion order drives widening and therefore the
+// byte-identity claim downstream.
+func fingerprint(t *testing.T, en *Engine) string {
+	t.Helper()
+	h := fnv.New64a()
+	if err := en.ForEach(func(e *storage.Edge) bool {
+		fmt.Fprintf(h, "%d/%d/%d/%d/%v/%v/%v|", e.Src, e.Dst, e.Label, e.Gen, e.HasRel, e.Rel, e.Enc)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%x", h.Sum64())
+}
+
+// smallOpts forces many partitions and repartitions so checkpoints cover
+// the interesting machinery (splits, redirected paths, pending buffers).
+func smallOpts(dir string, tag uint64) Options {
+	return Options{
+		Dir: dir, MemoryBudget: 4096, Workers: 2,
+		Journal: true, JournalTag: tag,
+	}
+}
+
+// TestEngineResumeAtEveryBoundary is the engine half of the tentpole
+// property: kill the run at every superstep boundary k, resume with fresh
+// engine state, and require the closed graph on disk to be identical — edge
+// for edge, in order — to an uninterrupted run's.
+func TestEngineResumeAtEveryBoundary(t *testing.T) {
+	// n and the 4 KiB budget in smallOpts are tuned together: ~34 superstep
+	// boundaries with ~5 repartitions, so the kill loop covers the whole
+	// machinery while staying a few seconds.
+	const n = 24
+	const tag = 0x5eed
+	d := grammar.NewDataflow()
+
+	// Reference: an uninterrupted journaled run.
+	refDir := t.TempDir()
+	refFaults := faultpoint.New()
+	refOpts := smallOpts(refDir, tag)
+	refOpts.Faults = refFaults
+	refEn := New(emptyICFET(), d.G, refOpts, nil)
+	refStats, err := refEn.Run(chainEdges(n, d.Flow), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, refEn)
+	if refStats.Repartitions == 0 {
+		t.Fatal("workload too small: no repartitions, redirect path untested")
+	}
+	if refStats.Checkpoints < 3 {
+		t.Fatalf("workload too small: %d checkpoints", refStats.Checkpoints)
+	}
+
+	// Ablation: journaling must not change the result.
+	offOpts := smallOpts(t.TempDir(), tag)
+	offOpts.Journal = false
+	offEn, offStats := runEngine(t, emptyICFET(), d.G, offOpts, chainEdges(n, d.Flow), n)
+	if got := fingerprint(t, offEn); got != want {
+		t.Fatalf("journal-off run differs from journal-on run")
+	}
+	if offStats.EdgesAfter != refStats.EdgesAfter || offStats.Iterations != refStats.Iterations {
+		t.Fatalf("journal-off stats diverge: %d/%d edges, %d/%d iterations",
+			offStats.EdgesAfter, refStats.EdgesAfter, offStats.Iterations, refStats.Iterations)
+	}
+
+	boundaries := refFaults.Count(faultpoint.EngineSuperstep)
+	for k := 1; k <= boundaries; k++ {
+		dir := t.TempDir()
+		faults := faultpoint.New()
+		faults.Arm(faultpoint.EngineSuperstep, k)
+		opts := smallOpts(dir, tag)
+		opts.Faults = faults
+		en := New(emptyICFET(), d.G, opts, nil)
+		if _, err := en.Run(chainEdges(n, d.Flow), n); !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("k=%d: kill did not fire: %v", k, err)
+		}
+		// Fresh objects: nothing survives the "crash" but the disk.
+		ren := New(emptyICFET(), d.G, smallOpts(dir, tag), nil)
+		rstats, err := ren.Resume(n)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		if got := fingerprint(t, ren); got != want {
+			t.Fatalf("k=%d: resumed graph differs from uninterrupted run", k)
+		}
+		if rstats.EdgesAfter != refStats.EdgesAfter || rstats.Iterations != refStats.Iterations {
+			t.Fatalf("k=%d: resumed stats diverge: %d/%d edges, %d/%d iterations",
+				k, rstats.EdgesAfter, refStats.EdgesAfter, rstats.Iterations, refStats.Iterations)
+		}
+	}
+}
+
+// TestEngineResumeAfterTornWrites kills the run inside the journal append
+// (torn record) and before the checkpoint flush; both must resume to the
+// identical graph from the previous durable record.
+func TestEngineResumeAfterTornWrites(t *testing.T) {
+	const n = 24
+	const tag = 9
+	d := grammar.NewDataflow()
+
+	refDir := t.TempDir()
+	refEn := New(emptyICFET(), d.G, smallOpts(refDir, tag), nil)
+	refStats, err := refEn.Run(chainEdges(n, d.Flow), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, refEn)
+
+	// Journal append 1 is the baseline record: tearing it leaves a journal
+	// with no usable checkpoint, and resume must refuse (never start cold).
+	t.Run("torn baseline record refuses resume", func(t *testing.T) {
+		dir := t.TempDir()
+		faults := faultpoint.New()
+		faults.Arm(faultpoint.JournalAppendMid, 1)
+		opts := smallOpts(dir, tag)
+		opts.Faults = faults
+		en := New(emptyICFET(), d.G, opts, nil)
+		if _, err := en.Run(chainEdges(n, d.Flow), n); !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("kill did not fire: %v", err)
+		}
+		ren := New(emptyICFET(), d.G, smallOpts(dir, tag), nil)
+		if _, err := ren.Resume(n); !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("resume over a record-less journal: %v", err)
+		}
+	})
+
+	for _, point := range []string{faultpoint.JournalAppendMid, faultpoint.EngineCheckpointPre} {
+		for _, k := range []int{2, 3, 4} {
+			dir := t.TempDir()
+			faults := faultpoint.New()
+			faults.Arm(point, k)
+			opts := smallOpts(dir, tag)
+			opts.Faults = faults
+			en := New(emptyICFET(), d.G, opts, nil)
+			if _, err := en.Run(chainEdges(n, d.Flow), n); !errors.Is(err, faultpoint.ErrInjected) {
+				t.Fatalf("%s k=%d: kill did not fire: %v", point, k, err)
+			}
+			ren := New(emptyICFET(), d.G, smallOpts(dir, tag), nil)
+			rstats, err := ren.Resume(n)
+			if err != nil {
+				t.Fatalf("%s k=%d: resume: %v", point, k, err)
+			}
+			if got := fingerprint(t, ren); got != want {
+				t.Fatalf("%s k=%d: resumed graph differs", point, k)
+			}
+			if rstats.EdgesAfter != refStats.EdgesAfter {
+				t.Fatalf("%s k=%d: %d edges, want %d", point, k, rstats.EdgesAfter, refStats.EdgesAfter)
+			}
+		}
+	}
+}
+
+func TestEngineResumeMissingJournal(t *testing.T) {
+	d := grammar.NewDataflow()
+	en := New(emptyICFET(), d.G, Options{Dir: t.TempDir(), MemoryBudget: 4096}, nil)
+	if _, err := en.Resume(10); !errors.Is(err, storage.ErrNoJournal) {
+		t.Fatalf("resume without journal: %v", err)
+	}
+}
+
+func TestEngineResumeStaleJournal(t *testing.T) {
+	const n = 20
+	d := grammar.NewDataflow()
+	dir := t.TempDir()
+	en := New(emptyICFET(), d.G, smallOpts(dir, 1), nil)
+	if _, err := en.Run(chainEdges(n, d.Flow), n); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong tag.
+	ren := New(emptyICFET(), d.G, smallOpts(dir, 2), nil)
+	if _, err := ren.Resume(n); !errors.Is(err, ErrStale) {
+		t.Fatalf("tag mismatch: %v", err)
+	}
+	// Wrong vertex space.
+	ren = New(emptyICFET(), d.G, smallOpts(dir, 1), nil)
+	if _, err := ren.Resume(n + 1); !errors.Is(err, ErrStale) {
+		t.Fatalf("vertex mismatch: %v", err)
+	}
+}
+
+func TestEngineResumeCorruptJournal(t *testing.T) {
+	const n = 20
+	d := grammar.NewDataflow()
+	dir := t.TempDir()
+	en := New(emptyICFET(), d.G, smallOpts(dir, 1), nil)
+	if _, err := en.Run(chainEdges(n, d.Flow), n); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the journal header.
+	path := dir + "/" + storage.JournalName
+	if err := overwriteByte(path, 2, 'X'); err != nil {
+		t.Fatal(err)
+	}
+	ren := New(emptyICFET(), d.G, smallOpts(dir, 1), nil)
+	if _, err := ren.Resume(n); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("corrupt journal: %v", err)
+	}
+}
+
+func TestEngineResumeCompletedRun(t *testing.T) {
+	const n = 20
+	d := grammar.NewDataflow()
+	dir := t.TempDir()
+	en := New(emptyICFET(), d.G, smallOpts(dir, 3), nil)
+	st, err := en.Run(chainEdges(n, d.Flow), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, en)
+	ren := New(emptyICFET(), d.G, smallOpts(dir, 3), nil)
+	rst, err := ren.Resume(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.EdgesAfter != st.EdgesAfter {
+		t.Fatalf("completed resume: %d edges, want %d", rst.EdgesAfter, st.EdgesAfter)
+	}
+	if got := fingerprint(t, ren); got != want {
+		t.Fatal("completed resume changed the graph")
+	}
+}
+
+// countingCtx trips its Err after a fixed number of checks: a deterministic
+// stand-in for a deadline, so the cancellation path is testable without
+// timing races.
+type countingCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countingCtx) Err() error {
+	if c.left <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.left--
+	return nil
+}
+
+// TestEngineCancelFlushesFinalRecord covers the ctx.Err() path: with
+// JournalEvery=3 a cancellation between boundaries must still leave a
+// durable record at the exact superstep reached, and resume from it must
+// reproduce the uninterrupted result.
+func TestEngineCancelFlushesFinalRecord(t *testing.T) {
+	const n = 40
+	const tag = 11
+	d := grammar.NewDataflow()
+
+	refEn := New(emptyICFET(), d.G, smallOpts(t.TempDir(), tag), nil)
+	if _, err := refEn.Run(chainEdges(n, d.Flow), n); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, refEn)
+
+	dir := t.TempDir()
+	opts := smallOpts(dir, tag)
+	opts.JournalEvery = 3
+	en := New(emptyICFET(), d.G, opts, nil)
+	ctx := &countingCtx{Context: context.Background(), left: 5}
+	if _, err := en.RunContext(ctx, chainEdges(n, d.Flow), n); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancel did not fire: %v", err)
+	}
+	// The final record must carry the superstep the run actually reached —
+	// not the last JournalEvery boundary.
+	_, recs, _, err := storage.ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no journal records after cancel")
+	}
+	lastRec := recs[len(recs)-1]
+	if lastRec.Completed {
+		t.Fatal("cancelled run wrote a completed record")
+	}
+	if lastRec.Iterations == 0 || lastRec.Iterations%3 == 0 {
+		t.Fatalf("final record at iteration %d is a regular boundary, not the cancellation flush", lastRec.Iterations)
+	}
+
+	ropts := smallOpts(dir, tag)
+	ropts.JournalEvery = 3
+	ren := New(emptyICFET(), d.G, ropts, nil)
+	rstats, err := ren.Resume(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, ren); got != want {
+		t.Fatal("resume after cancel differs from uninterrupted run")
+	}
+	if rstats.EdgesAfter == 0 {
+		t.Fatal("resumed run produced no edges")
+	}
+}
+
+func overwriteByte(path string, off int64, b byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt([]byte{b}, off)
+	return err
+}

@@ -1,0 +1,86 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	s.Arm("x", 1)
+	if err := s.Hit("x"); err != nil {
+		t.Fatalf("nil set triggered: %v", err)
+	}
+	if s.Count("x") != 0 || s.Triggered() {
+		t.Fatal("nil set kept state")
+	}
+}
+
+func TestArmTriggersOnNthHit(t *testing.T) {
+	s := New()
+	s.Arm("boundary", 3)
+	for i := 1; i <= 2; i++ {
+		if err := s.Hit("boundary"); err != nil {
+			t.Fatalf("hit %d triggered early: %v", i, err)
+		}
+	}
+	if err := s.Hit("boundary"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3 did not trigger: %v", err)
+	}
+	// Sticky: everything after the crash fails, on any point.
+	if err := s.Hit("boundary"); !errors.Is(err, ErrInjected) {
+		t.Fatal("post-crash hit succeeded")
+	}
+	if err := s.Hit("other"); !errors.Is(err, ErrInjected) {
+		t.Fatal("post-crash hit on another point succeeded")
+	}
+	if !s.Triggered() {
+		t.Fatal("Triggered false after injection")
+	}
+}
+
+func TestUnarmedPointsCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		if err := s.Hit("free"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Count("free"); got != 5 {
+		t.Fatalf("count %d", got)
+	}
+	s.Arm("free", 2)
+	s.Arm("free", 0) // disarm
+	if err := s.Hit("free"); err != nil {
+		t.Fatalf("disarmed point triggered: %v", err)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	s := New()
+	s.Arm("p", 50)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	injected := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if errors.Is(s.Hit("p"), ErrInjected) {
+					mu.Lock()
+					injected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if injected == 0 {
+		t.Fatal("armed point never triggered under concurrency")
+	}
+	if !s.Triggered() {
+		t.Fatal("Triggered false")
+	}
+}

@@ -42,6 +42,9 @@ type IOStats struct {
 	prefetchStale  atomic.Int64 // prefetches invalidated before use (file changed)
 	prefetchWasted atomic.Int64 // prefetches completed but never consumed
 
+	journalAppends atomic.Int64 // checkpoint records made durable
+	journalBytes   atomic.Int64 // bytes appended to the run journal
+
 	latency [numLatencyBuckets]atomic.Int64
 }
 
@@ -82,6 +85,14 @@ func (s *IOStats) PrefetchHit(n int64, waited time.Duration) {
 	s.observeLatency(waited)
 }
 
+// AddJournal records one checkpoint record of n bytes reaching the run
+// journal. Journal traffic is counted separately from partition writes so
+// the resume bench can report checkpointing overhead in isolation.
+func (s *IOStats) AddJournal(n int64) {
+	s.journalAppends.Add(1)
+	s.journalBytes.Add(n)
+}
+
 // PrefetchStale records a prefetch invalidated before use.
 func (s *IOStats) PrefetchStale() { s.prefetchStale.Add(1) }
 
@@ -115,6 +126,9 @@ type IOSnapshot struct {
 	PrefetchStale  int64
 	PrefetchWasted int64
 
+	JournalAppends int64
+	JournalBytes   int64
+
 	// LoadLatency[i] counts loads under LoadLatencyBuckets[i] (the last
 	// bucket is unbounded). Prefetch hits record perceived wait, not disk
 	// time.
@@ -135,6 +149,8 @@ func (s *IOStats) Snapshot() IOSnapshot {
 	out.PrefetchHits = s.prefetchHits.Load()
 	out.PrefetchStale = s.prefetchStale.Load()
 	out.PrefetchWasted = s.prefetchWasted.Load()
+	out.JournalAppends = s.journalAppends.Load()
+	out.JournalBytes = s.journalBytes.Load()
 	for i := range out.LoadLatency {
 		out.LoadLatency[i] = s.latency[i].Load()
 	}
@@ -155,6 +171,8 @@ func (s *IOSnapshot) Add(o IOSnapshot) {
 	s.PrefetchHits += o.PrefetchHits
 	s.PrefetchStale += o.PrefetchStale
 	s.PrefetchWasted += o.PrefetchWasted
+	s.JournalAppends += o.JournalAppends
+	s.JournalBytes += o.JournalBytes
 	for i := range s.LoadLatency {
 		s.LoadLatency[i] += o.LoadLatency[i]
 	}
@@ -171,11 +189,16 @@ func (s IOSnapshot) PrefetchHitRate() float64 {
 
 // String renders the snapshot as one stats line.
 func (s IOSnapshot) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"read %.1f MiB in %d loads (%d cache hits, %d prefetch hits, %.0f%% hit rate) | wrote %.1f MiB in %d writes + %d appends | %d evictions",
 		float64(s.BytesRead)/(1<<20), s.Loads, s.CacheHits, s.PrefetchHits,
 		100*s.PrefetchHitRate(), float64(s.BytesWritten)/(1<<20), s.Writes,
 		s.Appends, s.Evictions)
+	if s.JournalAppends > 0 {
+		line += fmt.Sprintf(" | journaled %d checkpoints (%.1f KiB)",
+			s.JournalAppends, float64(s.JournalBytes)/(1<<10))
+	}
+	return line
 }
 
 // LatencyString renders the load-latency histogram, e.g.

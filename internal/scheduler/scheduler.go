@@ -18,11 +18,14 @@
 package scheduler
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -31,9 +34,11 @@ import (
 	"time"
 
 	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/faultpoint"
 	"github.com/grapple-system/grapple/internal/fsm"
 	"github.com/grapple-system/grapple/internal/metrics"
 	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/storage"
 )
 
 // Subject is one named compilation unit.
@@ -108,6 +113,10 @@ type InstanceResult struct {
 	Err    error
 	// TimedOut marks Err as the per-instance deadline expiring.
 	TimedOut bool
+	// Resumed marks a result restored from a previous run's completion log
+	// (Options.Resume) rather than recomputed; only Reports, Elapsed and the
+	// key survive the round trip, so Result carries no phase stats.
+	Resumed bool
 	// Wait is the time spent in the ready queue; Elapsed the run itself.
 	Wait    time.Duration
 	Elapsed time.Duration
@@ -145,6 +154,21 @@ type Options struct {
 	// WorkDir, when non-empty, hosts one partition subdirectory per
 	// instance; each instance otherwise uses its own temp dir.
 	WorkDir string
+	// Journal persists a completion record (key, reports, elapsed) to
+	// WorkDir after each successful instance, so a later run with Resume
+	// skips the finished ones. Requires WorkDir.
+	Journal bool
+	// Resume loads a previous journaled batch's completion log from WorkDir
+	// and re-runs only the instances not recorded complete; restored and
+	// recomputed results merge into a byte-identical report stream. A
+	// missing log is an error wrapping storage.ErrNoJournal and a mangled
+	// one wraps storage.ErrCorrupt (a torn final line — the crash landing
+	// mid-append — is the one tolerated damage: that instance just reruns).
+	// Implies Journal.
+	Resume bool
+	// Faults injects deterministic crash points after instance completions
+	// (crash-injection tests only).
+	Faults *faultpoint.Set
 }
 
 // BatchResult is a batch run's outcome.
@@ -196,12 +220,31 @@ func Run(ctx context.Context, instances []Instance, opts Options) (*BatchResult,
 		}
 		seen[k] = true
 	}
+	if (opts.Journal || opts.Resume) && opts.WorkDir == "" {
+		return nil, fmt.Errorf("scheduler: Journal/Resume require a persistent WorkDir")
+	}
+	var clog *completionLog
+	var done map[string]*completionRecord
+	if opts.Journal || opts.Resume {
+		var err error
+		clog, done, err = openCompletionLog(opts.WorkDir, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer clog.close()
+	}
+	pending := 0
+	for i := range instances {
+		if done[instances[i].Key()] == nil {
+			pending++
+		}
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(instances) {
-		workers = len(instances)
+	if workers > pending {
+		workers = pending
 	}
 	cache := opts.Cache
 	if cache == nil && opts.CacheSize >= 0 {
@@ -232,6 +275,12 @@ func Run(ctx context.Context, instances []Instance, opts Options) (*BatchResult,
 		idx int
 		enq time.Time
 	}
+	// Crash injection cancels in-flight work through a batch-local context so
+	// the parent ctx (and its error contract) is untouched.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var injectMu sync.Mutex
+	var injected error
 	jobs := make(chan job, len(instances))
 	results := make([]InstanceResult, len(instances))
 	var wg sync.WaitGroup
@@ -242,17 +291,52 @@ func Run(ctx context.Context, instances []Instance, opts Options) (*BatchResult,
 			for jb := range jobs {
 				wait := time.Since(jb.enq)
 				stats.Dequeue(wait)
-				results[jb.idx] = runOne(ctx, &instances[jb.idx], opts, cache, preps, stats)
-				results[jb.idx].Wait = wait
+				r := runOne(runCtx, &instances[jb.idx], opts, cache, preps, stats)
+				if r.Err == nil && clog != nil {
+					if err := clog.append(&completionRecord{
+						Subject: r.Subject, Group: r.Group,
+						Elapsed: r.Elapsed, Reports: r.Result.Reports,
+					}); err != nil {
+						r.Err = fmt.Errorf("completion log: %w", err)
+					}
+				}
+				r.Wait = wait
+				results[jb.idx] = r
+				// The kill switch fires after the completion record is
+				// durable — the crash a real batch can hit between instances.
+				if err := opts.Faults.Hit(faultpoint.SchedulerInstance); err != nil {
+					injectMu.Lock()
+					if injected == nil {
+						injected = err
+					}
+					injectMu.Unlock()
+					cancelRun()
+				}
 			}
 		}()
 	}
 	for i := range instances {
+		if rec := done[instances[i].Key()]; rec != nil {
+			// Finished by a previous run: restore the logged outcome and skip
+			// the worker pool entirely.
+			results[i] = InstanceResult{
+				Subject: instances[i].Subject, Group: instances[i].Group,
+				Result:  &checker.Result{Reports: rec.Reports},
+				Elapsed: rec.Elapsed, Resumed: true,
+			}
+			continue
+		}
 		stats.Enqueue()
 		jobs <- job{idx: i, enq: time.Now()}
 	}
 	close(jobs)
 	wg.Wait()
+	injectMu.Lock()
+	injErr := injected
+	injectMu.Unlock()
+	if injErr != nil {
+		return nil, injErr
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -280,6 +364,122 @@ func Run(ctx context.Context, instances []Instance, opts Options) (*BatchResult,
 		out.FrontendPrepares = len(instances)
 	}
 	return out, nil
+}
+
+// CompletionLogName is the batch completion log's file name under
+// Options.WorkDir: one JSON line per successfully finished instance,
+// fsynced as it is appended, read back by Options.Resume.
+const CompletionLogName = "batch.completed.jsonl"
+
+// completionRecord is one logged instance outcome. Reports are persisted in
+// full so a resumed batch reproduces the merged stream byte-for-byte without
+// re-checking the instance.
+type completionRecord struct {
+	Subject string           `json:"subject"`
+	Group   string           `json:"group"`
+	Elapsed time.Duration    `json:"elapsedNs"`
+	Reports []checker.Report `json:"reports,omitempty"`
+}
+
+// completionLog appends completion records durably; safe for concurrent use
+// by the worker pool.
+type completionLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (cl *completionLog) append(rec *completionRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if _, err := cl.f.Write(line); err != nil {
+		return err
+	}
+	return cl.f.Sync()
+}
+
+func (cl *completionLog) close() error { return cl.f.Close() }
+
+// openCompletionLog opens dir's completion log for appending and, when
+// resuming, returns the records of a previous run. A fresh (non-resume)
+// batch truncates any stale log first, so old completions can never satisfy
+// a later Resume of a different batch by accident. On resume, a torn final
+// line is dropped (the crash landed mid-append; that instance reruns) and
+// the file is truncated back to the valid prefix; damage anywhere else is a
+// corrupt-log error.
+func openCompletionLog(dir string, resume bool) (*completionLog, map[string]*completionRecord, error) {
+	path := filepath.Join(dir, CompletionLogName)
+	done := map[string]*completionRecord{}
+	validLen := int64(0)
+	needNL := false // last line parsed but lost its newline to a torn write
+	if resume {
+		data, err := os.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("scheduler: resume: %s: %w (run with Journal first, or drop Resume to start cold)", path, storage.ErrNoJournal)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		for off := 0; off < len(data); {
+			nl := bytes.IndexByte(data[off:], '\n')
+			end := len(data)
+			last := nl < 0
+			if !last {
+				end = off + nl
+			}
+			line := bytes.TrimSpace(data[off:end])
+			if len(line) > 0 {
+				rec := &completionRecord{}
+				if err := json.Unmarshal(line, rec); err != nil {
+					if last {
+						break // torn final append: rerun that instance
+					}
+					return nil, nil, fmt.Errorf("scheduler: resume: %s: line at byte %d: %v: %w", path, off, err, storage.ErrCorrupt)
+				}
+				done[rec.Subject+"\x00"+rec.Group] = rec
+				if last {
+					needNL = true
+				}
+			}
+			if last {
+				validLen = int64(len(data))
+				break
+			}
+			off = end + 1
+			validLen = int64(off)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(validLen, 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if needNL {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+		return &completionLog{f: f}, done, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &completionLog{f: f}, done, nil
 }
 
 // prepStore lazily builds and shares one checker.Prepared per compilation

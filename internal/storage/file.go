@@ -380,6 +380,109 @@ func readV2(path string, r *bufio.Reader, dst []Edge) ([]Edge, PartInfo, int64, 
 	}
 }
 
+// ReadPartPrefix reads the first n edges of a v2 partition file, tolerating
+// damage after that prefix. It is the resume path's reader: a journal record
+// promises that the file's first n edges are exactly the checkpointed
+// content (between checkpoints the engine only append-extends files or
+// rewrites them prefix-preservingly), so anything beyond them — a torn
+// append, a post-checkpoint suffix, a missing trailer — is irrelevant and
+// must not fail the read.
+//
+// The header must be intact (it is written once, crash-safely) and only
+// whole CRC-verified blocks count; decoding stops at the first invalid
+// block. If fewer than n edges are recoverable the file cannot back the
+// journal record and the error wraps ErrCorrupt. exact reports that the file
+// is a fully valid v2 file containing precisely n edges — when false the
+// caller should rewrite the file canonically before trusting appends to it.
+func ReadPartPrefix(path string, n int64) (edges []Edge, info PartInfo, exact bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) && n == 0 {
+			return nil, PartInfo{}, true, nil
+		}
+		return nil, PartInfo{}, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, PartInfo{}, false, corruptf(path, "short header: %v", err)
+	}
+	info, err = decodeHeader(path, head)
+	if err != nil {
+		return nil, PartInfo{}, false, err
+	}
+	var gotEdges uint64
+	var gotBlocks uint32
+	var payload []byte
+	clean := false // a valid trailer matching the decoded counts, then EOF
+scan:
+	for {
+		var tag [4]byte
+		if _, err := io.ReadFull(r, tag[:]); err != nil {
+			break // truncated at a block boundary: prefix ends here
+		}
+		if bytes.Equal(tag[:], trailerMagic[:]) {
+			rest := make([]byte, trailerSize)
+			copy(rest, tag[:])
+			if _, err := io.ReadFull(r, rest[4:]); err != nil {
+				break
+			}
+			wantEdges, wantBlocks, err := decodeTrailer(path, rest)
+			if err != nil || wantEdges != gotEdges || wantBlocks != gotBlocks {
+				break
+			}
+			if _, err := r.ReadByte(); err == io.EOF {
+				clean = true
+			}
+			break
+		}
+		plen := binary.LittleEndian.Uint32(tag[:])
+		if plen == 0 || plen > maxBlockPayload {
+			break
+		}
+		var rest [blockHeaderSize - 4]byte
+		if _, err := io.ReadFull(r, rest[:]); err != nil {
+			break
+		}
+		count := binary.LittleEndian.Uint32(rest[0:])
+		wantCRC := binary.LittleEndian.Uint32(rest[4:])
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break
+		}
+		br := bytes.NewReader(payload)
+		blockEdges := edges
+		for i := uint32(0); i < count; i++ {
+			var e Edge
+			if err := decodeRecord(br, &e, true); err != nil {
+				break scan // CRC collision on garbage: drop the whole block
+			}
+			blockEdges = append(blockEdges, e)
+		}
+		if br.Len() != 0 {
+			break
+		}
+		edges = blockEdges
+		gotEdges += uint64(count)
+		gotBlocks++
+		// Even once the prefix is satisfied the scan continues: whether the
+		// remainder is a clean trailer decides exactness.
+	}
+	if int64(len(edges)) < n {
+		return nil, info, false, corruptf(path,
+			"journal promises %d edges, only %d recoverable", n, len(edges))
+	}
+	exact = clean && int64(gotEdges) == n
+	return edges[:n], info, exact, nil
+}
+
 // AppendPart appends edges to a partition file, creating a v2 file when
 // none exists. For a v2 file the existing trailer is verified, overwritten
 // by the new blocks, and a new trailer committing the grown counts is

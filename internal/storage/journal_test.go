@@ -1,0 +1,468 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/faultpoint"
+)
+
+func testRecord(seq uint64) *JournalRecord {
+	return &JournalRecord{
+		Seq:          seq,
+		Iterations:   int64(seq) * 3,
+		CurGen:       uint32(seq) + 1,
+		EdgesBefore:  100,
+		Repartitions: int64(seq) / 2,
+		Widened:      int64(seq),
+		HotA:         int(seq % 4),
+		HotB:         int(seq%4) + 1,
+		Parts: []JournalPart{
+			{ID: 0, Lo: 0, Hi: 50, Edges: 120 + int64(seq), MaxGen: uint32(seq), Path: "part-0.edges"},
+			{ID: 1, Lo: 50, Hi: 100, Edges: 80, MaxGen: 2, Path: "part-1-g3.edges"},
+		},
+		LastGen: []JournalGen{{A: 0, B: 0, Gen: 1}, {A: 0, B: 1, Gen: uint32(seq)}},
+	}
+}
+
+func recordsEqual(a, b *JournalRecord) bool {
+	if a.Seq != b.Seq || a.Completed != b.Completed || a.Iterations != b.Iterations ||
+		a.CurGen != b.CurGen || a.EdgesBefore != b.EdgesBefore ||
+		a.Repartitions != b.Repartitions || a.Widened != b.Widened ||
+		a.HotA != b.HotA || a.HotB != b.HotB ||
+		len(a.Parts) != len(b.Parts) || len(a.LastGen) != len(b.LastGen) {
+		return false
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			return false
+		}
+	}
+	for i := range a.LastGen {
+		if a.LastGen[i] != b.LastGen[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	meta := JournalMeta{NumVertices: 1234, Tag: 0xdeadbeefcafe}
+	w, err := CreateJournal(dir, meta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*JournalRecord
+	for seq := uint64(0); seq < 5; seq++ {
+		rec := testRecord(seq)
+		if seq == 4 {
+			rec.Completed = true
+			rec.HotA, rec.HotB = -1, -1
+		}
+		if _, err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, recs, _, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta round trip: got %+v want %+v", gotMeta, meta)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(recs[i], want[i]) {
+			t.Fatalf("record %d mismatch:\ngot  %+v\nwant %+v", i, recs[i], want[i])
+		}
+	}
+	if !recs[4].Completed {
+		t.Fatal("final record lost its Completed flag")
+	}
+}
+
+func TestJournalMissingFile(t *testing.T) {
+	_, _, _, err := ReadJournal(t.TempDir())
+	if !errors.Is(err, ErrNoJournal) {
+		t.Fatalf("missing journal: %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing journal must not read as corrupt")
+	}
+}
+
+// writeTestJournal creates a journal with n records and returns its raw
+// bytes plus the parsed records.
+func writeTestJournal(t *testing.T, dir string, n int) ([]byte, []*JournalRecord) {
+	t.Helper()
+	w, err := CreateJournal(dir, JournalMeta{NumVertices: 10, Tag: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*JournalRecord
+	for seq := 0; seq < n; seq++ {
+		rec := testRecord(uint64(seq))
+		if _, err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, recs
+}
+
+// TestJournalCorruptionMatrix mirrors the partition-store corruption matrix:
+// header damage is ErrCorrupt, anything that damages the record stream
+// surfaces as a shorter valid prefix — never a panic, never a half-parsed
+// record.
+func TestJournalCorruptionMatrix(t *testing.T) {
+	base := t.TempDir()
+	raw, recs := writeTestJournal(t, base, 4)
+
+	reread := func(t *testing.T, data []byte) (JournalMeta, []*JournalRecord, int64, error) {
+		t.Helper()
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, JournalName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return ReadJournal(dir)
+	}
+
+	t.Run("header damage is corrupt", func(t *testing.T) {
+		for _, mutate := range []func([]byte) []byte{
+			func(b []byte) []byte { return b[:journalHeaderSize-2] }, // short header
+			func(b []byte) []byte { b[0] = 'X'; return b },           // bad magic
+			func(b []byte) []byte { b[13] ^= 0x10; return b },        // tag bit flip under the CRC
+			func(b []byte) []byte { b[4] = 99; return b },            // version flip (caught by header CRC)
+		} {
+			_, _, _, err := reread(t, mutate(append([]byte{}, raw...)))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("header damage not ErrCorrupt: %v", err)
+			}
+		}
+	})
+
+	t.Run("truncation at every byte yields a valid prefix", func(t *testing.T) {
+		for cut := journalHeaderSize; cut <= len(raw); cut++ {
+			_, got, validLen, err := reread(t, raw[:cut])
+			if err != nil {
+				t.Fatalf("cut=%d: %v", cut, err)
+			}
+			if validLen > int64(cut) {
+				t.Fatalf("cut=%d: validLen %d beyond file", cut, validLen)
+			}
+			for i, rec := range got {
+				if !recordsEqual(rec, recs[i]) {
+					t.Fatalf("cut=%d: surviving record %d mismatch", cut, i)
+				}
+			}
+			// A record either survives whole or not at all.
+			if len(got) > len(recs) {
+				t.Fatalf("cut=%d: %d records from %d written", cut, len(got), len(recs))
+			}
+		}
+		// Full file parses everything.
+		_, got, _, err := reread(t, raw)
+		if err != nil || len(got) != len(recs) {
+			t.Fatalf("pristine journal: %d records, %v", len(got), err)
+		}
+	})
+
+	t.Run("record bit flip drops the tail", func(t *testing.T) {
+		for _, off := range []int{journalHeaderSize + 6, len(raw) - 5} {
+			data := append([]byte{}, raw...)
+			data[off] ^= 0x01
+			_, got, _, err := reread(t, data)
+			if err != nil {
+				t.Fatalf("off=%d: %v", off, err)
+			}
+			for i, rec := range got {
+				if !recordsEqual(rec, recs[i]) {
+					t.Fatalf("off=%d: surviving record %d corrupted", off, i)
+				}
+			}
+			if len(got) == len(recs) {
+				t.Fatalf("off=%d: flip inside a record went undetected", off)
+			}
+		}
+	})
+
+	t.Run("trailing garbage keeps the prefix", func(t *testing.T) {
+		data := append(append([]byte{}, raw...), 0xFF, 0xFF, 0xFF, 0xFF, 0xAB)
+		_, got, validLen, err := reread(t, data)
+		if err != nil || len(got) != len(recs) {
+			t.Fatalf("trailing garbage: %d records, %v", len(got), err)
+		}
+		if validLen != int64(len(raw)) {
+			t.Fatalf("validLen %d, want %d", validLen, len(raw))
+		}
+	})
+}
+
+// TestOpenJournalTruncatesTornTail checks the reopen path: a torn frame is
+// cut off and subsequent appends produce a journal whose records are the
+// surviving prefix plus the new appends.
+func TestOpenJournalTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	raw, recs := writeTestJournal(t, dir, 3)
+	path := filepath.Join(dir, JournalName)
+	// Tear the last frame in half.
+	if err := os.WriteFile(path, raw[:len(raw)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, meta, got, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Tag != 7 {
+		t.Fatalf("meta tag %d", meta.Tag)
+	}
+	if len(got) != 2 {
+		t.Fatalf("torn journal yielded %d records, want 2", len(got))
+	}
+	next := testRecord(9)
+	if _, err := w.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, after, _, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 3 {
+		t.Fatalf("after reopen+append: %d records", len(after))
+	}
+	if !recordsEqual(after[0], recs[0]) || !recordsEqual(after[1], recs[1]) || !recordsEqual(after[2], next) {
+		t.Fatal("reopened journal content mismatch")
+	}
+}
+
+// TestJournalTornAppendFaultpoint drives the mid-write fault point: the
+// injected crash leaves a half-written frame that the next read drops.
+func TestJournalTornAppendFaultpoint(t *testing.T) {
+	dir := t.TempDir()
+	faults := faultpoint.New()
+	faults.Arm(faultpoint.JournalAppendMid, 3)
+	w, err := CreateJournal(dir, JournalMeta{NumVertices: 5, Tag: 1}, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appendErr error
+	for seq := uint64(0); seq < 5; seq++ {
+		if _, appendErr = w.Append(testRecord(seq)); appendErr != nil {
+			break
+		}
+	}
+	w.Close()
+	if !errors.Is(appendErr, faultpoint.ErrInjected) {
+		t.Fatalf("fault point did not fire: %v", appendErr)
+	}
+	_, recs, _, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn append visible: %d records, want 2", len(recs))
+	}
+	// And the journal is reopenable for further appends.
+	w2, _, _, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Append(testRecord(10)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, recs, _, err = ReadJournal(dir)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("append after torn tail: %d records, %v", len(recs), err)
+	}
+}
+
+func TestJournalRejectsEvilPartPath(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateJournal(dir, JournalMeta{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(0)
+	rec.Parts[0].Path = "../escape.edges"
+	if _, err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// The writer does not validate (engine paths are trusted), but the
+	// decoder must refuse to hand back a non-basename path.
+	_, recs, _, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatal("record with a path-traversal part path was accepted")
+	}
+}
+
+func TestCreateJournalReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	writeTestJournal(t, dir, 3)
+	w, err := CreateJournal(dir, JournalMeta{NumVertices: 2, Tag: 99}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	meta, recs, _, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Tag != 99 || len(recs) != 0 {
+		t.Fatalf("CreateJournal did not replace: tag %d, %d records", meta.Tag, len(recs))
+	}
+}
+
+// --- ReadPartPrefix ----------------------------------------------------
+
+func TestReadPartPrefixExact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.edges")
+	rng := rand.New(rand.NewSource(21))
+	var edges []Edge
+	for i := 0; i < 100; i++ {
+		edges = append(edges, randEdge(rng))
+	}
+	if _, err := WritePart(path, edges, PartInfo{Lo: 1, Hi: 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, info, exact, err := ReadPartPrefix(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatal("pristine file with matching count not exact")
+	}
+	if info != (PartInfo{Lo: 1, Hi: 9}) {
+		t.Fatalf("info %+v", info)
+	}
+	for i := range edges {
+		if !edgesEqual(got[i], edges[i]) {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestReadPartPrefixWithSuffix(t *testing.T) {
+	// The checkpointed count is smaller than the file: post-checkpoint
+	// appends form a suffix that must be cut off, inexactly.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.edges")
+	rng := rand.New(rand.NewSource(22))
+	var edges []Edge
+	for i := 0; i < 60; i++ {
+		edges = append(edges, randEdge(rng))
+	}
+	if _, err := WritePart(path, edges[:40], PartInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendPart(path, edges[40:]); err != nil {
+		t.Fatal(err)
+	}
+	got, _, exact, err := ReadPartPrefix(path, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("file with extra suffix reported exact")
+	}
+	if len(got) != 40 {
+		t.Fatalf("got %d edges", len(got))
+	}
+	for i := 0; i < 40; i++ {
+		if !edgesEqual(got[i], edges[i]) {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestReadPartPrefixTornAppend(t *testing.T) {
+	// A torn append (no valid trailer) must still yield the pre-append
+	// prefix; plain ReadPart rejects the same file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.edges")
+	rng := rand.New(rand.NewSource(23))
+	var edges []Edge
+	for i := 0; i < 50; i++ {
+		edges = append(edges, randEdge(rng))
+	}
+	if _, err := WritePart(path, edges[:30], PartInfo{Lo: 2, Hi: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendPart(path, edges[30:]); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(raw) - 1; cut > len(raw)-trailerSize-8; cut-- {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ReadPart(path, nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: ReadPart accepted a torn file: %v", cut, err)
+		}
+		got, _, exact, err := ReadPartPrefix(path, 30)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if exact {
+			t.Fatalf("cut=%d: torn file reported exact", cut)
+		}
+		for i := 0; i < 30; i++ {
+			if !edgesEqual(got[i], edges[i]) {
+				t.Fatalf("cut=%d: edge %d mismatch", cut, i)
+			}
+		}
+	}
+}
+
+func TestReadPartPrefixInsufficient(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.edges")
+	rng := rand.New(rand.NewSource(24))
+	var edges []Edge
+	for i := 0; i < 10; i++ {
+		edges = append(edges, randEdge(rng))
+	}
+	if _, err := WritePart(path, edges, PartInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadPartPrefix(path, 11); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-promising journal count: %v", err)
+	}
+	// Missing file backs only a zero count.
+	missing := filepath.Join(dir, "nope.edges")
+	got, _, exact, err := ReadPartPrefix(missing, 0)
+	if err != nil || !exact || len(got) != 0 {
+		t.Fatalf("missing file, n=0: %v %v %v", got, exact, err)
+	}
+	if _, _, _, err := ReadPartPrefix(missing, 1); err == nil {
+		t.Fatal("missing file backed a nonzero count")
+	}
+}
