@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self check-self crash
+.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self check-self crash obs-smoke
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,13 @@ fmt-check:
 	fi
 
 # Race-check the concurrent core (engine workers + prefetcher, the storage
-# layer they stream through, the checker pipeline, and the batch scheduler,
+# layer they stream through, the checker pipeline, the batch scheduler,
 # whose determinism test exercises shared-cache and shared-frontend accesses
-# from many workers).
+# from many workers, plus the observability layer: shared metrics counters
+# and the trace recorder / progress heartbeat, which are read from other
+# goroutines mid-run).
 race:
-	$(GO) test -race ./internal/storage/... ./internal/engine/... ./internal/checker/... ./internal/scheduler/...
+	$(GO) test -race ./internal/storage/... ./internal/engine/... ./internal/checker/... ./internal/scheduler/... ./internal/metrics/... ./internal/trace/...
 
 # Short fuzzing sessions: SMT cache-keying invariants, the partition
 # store's record decoders (v1 and v2), whole-file reader, and journal
@@ -76,7 +78,15 @@ check-self: build
 	@echo "check-self: internal/storage (file-handle, use-after-release)"
 	$(GO) run ./cmd/grapple run -pack file-handle -pack use-after-release ./internal/storage
 
+# Observability smoke: tracing and progress are observation-only — CLI
+# stdout must be byte-identical with the full stack on or off, and the
+# emitted trace/status artifacts must be well-formed JSON.
+obs-smoke: build
+	$(GO) test ./cmd/grapple/ -run 'TestTraceGoldenIdentity|TestStatsJSON|TestBatchStatsJSON' -count=1
+	$(GO) test ./internal/checker/ -run TestTracingPreservesReports -count=1
+	$(GO) vet ./internal/trace/...
+
 bench:
 	$(GO) run ./cmd/grapple-bench -all
 
-ci: vet fmt-check race test crash lint-self check-self
+ci: vet fmt-check race test crash lint-self check-self obs-smoke

@@ -141,19 +141,29 @@ func CheckAllContext(ctx context.Context, subjects []Subject, fsms []*FSM, opts 
 	iopts := opts.Options
 	iopts.Journal, iopts.Resume = false, false
 	instances := scheduler.Expand(subs, groups, checkerOptions(iopts))
+	obs, err := startObs(opts.Obs, opts.WorkDir)
+	if err != nil {
+		return nil, err
+	}
 	schedOpts := scheduler.Options{
-		Workers: opts.BatchWorkers,
-		Timeout: opts.InstanceTimeout,
-		WorkDir: opts.WorkDir,
-		Journal: opts.Journal,
-		Resume:  opts.Resume,
+		Workers:  opts.BatchWorkers,
+		Timeout:  opts.InstanceTimeout,
+		WorkDir:  opts.WorkDir,
+		Journal:  opts.Journal,
+		Resume:   opts.Resume,
+		Trace:    obs.recorder(),
+		Progress: obs.progress(),
 	}
 	if opts.DisableConstraintCache {
 		schedOpts.CacheSize = -1
 	}
 	res, err := scheduler.Run(ctx, instances, schedOpts)
+	obsErr := obs.finish()
 	if err != nil {
 		return nil, err
+	}
+	if obsErr != nil {
+		return nil, obsErr
 	}
 	out := &BatchResult{
 		Scheduler:        res.Sched,

@@ -11,6 +11,7 @@
 //	grapple-bench -table batch      batch-scheduler scaling vs worker count
 //	grapple-bench -table io         partition-store traffic, prefetch on/off
 //	grapple-bench -table resume     journal overhead and kill-at-midpoint resume latency
+//	grapple-bench -table obs        observability (tracing + progress) overhead
 //	grapple-bench -table prune      infeasible-branch pruning ablation
 //	grapple-bench -table slice      property-relevance slicing ablation
 //	grapple-bench -table gofront    synthetic subjects vs a real Go package
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|resume|gofront")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront")
 	goDir := flag.String("godir", "internal/storage", "real-Go package for -table gofront")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -45,7 +46,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|resume|gofront | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront | -figure 9")
 		os.Exit(2)
 	}
 
@@ -128,6 +129,14 @@ func main() {
 	if want("resume") {
 		fmt.Fprintln(os.Stderr, "running checkpoint/resume measurement (each subject four times)...")
 		out, _, err := bench.ResumeTable(names, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("obs") {
+		fmt.Fprintln(os.Stderr, "running observability-overhead measurement (each subject six times)...")
+		out, _, err := bench.ObsTable(names, "")
 		if err != nil {
 			fatal(err)
 		}

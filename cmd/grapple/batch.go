@@ -121,6 +121,9 @@ func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
 	noPrune := fs.Bool("noprune", false, "disable constant-driven infeasible-branch pruning")
 	journal := fs.Bool("journal", false, "log finished instances to -workdir so an interrupted batch can be resumed")
 	resume := fs.Bool("resume", false, "rerun only the instances a previous -journal batch did not finish (implies -journal)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file here (plus <file>.events.jsonl); one lane per batch worker")
+	progress := fs.Duration("progress", 0, "emit a one-line batch heartbeat to stderr at this interval (and rewrite status.json under -workdir)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and live progress counters on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
 	}
@@ -168,6 +171,12 @@ func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
 			Prune:        prune,
 			Journal:      *journal,
 			Resume:       *resume,
+			Obs: grapple.ObsOptions{
+				TracePath:      *tracePath,
+				Progress:       *progress,
+				ProgressWriter: stderr,
+				PprofAddr:      *pprofAddr,
+			},
 		},
 		BatchWorkers:      *workers,
 		InstanceTimeout:   *timeout,
@@ -208,25 +217,12 @@ func runBatch(args []string, stdout, stderr io.Writer) (int, error) {
 	}
 
 	if *stats {
-		fmt.Fprintf(stdout, "\nbatch: %d instances over %d subjects in %v (wall)\n",
-			len(res.Instances), len(subjects), res.Wall.Round(time.Millisecond))
-		fmt.Fprintf(stdout, "scheduler: %s\n", res.Scheduler)
-		fmt.Fprintf(stdout, "shared cache: %d/%d hits (%.1f%%)\n",
-			res.CacheHits, res.CacheLookups, 100*res.CacheHitRate)
-		fmt.Fprintf(stdout, "frontend prepares: %d (shared across %d instances)\n",
-			res.FrontendPrepares, len(res.Instances))
-		fmt.Fprintf(stdout, "io: %s\n", res.IO)
-		for _, st := range res.Instances {
-			status := "ok"
-			if st.Resumed {
-				status = "resumed"
-			}
-			if st.Err != nil {
-				status = "FAILED"
-			}
-			fmt.Fprintf(stdout, "  %-20s %-12s %-6s %3d reports  wait %-10v run %v\n",
-				st.Subject, st.Group, status, st.Reports,
-				st.Wait.Round(time.Microsecond), st.Elapsed.Round(time.Millisecond))
+		// Statistics go to stderr so the merged report stream on stdout
+		// stays clean for pipes; -stats -json makes them one JSON object.
+		if *jsonOut {
+			emitBatchStatsJSON(stderr, res, len(subjects))
+		} else {
+			emitBatchStats(stderr, res, len(subjects))
 		}
 	}
 
@@ -245,4 +241,83 @@ func timeoutString(d time.Duration) string {
 		return "deadline"
 	}
 	return d.String()
+}
+
+// emitBatchStats prints the batch -stats block (to stderr, keeping stdout
+// clean for the merged report stream).
+func emitBatchStats(w io.Writer, res *grapple.BatchResult, subjects int) {
+	fmt.Fprintf(w, "\nbatch: %d instances over %d subjects in %v (wall)\n",
+		len(res.Instances), subjects, res.Wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "scheduler: %s\n", res.Scheduler)
+	fmt.Fprintf(w, "shared cache: %d/%d hits (%.1f%%)\n",
+		res.CacheHits, res.CacheLookups, 100*res.CacheHitRate)
+	fmt.Fprintf(w, "frontend prepares: %d (shared across %d instances)\n",
+		res.FrontendPrepares, len(res.Instances))
+	fmt.Fprintf(w, "io: %s\n", res.IO)
+	for _, st := range res.Instances {
+		status := "ok"
+		if st.Resumed {
+			status = "resumed"
+		}
+		if st.Err != nil {
+			status = "FAILED"
+		}
+		fmt.Fprintf(w, "  %-20s %-12s %-6s %3d reports  wait %-10v run %v\n",
+			st.Subject, st.Group, status, st.Reports,
+			st.Wait.Round(time.Microsecond), st.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// emitBatchStatsJSON is the machine-readable -stats -json form: one JSON
+// object on stderr. Durations are nanoseconds.
+func emitBatchStatsJSON(w io.Writer, res *grapple.BatchResult, subjects int) {
+	type jsonInstance struct {
+		Subject   string `json:"subject"`
+		Group     string `json:"group"`
+		Status    string `json:"status"`
+		Error     string `json:"error,omitempty"`
+		Reports   int    `json:"reports"`
+		WaitNs    int64  `json:"waitNs"`
+		ElapsedNs int64  `json:"elapsedNs"`
+	}
+	instances := make([]jsonInstance, 0, len(res.Instances))
+	for _, st := range res.Instances {
+		ji := jsonInstance{
+			Subject: st.Subject, Group: st.Group, Status: "ok",
+			Reports: st.Reports,
+			WaitNs:  st.Wait.Nanoseconds(), ElapsedNs: st.Elapsed.Nanoseconds(),
+		}
+		if st.Resumed {
+			ji.Status = "resumed"
+		}
+		if st.Err != nil {
+			ji.Status = "failed"
+			ji.Error = st.Err.Error()
+		}
+		instances = append(instances, ji)
+	}
+	out, _ := json.Marshal(struct {
+		Instances        int                    `json:"instances"`
+		Subjects         int                    `json:"subjects"`
+		WallNs           int64                  `json:"wallNs"`
+		Scheduler        grapple.SchedulerStats `json:"scheduler"`
+		CacheLookups     int64                  `json:"cacheLookups"`
+		CacheHits        int64                  `json:"cacheHits"`
+		CacheHitRate     float64                `json:"cacheHitRate"`
+		FrontendPrepares int                    `json:"frontendPrepares"`
+		IO               grapple.IOStats        `json:"io"`
+		InstanceList     []jsonInstance         `json:"instanceList"`
+	}{
+		Instances:        len(res.Instances),
+		Subjects:         subjects,
+		WallNs:           res.Wall.Nanoseconds(),
+		Scheduler:        res.Scheduler,
+		CacheLookups:     res.CacheLookups,
+		CacheHits:        res.CacheHits,
+		CacheHitRate:     res.CacheHitRate,
+		FrontendPrepares: res.FrontendPrepares,
+		IO:               res.IO,
+		InstanceList:     instances,
+	})
+	fmt.Fprintln(w, string(out))
 }

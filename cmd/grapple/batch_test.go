@@ -82,15 +82,19 @@ func TestBatchProfileSubject(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code %d, want 1\nstderr: %s", code, errb.String())
 	}
-	text := out.String()
-	if !strings.Contains(text, "mini-sim:") {
-		t.Fatalf("no mini-sim reports: %q", text)
+	if !strings.Contains(out.String(), "mini-sim:") {
+		t.Fatalf("no mini-sim reports: %q", out.String())
 	}
+	// Statistics go to stderr, keeping stdout clean for the report stream.
+	text := errb.String()
 	if !strings.Contains(text, "shared cache:") || !strings.Contains(text, "scheduler:") {
 		t.Fatalf("missing -stats sections: %q", text)
 	}
 	if !strings.Contains(text, "io: read ") {
 		t.Fatalf("missing io stats line: %q", text)
+	}
+	if strings.Contains(out.String(), "shared cache:") {
+		t.Fatalf("stats leaked to stdout: %q", out.String())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	grapple "github.com/grapple-system/grapple"
 )
@@ -25,19 +26,22 @@ func goArgs(args []string) bool {
 
 // goOpts carries the main flag set into the Go-mode runner.
 type goOpts struct {
-	args    []string
-	packs   []string
-	workDir string
-	mem     int64
-	unroll  int
-	jsonOut bool
-	stats   bool
-	verbose bool
-	dotDir  string
-	noPrune bool
-	noSlice bool
-	journal bool
-	resume  bool
+	args      []string
+	packs     []string
+	workDir   string
+	mem       int64
+	unroll    int
+	jsonOut   bool
+	stats     bool
+	verbose   bool
+	dotDir    string
+	noPrune   bool
+	noSlice   bool
+	journal   bool
+	resume    bool
+	tracePath string
+	progress  time.Duration
+	pprofAddr string
 }
 
 // runGo checks real Go input against the selected property packs through
@@ -78,6 +82,12 @@ func runGo(o goOpts, stdout, stderr io.Writer) (int, error) {
 		Slice:        slice,
 		Journal:      o.journal,
 		Resume:       o.resume,
+		Obs: grapple.ObsOptions{
+			TracePath:      o.tracePath,
+			Progress:       o.progress,
+			ProgressWriter: stderr,
+			PprofAddr:      o.pprofAddr,
+		},
 	}
 	var (
 		res *grapple.Result
@@ -94,9 +104,13 @@ func runGo(o goOpts, stdout, stderr io.Writer) (int, error) {
 	}
 	emitReports(stdout, res.Reports, pkg.Locate, o.jsonOut, o.verbose)
 	if o.stats {
-		emitStats(stdout, res)
-		fmt.Fprintf(stdout, "lowered functions: %d, havocked constructs: %d\n",
-			pkg.Functions(), pkg.Unlowered())
+		if o.jsonOut {
+			emitStatsJSON(stderr, res)
+		} else {
+			emitStats(stderr, res)
+			fmt.Fprintf(stderr, "lowered functions: %d, havocked constructs: %d\n",
+				pkg.Functions(), pkg.Unlowered())
+		}
 	}
 	if len(res.Reports) > 0 {
 		return 1, nil

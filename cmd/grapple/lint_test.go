@@ -191,17 +191,18 @@ fun main() {
   return;
 }
 `)
-	var pruned, unpruned, errb bytes.Buffer
-	codeP, errP := run([]string{"-stats", prog}, &pruned, &errb)
-	codeU, errU := run([]string{"-stats", "-noprune", prog}, &unpruned, &errb)
+	// Stats land on stderr now, so each run gets its own stderr buffer.
+	var pruned, unpruned, prunedErr, unprunedErr bytes.Buffer
+	codeP, errP := run([]string{"-stats", prog}, &pruned, &prunedErr)
+	codeU, errU := run([]string{"-stats", "-noprune", prog}, &unpruned, &unprunedErr)
 	if errP != nil || errU != nil || codeP != 1 || codeU != 1 {
 		t.Fatalf("codes=%d/%d errs=%v/%v", codeP, codeU, errP, errU)
 	}
-	if !strings.Contains(pruned.String(), "pruned branches: 1") {
-		t.Fatalf("pruned run stats: %q", pruned.String())
+	if !strings.Contains(prunedErr.String(), "pruned branches: 1") {
+		t.Fatalf("pruned run stats: %q", prunedErr.String())
 	}
-	if !strings.Contains(unpruned.String(), "pruned branches: 0") {
-		t.Fatalf("unpruned run stats: %q", unpruned.String())
+	if !strings.Contains(unprunedErr.String(), "pruned branches: 0") {
+		t.Fatalf("unpruned run stats: %q", unprunedErr.String())
 	}
 	reportLine := func(s string) string {
 		for _, line := range strings.Split(s, "\n") {
@@ -237,17 +238,18 @@ fun main() {
   return;
 }
 `)
-	var sliced, unsliced, errb bytes.Buffer
-	codeS, errS := run([]string{"-stats", prog}, &sliced, &errb)
-	codeU, errU := run([]string{"-stats", "-noslice", prog}, &unsliced, &errb)
+	// Stats land on stderr now, so each run gets its own stderr buffer.
+	var sliced, unsliced, slicedErr, unslicedErr bytes.Buffer
+	codeS, errS := run([]string{"-stats", prog}, &sliced, &slicedErr)
+	codeU, errU := run([]string{"-stats", "-noslice", prog}, &unsliced, &unslicedErr)
 	if errS != nil || errU != nil || codeS != 1 || codeU != 1 {
 		t.Fatalf("codes=%d/%d errs=%v/%v", codeS, codeU, errS, errU)
 	}
-	if !strings.Contains(sliced.String(), "sliced functions: 1") {
-		t.Fatalf("sliced run stats: %q", sliced.String())
+	if !strings.Contains(slicedErr.String(), "sliced functions: 1") {
+		t.Fatalf("sliced run stats: %q", slicedErr.String())
 	}
-	if !strings.Contains(unsliced.String(), "sliced functions: 0") {
-		t.Fatalf("unsliced run stats: %q", unsliced.String())
+	if !strings.Contains(unslicedErr.String(), "sliced functions: 0") {
+		t.Fatalf("unsliced run stats: %q", unslicedErr.String())
 	}
 	reportLine := func(s string) string {
 		for _, line := range strings.Split(s, "\n") {

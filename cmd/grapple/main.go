@@ -30,10 +30,13 @@
 //	-mem bytes     engine memory budget (default 256 MiB)
 //	-unroll n      loop unroll depth (default 2)
 //	-json          emit reports as JSON (one object per line)
-//	-stats         print phase statistics and the cost breakdown
+//	-stats         print phase statistics and the cost breakdown (stderr)
 //	-v             verbose reports (witness encodings and constraints)
 //	-journal       checkpoint engine state to -workdir every superstep
 //	-resume        continue a killed -journal run from its last checkpoint
+//	-trace file    write a Chrome trace-event JSON file (plus .events.jsonl)
+//	-progress dur  heartbeat line to stderr (and status.json under -workdir)
+//	-pprof addr    serve net/http/pprof and live progress counters
 //
 // -journal/-resume require -workdir and guarantee that a run killed at any
 // superstep boundary resumes to a byte-identical report; a missing, corrupt,
@@ -41,6 +44,11 @@
 // (docs/resume.md). `grapple batch` accepts the same pair at instance
 // granularity: -resume reruns only the instances a previous -journal batch
 // did not finish.
+//
+// -stats writes to stderr so piped -json report streams on stdout stay
+// clean; -stats -json renders the statistics as one JSON object instead.
+// -trace/-progress/-pprof are observation-only — reports are byte-identical
+// with them on or off (docs/observability.md).
 //
 // Exit status: 0 no warnings, 1 warnings found, 2 usage/analysis error.
 package main

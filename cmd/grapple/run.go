@@ -97,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	noSlice := fs.Bool("noslice", false, "disable property-relevance slicing")
 	journal := fs.Bool("journal", false, "checkpoint engine state to -workdir after every superstep (crash recovery)")
 	resume := fs.Bool("resume", false, "continue a previous -journal run from -workdir (implies -journal)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file here (plus <file>.events.jsonl) covering every pipeline phase")
+	progress := fs.Duration("progress", 0, "emit a one-line heartbeat to stderr at this interval (and rewrite status.json under -workdir)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and live progress counters on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil // flag package already printed the error
 	}
@@ -124,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 			jsonOut: *jsonOut, stats: *stats, verbose: *verbose,
 			dotDir: *dotDir, noPrune: *noPrune, noSlice: *noSlice,
 			journal: *journal, resume: *resume,
+			tracePath: *tracePath, progress: *progress, pprofAddr: *pprofAddr,
 		}, stdout, stderr)
 	}
 	if len(packNames) > 0 {
@@ -171,6 +175,12 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		Slice:          slice,
 		Journal:        *journal,
 		Resume:         *resume,
+		Obs: grapple.ObsOptions{
+			TracePath:      *tracePath,
+			Progress:       *progress,
+			ProgressWriter: stderr,
+			PprofAddr:      *pprofAddr,
+		},
 	})
 	if err != nil {
 		return 2, err
@@ -205,7 +215,13 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 
 	emitReports(stdout, res.Reports, locate, *jsonOut, *verbose)
 	if *stats {
-		emitStats(stdout, res)
+		// Statistics go to stderr so they never corrupt piped report
+		// streams; -stats -json makes them one machine-readable object.
+		if *jsonOut {
+			emitStatsJSON(stderr, res)
+		} else {
+			emitStats(stderr, res)
+		}
 	}
 	if len(res.Reports) > 0 {
 		return 1, nil
@@ -245,29 +261,62 @@ func emitReports(stdout io.Writer, reports []grapple.Report, locate func(int) (s
 	}
 }
 
-// emitStats prints the -stats block.
-func emitStats(stdout io.Writer, res *grapple.Result) {
-	fmt.Fprintf(stdout, "\ntracked objects: %d\n", res.TrackedObjects)
-	fmt.Fprintf(stdout, "cfet paths: %d (pruned branches: %d)\n",
+// emitStats prints the -stats block (to stderr, keeping stdout clean for
+// piped report streams).
+func emitStats(w io.Writer, res *grapple.Result) {
+	fmt.Fprintf(w, "\ntracked objects: %d\n", res.TrackedObjects)
+	fmt.Fprintf(w, "cfet paths: %d (pruned branches: %d)\n",
 		res.Alias.CFETPaths, res.Alias.PrunedBranches)
-	fmt.Fprintf(stdout, "sliced functions: %d (sliced branches: %d)\n",
+	fmt.Fprintf(w, "sliced functions: %d (sliced branches: %d)\n",
 		res.Alias.SlicedFunctions, res.Alias.SlicedBranches)
 	if res.Alias.Unlowered > 0 {
-		fmt.Fprintf(stdout, "unlowered constructs (havocked): %d\n", res.Alias.Unlowered)
+		fmt.Fprintf(w, "unlowered constructs (havocked): %d\n", res.Alias.Unlowered)
 	}
-	printPhase(stdout, "alias", res.Alias)
-	printPhase(stdout, "dataflow", res.Dataflow)
+	printPhase(w, "alias", res.Alias)
+	printPhase(w, "dataflow", res.Dataflow)
 	io := res.Alias.IO
 	io.Add(res.Dataflow.IO)
-	fmt.Fprintf(stdout, "io: %s\n", io)
-	fmt.Fprintf(stdout, "io latency: %s\n", io.LatencyString())
+	fmt.Fprintf(w, "io: %s\n", io)
+	fmt.Fprintf(w, "io latency: %s\n", io.LatencyString())
+	solve := res.Alias.SolveLatency
+	solve.Add(res.Dataflow.SolveLatency)
+	fmt.Fprintf(w, "solve latency: %s\n", solve.String(grapple.SolveLatencyBuckets()))
 	if ck := res.Alias.Checkpoints + res.Dataflow.Checkpoints; ck > 0 {
-		fmt.Fprintf(stdout, "journal: %d checkpoints, %.1f KiB\n",
+		fmt.Fprintf(w, "journal: %d checkpoints, %.1f KiB\n",
 			ck, float64(res.Alias.JournalBytes+res.Dataflow.JournalBytes)/(1<<10))
 	}
-	fmt.Fprintf(stdout, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)
-	fmt.Fprintf(stdout, "breakdown: I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%\n",
+	fmt.Fprintf(w, "preprocessing %v, computation %v\n", res.GenTime, res.ComputeTime)
+	fmt.Fprintf(w, "breakdown: I/O %.1f%% | constraint lookup %.1f%% | SMT solving %.1f%% | edge computation %.1f%%\n",
 		res.Breakdown.IOPct, res.Breakdown.DecodePct, res.Breakdown.SolvePct, res.Breakdown.ComputePct)
+}
+
+// emitStatsJSON is the machine-readable -stats -json form: one JSON object
+// on stderr. Durations are nanoseconds; the latency histograms are
+// per-bucket counts whose bounds are in the *BucketsNs arrays.
+func emitStatsJSON(w io.Writer, res *grapple.Result) {
+	bounds := grapple.SolveLatencyBuckets()
+	boundsNs := make([]int64, len(bounds))
+	for i, b := range bounds {
+		boundsNs[i] = b.Nanoseconds()
+	}
+	out, _ := json.Marshal(struct {
+		TrackedObjects        int                `json:"trackedObjects"`
+		Alias                 grapple.PhaseStats `json:"alias"`
+		Dataflow              grapple.PhaseStats `json:"dataflow"`
+		GenTimeNs             int64              `json:"genTimeNs"`
+		ComputeTimeNs         int64              `json:"computeTimeNs"`
+		Breakdown             grapple.Breakdown  `json:"breakdown"`
+		SolveLatencyBucketsNs []int64            `json:"solveLatencyBucketsNs"`
+	}{
+		TrackedObjects:        res.TrackedObjects,
+		Alias:                 res.Alias,
+		Dataflow:              res.Dataflow,
+		GenTimeNs:             res.GenTime.Nanoseconds(),
+		ComputeTimeNs:         res.ComputeTime.Nanoseconds(),
+		Breakdown:             res.Breakdown,
+		SolveLatencyBucketsNs: boundsNs,
+	})
+	fmt.Fprintln(w, string(out))
 }
 
 func printPhase(w io.Writer, name string, p grapple.PhaseStats) {

@@ -150,10 +150,19 @@ func TestRunVerboseStats(t *testing.T) {
 	if err != nil || code != 1 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
-	for _, want := range []string{"witness:", "constraint:", "tracked objects:", "alias:", "dataflow:", "breakdown:", "io:", "io latency:"} {
+	for _, want := range []string{"witness:", "constraint:"} {
 		if !strings.Contains(out.String(), want) {
-			t.Errorf("missing %q in output", want)
+			t.Errorf("missing %q in stdout", want)
 		}
+	}
+	// Statistics go to stderr so they never corrupt piped report streams.
+	for _, want := range []string{"tracked objects:", "alias:", "dataflow:", "breakdown:", "io:", "io latency:", "solve latency:"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("missing %q in stderr", want)
+		}
+	}
+	if strings.Contains(out.String(), "tracked objects:") {
+		t.Errorf("stats leaked to stdout: %q", out.String())
 	}
 }
 

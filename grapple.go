@@ -44,6 +44,7 @@ import (
 	"github.com/grapple-system/grapple/internal/lang"
 	"github.com/grapple-system/grapple/internal/metrics"
 	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/trace"
 )
 
 // FSM is a finite-state property specification for one object type.
@@ -192,6 +193,11 @@ type Options struct {
 	// missing, corrupt, or mismatched journal is an error — resume never
 	// silently starts cold.
 	Resume bool
+	// Obs configures the observability layer — execution tracing, the
+	// progress heartbeat, and the pprof debug server (docs/observability.md).
+	// The zero value disables all of it; enabling any of it never changes
+	// the reports.
+	Obs ObsOptions
 }
 
 // PruneMode selects whether infeasible-branch pruning runs.
@@ -260,6 +266,9 @@ type PhaseStats struct {
 	// IO reports the phase's partition-store traffic: bytes moved, cache
 	// and prefetch effectiveness, and the perceived load-latency histogram.
 	IO IOStats
+	// SolveLatency is the per-call SMT solve latency histogram (cache
+	// misses only), bucketed by metrics.SolveLatencyBuckets.
+	SolveLatency LatencyCounts
 }
 
 // IOStats is the partition store's traffic summary for one engine phase.
@@ -267,6 +276,15 @@ type PhaseStats struct {
 // from the in-memory partition cache; PrefetchHits count disk loads whose
 // latency overlapped the previous iteration's computation.
 type IOStats = metrics.IOSnapshot
+
+// LatencyCounts is a fixed-bucket latency histogram (per-bucket counts
+// aligned with metrics.SolveLatencyBuckets).
+type LatencyCounts = metrics.LatencyCounts
+
+// SolveLatencyBuckets returns the exclusive upper bounds of the
+// PhaseStats.SolveLatency histogram buckets (the final bucket is unbounded);
+// pass it to LatencyCounts.String to render the histogram.
+func SolveLatencyBuckets() []time.Duration { return metrics.SolveLatencyBuckets }
 
 // Breakdown is the Figure-9 cost split (percent of summed component time).
 type Breakdown struct {
@@ -327,6 +345,7 @@ func phaseStats(p checker.PhaseStats) PhaseStats {
 		Checkpoints:       p.Checkpoints,
 		JournalBytes:      p.JournalBytes,
 		IO:                p.IO,
+		SolveLatency:      p.SolveLatency,
 	}
 }
 
@@ -379,10 +398,20 @@ func Check(source string, fsms []*FSM, opts Options) (*Result, error) {
 	for i, f := range fsms {
 		inner[i] = f.inner
 	}
-	c := checker.New(inner, checkerOptions(opts))
-	res, err := c.CheckSource(source)
+	obs, err := startObs(opts.Obs, opts.WorkDir)
 	if err != nil {
 		return nil, err
+	}
+	co := checkerOptions(opts)
+	obs.bind(&co)
+	c := checker.New(inner, co)
+	res, err := c.CheckSource(source)
+	obsErr := obs.finish()
+	if err != nil {
+		return nil, err
+	}
+	if obsErr != nil {
+		return nil, obsErr
 	}
 	return publicResult(res), nil
 }
@@ -585,8 +614,10 @@ func resolvePacks(packNames []string) ([]*packs.Pack, error) {
 	return out, nil
 }
 
-// checkLoweredGo runs the full pipeline on an already-lowered package.
-func checkLoweredGo(g *gofront.Result, selected []*packs.Pack, opts Options) (*Result, error) {
+// checkLoweredGo runs the full pipeline on an already-lowered package. obs
+// may be nil (no observability features enabled); ownership stays with the
+// caller, which started it before lowering.
+func checkLoweredGo(g *gofront.Result, selected []*packs.Pack, opts Options, obs *obsSession) (*Result, error) {
 	info, err := lang.Resolve(g.Prog)
 	if err != nil {
 		return nil, fmt.Errorf("resolve lowered Go: %w", err)
@@ -600,6 +631,7 @@ func checkLoweredGo(g *gofront.Result, selected []*packs.Pack, opts Options) (*R
 		inner[i] = pk.FSM
 	}
 	co := checkerOptions(opts)
+	obs.bind(&co)
 	if co.Engine.MaxVariants == 0 {
 		// Real-Go subjects produce more per-edge path variants than
 		// hand-written MiniLang (lifted closures, defer flushing, and
@@ -629,13 +661,24 @@ func CheckGoPackage(dir string, packNames []string, opts Options) (*Result, *GoP
 	if err != nil {
 		return nil, nil, err
 	}
-	g, err := gofront.LowerPackage(dir, packs.MergedRules(selected))
+	obs, err := startObs(opts.Obs, opts.WorkDir)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := checkLoweredGo(g, selected, opts)
+	sp := obs.span("gofront", "gofront-lower")
+	g, err := gofront.LowerPackage(dir, packs.MergedRules(selected))
+	if err != nil {
+		obs.finish()
+		return nil, nil, err
+	}
+	sp.End(trace.Args{"funcs": len(g.Prog.Funs), "havocs": g.Stats.Havocs})
+	res, err := checkLoweredGo(g, selected, opts, obs)
+	obsErr := obs.finish()
 	if err != nil {
 		return nil, nil, err
+	}
+	if obsErr != nil {
+		return nil, nil, obsErr
 	}
 	return res, &GoPackage{res: g}, nil
 }
@@ -646,13 +689,24 @@ func CheckGoFiles(paths []string, packNames []string, opts Options) (*Result, *G
 	if err != nil {
 		return nil, nil, err
 	}
-	g, err := gofront.LowerFiles(paths, packs.MergedRules(selected))
+	obs, err := startObs(opts.Obs, opts.WorkDir)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := checkLoweredGo(g, selected, opts)
+	sp := obs.span("gofront", "gofront-lower")
+	g, err := gofront.LowerFiles(paths, packs.MergedRules(selected))
+	if err != nil {
+		obs.finish()
+		return nil, nil, err
+	}
+	sp.End(trace.Args{"funcs": len(g.Prog.Funs), "havocs": g.Stats.Havocs})
+	res, err := checkLoweredGo(g, selected, opts, obs)
+	obsErr := obs.finish()
 	if err != nil {
 		return nil, nil, err
+	}
+	if obsErr != nil {
+		return nil, nil, obsErr
 	}
 	return res, &GoPackage{res: g}, nil
 }

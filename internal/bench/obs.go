@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/checker"
+	"github.com/grapple-system/grapple/internal/engine"
+	"github.com/grapple-system/grapple/internal/fsm"
+	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/trace"
+	"github.com/grapple-system/grapple/internal/workload"
+)
+
+// obsIters is how many times each configuration runs; the minimum wall time
+// per configuration is compared, filtering scheduler noise out of an
+// overhead measurement that claims single-digit percent.
+const obsIters = 3
+
+// ObsRow is one subject's tracing-overhead measurement.
+type ObsRow struct {
+	Subject string
+	// WallOff is the bare pipeline; WallOn the same run with the full
+	// observability stack attached: Chrome trace + JSONL stream to disk,
+	// progress tracking with a heartbeat goroutine and status.json rewrites.
+	// Both are the minimum over obsIters runs.
+	WallOff time.Duration
+	WallOn  time.Duration
+	// Events is the traced run's event count; TraceKiB the Chrome document's
+	// on-disk size.
+	Events   int
+	TraceKiB float64
+}
+
+// OverheadPct is the traced run's slowdown relative to the bare run.
+func (r ObsRow) OverheadPct() float64 {
+	if r.WallOff <= 0 {
+		return 0
+	}
+	return 100 * (float64(r.WallOn) - float64(r.WallOff)) / float64(r.WallOff)
+}
+
+// ObsTable measures what the observability layer costs with everything on,
+// per subject: reports must be byte-identical between the bare and traced
+// configurations (tracing is observation-only), and the overhead is the
+// wall-clock delta. The ISSUE-8 budget pins it at <= 2%.
+func ObsTable(names []string, workDir string) (string, []ObsRow, error) {
+	if len(names) == 0 {
+		names = SubjectNames()
+	}
+	var rows []ObsRow
+	for _, name := range names {
+		row, err := runObs(name, workDir)
+		if err != nil {
+			return "", nil, err
+		}
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability overhead under a %d MiB budget (trace + JSONL + progress heartbeat + status.json, best of %d).\n",
+		ioTableBudget>>20, obsIters)
+	fmt.Fprintf(&b, "%-15s %10s %10s %7s %8s %10s\n",
+		"Subject", "bare", "traced", "ovh %", "events", "trace KiB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %10s %10s %7.1f %8d %10.1f\n",
+			r.Subject, round(r.WallOff), round(r.WallOn), r.OverheadPct(),
+			r.Events, r.TraceKiB)
+	}
+	b.WriteString("Reports are byte-identical with the observability stack on or off.\n")
+	return b.String(), rows, nil
+}
+
+func obsCheckerOpts(dir string) checker.Options {
+	return checker.Options{
+		WorkDir: dir,
+		Engine: engine.Options{
+			MemoryBudget: ioTableBudget,
+			SolverOpts:   smt.DefaultOptions(),
+		},
+	}
+}
+
+func runObs(name, workDir string) (ObsRow, error) {
+	p, ok := workload.ProfileByName(name)
+	if !ok {
+		return ObsRow{}, fmt.Errorf("bench: unknown subject %q", name)
+	}
+	s := workload.Generate(p)
+	row := ObsRow{Subject: s.Name}
+
+	var wantReports string
+	for i := 0; i < obsIters; i++ {
+		dir, err := os.MkdirTemp(workDir, "grapple-obs-off-*")
+		if err != nil {
+			return row, err
+		}
+		start := time.Now()
+		res, err := checker.New(fsm.Builtins(), obsCheckerOpts(dir)).CheckSource(s.Source)
+		wall := time.Since(start)
+		os.RemoveAll(dir)
+		if err != nil {
+			return row, fmt.Errorf("bench: %s: bare: %w", name, err)
+		}
+		if row.WallOff == 0 || wall < row.WallOff {
+			row.WallOff = wall
+		}
+		wantReports = resumeReportKey(res.Reports)
+	}
+
+	for i := 0; i < obsIters; i++ {
+		dir, err := os.MkdirTemp(workDir, "grapple-obs-on-*")
+		if err != nil {
+			return row, err
+		}
+		wall, err := func() (time.Duration, error) {
+			defer os.RemoveAll(dir)
+			tracePath := filepath.Join(dir, "trace.json")
+			rec, err := trace.Open(tracePath)
+			if err != nil {
+				return 0, err
+			}
+			prog := trace.NewProgress()
+			stop := prog.Heartbeat(250*time.Millisecond, io.Discard, filepath.Join(dir, "status.json"))
+			opts := obsCheckerOpts(dir)
+			opts.Trace = rec
+			opts.TraceTID = rec.Thread("bench")
+			opts.Progress = prog
+			start := time.Now()
+			res, err := checker.New(fsm.Builtins(), opts).CheckSource(s.Source)
+			wall := time.Since(start)
+			stop()
+			if err != nil {
+				return 0, fmt.Errorf("bench: %s: traced: %w", name, err)
+			}
+			row.Events = rec.EventCount()
+			if err := rec.Close(); err != nil {
+				return 0, fmt.Errorf("bench: %s: trace close: %w", name, err)
+			}
+			if fi, err := os.Stat(tracePath); err == nil {
+				row.TraceKiB = float64(fi.Size()) / (1 << 10)
+			}
+			if got := resumeReportKey(res.Reports); got != wantReports {
+				return 0, fmt.Errorf("bench: %s: tracing changed the reports", name)
+			}
+			return wall, nil
+		}()
+		if err != nil {
+			return row, err
+		}
+		if row.WallOn == 0 || wall < row.WallOn {
+			row.WallOn = wall
+		}
+	}
+	return row, nil
+}

@@ -27,6 +27,7 @@ import (
 	"github.com/grapple-system/grapple/internal/pgraph"
 	"github.com/grapple-system/grapple/internal/storage"
 	"github.com/grapple-system/grapple/internal/symbolic"
+	"github.com/grapple-system/grapple/internal/trace"
 )
 
 // PruneMode controls the pre-analysis infeasible-branch pruning that runs
@@ -124,6 +125,16 @@ type Options struct {
 	// Faults injects deterministic crash points into the engines and the
 	// journal write path (crash-injection tests only).
 	Faults *faultpoint.Set
+	// Trace, when non-nil, receives a span per pipeline phase (pre-analysis,
+	// slicing, CFET build, context cloning, both engine closures, FSM
+	// checking) and is threaded into both engines for superstep and storage
+	// events. Tracing is observation only: it never changes reports.
+	Trace *trace.Recorder
+	// TraceTID is the trace thread lane this checker's events land on.
+	TraceTID uint64
+	// Progress, when non-nil, tracks the current phase and engine supersteps
+	// for the heartbeat and status.json machinery. Observation only.
+	Progress *trace.Progress
 }
 
 // PointsToFact is one phase-1 result: under clone Ctx of Method, variable
@@ -425,9 +436,11 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	prep := &Prepared{}
 
 	// --- Frontend: pre-analysis + ICFET (index) + context tree + alias graph. ---
+	c.Opts.Progress.SetPhase("frontend")
 	genStart := time.Now()
 	cfetOpts := c.Opts.CFET
 	if c.Opts.Prune.Enabled() && cfetOpts.BranchVerdict == nil {
+		sp := c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "pre-analysis")
 		pre, err := analysis.Run(p, analysis.PruneAnalyzers())
 		if err != nil {
 			return nil, fmt.Errorf("pre-analysis: %w", err)
@@ -435,6 +448,7 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 		cfetOpts.BranchVerdict = pre.BranchVerdict
 		prep.passes = pre.Passes.Passes()
 		prep.condsDecided, _ = pre.Prune.Snapshot()
+		sp.End(trace.Args{"condsDecided": prep.condsDecided})
 	}
 	cg := callgraph.Build(p)
 	cloneOpts := c.Opts.Clone
@@ -452,12 +466,14 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 				}
 			}
 		}
+		sp := c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "points-to+slice")
 		pts = analysis.SolvePointsTo(p, cg)
 		rel := analysis.ComputeRelevance(p, cg, pts, tracked)
 		drop := func(name string) bool { return !rel.KeepFunc(name) }
 		cfetOpts.SliceFunc = drop
 		cfetOpts.SliceBranch = rel.InertBranch
 		cloneOpts.Skip = drop
+		sp.End(nil)
 	}
 	if len(c.FSMs) > 0 {
 		// Objects handed to an unseen caller through an entry function's
@@ -471,12 +487,16 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 		prep.escaped = pts.EscapingSites(cg.Roots())
 	}
 	tab := symbolic.NewTable()
+	sp := c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "cfet-build")
 	ic, err := cfet.Build(p, tab, cfetOpts)
 	if err != nil {
 		return nil, fmt.Errorf("icfet: %w", err)
 	}
+	sp.End(trace.Args{"paths": ic.PathCount(), "prunedBranches": ic.PrunedBranches()})
+	sp = c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "context-clone")
 	pr := pgraph.NewProgram(p, cg, ic, cloneOpts)
 	ag := pgraph.BuildAlias(pr)
+	sp.End(trace.Args{"vertices": ag.NumVerts, "edges": len(ag.Edges)})
 	// The pointer grammar interns one store/load label pair per distinct
 	// field; a program with enough fields to exhaust the 16-bit label space
 	// must fail with the grammar's sized diagnostic, not analyze nonsense
@@ -498,11 +518,16 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	bd := &metrics.Breakdown{}
 
 	// --- Phase 1: path-sensitive alias closure. ---
+	c.Opts.Progress.SetPhase("alias")
 	aliasOpts := c.Opts.Engine
 	aliasOpts.Dir = filepath.Join(workDir, "alias")
 	aliasOpts.UseRel = false
+	aliasOpts.Trace = c.Opts.Trace
+	aliasOpts.TraceTID = c.Opts.TraceTID
+	aliasOpts.Progress = c.Opts.Progress
 	aliasOpts = c.phaseEngineOpts(aliasOpts, "alias", ag.NumVerts, len(ag.Edges), ic.PathCount())
 	aliasEngine := engine.New(ic, ag.Ptr.G, aliasOpts, bd)
+	sp = c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "phase.alias")
 	var aliasStats *engine.Stats
 	if c.Opts.Resume {
 		aliasStats, err = aliasEngine.ResumeContext(ctx, ag.NumVerts)
@@ -512,6 +537,7 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	if err != nil {
 		return nil, fmt.Errorf("alias phase: %w", err)
 	}
+	sp.End(trace.Args{"iterations": aliasStats.Iterations, "edges": aliasStats.EdgesAfter})
 	prep.alias = PhaseStats{
 		Vertices: ag.NumVerts, Stats: *aliasStats,
 		CFETPaths: ic.PathCount(), PrunedBranches: ic.PrunedBranches(),
@@ -519,10 +545,12 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 	}
 
 	// Extract flowsTo facts; held in memory for phase 2 (paper §2.2).
+	sp = c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "extract-flows")
 	flows, nflows, err := extractFlows(aliasEngine, ag, ic)
 	if err != nil {
 		return nil, err
 	}
+	sp.End(trace.Args{"flows": nflows})
 	prep.flows = flows
 	prep.flowCount = nflows
 	if c.Opts.RecordPointsTo {
@@ -557,8 +585,11 @@ func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, e
 	bd := &metrics.Breakdown{}
 
 	// --- Phase 2: path-sensitive dataflow/typestate closure. ---
+	c.Opts.Progress.SetPhase("dataflow-build")
 	genStart := time.Now()
+	sp := c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "dataflow-build")
 	dg := pgraph.BuildDataflow(pr, prep.flows, ag, c.fsmFor, c.Opts.Dataflow)
+	sp.End(trace.Args{"vertices": dg.NumVerts, "edges": len(dg.Edges), "tracked": len(dg.Tracked)})
 	res.GenTime += time.Since(genStart)
 	res.TrackedObjects = len(dg.Tracked)
 	if c.Opts.DumpDOT != "" {
@@ -570,11 +601,16 @@ func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, e
 	}
 
 	computeStart := time.Now()
+	c.Opts.Progress.SetPhase("dataflow")
 	dfOpts := c.Opts.Engine
 	dfOpts.Dir = filepath.Join(workDir, "dataflow")
 	dfOpts.UseRel = true
+	dfOpts.Trace = c.Opts.Trace
+	dfOpts.TraceTID = c.Opts.TraceTID
+	dfOpts.Progress = c.Opts.Progress
 	dfOpts = c.phaseEngineOpts(dfOpts, "dataflow", dg.NumVerts, len(dg.Edges), ic.PathCount())
 	dfEngine := engine.New(ic, dg.D.G, dfOpts, bd)
+	sp = c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "phase.dataflow")
 	var dfStats *engine.Stats
 	var err error
 	if c.Opts.Resume && hasJournal(dfOpts.Dir) {
@@ -585,6 +621,7 @@ func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, e
 	if err != nil {
 		return nil, fmt.Errorf("dataflow phase: %w", err)
 	}
+	sp.End(trace.Args{"iterations": dfStats.Iterations, "edges": dfStats.EdgesAfter})
 	res.Dataflow = PhaseStats{
 		Vertices: dg.NumVerts, Stats: *dfStats,
 		CFETPaths: ic.PathCount(), PrunedBranches: ic.PrunedBranches(),
@@ -592,10 +629,13 @@ func (c *Checker) CheckPrepared(ctx context.Context, prep *Prepared) (*Result, e
 	}
 
 	// --- Phase 3: FSM checking of source->exit relations. ---
+	c.Opts.Progress.SetPhase("fsm-check")
+	sp = c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "fsm-check")
 	res.Reports, err = checkTyped(dfEngine, dg, ic, prep.escaped)
 	if err != nil {
 		return nil, err
 	}
+	sp.End(trace.Args{"reports": len(res.Reports)})
 	res.ComputeTime = prep.computeTime + time.Since(computeStart)
 	s := bd.Snapshot()
 	res.Breakdown = metrics.Snapshot{

@@ -21,6 +21,7 @@ import (
 	"github.com/grapple-system/grapple/internal/metrics"
 	"github.com/grapple-system/grapple/internal/smt"
 	"github.com/grapple-system/grapple/internal/storage"
+	"github.com/grapple-system/grapple/internal/trace"
 )
 
 // Options configures the engine.
@@ -83,6 +84,17 @@ type Options struct {
 	// Faults is the crash-injection switchboard threaded through the
 	// checkpoint and journal write sites; nil (the default) is inert.
 	Faults *faultpoint.Set
+	// Trace, when non-nil, receives a span per superstep and checkpoint and
+	// an instant per partition load/write/append. Tracing is observation
+	// only: it never alters pair scheduling, insertion order, widening, or
+	// reports.
+	Trace *trace.Recorder
+	// TraceTID is the trace thread lane this engine's events land on
+	// (allocated by Recorder.Thread); zero is the process root lane.
+	TraceTID uint64
+	// Progress, when non-nil, receives one update per superstep for the
+	// heartbeat and status.json machinery. Observation only, like Trace.
+	Progress *trace.Progress
 }
 
 // Stats reports everything the evaluation tables need.
@@ -103,6 +115,9 @@ type Stats struct {
 	PreprocessTime    time.Duration
 	ComputeTime       time.Duration
 	SolveTime         time.Duration // summed across workers
+	// SolveLatency is the per-call SMT solve latency histogram (cache misses
+	// only), bucketed by metrics.SolveLatencyBuckets.
+	SolveLatency metrics.LatencyCounts
 	// IO reports the partition store's traffic: bytes moved, cache and
 	// prefetch effectiveness, and the perceived load-latency histogram.
 	IO metrics.IOSnapshot
@@ -177,6 +192,12 @@ type Engine struct {
 	jw   *storage.JournalWriter
 	jseq uint64
 
+	// solve histograms per-call SMT latencies (internally atomic).
+	solve metrics.SolveHist
+
+	// stats and parts are written by the run goroutine under mu so that
+	// Stats() can be called concurrently with a running computation (the
+	// progress heartbeat and debug server do exactly that).
 	stats Stats
 	mu    sync.Mutex
 }
@@ -221,12 +242,14 @@ func New(ic *cfet.ICFET, g *grammar.Grammar, opts Options, bd *metrics.Breakdown
 
 // Stats returns a snapshot of the engine's counters. Cache lookups and hits
 // are counted by this engine's own probes, so they stay per-instance even
-// when Options.Cache shares one store across many engines.
+// when Options.Cache shares one store across many engines. Safe to call
+// while RunContext is executing on another goroutine.
 func (en *Engine) Stats() Stats {
 	en.mu.Lock()
 	s := en.stats
-	en.mu.Unlock()
 	s.Partitions = len(en.parts)
+	en.mu.Unlock()
+	s.SolveLatency = en.solve.Snapshot()
 	s.IO = en.io.Snapshot()
 	return s
 }
@@ -255,16 +278,20 @@ func (en *Engine) RunContext(ctx context.Context, initial []storage.Edge, numVer
 			return nil, err
 		}
 	}
+	sp := en.opts.Trace.Start(en.opts.TraceTID, "engine", "preprocess")
 	if err := en.preprocess(initial, numVertices); err != nil {
 		return nil, err
 	}
+	sp.End(trace.Args{"edges": en.stats.EdgesBefore, "partitions": len(en.parts)})
 	if en.opts.Journal {
 		if err := en.startJournal(numVertices); err != nil {
 			en.closeJournal()
 			return nil, err
 		}
 	}
+	en.mu.Lock()
 	en.stats.PreprocessTime = time.Since(start)
+	en.mu.Unlock()
 	return en.runLoop(ctx)
 }
 
@@ -272,6 +299,7 @@ func (en *Engine) RunContext(ctx context.Context, initial []storage.Edge, numVer
 // (RunContext) and resumed runs (ResumeContext) finish through here.
 func (en *Engine) runLoop(ctx context.Context) (*Stats, error) {
 	computeStart := time.Now()
+	observe := en.opts.Trace.Enabled() || en.opts.Progress != nil
 	for {
 		if err := ctx.Err(); err != nil {
 			// Leave a final record so a deadline-killed run resumes from
@@ -284,11 +312,18 @@ func (en *Engine) runLoop(ctx context.Context) (*Stats, error) {
 		if !ok {
 			break
 		}
-		if err := en.processPair(i, j); err != nil {
+		sp := en.opts.Trace.Start(en.opts.TraceTID, "engine", "superstep")
+		firsts, err := en.processPair(i, j)
+		if err != nil {
 			en.closeJournal()
 			return nil, err
 		}
+		en.mu.Lock()
 		en.stats.Iterations++
+		en.mu.Unlock()
+		if observe {
+			en.observeSuperstep(sp, i, j, firsts)
+		}
 		if en.jw != nil && en.stats.Iterations%en.journalEvery() == 0 {
 			if err := en.opts.Faults.Hit(faultpoint.EngineCheckpointPre); err != nil {
 				en.closeJournal()
@@ -312,10 +347,64 @@ func (en *Engine) runLoop(ctx context.Context) (*Stats, error) {
 	if err := en.evictAll(); err != nil {
 		return nil, err
 	}
+	en.mu.Lock()
 	en.stats.ComputeTime = time.Since(computeStart)
-	en.stats.EdgesAfter = en.EdgesAfter()
+	en.mu.Unlock()
+	after := en.EdgesAfter()
+	en.mu.Lock()
+	en.stats.EdgesAfter = after
+	en.mu.Unlock()
 	s := en.Stats()
 	return &s, nil
+}
+
+// observeSuperstep emits the completed superstep's trace span and progress
+// update. Everything here is a pure read over engine state: the dirty-pair
+// count replays nextPair's dirtiness test without its scoring or early
+// return, so observation can never perturb the schedule (and with it
+// insertion order, widening, or reports).
+func (en *Engine) observeSuperstep(sp trace.Span, i, j, firsts int) {
+	dirty := en.dirtyPairs()
+	edges := en.EdgesAfter()
+	en.mu.Lock()
+	s := en.stats
+	en.mu.Unlock()
+	sp.End(trace.Args{
+		"pair":         trace.Pair(i, j),
+		"frontier":     firsts,
+		"dirtyPairs":   dirty,
+		"edges":        edges,
+		"solved":       s.ConstraintsSolved,
+		"cacheHits":    s.CacheHits,
+		"cacheLookups": s.CacheLookups,
+		"journalBytes": s.JournalBytes,
+	})
+	en.opts.Progress.Update(trace.EngineUpdate{
+		Frontier:   int64(firsts),
+		DirtyPairs: int64(dirty),
+		Edges:      edges,
+		Solved:     s.ConstraintsSolved,
+		CacheHits:  s.CacheHits,
+		CacheLkps:  s.CacheLookups,
+		IO:         en.io.Snapshot(),
+	})
+}
+
+// dirtyPairs counts partition pairs still scheduled for (re)processing. It
+// is nextPair's dirtiness test verbatim, minus scoring and selection.
+func (en *Engine) dirtyPairs() int {
+	n := 0
+	for i := 0; i < len(en.parts); i++ {
+		for j := i; j < len(en.parts); j++ {
+			key := [2]int{en.parts[i].id, en.parts[j].id}
+			last, seen := en.lastGen[key]
+			if seen && en.parts[i].maxGen <= last && en.parts[j].maxGen <= last {
+				continue
+			}
+			n++
+		}
+	}
+	return n
 }
 
 // preprocess expands initial edges through unary/mirror productions,
@@ -337,7 +426,9 @@ func (en *Engine) preprocess(initial []storage.Edge, numVertices uint32) error {
 			all = append(all, v)
 		}
 	}
+	en.mu.Lock()
 	en.stats.EdgesBefore = int64(len(all))
+	en.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Src != all[j].Src {
 			return all[i].Src < all[j].Src
@@ -366,9 +457,13 @@ func (en *Engine) preprocess(initial []storage.Edge, numVertices uint32) error {
 		if err != nil {
 			return err
 		}
-		en.bd.AddIO(time.Since(ioStart))
+		d := time.Since(ioStart)
+		en.bd.AddIO(d)
 		en.io.AddWrite(n)
+		en.traceIO("write", meta.id, n, d)
+		en.mu.Lock()
 		en.parts = append(en.parts, meta)
+		en.mu.Unlock()
 		cur, curBytes = nil, 0
 		lo = hi
 		return nil
@@ -403,7 +498,9 @@ func (en *Engine) preprocess(initial []storage.Edge, numVertices uint32) error {
 			return err
 		}
 		en.io.AddWrite(n)
+		en.mu.Lock()
 		en.parts = append(en.parts, meta)
+		en.mu.Unlock()
 	}
 	// Widen the last partition to cover the whole vertex space.
 	en.parts[len(en.parts)-1].hi = numVertices
@@ -510,6 +607,7 @@ func (en *Engine) load(idx int) (*memPart, error) {
 		// the previous iteration's computation.
 		en.bd.AddIO(waited)
 		en.io.PrefetchHit(res.bytes, waited)
+		en.traceIO("prefetch-hit", meta.id, res.bytes, waited)
 	} else {
 		ioStart := time.Now()
 		var n int64
@@ -521,6 +619,7 @@ func (en *Engine) load(idx int) (*memPart, error) {
 		d := time.Since(ioStart)
 		en.bd.AddIO(d)
 		en.io.AddRead(n, d)
+		en.traceIO("load", meta.id, n, d)
 	}
 	// Cross-check the file's recorded vertex interval against the partition
 	// table (a swapped or stale file decodes cleanly but holds the wrong
@@ -559,8 +658,10 @@ func (en *Engine) evict(idx int) error {
 		if err != nil {
 			return err
 		}
-		en.bd.AddIO(time.Since(ioStart))
+		d := time.Since(ioStart)
+		en.bd.AddIO(d)
 		en.io.AddWrite(n)
+		en.traceIO("write", mp.meta.id, n, d)
 	}
 	delete(en.loaded, idx)
 	en.io.Eviction()
@@ -624,8 +725,10 @@ func (en *Engine) evictAll() error {
 		if err != nil {
 			return err
 		}
-		en.bd.AddIO(time.Since(ioStart))
+		d := time.Since(ioStart)
+		en.bd.AddIO(d)
 		en.io.AddAppend(n)
+		en.traceIO("append", en.parts[idx].id, n, d)
 		delete(en.pending, idx)
 	}
 	return nil
@@ -648,9 +751,22 @@ func (en *Engine) flushPending(force bool) error {
 		if err != nil {
 			return err
 		}
-		en.bd.AddIO(time.Since(ioStart))
+		d := time.Since(ioStart)
+		en.bd.AddIO(d)
 		en.io.AddAppend(n)
+		en.traceIO("append", en.parts[idx].id, n, d)
 		delete(en.pending, idx)
 	}
 	return nil
+}
+
+// traceIO emits one storage instant event when tracing is enabled. The
+// enabled check keeps the disabled path allocation-free.
+func (en *Engine) traceIO(op string, part int, bytes int64, d time.Duration) {
+	if !en.opts.Trace.Enabled() {
+		return
+	}
+	en.opts.Trace.Instant(en.opts.TraceTID, "storage", op, trace.Args{
+		"part": part, "bytes": bytes, "us": d.Microseconds(),
+	})
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/grapple-system/grapple/internal/fsm"
 	"github.com/grapple-system/grapple/internal/smt"
 	"github.com/grapple-system/grapple/internal/storage"
+	"github.com/grapple-system/grapple/internal/trace"
 )
 
 // candidate is a validated induced edge awaiting insertion.
@@ -24,21 +25,22 @@ type candidate struct {
 // path constraint is satisfiable, and adds the induced edges (paper §4.2,
 // §4.3 "similar in spirit to table joining in relational algebra, but ...
 // we need to consider the constraints of both assignment semantics and
-// paths").
-func (en *Engine) processPair(i, j int) error {
+// paths"). Returns the superstep's frontier size — how many source edges
+// were eligible for joining — for the observability layer.
+func (en *Engine) processPair(i, j int) (int, error) {
 	// Make room for i, j; other cached partitions stay resident until the
 	// memory budget forces them out, least-recently-used first.
 	if err := en.ensureBudget(i, j); err != nil {
-		return err
+		return 0, err
 	}
 	pi, err := en.load(i)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	pj := pi
 	if j != i {
 		if pj, err = en.load(j); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	en.hot = [2]int{i, j}
@@ -117,7 +119,7 @@ func (en *Engine) processPair(i, j int) error {
 	en.lastGen[key] = gen - 1
 
 	if err := en.flushPending(false); err != nil {
-		return err
+		return 0, err
 	}
 	// Eager repartitioning (paper §4.3): split any loaded partition whose
 	// byte size outgrew the budget. Split j before i: the split inserts a
@@ -126,12 +128,12 @@ func (en *Engine) processPair(i, j int) error {
 		for _, idx := range []int{j, i} {
 			if mp, ok := en.loaded[idx]; ok && mp.meta.bytes > en.opts.MemoryBudget/3 {
 				if err := en.repartition(idx); err != nil {
-					return err
+					return 0, err
 				}
 			}
 		}
 	}
-	return nil
+	return len(firsts), nil
 }
 
 // speculate predicts the pair the scheduler will pick once the current one
@@ -274,6 +276,7 @@ func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32
 						d := time.Since(solveStart)
 						en.bd.AddSolve(d)
 						en.addSolveTime(d)
+						en.solve.Observe(d)
 					}
 					if en.cache != nil {
 						en.cache.Put(key, verdict)
@@ -351,7 +354,9 @@ func (en *Engine) insert(e storage.Edge, loadedI, loadedJ int) {
 			if _, dup := en.keys[k]; dup {
 				continue
 			}
+			en.mu.Lock()
 			en.stats.Widened++
+			en.mu.Unlock()
 		}
 		en.keys[k] = struct{}{}
 		en.variants[ep]++
@@ -396,7 +401,9 @@ func (en *Engine) repartition(idx int) error {
 	if mid <= meta.lo || mid >= meta.hi {
 		return nil
 	}
+	en.mu.Lock()
 	en.stats.Repartitions++
+	en.mu.Unlock()
 
 	// Low half stays in the existing partition; the high half becomes a new
 	// partition appended at the end of the table. Vertex->partition mapping
@@ -449,8 +456,14 @@ func (en *Engine) repartition(idx int) error {
 	if err != nil {
 		return err
 	}
-	en.bd.AddIO(time.Since(ioStart))
+	d := time.Since(ioStart)
+	en.bd.AddIO(d)
 	en.io.AddWrite(n)
+	en.traceIO("write", newMeta.id, n, d)
+	if en.opts.Trace.Enabled() {
+		en.opts.Trace.Instant(en.opts.TraceTID, "engine", "repartition",
+			trace.Args{"part": meta.id, "newPart": newMeta.id, "mid": mid})
+	}
 
 	mp.edges = loEdges
 	mp.bySrc = map[uint32][]int32{}
@@ -460,9 +473,11 @@ func (en *Engine) repartition(idx int) error {
 	mp.dirty = true
 
 	// Insert newMeta right after idx to keep interval order.
+	en.mu.Lock()
 	en.parts = append(en.parts, nil)
 	copy(en.parts[idx+2:], en.parts[idx+1:])
 	en.parts[idx+1] = newMeta
+	en.mu.Unlock()
 
 	// Loaded and pending maps are indexed by position; remap anything at or
 	// beyond the insertion point.

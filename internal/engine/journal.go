@@ -36,6 +36,7 @@ import (
 
 	"github.com/grapple-system/grapple/internal/faultpoint"
 	"github.com/grapple-system/grapple/internal/storage"
+	"github.com/grapple-system/grapple/internal/trace"
 )
 
 // ErrStale reports a journal that parsed cleanly but was written by a
@@ -96,6 +97,7 @@ func (en *Engine) closeJournal() {
 // journal record committing that state. Partitions stay loaded (and clean),
 // so checkpointing does not perturb the LRU cache or pair scheduling.
 func (en *Engine) checkpoint(completed bool) error {
+	sp := en.opts.Trace.Start(en.opts.TraceTID, "engine", "checkpoint")
 	if err := en.flushPending(true); err != nil {
 		return err
 	}
@@ -110,8 +112,10 @@ func (en *Engine) checkpoint(completed bool) error {
 		if err != nil {
 			return err
 		}
-		en.bd.AddIO(time.Since(ioStart))
+		d := time.Since(ioStart)
+		en.bd.AddIO(d)
 		en.io.AddWrite(n)
+		en.traceIO("write", mp.meta.id, n, d)
 		mp.dirty = false
 	}
 	rec := &storage.JournalRecord{
@@ -159,8 +163,11 @@ func (en *Engine) checkpoint(completed bool) error {
 	en.bd.AddIO(time.Since(ioStart))
 	en.io.AddJournal(n)
 	en.jseq++
+	en.mu.Lock()
 	en.stats.Checkpoints++
 	en.stats.JournalBytes += n
+	en.mu.Unlock()
+	sp.End(trace.Args{"seq": rec.Seq, "journalBytes": n, "completed": completed})
 	if completed {
 		en.closeJournal()
 		en.removeUnreferenced()
@@ -242,7 +249,10 @@ func (en *Engine) ResumeContext(ctx context.Context, numVertices uint32) (*Stats
 	if rec.Completed {
 		// Nothing left to compute; surface the closed graph's stats.
 		en.closeJournal()
-		en.stats.EdgesAfter = en.EdgesAfter()
+		after := en.EdgesAfter()
+		en.mu.Lock()
+		en.stats.EdgesAfter = after
+		en.mu.Unlock()
 		s := en.Stats()
 		return &s, nil
 	}
@@ -307,7 +317,9 @@ func (en *Engine) restoreFrom(rec *storage.JournalRecord, numVertices uint32) er
 			en.bd.AddIO(time.Since(ioStart))
 			en.io.AddWrite(n)
 		}
+		en.mu.Lock()
 		en.parts = append(en.parts, meta)
+		en.mu.Unlock()
 	}
 	if len(en.parts) == 0 {
 		return fmt.Errorf("engine: %s: %w: journal record has no partitions", en.opts.Dir, storage.ErrCorrupt)
@@ -332,10 +344,12 @@ func (en *Engine) restoreFrom(rec *storage.JournalRecord, numVertices uint32) er
 		en.lastGen[[2]int{g.A, g.B}] = g.Gen
 	}
 	en.curGen = rec.CurGen
+	en.mu.Lock()
 	en.stats.Iterations = rec.Iterations
 	en.stats.EdgesBefore = rec.EdgesBefore
 	en.stats.Repartitions = rec.Repartitions
 	en.stats.Widened = rec.Widened
+	en.mu.Unlock()
 	en.hot = [2]int{-1, -1}
 	for idx, p := range en.parts {
 		if p.id == rec.HotA {

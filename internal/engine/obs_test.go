@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/grammar"
+	"github.com/grapple-system/grapple/internal/trace"
+)
+
+// TestStatsConcurrentWithRun pins the Stats() contract the progress
+// heartbeat and debug server rely on: it may be called from another
+// goroutine at any point during a run (including while the prefetcher is
+// active) without racing the engine's own stats writes. Run under -race by
+// `make race`.
+func TestStatsConcurrentWithRun(t *testing.T) {
+	d := grammar.NewDataflow()
+	opts := Options{MemoryBudget: 4096, Dir: t.TempDir()}
+	en := New(emptyICFET(), d.G, opts, nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := en.Stats()
+			if s.Iterations < 0 || s.Partitions < 0 {
+				panic("implausible snapshot")
+			}
+		}
+	}()
+	if _, err := en.Run(chainEdges(40, d.Flow), 40); err != nil {
+		t.Fatal(err)
+	}
+	done <- struct{}{}
+	<-done
+
+	final := en.Stats()
+	if final.Iterations == 0 || final.Partitions == 0 {
+		t.Fatalf("final stats empty: %+v", final)
+	}
+	if final.SolveLatency.Total() != 0 && final.SolveLatency.Total() > final.ConstraintsSolved {
+		t.Fatalf("solve latency histogram (%d) exceeds solves (%d)",
+			final.SolveLatency.Total(), final.ConstraintsSolved)
+	}
+}
+
+// TestTraceDoesNotChangeClosure is the engine-level half of the
+// observation-only contract: the same input closed with tracing and
+// progress attached must produce the exact same edge set, iteration count,
+// and edge totals as a bare run.
+func TestTraceDoesNotChangeClosure(t *testing.T) {
+	d := grammar.NewDataflow()
+	edges := chainEdges(48, d.Flow)
+
+	enBare, stBare := runEngine(t, emptyICFET(), d.G, Options{MemoryBudget: 4096}, edges, 48)
+
+	var chrome, jsonl bytes.Buffer
+	rec := trace.NewWriters(&chrome, &jsonl)
+	prog := trace.NewProgress()
+	opts := Options{
+		MemoryBudget: 4096,
+		Dir:          t.TempDir(),
+		Trace:        rec,
+		TraceTID:     rec.Thread("engine-test"),
+		Progress:     prog,
+	}
+	enObs := New(emptyICFET(), d.G, opts, nil)
+	stObs, err := enObs.Run(edges, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(closureKeys(t, enBare), closureKeys(t, enObs)) {
+		t.Fatal("traced run produced a different closure")
+	}
+	if stBare.Iterations != stObs.Iterations ||
+		stBare.EdgesBefore != stObs.EdgesBefore ||
+		stBare.EdgesAfter != stObs.EdgesAfter {
+		t.Fatalf("traced run changed stats: bare iter=%d eb=%d ea=%d, traced iter=%d eb=%d ea=%d",
+			stBare.Iterations, stBare.EdgesBefore, stBare.EdgesAfter,
+			stObs.Iterations, stObs.EdgesBefore, stObs.EdgesAfter)
+	}
+
+	// The trace itself must be a valid Chrome document with one span per
+	// superstep (plus preprocess and metadata).
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	supersteps := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "superstep" {
+			supersteps++
+		}
+	}
+	if int64(supersteps) != stObs.Iterations {
+		t.Fatalf("trace has %d superstep spans, engine ran %d iterations", supersteps, stObs.Iterations)
+	}
+
+	snap := prog.Snapshot()
+	if snap.Superstep != stObs.Iterations {
+		t.Fatalf("progress superstep %d, want %d", snap.Superstep, stObs.Iterations)
+	}
+	if snap.Edges != stObs.EdgesAfter {
+		t.Fatalf("progress edges %d, want %d", snap.Edges, stObs.EdgesAfter)
+	}
+}

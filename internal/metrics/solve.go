@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SolveLatencyBuckets are the upper bounds (exclusive) of the SMT solve
+// latency histogram; the final bucket is unbounded. Solves are much shorter
+// than partition loads, so the bounds sit an order of magnitude below
+// LoadLatencyBuckets.
+var SolveLatencyBuckets = []time.Duration{
+	5 * time.Microsecond,
+	10 * time.Microsecond,
+	25 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	5 * time.Millisecond,
+}
+
+// LatencyCounts is a snapshot of one latency histogram: LatencyCounts[i]
+// counts observations under the i-th bucket bound; the last entry is the
+// unbounded overflow bucket.
+type LatencyCounts [numLatencyBuckets]int64
+
+// Total sums all buckets.
+func (c LatencyCounts) Total() int64 {
+	var n int64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Add accumulates another snapshot (merging phases or batch instances).
+func (c *LatencyCounts) Add(o LatencyCounts) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// String renders the histogram against bounds, e.g. "<5µs:12 ... ≥5ms:1",
+// omitting empty buckets.
+func (c LatencyCounts) String(bounds []time.Duration) string {
+	var b strings.Builder
+	for i, n := range c {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if i < len(bounds) {
+			fmt.Fprintf(&b, "<%s:%d", bounds[i], n)
+		} else {
+			fmt.Fprintf(&b, "≥%s:%d", bounds[len(bounds)-1], n)
+		}
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// SolveHist accumulates SMT solve latencies. Safe for concurrent use: the
+// engine's join workers each record their own solver's calls into one
+// shared instance.
+type SolveHist struct {
+	buckets [numLatencyBuckets]atomic.Int64
+}
+
+// Observe records one solve of duration d. Bucket bounds are exclusive
+// upper bounds, matching IOStats.observeLatency: a solve exactly at a bound
+// lands in the next bucket up.
+func (h *SolveHist) Observe(d time.Duration) {
+	for i, ub := range SolveLatencyBuckets {
+		if d < ub {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[numLatencyBuckets-1].Add(1)
+}
+
+// Snapshot returns the current totals.
+func (h *SolveHist) Snapshot() LatencyCounts {
+	var out LatencyCounts
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSolveHistBucketBoundaries(t *testing.T) {
+	// Bounds are exclusive upper bounds: an observation exactly at a bound
+	// must land in the next bucket up, not the one the bound names.
+	var h SolveHist
+	for i, ub := range SolveLatencyBuckets {
+		h.Observe(ub - time.Nanosecond) // strictly under → bucket i
+		h.Observe(ub)                   // exactly at the bound → bucket i+1
+		s := h.Snapshot()
+		if s[i] != 1 {
+			t.Fatalf("bucket %d after observing bound-1ns: got %d, want 1 (%v)", i, s[i], s)
+		}
+		if s[i+1] != 1 {
+			t.Fatalf("bucket %d after observing exact bound %v: got %d, want 1 (%v)", i+1, ub, s[i+1], s)
+		}
+		h = SolveHist{}
+	}
+}
+
+func TestSolveHistOverflowBucket(t *testing.T) {
+	var h SolveHist
+	last := SolveLatencyBuckets[len(SolveLatencyBuckets)-1]
+	h.Observe(last)
+	h.Observe(10 * last)
+	s := h.Snapshot()
+	if got := s[len(s)-1]; got != 2 {
+		t.Fatalf("overflow bucket: got %d, want 2 (%v)", got, s)
+	}
+	if s.Total() != 2 {
+		t.Fatalf("total: got %d, want 2", s.Total())
+	}
+}
+
+func TestSolveHistConcurrent(t *testing.T) {
+	// The engine's join workers share one histogram; concurrent Observe
+	// calls must not lose counts (and must pass -race).
+	var h SolveHist
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(i%200) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Total(); got != workers*perWorker {
+		t.Fatalf("total after concurrent observes: got %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestLatencyCountsAddAndString(t *testing.T) {
+	var a, b LatencyCounts
+	a[0], a[3] = 2, 1
+	b[0], b[7] = 5, 4
+	a.Add(b)
+	want := LatencyCounts{7, 0, 0, 1, 0, 0, 0, 4}
+	if a != want {
+		t.Fatalf("Add: got %v, want %v", a, want)
+	}
+	if a.Total() != 12 {
+		t.Fatalf("Total: got %d, want 12", a.Total())
+	}
+	s := a.String(SolveLatencyBuckets)
+	for _, frag := range []string{"<5µs:7", "<50µs:1", "≥5ms:4"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String: %q missing %q", s, frag)
+		}
+	}
+	if strings.Contains(s, "<10µs") {
+		t.Fatalf("String should omit empty buckets: %q", s)
+	}
+	var empty LatencyCounts
+	if got := empty.String(SolveLatencyBuckets); got != "none" {
+		t.Fatalf("empty String: got %q, want \"none\"", got)
+	}
+}
+
+func TestIOStatsLoadLatencyBoundaries(t *testing.T) {
+	// observeLatency shares the exclusive-upper-bound convention with
+	// SolveHist; pin the same edge behaviour for partition loads.
+	var s IOStats
+	for i, ub := range LoadLatencyBuckets {
+		s.AddRead(1, ub-time.Nanosecond)
+		s.AddRead(1, ub)
+		snap := s.Snapshot()
+		if snap.LoadLatency[i] != 1 || snap.LoadLatency[i+1] != 1 {
+			t.Fatalf("bound %v: buckets %v, want 1 at %d and %d", ub, snap.LoadLatency, i, i+1)
+		}
+		s = IOStats{}
+	}
+}
+
+func TestSchedStatsMergedAcrossWorkers(t *testing.T) {
+	// Every pool worker reports into one SchedStats; the snapshot must
+	// reflect the union: summed waits/runs, global maxima, exact counts.
+	var s SchedStats
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Enqueue()
+				s.Dequeue(time.Duration(w+1) * time.Millisecond)
+				s.Done(time.Duration(i+1)*time.Microsecond, i%10 != 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Enqueued != workers*perWorker || snap.Started != workers*perWorker {
+		t.Fatalf("enqueued/started: %d/%d, want %d", snap.Enqueued, snap.Started, workers*perWorker)
+	}
+	if snap.Completed+snap.Failed != workers*perWorker {
+		t.Fatalf("completed+failed: %d, want %d", snap.Completed+snap.Failed, workers*perWorker)
+	}
+	if snap.Failed != workers*perWorker/10 {
+		t.Fatalf("failed: %d, want %d", snap.Failed, workers*perWorker/10)
+	}
+	if snap.MaxWait != time.Duration(workers)*time.Millisecond {
+		t.Fatalf("max wait: %v, want %v", snap.MaxWait, time.Duration(workers)*time.Millisecond)
+	}
+	if snap.MaxRun != perWorker*time.Microsecond {
+		t.Fatalf("max run: %v, want %v", snap.MaxRun, perWorker*time.Microsecond)
+	}
+	var wantWait time.Duration
+	for w := 1; w <= workers; w++ {
+		wantWait += time.Duration(w) * perWorker * time.Millisecond
+	}
+	if snap.TotalWait != wantWait {
+		t.Fatalf("total wait: %v, want %v", snap.TotalWait, wantWait)
+	}
+}

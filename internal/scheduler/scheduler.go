@@ -39,6 +39,7 @@ import (
 	"github.com/grapple-system/grapple/internal/metrics"
 	"github.com/grapple-system/grapple/internal/smt"
 	"github.com/grapple-system/grapple/internal/storage"
+	"github.com/grapple-system/grapple/internal/trace"
 )
 
 // Subject is one named compilation unit.
@@ -169,6 +170,13 @@ type Options struct {
 	// Faults injects deterministic crash points after instance completions
 	// (crash-injection tests only).
 	Faults *faultpoint.Set
+	// Trace, when non-nil, records one span per instance on a per-worker
+	// thread lane and is threaded into each instance's checker (and engines).
+	// Observation only: the merged report stream is unaffected.
+	Trace *trace.Recorder
+	// Progress, when non-nil, tracks batch completion (instances started,
+	// done, still running) for the heartbeat and status.json machinery.
+	Progress *trace.Progress
 }
 
 // BatchResult is a batch run's outcome.
@@ -281,17 +289,28 @@ func Run(ctx context.Context, instances []Instance, opts Options) (*BatchResult,
 	defer cancelRun()
 	var injectMu sync.Mutex
 	var injected error
+	opts.Progress.SetBatch(pending)
 	jobs := make(chan job, len(instances))
 	results := make([]InstanceResult, len(instances))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		// One trace lane per worker, so instance spans of concurrent workers
+		// render as parallel tracks instead of overlapping on one line.
+		tid := opts.Trace.Thread(fmt.Sprintf("worker-%02d", w))
 		go func() {
 			defer wg.Done()
 			for jb := range jobs {
 				wait := time.Since(jb.enq)
 				stats.Dequeue(wait)
-				r := runOne(runCtx, &instances[jb.idx], opts, cache, preps, stats)
+				opts.Progress.InstanceStart()
+				sp := opts.Trace.Start(tid, "scheduler", "instance")
+				r := runOne(runCtx, &instances[jb.idx], opts, cache, preps, stats, tid)
+				sp.End(trace.Args{
+					"subject": r.Subject, "group": r.Group,
+					"waitUs": wait.Microseconds(), "ok": r.Err == nil,
+				})
+				opts.Progress.InstanceDone()
 				if r.Err == nil && clog != nil {
 					if err := clog.append(&completionRecord{
 						Subject: r.Subject, Group: r.Group,
@@ -520,8 +539,9 @@ func (ps *prepStore) get(ctx context.Context, source string, copts checker.Optio
 	return prep, nil
 }
 
-// runOne executes a single instance under its per-instance deadline.
-func runOne(ctx context.Context, in *Instance, opts Options, cache *smt.Cache, preps *prepStore, stats *metrics.SchedStats) InstanceResult {
+// runOne executes a single instance under its per-instance deadline. tid is
+// the worker's trace lane; the instance's checker (and engines) emit onto it.
+func runOne(ctx context.Context, in *Instance, opts Options, cache *smt.Cache, preps *prepStore, stats *metrics.SchedStats, tid uint64) InstanceResult {
 	res := InstanceResult{Subject: in.Subject, Group: in.Group}
 	ictx := ctx
 	if opts.Timeout > 0 {
@@ -536,6 +556,12 @@ func runOne(ctx context.Context, in *Instance, opts Options, cache *smt.Cache, p
 	// frontend sharing and perturb witness encodings between sharing modes,
 	// so batch instances always build full CFETs.
 	copts.Slice = checker.SliceOff
+	// Thread the batch's recorder into the instance on this worker's lane.
+	// The batch-level Progress is NOT passed down: concurrent instances would
+	// fight over the phase field; batch progress tracks instance lifecycles.
+	copts.Trace = opts.Trace
+	copts.TraceTID = tid
+	copts.Progress = nil
 	if cache != nil {
 		copts.Engine.Cache = cache
 		// Encoded-path memo keys are positional within one compilation

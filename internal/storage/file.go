@@ -207,6 +207,40 @@ func syncDir(path string) error {
 	return d.Close()
 }
 
+// WriteFileAtomic atomically replaces path with data using the same
+// crash-safe sequence as WritePart: write-temp → fsync file → rename →
+// fsync directory. A crash leaves either the old file or the complete new
+// one — never a torn file under the real name. It backs the progress
+// layer's status.json rewrite, where an external poller may read the file
+// at any instant.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
 // WritePart atomically replaces path with a v2 partition file holding
 // edges, recording info in the header. The sequence is write-temp → fsync
 // file → rename → fsync directory, so a crash leaves either the old file or
