@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race fuzz golden ci bench lint-self check-self crash obs-smoke
+.PHONY: build test vet fmt-check race fuzz golden ci bench bench-hotpath alloc-budget lint-self check-self crash obs-smoke
 
 build:
 	$(GO) build ./...
@@ -89,4 +89,18 @@ obs-smoke: build
 bench:
 	$(GO) run ./cmd/grapple-bench -all
 
-ci: vet fmt-check race test crash lint-self check-self obs-smoke
+# Hot-path ablation table (zero-copy decode + join pooling), with the
+# machine-readable artifact committed next to EXPERIMENTS.md.
+bench-hotpath: build
+	$(GO) run ./cmd/grapple-bench -table hotpath -hotpath-json BENCH_hotpath.json
+
+# Allocation-budget regression gates: the zero-copy read path must stay
+# near zero allocs/record (and under half of the legacy decoder), and a
+# warm SMT-cache probe from the pooled join must not allocate at all.
+# Run without -race: the race runtime inflates allocation counts, so these
+# tests skip themselves under it.
+alloc-budget: build
+	$(GO) test ./internal/storage/ -run TestDecodeAllocBudget -count=1
+	$(GO) test ./internal/engine/ -run TestCacheProbeZeroAlloc -count=1
+
+ci: vet fmt-check race test crash lint-self check-self obs-smoke alloc-budget

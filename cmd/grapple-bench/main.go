@@ -15,6 +15,7 @@
 //	grapple-bench -table prune      infeasible-branch pruning ablation
 //	grapple-bench -table slice      property-relevance slicing ablation
 //	grapple-bench -table gofront    synthetic subjects vs a real Go package
+//	grapple-bench -table hotpath    zero-copy decode and join-pooling ablations
 //	grapple-bench -all              everything above
 //
 // -subjects restricts the subject set (comma separated), -mem sets the
@@ -32,7 +33,8 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront|hotpath")
+	hotpathJSON := flag.String("hotpath-json", "", "also write -table hotpath rows to this JSON file")
 	goDir := flag.String("godir", "internal/storage", "real-Go package for -table gofront")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -46,7 +48,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront|hotpath | -figure 9")
 		os.Exit(2)
 	}
 
@@ -125,6 +127,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(out)
+	}
+	if want("hotpath") {
+		fmt.Fprintln(os.Stderr, "running hot-path ablations (decode modes + join pooling, each subject)...")
+		out, rows, err := bench.HotpathTable(names, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		if *hotpathJSON != "" {
+			if err := bench.WriteHotpathJSON(*hotpathJSON, rows); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *hotpathJSON)
+		}
 	}
 	if want("resume") {
 		fmt.Fprintln(os.Stderr, "running checkpoint/resume measurement (each subject four times)...")

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/engine"
+	"github.com/grapple-system/grapple/internal/smt"
+	"github.com/grapple-system/grapple/internal/storage"
+)
+
+// HotpathRow is one subject's hot-path measurement: the v2 decode path with
+// the zero-copy block cursor against the legacy stream decoder, and the edge
+// join with scratch-buffer pooling against per-superstep allocation.
+type HotpathRow struct {
+	Subject string `json:"subject"`
+
+	// Decode side: reading the subject's alias-graph edges back from one v2
+	// partition file.
+	Records           int64   `json:"records"`
+	DecodeNsZeroCopy  float64 `json:"decode_ns_per_record_zero_copy"`
+	DecodeNsLegacy    float64 `json:"decode_ns_per_record_legacy"`
+	AllocsRecZeroCopy float64 `json:"allocs_per_record_zero_copy"`
+	AllocsRecLegacy   float64 `json:"allocs_per_record_legacy"`
+
+	// Join side: closing the alias graph with and without buffer pooling.
+	InducedEdges   int64         `json:"induced_edges"`
+	JoinNsPooled   float64       `json:"join_ns_per_edge_pooled"`
+	JoinNsUnpooled float64       `json:"join_ns_per_edge_unpooled"`
+	WallPooled     time.Duration `json:"wall_pooled_ns"`
+	WallUnpooled   time.Duration `json:"wall_unpooled_ns"`
+}
+
+// AllocSaving reports the fractional allocs/record reduction of the
+// zero-copy decoder (the number the alloc-budget CI gate checks).
+func (r HotpathRow) AllocSaving() float64 {
+	if r.AllocsRecLegacy == 0 {
+		return 0
+	}
+	return 1 - r.AllocsRecZeroCopy/r.AllocsRecLegacy
+}
+
+// hotpathJoinBudget matches the I/O table's out-of-core budget: small enough
+// that the join actually cycles partitions through the pools every
+// superstep instead of staying resident.
+const hotpathJoinBudget = 4 << 20
+
+// HotpathTable measures both hot paths for the named subjects (default: all
+// four profiles). Both comparisons are ablations of semantics-preserving
+// optimizations, so each pair of runs must agree on every closure statistic;
+// a disagreement fails the table rather than reporting bogus speedups.
+func HotpathTable(names []string, workDir string) (string, []HotpathRow, error) {
+	if len(names) == 0 {
+		names = SubjectNames()
+	}
+	var rows []HotpathRow
+	for _, name := range names {
+		row, err := runHotpath(name, workDir)
+		if err != nil {
+			return "", nil, err
+		}
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	b.WriteString("Hot-path ablations: zero-copy v2 decode vs legacy stream decode, pooled vs unpooled join buffers.\n")
+	fmt.Fprintf(&b, "%-15s %8s %10s %10s %9s %9s %8s | %9s %12s %12s\n",
+		"Subject", "records", "ns/rec zc", "ns/rec leg", "alloc/zc", "alloc/leg", "saving",
+		"induced", "ns/join pool", "ns/join none")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %8d %10.0f %10.0f %9.3f %9.3f %7.0f%% | %9d %12.0f %12.0f\n",
+			r.Subject, r.Records, r.DecodeNsZeroCopy, r.DecodeNsLegacy,
+			r.AllocsRecZeroCopy, r.AllocsRecLegacy, 100*r.AllocSaving(),
+			r.InducedEdges, r.JoinNsPooled, r.JoinNsUnpooled)
+	}
+	return b.String(), rows, nil
+}
+
+func runHotpath(name, workDir string) (HotpathRow, error) {
+	ic, ag, err := aliasGraphFor(name)
+	if err != nil {
+		return HotpathRow{}, err
+	}
+	row := HotpathRow{Subject: name, Records: int64(len(ag.Edges))}
+
+	dir, err := os.MkdirTemp(workDir, "grapple-hotpath-*")
+	if err != nil {
+		return HotpathRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Decode side: one v2 partition file holding the subject's initial alias
+	// edges, read back in both modes.
+	path := filepath.Join(dir, "decode.edges")
+	if _, err := storage.WritePart(path, ag.Edges, storage.PartInfo{Lo: 0, Hi: ag.NumVerts}); err != nil {
+		return HotpathRow{}, err
+	}
+	zcNs, zcAllocs, err := measureDecode(path, len(ag.Edges), storage.ReadOptions{})
+	if err != nil {
+		return HotpathRow{}, err
+	}
+	legNs, legAllocs, err := measureDecode(path, len(ag.Edges), storage.ReadOptions{LegacyDecode: true})
+	if err != nil {
+		return HotpathRow{}, err
+	}
+	row.DecodeNsZeroCopy, row.AllocsRecZeroCopy = zcNs, zcAllocs
+	row.DecodeNsLegacy, row.AllocsRecLegacy = legNs, legAllocs
+
+	// Join side: close the alias graph with pooling on and off. The two
+	// closures must be statistically identical — pooling is an ablation of
+	// an allocation strategy, not of the computation.
+	run := func(disable bool, sub string) (*engine.Stats, time.Duration, error) {
+		en := engine.New(ic, ag.Ptr.G, engine.Options{
+			Dir:            filepath.Join(dir, sub),
+			MemoryBudget:   hotpathJoinBudget,
+			SolverOpts:     smt.DefaultOptions(),
+			DisablePooling: disable,
+		}, nil)
+		start := time.Now()
+		st, err := en.Run(cloneEdges(ag.Edges), ag.NumVerts)
+		return st, time.Since(start), err
+	}
+	pooled, pw, err := run(false, "pooled")
+	if err != nil {
+		return HotpathRow{}, err
+	}
+	unpooled, uw, err := run(true, "unpooled")
+	if err != nil {
+		return HotpathRow{}, err
+	}
+	if pooled.EdgesAfter != unpooled.EdgesAfter ||
+		pooled.RejectedUnsat != unpooled.RejectedUnsat ||
+		pooled.RejectedConflict != unpooled.RejectedConflict {
+		return HotpathRow{}, fmt.Errorf("bench: %s: pooling changed the closure: %+v vs %+v",
+			name, pooled, unpooled)
+	}
+	row.InducedEdges = pooled.EdgesAfter - pooled.EdgesBefore
+	row.WallPooled, row.WallUnpooled = pw, uw
+	if row.InducedEdges > 0 {
+		row.JoinNsPooled = float64(pw.Nanoseconds()) / float64(row.InducedEdges)
+		row.JoinNsUnpooled = float64(uw.Nanoseconds()) / float64(row.InducedEdges)
+	}
+	return row, nil
+}
+
+// measureDecode reads path best-of-three in the given mode, returning
+// ns/record and allocs/record. Allocation counts come from the runtime's
+// Mallocs counter around each pass; the minimum over passes discards GC and
+// scheduler noise.
+func measureDecode(path string, records int, opt storage.ReadOptions) (nsPerRec, allocsPerRec float64, err error) {
+	if records == 0 {
+		return 0, 0, nil
+	}
+	dst := make([]storage.Edge, 0, records)
+	// Warmup pass: page cache, dst capacity.
+	if dst, _, _, err = storage.ReadPartWith(path, dst[:0], opt); err != nil {
+		return 0, 0, err
+	}
+	bestNs, bestAllocs := float64(0), float64(0)
+	var ms runtime.MemStats
+	for pass := 0; pass < 3; pass++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		start := time.Now()
+		if dst, _, _, err = storage.ReadPartWith(path, dst[:0], opt); err != nil {
+			return 0, 0, err
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		ns := float64(wall.Nanoseconds()) / float64(records)
+		allocs := float64(ms.Mallocs-before) / float64(records)
+		if pass == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if pass == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+	return bestNs, bestAllocs, nil
+}
+
+// WriteHotpathJSON records the table's rows as machine-readable JSON (the
+// BENCH_hotpath.json artifact `make bench-hotpath` commits next to
+// EXPERIMENTS.md).
+func WriteHotpathJSON(path string, rows []HotpathRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -70,6 +70,18 @@ type Options struct {
 	// results or scheduling — only whether the join waits on the disk — so
 	// this exists for benchmarking the overlap (bench.IOTable).
 	DisablePrefetch bool
+	// DisablePooling turns off cross-superstep reuse of the join's scratch
+	// buffers — the frontier slice, per-chunk candidate batches, the CSR
+	// bySrc index arena, and per-chunk SMT-cache key buffers — reverting to
+	// fresh allocations and string cache keys per candidate. Pooling never
+	// changes what is computed; this is the ablation hook for the hotpath
+	// bench and the closure-identity test.
+	DisablePooling bool
+	// LegacyDecode routes partition reads through the field-by-field v2
+	// stream decoder instead of the zero-copy block cursor
+	// (storage.ReadOptions.LegacyDecode). Decoding mode never changes the
+	// edges read; ablation hook like DisablePooling.
+	LegacyDecode bool
 	// Journal makes superstep state durable: each checkpoint flushes every
 	// partition and appends one record to a per-run journal in Dir, so a
 	// killed run can continue via ResumeContext. Journaling never changes
@@ -144,6 +156,42 @@ type memPart struct {
 	lastUse int64
 }
 
+// buildBySrc indexes edges by source vertex. With pooling on it builds the
+// index CSR-style — counting pass, one shared backing array, capped
+// subslices — so a partition load costs two allocations for the index
+// instead of one per distinct source (the grow-by-append pattern this
+// replaces). The capped subslices make later appends by memPart.add spill
+// into fresh arrays, never into a neighbor's range. Slice contents and
+// iteration-relevant order are identical in both modes: indices appear in
+// increasing edge order.
+func (en *Engine) buildBySrc(edges []storage.Edge) map[uint32][]int32 {
+	if en.opts.DisablePooling || len(edges) == 0 {
+		bySrc := map[uint32][]int32{}
+		for i := range edges {
+			bySrc[edges[i].Src] = append(bySrc[edges[i].Src], int32(i))
+		}
+		return bySrc
+	}
+	counts := make(map[uint32]int32, 64)
+	for i := range edges {
+		counts[edges[i].Src]++
+	}
+	backing := make([]int32, 0, len(edges))
+	out := make(map[uint32][]int32, len(counts))
+	for i := range edges {
+		src := edges[i].Src
+		s, ok := out[src]
+		if !ok {
+			lo := len(backing)
+			hi := lo + int(counts[src])
+			backing = backing[:hi]
+			s = backing[lo:lo:hi]
+		}
+		out[src] = append(s, int32(i))
+	}
+	return out
+}
+
 func (mp *memPart) add(e storage.Edge, sz int64) {
 	idx := int32(len(mp.edges))
 	mp.edges = append(mp.edges, e)
@@ -187,6 +235,18 @@ type Engine struct {
 	// pending buffers edges owned by unloaded partitions.
 	pending map[int][]storage.Edge
 
+	// readOpts selects the partition decode path (zero-copy block cursor by
+	// default; Options.LegacyDecode flips it).
+	readOpts storage.ReadOptions
+
+	// Join scratch reused across supersteps (left nil when
+	// Options.DisablePooling): the superstep loop is single-threaded, so by
+	// the time processPair runs again the previous superstep's frontier,
+	// chunk bounds, and candidate batches have all been consumed.
+	firstsBuf []*storage.Edge
+	chunkBuf  [][2]int
+	scratch   []*joinScratch
+
 	// jw is the run journal while Options.Journal is on (or after resume);
 	// jseq numbers the next checkpoint record.
 	jw   *storage.JournalWriter
@@ -217,13 +277,15 @@ func New(ic *cfet.ICFET, g *grammar.Grammar, opts Options, bd *metrics.Breakdown
 		bd = &metrics.Breakdown{}
 	}
 	io := &metrics.IOStats{}
+	readOpts := storage.ReadOptions{LegacyDecode: opts.LegacyDecode}
 	e := &Engine{
 		opts:     opts,
 		ic:       ic,
 		g:        g,
 		bd:       bd,
 		io:       io,
-		pf:       newPrefetcher(io),
+		pf:       newPrefetcher(io, readOpts),
+		readOpts: readOpts,
 		loaded:   map[int]*memPart{},
 		lastGen:  map[[2]int]uint32{},
 		keys:     map[uint64]struct{}{},
@@ -612,7 +674,7 @@ func (en *Engine) load(idx int) (*memPart, error) {
 		ioStart := time.Now()
 		var n int64
 		var err error
-		edges, info, n, err = storage.ReadPart(meta.path, nil)
+		edges, info, n, err = storage.ReadPartWith(meta.path, nil, en.readOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -636,10 +698,7 @@ func (en *Engine) load(idx int) (*memPart, error) {
 		edges = append(edges, p...)
 		delete(en.pending, idx)
 	}
-	mp := &memPart{meta: meta, edges: edges, bySrc: map[uint32][]int32{}, lastUse: en.tick}
-	for i := range edges {
-		mp.bySrc[edges[i].Src] = append(mp.bySrc[edges[i].Src], int32(i))
-	}
+	mp := &memPart{meta: meta, edges: edges, bySrc: en.buildBySrc(edges), lastUse: en.tick}
 	en.loaded[idx] = mp
 	return mp, nil
 }

@@ -20,6 +20,39 @@ type candidate struct {
 	edge storage.Edge
 }
 
+// joinScratch is one join chunk's reusable buffers: the candidate batch the
+// chunk produces and the SMT-cache key scratch its probes encode into. The
+// superstep loop is single-threaded, so a chunk's batch from superstep N is
+// fully consumed (inserted) before superstep N+1 hands the same scratch to
+// another goroutine; within a superstep each chunk owns its scratch
+// exclusively.
+type joinScratch struct {
+	out    []candidate
+	keyBuf []byte
+}
+
+// splitRange appends to dst the bounds of at most `workers` contiguous,
+// near-equal chunks covering [0, n) — and never more chunks than elements,
+// so a 3-edge frontier under 8 workers fans out to 3 single-edge chunks
+// instead of serializing on one goroutine (the old clamp-to-1 behavior).
+func splitRange(dst [][2]int, n, workers int) [][2]int {
+	if n <= 0 || workers < 1 {
+		return dst
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		dst = append(dst, [2]int{lo, hi})
+	}
+	return dst
+}
+
 // processPair loads partitions i and j, joins every consecutive edge pair
 // (x->y, y->z) whose labels match a grammar production and whose combined
 // path constraint is satisfiable, and adds the induced edges (paper §4.2,
@@ -50,7 +83,14 @@ func (en *Engine) processPair(i, j int) (int, error) {
 	gen := en.curGen
 
 	// Collect source edges; semi-naive: at least one side must be new.
+	// With pooling on the frontier slice is reused across supersteps: the
+	// previous superstep's frontier is dead by the time the loop comes back
+	// here (its candidates were inserted before the superstep ended).
+	pool := !en.opts.DisablePooling
 	var firsts []*storage.Edge
+	if pool {
+		firsts = en.firstsBuf[:0]
+	}
 	collect := func(mp *memPart) {
 		for k := range mp.edges {
 			e := &mp.edges[k]
@@ -74,27 +114,36 @@ func (en *Engine) processPair(i, j int) (int, error) {
 		return nil, nil
 	}
 
-	workers := en.opts.Workers
-	if workers > len(firsts) {
-		workers = 1
+	var chunks [][2]int
+	if pool {
+		chunks = splitRange(en.chunkBuf[:0], len(firsts), en.opts.Workers)
+		en.chunkBuf = chunks
+		for len(en.scratch) < len(chunks) {
+			en.scratch = append(en.scratch, &joinScratch{})
+		}
+	} else {
+		chunks = splitRange(nil, len(firsts), en.opts.Workers)
 	}
 	var wg sync.WaitGroup
-	results := make([][]candidate, workers)
-	chunk := (len(firsts) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(firsts) {
-			hi = len(firsts)
-		}
-		if lo >= hi {
-			continue
-		}
+	var results [][]candidate
+	if !pool {
+		results = make([][]candidate, len(chunks))
+	}
+	for w, c := range chunks {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			results[w] = en.joinRange(firsts[lo:hi], lookup, last, seen, gen)
-		}(w, lo, hi)
+			var scr *joinScratch
+			if pool {
+				scr = en.scratch[w]
+			}
+			out := en.joinRange(firsts[lo:hi], lookup, last, seen, gen, scr)
+			if pool {
+				en.scratch[w].out = out
+			} else {
+				results[w] = out
+			}
+		}(w, c[0], c[1])
 	}
 	// While the join computes, start loading the partition the scheduler is
 	// predicted to need next, so the next iteration's disk wait overlaps
@@ -106,12 +155,21 @@ func (en *Engine) processPair(i, j int) (int, error) {
 
 	// Insert candidates (single-threaded: dedupe set and partitions).
 	computeStart := time.Now()
-	for _, batch := range results {
+	for w := range chunks {
+		var batch []candidate
+		if pool {
+			batch = en.scratch[w].out
+		} else {
+			batch = results[w]
+		}
 		for _, c := range batch {
 			en.insert(c.edge, i, j)
 		}
 	}
 	en.bd.AddCompute(time.Since(computeStart))
+	if pool {
+		en.firstsBuf = firsts
+	}
 
 	// Edges induced during this very iteration carry generation `gen` and
 	// still need to be joined against everything, so the pair is processed
@@ -181,34 +239,49 @@ func (en *Engine) speculate(curI, curJ int) {
 	}
 }
 
-// encCacheKey builds the memoization key from an encoding's raw elements.
-func encCacheKey(enc cfet.Enc) string {
-	buf := make([]byte, 0, len(enc)*16)
+// appendEncCacheKey appends the memoization key of an encoding's raw
+// elements to dst. Callers reuse dst across probes so a cache lookup costs
+// no allocation; the key string is materialized only when the cache
+// actually inserts an entry (smt.Cache.PutBytes).
+func appendEncCacheKey(dst []byte, enc cfet.Enc) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, el := range enc {
-		buf = append(buf, byte(el.Kind))
+		dst = append(dst, byte(el.Kind))
 		switch el.Kind {
 		case cfet.KInterval:
 			n := binary.PutUvarint(tmp[:], uint64(el.Method))
-			buf = append(buf, tmp[:n]...)
+			dst = append(dst, tmp[:n]...)
 			n = binary.PutUvarint(tmp[:], el.Start)
-			buf = append(buf, tmp[:n]...)
+			dst = append(dst, tmp[:n]...)
 			n = binary.PutUvarint(tmp[:], el.End)
-			buf = append(buf, tmp[:n]...)
+			dst = append(dst, tmp[:n]...)
 		default:
 			n := binary.PutUvarint(tmp[:], uint64(el.Call))
-			buf = append(buf, tmp[:n]...)
+			dst = append(dst, tmp[:n]...)
 		}
 	}
-	return string(buf)
+	return dst
+}
+
+// encCacheKey builds the memoization key as a string (the unpooled path;
+// the pooled join probes with appendEncCacheKey's bytes instead).
+func encCacheKey(enc cfet.Enc) string {
+	return string(appendEncCacheKey(make([]byte, 0, len(enc)*16), enc))
 }
 
 // joinRange joins each first edge against the loaded second edges and
 // returns constraint-validated candidates. Runs concurrently; touches only
-// read-only engine state plus its own solver.
-func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32, *memPart), last uint32, seen bool, gen uint32) []candidate {
+// read-only engine state plus its own solver and scratch. scr, when
+// non-nil, supplies the reused candidate batch and cache-key buffer
+// (nil reverts to fresh allocations — the pooling ablation).
+func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32, *memPart), last uint32, seen bool, gen uint32, scr *joinScratch) []candidate {
 	solver := &smt.CachedSolver{S: smt.New(en.opts.SolverOpts)}
 	var out []candidate
+	var keyBuf []byte
+	if scr != nil {
+		out = scr.out[:0]
+		keyBuf = scr.keyBuf
+	}
 	var cacheLookups, cacheHits int64
 	computeStart := time.Now()
 	for _, e1 := range firsts {
@@ -253,14 +326,24 @@ func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32
 			if len(enc) > 0 {
 				// Constraint memoization keyed by the encoded path (paper
 				// §4.3: "using encoded paths as the keys"): a hit skips
-				// both decoding and solving.
+				// both decoding and solving. The pooled path encodes the
+				// key into the chunk's scratch buffer and probes with
+				// byte-key lookups, so a probe per join candidate costs no
+				// allocation; the key string only materializes when a miss
+				// inserts a new entry.
 				var key string
 				var verdict smt.Result
 				hit := false
 				if en.cache != nil {
-					key = en.opts.CacheKeyPrefix + encCacheKey(enc)
 					cacheLookups++
-					verdict, hit = en.cache.Get(key)
+					if scr != nil {
+						keyBuf = append(keyBuf[:0], en.opts.CacheKeyPrefix...)
+						keyBuf = appendEncCacheKey(keyBuf, enc)
+						verdict, hit = en.cache.GetBytes(keyBuf)
+					} else {
+						key = en.opts.CacheKeyPrefix + encCacheKey(enc)
+						verdict, hit = en.cache.Get(key)
+					}
 					if hit {
 						cacheHits++
 					}
@@ -279,7 +362,11 @@ func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32
 						en.solve.Observe(d)
 					}
 					if en.cache != nil {
-						en.cache.Put(key, verdict)
+						if scr != nil {
+							en.cache.PutBytes(keyBuf, verdict)
+						} else {
+							en.cache.Put(key, verdict)
+						}
 					}
 				}
 				if verdict == smt.Unsat {
@@ -296,6 +383,9 @@ func (en *Engine) joinRange(firsts []*storage.Edge, lookup func(uint32) ([]int32
 		}
 	}
 	en.bd.AddCompute(time.Since(computeStart))
+	if scr != nil {
+		scr.keyBuf = keyBuf
+	}
 	en.mu.Lock()
 	en.stats.ConstraintsSolved += solver.S.Calls
 	en.stats.CacheLookups += cacheLookups
@@ -466,10 +556,7 @@ func (en *Engine) repartition(idx int) error {
 	}
 
 	mp.edges = loEdges
-	mp.bySrc = map[uint32][]int32{}
-	for i := range loEdges {
-		mp.bySrc[loEdges[i].Src] = append(mp.bySrc[loEdges[i].Src], int32(i))
-	}
+	mp.bySrc = en.buildBySrc(loEdges)
 	mp.dirty = true
 
 	// Insert newMeta right after idx to keep interval order.
@@ -541,7 +628,7 @@ func (en *Engine) remapAfterInsert(pos int) {
 // ForEach streams every edge of the closed graph from disk (after Run).
 func (en *Engine) ForEach(f func(*storage.Edge) bool) error {
 	for _, meta := range en.parts {
-		edges, err := storage.ReadFile(meta.path, nil)
+		edges, _, _, err := storage.ReadPartWith(meta.path, nil, en.readOpts)
 		if err != nil {
 			return err
 		}

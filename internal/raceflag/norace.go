@@ -1,0 +1,6 @@
+//go:build !race
+
+package raceflag
+
+// Enabled reports that the race detector is active in this build.
+const Enabled = false

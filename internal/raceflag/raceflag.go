@@ -1,0 +1,5 @@
+// Package raceflag exposes whether the binary was built with the race
+// detector. Allocation-budget tests assert exact allocs-per-op counts that
+// the race runtime inflates (it instruments every allocation), so they skip
+// themselves under -race; the behavioral halves of those tests still run.
+package raceflag

@@ -77,6 +77,62 @@ func (c *Cache) shardFor(key string) *cacheShard {
 	return &c.shards[h&(cacheShards-1)]
 }
 
+// shardForBytes is shardFor over a byte-slice key. Kept as a separate body
+// (rather than shardFor(string(key))) so callers on the engine hot path pay
+// no conversion allocation.
+func (c *Cache) shardForBytes(key []byte) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// GetBytes is Get with a byte-slice key. The map index m[string(key)] form
+// compiles allocation-free, so a cache probe costs no per-lookup garbage —
+// the engine probes once per join candidate, which dominates allocation
+// profiles without this. The caller may reuse key's backing array freely
+// after the call.
+func (c *Cache) GetBytes(key []byte) (Result, bool) {
+	c.lookups.Add(1)
+	s := c.shardForBytes(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[string(key)]
+	if !ok {
+		return Unknown, false
+	}
+	c.hits.Add(1)
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// PutBytes is Put with a byte-slice key; the key string is materialized
+// only when a new entry is actually inserted. The caller may reuse key's
+// backing array after the call.
+func (c *Cache) PutBytes(key []byte, res Result) {
+	s := c.shardForBytes(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[string(key)]; ok {
+		el.Value.(*cacheEntry).res = res
+		s.ll.MoveToFront(el)
+		return
+	}
+	el := s.ll.PushFront(&cacheEntry{key: string(key), res: res})
+	s.items[string(key)] = el
+	if s.ll.Len() > s.capacity {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.items, last.Value.(*cacheEntry).key)
+	}
+}
+
 // Get returns the memoized verdict for key if present.
 func (c *Cache) Get(key string) (Result, bool) {
 	c.lookups.Add(1)

@@ -1,0 +1,88 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCacheByteKeyInterop pins the contract the engine's pooled join relies
+// on: GetBytes/PutBytes and Get/Put address the same entries — a byte-slice
+// key and its string rendering are one key, landing on the same shard with
+// the same LRU position.
+func TestCacheByteKeyInterop(t *testing.T) {
+	c := NewCache(1024)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("conj-%d", i)
+		if i%2 == 0 {
+			c.Put(key, Sat)
+		} else {
+			c.PutBytes([]byte(key), Unsat)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("conj-%d", i)
+		want := Sat
+		if i%2 != 0 {
+			want = Unsat
+		}
+		if got, ok := c.Get(key); !ok || got != want {
+			t.Fatalf("Get(%q) = %v, %v; want %v", key, got, ok, want)
+		}
+		if got, ok := c.GetBytes([]byte(key)); !ok || got != want {
+			t.Fatalf("GetBytes(%q) = %v, %v; want %v", key, got, ok, want)
+		}
+	}
+	// Overwrite through the other key form updates in place, no duplicate.
+	before := c.Len()
+	c.PutBytes([]byte("conj-0"), Unknown)
+	if c.Len() != before {
+		t.Fatalf("PutBytes of an existing key grew the cache: %d -> %d", before, c.Len())
+	}
+	if got, _ := c.Get("conj-0"); got != Unknown {
+		t.Fatalf("string Get after byte Put = %v, want Unknown", got)
+	}
+}
+
+// TestCacheByteKeyReuseSafe verifies PutBytes does not retain the caller's
+// backing array: mutating the probe buffer after insert must not corrupt the
+// stored key.
+func TestCacheByteKeyReuseSafe(t *testing.T) {
+	c := NewCache(64)
+	buf := []byte("stable-key")
+	c.PutBytes(buf, Sat)
+	for i := range buf {
+		buf[i] = 'x'
+	}
+	if got, ok := c.Get("stable-key"); !ok || got != Sat {
+		t.Fatalf("stored key corrupted by caller reuse: %v, %v", got, ok)
+	}
+	if _, ok := c.Get("xxxxxxxxxx"); ok {
+		t.Fatal("mutated buffer contents found in cache")
+	}
+}
+
+// TestCacheByteKeyEviction checks that byte-key inserts participate in the
+// same per-shard LRU as string inserts: filling a shard past capacity
+// through PutBytes evicts its least-recently-used entries.
+func TestCacheByteKeyEviction(t *testing.T) {
+	// capacity 16 -> one slot per shard.
+	c := NewCache(16)
+	for i := 0; i < 500; i++ {
+		c.PutBytes([]byte(fmt.Sprintf("k-%d", i)), Sat)
+	}
+	if got := c.Len(); got > 16 {
+		t.Fatalf("cache holds %d entries, capacity 16", got)
+	}
+	// Each shard keeps only the newest key it received; at least one of the
+	// early keys must be gone.
+	evicted := false
+	for i := 0; i < 100; i++ {
+		if _, ok := c.GetBytes([]byte(fmt.Sprintf("k-%d", i))); !ok {
+			evicted = true
+			break
+		}
+	}
+	if !evicted {
+		t.Fatal("no early byte-key entry was evicted")
+	}
+}

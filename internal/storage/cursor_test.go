@@ -1,0 +1,351 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/cfet"
+	"github.com/grapple-system/grapple/internal/raceflag"
+)
+
+// decodeV2Seeds builds the canonical v2 record corpus shared by
+// FuzzDecodeRecordV2 and the decode-equivalence property test: valid
+// single records, a long encoding the v1 format cannot hold, and a few
+// malformed byte strings.
+func decodeV2Seeds() [][]byte {
+	rng := rand.New(rand.NewSource(4))
+	var seeds [][]byte
+	for i := 0; i < 8; i++ {
+		e := randEdge(rng)
+		seeds = append(seeds, appendRecordV2(nil, &e))
+	}
+	long := longEncEdge(300)
+	seeds = append(seeds, appendRecordV2(nil, &long))
+	seeds = append(seeds,
+		[]byte{},
+		[]byte{0x01},
+		bytes.Repeat([]byte{0xff}, 64),
+	)
+	return seeds
+}
+
+// crossCheckDecoders runs the zero-copy cursor and the legacy stream decoder
+// over the same payload and fails if they diverge in any observable way:
+// decoded edges, error class (both must wrap ErrCorrupt on failure, since a
+// v2 payload has no clean record boundary), and bytes consumed on success.
+func crossCheckDecoders(t *testing.T, payload []byte) {
+	t.Helper()
+	var cur blockCursor
+	cur.reset(payload)
+	r := bytes.NewReader(payload)
+	for rec := 0; ; rec++ {
+		var ce, se Edge
+		cerr := cur.decodeRecord(&ce)
+		serr := decodeRecord(r, &se, true)
+		if (cerr == nil) != (serr == nil) {
+			t.Fatalf("record %d: cursor err %v, stream err %v", rec, cerr, serr)
+		}
+		if cerr != nil {
+			if !errors.Is(cerr, ErrCorrupt) {
+				t.Fatalf("record %d: cursor error not ErrCorrupt: %v", rec, cerr)
+			}
+			if !errors.Is(serr, ErrCorrupt) {
+				t.Fatalf("record %d: stream error not ErrCorrupt: %v", rec, serr)
+			}
+			return
+		}
+		if !edgesEqual(ce, se) {
+			t.Fatalf("record %d: cursor decoded %+v, stream decoded %+v", rec, ce, se)
+		}
+		if cur.remaining() != r.Len() {
+			t.Fatalf("record %d: cursor consumed to %d remaining, stream to %d",
+				rec, cur.remaining(), r.Len())
+		}
+		if cur.remaining() == 0 {
+			return
+		}
+	}
+}
+
+// TestDecodeCursorEquivalence is the decode-equivalence property test: over
+// the fuzz seed corpus and random multi-record payloads, the zero-copy
+// cursor must be observably identical to the stream decoder.
+func TestDecodeCursorEquivalence(t *testing.T) {
+	for _, seed := range decodeV2Seeds() {
+		crossCheckDecoders(t, seed)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		var payload []byte
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			e := randEdge(rng)
+			payload = appendRecordV2(payload, &e)
+		}
+		crossCheckDecoders(t, payload)
+		// Mutated copies must fail (or succeed) identically in both decoders.
+		mut := append([]byte{}, payload...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		crossCheckDecoders(t, mut)
+	}
+}
+
+// TestDecodeRecordV2TruncationIsCorrupt cuts a v2 record at every byte
+// boundary: both decoders must reject every prefix with an error wrapping
+// ErrCorrupt — never a bare io.EOF, which inside a CRC- and count-delimited
+// block would misreport corruption as a clean boundary. The v1 stream
+// decoder, whose format has no framing, must keep reporting the clean
+// zero-byte boundary as bare io.EOF.
+func TestDecodeRecordV2TruncationIsCorrupt(t *testing.T) {
+	e := randEdge(rand.New(rand.NewSource(7)))
+	if len(e.Enc) == 0 {
+		e.Enc = longEncEdge(4).Enc
+	}
+	e.HasRel = true
+	rec := appendRecordV2(nil, &e)
+	for cut := 0; cut < len(rec); cut++ {
+		prefix := rec[:cut]
+
+		var cur blockCursor
+		cur.reset(prefix)
+		var ce Edge
+		cerr := cur.decodeRecord(&ce)
+		if cerr == nil {
+			t.Fatalf("cut=%d: cursor accepted a truncated record", cut)
+		}
+		if !errors.Is(cerr, ErrCorrupt) {
+			t.Fatalf("cut=%d: cursor error not ErrCorrupt: %v", cut, cerr)
+		}
+
+		var se Edge
+		serr := decodeRecord(bytes.NewReader(prefix), &se, true)
+		if serr == nil {
+			t.Fatalf("cut=%d: stream decoder accepted a truncated record", cut)
+		}
+		if !errors.Is(serr, ErrCorrupt) {
+			t.Fatalf("cut=%d: stream v2 error not ErrCorrupt: %v", cut, serr)
+		}
+	}
+
+	// v1 contrast: an empty stream is a record boundary, not corruption.
+	var ve Edge
+	if err := decodeRecord(bytes.NewReader(nil), &ve, false); err != io.EOF {
+		t.Fatalf("v1 empty stream: want bare io.EOF, got %v", err)
+	}
+}
+
+// TestReadPartWithModesAgree reads the same file in both decode modes and
+// requires identical edges, PartInfo, and byte counts — the whole-file form
+// of the equivalence property, covering the block loop and slack checks.
+func TestReadPartWithModesAgree(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(21))
+	var edges []Edge
+	for i := 0; i < 500; i++ {
+		edges = append(edges, randEdge(rng))
+	}
+	path := filepath.Join(dir, "p.edges")
+	if _, err := WritePart(path, edges, PartInfo{Lo: 5, Hi: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	fast, fi, fn, err := ReadPartWith(path, nil, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, si, sn, err := ReadPartWith(path, nil, ReadOptions{LegacyDecode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi != si || fn != sn {
+		t.Fatalf("info/bytes diverge: %+v/%d vs %+v/%d", fi, fn, si, sn)
+	}
+	if len(fast) != len(slow) || len(fast) != len(edges) {
+		t.Fatalf("edge counts diverge: %d vs %d (want %d)", len(fast), len(slow), len(edges))
+	}
+	for i := range fast {
+		if !edgesEqual(fast[i], slow[i]) {
+			t.Fatalf("edge %d diverges: %+v vs %+v", i, fast[i], slow[i])
+		}
+		if !edgesEqual(fast[i], edges[i]) {
+			t.Fatalf("edge %d lost in round trip: %+v", i, fast[i])
+		}
+	}
+}
+
+// TestCursorArenaIsolation guards the arena's capped-subslice invariant: an
+// append to one decoded encoding must never clobber a later record's
+// elements, even though both live in the same arena chunk.
+func TestCursorArenaIsolation(t *testing.T) {
+	a := longEncEdge(3)
+	b := longEncEdge(5)
+	b.Src = 1000
+	payload := appendRecordV2(appendRecordV2(nil, &a), &b)
+	var cur blockCursor
+	cur.reset(payload)
+	var da, db Edge
+	if err := cur.decodeRecord(&da); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.decodeRecord(&db); err != nil {
+		t.Fatal(err)
+	}
+	wantEnc := append(cfet.Enc(nil), db.Enc...)
+	// Appending through the first edge's encoding must copy, not spill into
+	// the second edge's arena region.
+	_ = append(da.Enc, da.Enc[0])
+	if !db.Enc.Equal(wantEnc) {
+		t.Fatalf("append through record 1 corrupted record 2: %+v", db.Enc)
+	}
+}
+
+// allocBudgetFile writes a part file of enc-carrying records and returns its
+// path and record count, shared by the alloc test and the decode benchmark.
+func allocBudgetFile(tb testing.TB, n int) string {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(77))
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		e := randEdge(rng)
+		if len(e.Enc) == 0 { // keep the workload on the enc-decoding path
+			e.Enc = longEncEdge(1 + i%4).Enc
+		}
+		edges = append(edges, e)
+	}
+	path := filepath.Join(tb.TempDir(), "alloc.edges")
+	if _, err := WritePart(path, edges, PartInfo{Lo: 0, Hi: 1 << 30}); err != nil {
+		tb.Fatal(err)
+	}
+	return path
+}
+
+// TestDecodeAllocBudget is the regression gate on the zero-copy read path:
+// decoding must stay near zero allocations per record (the arena amortizes
+// one slice allocation over thousands of elements), and well under the
+// legacy decoder's one-allocation-per-encoding floor. `make ci` runs this
+// via the alloc-budget target.
+func TestDecodeAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	const n = 2000
+	path := allocBudgetFile(t, n)
+	perRecord := func(opt ReadOptions) float64 {
+		dst := make([]Edge, 0, n)
+		allocs := testing.AllocsPerRun(5, func() {
+			var err error
+			dst, _, _, err = ReadPartWith(path, dst[:0], opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs / n
+	}
+	fast := perRecord(ReadOptions{})
+	slow := perRecord(ReadOptions{LegacyDecode: true})
+	t.Logf("allocs/record: zero-copy %.4f, legacy %.4f", fast, slow)
+	if fast > 0.05 {
+		t.Fatalf("zero-copy decode allocates %.4f/record, budget is 0.05", fast)
+	}
+	if slow > 0 && fast > 0.5*slow {
+		t.Fatalf("zero-copy (%.4f/record) not under half of legacy (%.4f/record)", fast, slow)
+	}
+}
+
+// BenchmarkDecodeRecord reports ns/record and allocs/record for both v2
+// decode modes over a realistic enc-carrying partition file.
+func BenchmarkDecodeRecord(b *testing.B) {
+	const n = 5000
+	path := allocBudgetFile(b, n)
+	for _, mode := range []struct {
+		name string
+		opt  ReadOptions
+	}{
+		{"zero-copy", ReadOptions{}},
+		{"legacy", ReadOptions{LegacyDecode: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dst := make([]Edge, 0, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, _, _, err = ReadPartWith(path, dst[:0], mode.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
+			runtime.KeepAlive(dst)
+		})
+	}
+}
+
+// TestCorruptionMatrixMidRecordTruncation extends the corruption matrix with
+// the one class only the record decoder can catch: a block whose payload was
+// cut mid-record but whose header (plen, count, CRC) was rewritten to be
+// self-consistent. The block CRC verifies, so rejection has to come from the
+// decode loop — in both decode modes, tagged ErrCorrupt.
+func TestCorruptionMatrixMidRecordTruncation(t *testing.T) {
+	dir := t.TempDir()
+	e := longEncEdge(6)
+	e.HasRel = true
+	edges := []Edge{longEncEdge(2), e}
+	pristine := filepath.Join(dir, "pristine.edges")
+	if _, err := WritePart(pristine, edges, PartInfo{Lo: 0, Hi: 64}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single block: header | blockHeader | payload | trailer.
+	payloadLen := len(good) - headerSize - blockHeaderSize - trailerSize
+	payload := good[headerSize+blockHeaderSize : headerSize+blockHeaderSize+payloadLen]
+	firstLen := len(appendRecordV2(nil, &edges[0]))
+	// Cut mid-way through the second record, keep count=2, and recompute
+	// plen and the payload CRC so only the record decoder notices.
+	cutPayload := payload[:firstLen+(len(payload)-firstLen)/2]
+	mut := make([]byte, 0, len(good))
+	mut = append(mut, good[:headerSize]...)
+	var bh [blockHeaderSize]byte
+	putU32 := func(b []byte, v uint32) {
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+	}
+	putU32(bh[0:], uint32(len(cutPayload)))
+	putU32(bh[4:], 2)
+	putU32(bh[8:], crcOf(cutPayload))
+	mut = append(mut, bh[:]...)
+	mut = append(mut, cutPayload...)
+	mut = append(mut, good[len(good)-trailerSize:]...)
+
+	path := filepath.Join(dir, "midcut.edges")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opt  ReadOptions
+	}{
+		{"zero-copy", ReadOptions{}},
+		{"legacy", ReadOptions{LegacyDecode: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			_, _, _, err := ReadPartWith(path, nil, mode.opt)
+			if err == nil {
+				t.Fatal("mid-record truncation with consistent CRC accepted")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error not tagged ErrCorrupt: %v", err)
+			}
+		})
+	}
+}

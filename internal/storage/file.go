@@ -292,12 +292,27 @@ func WritePart(path string, edges []Edge, info PartInfo) (int64, error) {
 	return headerSize + bw.written + trailerSize, nil
 }
 
+// ReadOptions controls how ReadPart decodes partition files.
+type ReadOptions struct {
+	// LegacyDecode routes v2 block payloads through the field-by-field
+	// stream decoder instead of the zero-copy block cursor. The two produce
+	// identical edges and identical error classes; this is the ablation
+	// hook for the hotpath bench and the decode-equivalence tests. v1
+	// streams always use the stream decoder regardless.
+	LegacyDecode bool
+}
+
 // ReadPart loads all edges from path, appending to dst. A missing file
 // reads as empty (a partition no edge was ever written to). v2 files are
 // fully verified — header and block checksums, and a trailer whose counts
 // match what was decoded; legacy v1 files are decoded as bare record
 // streams. Returns the header's PartInfo (zero for v1) and bytes read.
 func ReadPart(path string, dst []Edge) ([]Edge, PartInfo, int64, error) {
+	return ReadPartWith(path, dst, ReadOptions{})
+}
+
+// ReadPartWith is ReadPart with explicit decode options.
+func ReadPartWith(path string, dst []Edge, opt ReadOptions) ([]Edge, PartInfo, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -316,7 +331,7 @@ func ReadPart(path string, dst []Edge) ([]Edge, PartInfo, int64, error) {
 	if err != nil {
 		return nil, PartInfo{}, 0, fmt.Errorf("storage: %s: %w", path, err)
 	}
-	return readV2(path, r, dst)
+	return readV2(path, r, dst, opt)
 }
 
 func readLegacy(path string, r *bufio.Reader, dst []Edge) ([]Edge, int64, error) {
@@ -335,7 +350,8 @@ func readLegacy(path string, r *bufio.Reader, dst []Edge) ([]Edge, int64, error)
 	}
 }
 
-func readV2(path string, r *bufio.Reader, dst []Edge) ([]Edge, PartInfo, int64, error) {
+func readV2(path string, r *bufio.Reader, dst []Edge, opt ReadOptions) ([]Edge, PartInfo, int64, error) {
+	var cur blockCursor // arena persists across blocks: one element chunk serves many records
 	head := make([]byte, headerSize)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return nil, PartInfo{}, 0, corruptf(path, "short header: %v", err)
@@ -396,17 +412,32 @@ func readV2(path string, r *bufio.Reader, dst []Edge) ([]Edge, PartInfo, int64, 
 			return nil, info, bytesRead, corruptf(path,
 				"block %d checksum mismatch (want %#x, got %#x)", gotBlocks, wantCRC, got)
 		}
-		br := bytes.NewReader(payload)
-		for i := uint32(0); i < count; i++ {
-			var e Edge
-			if err := decodeRecord(br, &e, true); err != nil {
-				return nil, info, bytesRead, corruptf(path, "block %d record %d: %v", gotBlocks, i, err)
+		if opt.LegacyDecode {
+			br := bytes.NewReader(payload)
+			for i := uint32(0); i < count; i++ {
+				var e Edge
+				if err := decodeRecord(br, &e, true); err != nil {
+					return nil, info, bytesRead, corruptf(path, "block %d record %d: %v", gotBlocks, i, err)
+				}
+				dst = append(dst, e)
 			}
-			dst = append(dst, e)
-		}
-		if br.Len() != 0 {
-			return nil, info, bytesRead, corruptf(path, "block %d: %d bytes of slack after %d records",
-				gotBlocks, br.Len(), count)
+			if br.Len() != 0 {
+				return nil, info, bytesRead, corruptf(path, "block %d: %d bytes of slack after %d records",
+					gotBlocks, br.Len(), count)
+			}
+		} else {
+			cur.reset(payload)
+			for i := uint32(0); i < count; i++ {
+				var e Edge
+				if err := cur.decodeRecord(&e); err != nil {
+					return nil, info, bytesRead, corruptf(path, "block %d record %d: %v", gotBlocks, i, err)
+				}
+				dst = append(dst, e)
+			}
+			if cur.remaining() != 0 {
+				return nil, info, bytesRead, corruptf(path, "block %d: %d bytes of slack after %d records",
+					gotBlocks, cur.remaining(), count)
+			}
 		}
 		bytesRead += int64(blockHeaderSize) + int64(plen)
 		gotEdges += uint64(count)

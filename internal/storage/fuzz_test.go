@@ -3,6 +3,7 @@ package storage
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -44,26 +45,36 @@ func FuzzReadRecord(f *testing.F) {
 	})
 }
 
-// FuzzDecodeRecordV2 exercises the v2 record decoder (uvarint encoding
-// length) on arbitrary bytes. Run with:
+// FuzzDecodeRecordV2 exercises both v2 record decoders — the legacy stream
+// form and the zero-copy block cursor — on arbitrary bytes, requiring them
+// to agree byte for byte. Seeds come from decodeV2Seeds, shared with the
+// decode-equivalence property test. Run with:
 // go test -fuzz=FuzzDecodeRecordV2 ./internal/storage
 func FuzzDecodeRecordV2(f *testing.F) {
-	rng := rand.New(rand.NewSource(4))
-	for i := 0; i < 8; i++ {
-		e := randEdge(rng)
-		f.Add(appendRecordV2(nil, &e))
+	for _, seed := range decodeV2Seeds() {
+		f.Add(seed)
 	}
-	long := longEncEdge(300)
-	f.Add(appendRecordV2(nil, &long))
-	f.Add([]byte{})
-	f.Add([]byte{0x01})
-	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
+		var cur blockCursor
+		cur.reset(data)
 		for i := 0; i < 4; i++ {
-			var e Edge
-			if err := decodeRecord(r, &e, true); err != nil {
+			var e, ce Edge
+			err := decodeRecord(r, &e, true)
+			cerr := cur.decodeRecord(&ce)
+			if (err == nil) != (cerr == nil) {
+				t.Fatalf("decoders diverge: stream %v, cursor %v", err, cerr)
+			}
+			if err != nil {
+				// Inside a v2 block every failure is corruption for both.
+				if !errors.Is(err, ErrCorrupt) || !errors.Is(cerr, ErrCorrupt) {
+					t.Fatalf("untagged decode failure: stream %v, cursor %v", err, cerr)
+				}
 				return
+			}
+			if !edgesEqual(e, ce) || cur.remaining() != r.Len() {
+				t.Fatalf("decoders diverge on success: %+v vs %+v (%d vs %d left)",
+					e, ce, r.Len(), cur.remaining())
 			}
 			// Round-trip: a decoded record must re-encode to a decodable form.
 			back := appendRecordV2(nil, &e)

@@ -159,10 +159,24 @@ type recordSrc interface {
 
 // decodeRecord deserializes one record. v2 selects the uvarint encoding
 // length; otherwise the legacy single length byte is read.
+//
+// In v2 mode every failure — including EOF before the first byte — wraps
+// ErrCorrupt: v2 records only ever live inside length- and CRC-delimited
+// blocks whose header states the record count, so the decoder running out
+// of input mid-count is corruption, never a clean record boundary. Only v1
+// streams, which have no framing, report a boundary as bare io.EOF.
 func decodeRecord(r recordSrc, e *Edge, v2 bool) error {
+	err := decodeRecordStream(r, e, v2)
+	if err != nil && v2 && !errors.Is(err, ErrCorrupt) {
+		return fmt.Errorf("storage: %w: %v", ErrCorrupt, err)
+	}
+	return err
+}
+
+func decodeRecordStream(r recordSrc, e *Edge, v2 bool) error {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:1]); err != nil {
-		return err // io.EOF at a record boundary
+		return err // io.EOF at a v1 record boundary (wrapped by decodeRecord for v2)
 	}
 	full := func(buf []byte) error {
 		_, err := io.ReadFull(r, buf)
