@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet fmt-check race fuzz golden ci bench bench-hotpath alloc-budget lint-self check-self crash obs-smoke
+.PHONY: build test vet fmt-check race fuzz golden ci bench bench-hotpath alloc-budget lint-self check-self unlowered-budget crash obs-smoke
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,14 @@ fmt-check:
 # goroutines mid-run).
 race:
 	$(GO) test -race ./internal/storage/... ./internal/engine/... ./internal/checker/... ./internal/scheduler/... ./internal/metrics/... ./internal/trace/...
+	$(GO) test -race ./cmd/grapple/ -run TestAblationIdentity -count=1
 
 # Short fuzzing sessions: SMT cache-keying invariants, the partition
 # store's record decoders (v1 and v2), whole-file reader, and journal
 # reader (resume must never crash or silently accept corrupt state), then
 # the interprocedural points-to solver (termination bound + summary
-# idempotence on arbitrary MiniLang inputs).
+# idempotence on arbitrary MiniLang inputs) and the devirtualization
+# hierarchy (every live covering type must stay a dispatch candidate).
 fuzz:
 	$(GO) test ./internal/smt/ -fuzz FuzzCacheKeying -fuzztime 30s
 	$(GO) test ./internal/storage/ -fuzz FuzzReadRecord -fuzztime 20s
@@ -40,6 +42,7 @@ fuzz:
 	$(GO) test ./internal/storage/ -fuzz FuzzReadPart -fuzztime 20s
 	$(GO) test ./internal/storage/ -fuzz FuzzReadJournal -fuzztime 20s
 	$(GO) test ./internal/analysis/ -fuzz FuzzPointsTo -fuzztime 20s
+	$(GO) test ./internal/analysis/ -fuzz FuzzDevirt -fuzztime 20s
 	$(GO) test ./internal/gofront/ -fuzz FuzzLowerGo -fuzztime 20s
 
 # Crash-injection harness: kill the engine at EVERY superstep boundary (and
@@ -66,17 +69,26 @@ lint-self: build
 	done
 
 # Regenerate the golden-report regression corpus (testdata/golden/):
-# the synthetic workload profiles plus the real-Go self-check subject.
+# the synthetic workload profiles plus the real-Go self-check subjects
+# (storage with the resource packs, engine and trace with the sync packs).
 golden:
-	$(GO) test -run 'TestGolden(Go)?Reports' -update .
+	$(GO) test -run 'TestGolden' -update .
 
 # Self-check: run the full typestate pipeline — gofront lowering, alias and
 # dataflow closure phases, disk engine, SMT feasibility — over our own
-# storage layer with the file-handle and use-after-release packs, and
-# require a clean report. Grapple checks grapple.
+# storage layer with the file-handle and use-after-release packs, and over
+# the engine and trace packages with the concurrency packs (mutex,
+# context-cancel), requiring clean reports. The sync-pack subjects are also
+# pinned as goldens so a report conjured by a frontend change fails even if
+# it would still exit zero. Grapple checks grapple.
 check-self: build
 	@echo "check-self: internal/storage (file-handle, use-after-release)"
 	$(GO) run ./cmd/grapple run -pack file-handle -pack use-after-release ./internal/storage
+	@echo "check-self: internal/engine (mutex, context-cancel)"
+	$(GO) run ./cmd/grapple run -pack mutex -pack context-cancel ./internal/engine
+	@echo "check-self: internal/trace (mutex, context-cancel)"
+	$(GO) run ./cmd/grapple run -pack mutex -pack context-cancel ./internal/trace
+	$(GO) test -run TestGoldenSelfCheckPacks -count=1 .
 
 # Observability smoke: tracing and progress are observation-only — CLI
 # stdout must be byte-identical with the full stack on or off, and the
@@ -85,6 +97,14 @@ obs-smoke: build
 	$(GO) test ./cmd/grapple/ -run 'TestTraceGoldenIdentity|TestStatsJSON|TestBatchStatsJSON' -count=1
 	$(GO) test ./internal/checker/ -run TestTracingPreservesReports -count=1
 	$(GO) vet ./internal/trace/...
+
+# Lowering-coverage budget: corpus-wide Unlowered (havoc) counts — every
+# gofront corpus snippet plus the self-check packages — are pinned in
+# testdata/unlowered_budget.json. A frontend change that loses (or gains)
+# coverage must bank it explicitly:
+# go test ./internal/gofront/ -run TestUnloweredBudget -update
+unlowered-budget: build
+	$(GO) test ./internal/gofront/ -run TestUnloweredBudget -count=1
 
 bench:
 	$(GO) run ./cmd/grapple-bench -all
@@ -103,4 +123,4 @@ alloc-budget: build
 	$(GO) test ./internal/storage/ -run TestDecodeAllocBudget -count=1
 	$(GO) test ./internal/engine/ -run TestCacheProbeZeroAlloc -count=1
 
-ci: vet fmt-check race test crash lint-self check-self obs-smoke alloc-budget
+ci: vet fmt-check race test crash lint-self check-self unlowered-budget obs-smoke alloc-budget

@@ -16,6 +16,7 @@
 //	grapple-bench -table slice      property-relevance slicing ablation
 //	grapple-bench -table gofront    synthetic subjects vs a real Go package
 //	grapple-bench -table hotpath    zero-copy decode and join-pooling ablations
+//	grapple-bench -table devirt     devirtualization rate and concurrency-lint cost
 //	grapple-bench -all              everything above
 //
 // -subjects restricts the subject set (comma separated), -mem sets the
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront|hotpath")
+	table := flag.String("table", "", "table to regenerate: 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront|hotpath|devirt")
 	hotpathJSON := flag.String("hotpath-json", "", "also write -table hotpath rows to this JSON file")
 	goDir := flag.String("godir", "internal/storage", "real-Go package for -table gofront")
 	figure := flag.String("figure", "", "figure to regenerate: 9")
@@ -48,7 +49,7 @@ func main() {
 		names = strings.Split(*subjects, ",")
 	}
 	if !*all && *table == "" && *figure == "" {
-		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront|hotpath | -figure 9")
+		fmt.Fprintln(os.Stderr, "usage: grapple-bench -all | -table 1|2|3|4|5|oom|prune|slice|batch|io|resume|obs|gofront|hotpath|devirt | -figure 9")
 		os.Exit(2)
 	}
 
@@ -115,6 +116,17 @@ func main() {
 	if want("gofront") {
 		fmt.Fprintln(os.Stderr, "running gofront bridge comparison (synthetic subjects + real Go)...")
 		out, _, err := bench.GofrontTable(names, *goDir, "")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if want("devirt") {
+		fmt.Fprintln(os.Stderr, "running devirtualization + concurrency-lint measurement (real Go packages)...")
+		out, _, err := bench.DevirtTable([]string{
+			"testdata/gofront", "testdata/ablation",
+			"internal/storage", "internal/engine", "internal/trace",
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -37,6 +37,8 @@ type goOpts struct {
 	dotDir    string
 	noPrune   bool
 	noSlice   bool
+	noDevirt  bool
+	noMHP     bool
 	journal   bool
 	resume    bool
 	tracePath string
@@ -80,6 +82,8 @@ func runGo(o goOpts, stdout, stderr io.Writer) (int, error) {
 		DumpDOT:      o.dotDir,
 		Prune:        prune,
 		Slice:        slice,
+		NoDevirt:     o.noDevirt,
+		NoMHP:        o.noMHP,
 		Journal:      o.journal,
 		Resume:       o.resume,
 		Obs: grapple.ObsOptions{
@@ -110,6 +114,10 @@ func runGo(o goOpts, stdout, stderr io.Writer) (int, error) {
 			emitStats(stderr, res)
 			fmt.Fprintf(stderr, "lowered functions: %d, havocked constructs: %d\n",
 				pkg.Functions(), pkg.Unlowered())
+			if calls, direct, split, open := pkg.Devirt(); calls > 0 {
+				fmt.Fprintf(stderr, "interface calls: %d (direct %d, split %d, open %d)\n",
+					calls, direct, split, open)
+			}
 		}
 	}
 	if len(res.Reports) > 0 {

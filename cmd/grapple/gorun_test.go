@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -122,5 +124,115 @@ func TestLintGoPackage(t *testing.T) {
 	}
 	if code == 1 && !strings.Contains(out.String(), "leak.go:") {
 		t.Fatalf("diagnostics not mapped to Go source: %q", out.String())
+	}
+}
+
+func TestRunGoUnknownPackExitsTwoListingPacks(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "leak.go", leakyGoSrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"run", "-pack", "no-such-pack", dir}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (err=%v)", code, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), `unknown property pack "no-such-pack"`) {
+		t.Fatalf("error %v, want unknown property pack", err)
+	}
+	// The error must enumerate the library so the user can correct the name.
+	for _, name := range []string{"file-handle", "mutex", "context-cancel"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("pack %s missing from error: %v", name, err)
+		}
+	}
+}
+
+func TestLintGoUnknownPackExitsTwoListingPacks(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "leak.go", leakyGoSrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", "-pack", "bogus", dir}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (err=%v)", code, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), `unknown property pack "bogus"`) ||
+		!strings.Contains(err.Error(), "file-handle") {
+		t.Fatalf("error %v, want unknown pack with library listing", err)
+	}
+}
+
+func TestLintUnknownRuleListsKnownCodes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "leak.go", leakyGoSrc)
+	var out, errb bytes.Buffer
+	code, err := run([]string{"lint", "-rules", "ZZ123", dir}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2 (err=%v)", code, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), `unknown lint rule "ZZ123"`) {
+		t.Fatalf("error %v, want unknown lint rule", err)
+	}
+	// The listing must include the concurrency rules alongside the classics.
+	for _, want := range []string{"ND001", "LK001", "GR001", "GR002"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("rule %s missing from error: %v", want, err)
+		}
+	}
+}
+
+func TestRunGoDevirtAndMHPFlags(t *testing.T) {
+	// -nodevirt -nomhp must be accepted and reproduce the baseline result
+	// byte-for-byte on interface/goroutine-free input (ablation identity on
+	// richer corpora is pinned in the library tests).
+	dir := t.TempDir()
+	writeFile(t, dir, "leak.go", leakyGoSrc)
+	var on, off, errb bytes.Buffer
+	codeOn, err := run([]string{"run", "-pack", "file-handle", dir}, &on, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeOff, err := run([]string{"run", "-pack", "file-handle", "-nodevirt", "-nomhp", dir}, &off, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeOn != codeOff || on.String() != off.String() {
+		t.Fatalf("ablated run diverged: code %d vs %d\non:  %q\noff: %q",
+			codeOn, codeOff, on.String(), off.String())
+	}
+}
+
+// TestAblationIdentity pins the ablation contract on a subject where both
+// passes bite: testdata/ablation uses interface dispatch and shares a
+// tracked file with a goroutine. testdata/golden/ablation.json is the
+// report stream the pipeline produced BEFORE the devirtualization and MHP
+// passes existed; with -nodevirt -nomhp the new pipeline must reproduce it
+// byte for byte. The default run must differ — the MHP widening recognizes
+// the goroutine-shared file and withdraws the leak-at-exit verdict the old
+// pipeline (wrongly certain about the spawn-free world it saw) reported.
+func TestAblationIdentity(t *testing.T) {
+	subject := filepath.Join("..", "..", "testdata", "ablation")
+	args := []string{"run", "-pack", "file-handle", "-pack", "mutex", "-json"}
+
+	var off, errb bytes.Buffer
+	codeOff, err := run(append(args, "-nodevirt", "-nomhp", subject), &off, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "ablation.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeOff != 1 || off.String() != string(want) {
+		t.Fatalf("ablated run does not match the pre-pass golden (code %d):\ngot:  %q\nwant: %q",
+			codeOff, off.String(), string(want))
+	}
+
+	var on bytes.Buffer
+	codeOn, err := run(append(args, subject), &on, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codeOn != 0 || on.Len() != 0 {
+		t.Fatalf("default run should suppress the shared-file leak (code %d):\n%s",
+			codeOn, on.String())
 	}
 }

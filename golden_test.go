@@ -157,6 +157,73 @@ func TestGoldenGoReports(t *testing.T) {
 	}
 }
 
+// TestGoldenSelfCheckPacks pins the concurrency-pack self-check: the mutex
+// and context-cancel packs over the engine and trace packages must
+// reproduce their goldens byte for byte. Both subjects are clean today, so
+// the goldens pin the empty stream — a future regression (or a lowering
+// change that conjures a finding) surfaces as a diff, not a green run. As
+// with the storage subject, the stream must not depend on engine
+// parallelism.
+func TestGoldenSelfCheckPacks(t *testing.T) {
+	subjects := []struct{ name, dir string }{
+		{"go-engine-sync", filepath.Join("internal", "engine")},
+		{"go-trace-sync", filepath.Join("internal", "trace")},
+	}
+	packNames := []string{"mutex", "context-cancel"}
+	for _, sub := range subjects {
+		t.Run(sub.name, func(t *testing.T) {
+			var golden []byte
+			for _, workers := range []int{1, 4} {
+				res, pkg, err := CheckGoPackage(
+					sub.dir, packNames,
+					Options{WorkDir: t.TempDir(), Workers: workers},
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make([]goldenReport, 0, len(res.Reports))
+				for _, r := range res.Reports {
+					file, goLine := pkg.Locate(r.Pos.Line)
+					out = append(out, goldenReport{
+						Subject: sub.name, Group: file,
+						Line: goLine, Col: r.Pos.Col,
+						FSM: r.FSM, Kind: r.Kind.String(), Type: r.Type,
+						States: r.States, Object: r.Object,
+						Witness: r.Witness, WitnessConstraint: r.WitnessConstraint,
+					})
+				}
+				data, err := json.MarshalIndent(out, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := append(data, '\n')
+				if golden == nil {
+					golden = got
+				} else if !bytes.Equal(golden, got) {
+					t.Fatalf("self-check stream differs across worker counts:\n%s",
+						goldenDiff(golden, got))
+				}
+			}
+
+			path := filepath.Join("testdata", "golden", sub.name+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, golden, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(golden, want) {
+				t.Fatal(goldenDiff(want, golden))
+			}
+		})
+	}
+}
+
 // goldenDiff renders the first divergence between two golden streams with a
 // little context, so a regression is readable without an external diff tool.
 func goldenDiff(want, got []byte) string {

@@ -198,6 +198,20 @@ type Options struct {
 	// The zero value disables all of it; enabling any of it never changes
 	// the reports.
 	Obs ObsOptions
+	// NoDevirt disables the Go frontend's interface devirtualization:
+	// interface method calls havoc instead of resolving against the
+	// package's type hierarchy (docs/gofront.md). Only affects Go inputs.
+	NoDevirt bool
+	// NoMHP disables the Go frontend's goroutine modeling: `go` statements
+	// havoc and inline the callee instead of lowering to spawn statements,
+	// so the may-happen-in-parallel pass and the GR lint rules see nothing
+	// (docs/concurrency.md). Only affects Go inputs.
+	NoMHP bool
+}
+
+// gofrontOptions lowers the public ablation toggles into the frontend's.
+func gofrontOptions(opts Options) gofront.Options {
+	return gofront.Options{NoDevirt: opts.NoDevirt, NoMHP: opts.NoMHP}
 }
 
 // PruneMode selects whether infeasible-branch pruning runs.
@@ -474,6 +488,8 @@ var lintRules = map[string]*analysis.Analyzer{
 	"ND001": analysis.NilDeref,
 	"LK001": analysis.LeakCall,
 	"DP001": analysis.DeadParam,
+	"GR001": analysis.GoroutineLeak,
+	"GR002": analysis.SharedSync,
 }
 
 // LintCodes returns every stable diagnostic code Lint can emit, sorted.
@@ -592,6 +608,14 @@ func (g *GoPackage) UnloweredByKind() map[string]int {
 // lifted closures).
 func (g *GoPackage) Functions() int { return g.res.Stats.Functions }
 
+// Devirt reports the devirtualizer's interface-call partition: sites
+// examined, resolved to a direct call, lowered to a path-split dispatch,
+// and left open (havocked).
+func (g *GoPackage) Devirt() (calls, direct, split, open int) {
+	s := g.res.Stats
+	return s.IfaceCalls, s.IfaceDirect, s.IfaceSplit, s.IfaceOpen
+}
+
 // resolvePacks maps pack names to library entries; at least one is required.
 func resolvePacks(packNames []string) ([]*packs.Pack, error) {
 	if len(packNames) == 0 {
@@ -666,7 +690,7 @@ func CheckGoPackage(dir string, packNames []string, opts Options) (*Result, *GoP
 		return nil, nil, err
 	}
 	sp := obs.span("gofront", "gofront-lower")
-	g, err := gofront.LowerPackage(dir, packs.MergedRules(selected))
+	g, err := gofront.LowerPackageWith(dir, packs.MergedRules(selected), gofrontOptions(opts))
 	if err != nil {
 		obs.finish()
 		return nil, nil, err
@@ -694,7 +718,7 @@ func CheckGoFiles(paths []string, packNames []string, opts Options) (*Result, *G
 		return nil, nil, err
 	}
 	sp := obs.span("gofront", "gofront-lower")
-	g, err := gofront.LowerFiles(paths, packs.MergedRules(selected))
+	g, err := gofront.LowerFilesWith(paths, packs.MergedRules(selected), gofrontOptions(opts))
 	if err != nil {
 		obs.finish()
 		return nil, nil, err
@@ -716,6 +740,12 @@ func CheckGoFiles(paths []string, packNames []string, opts Options) (*Result, *G
 // lowering (allocation and event mapping); empty means every pack's rules
 // merged. Diagnostic positions map back through GoPackage.Locate.
 func LintGoPackage(dir string, packNames []string, ruleCodes []string) ([]Diagnostic, *GoPackage, error) {
+	return LintGoPackageWith(dir, packNames, ruleCodes, Options{})
+}
+
+// LintGoPackageWith is LintGoPackage with explicit options (only the
+// frontend toggles NoDevirt/NoMHP are consulted).
+func LintGoPackageWith(dir string, packNames []string, ruleCodes []string, opts Options) ([]Diagnostic, *GoPackage, error) {
 	var selected []*packs.Pack
 	if len(packNames) == 0 {
 		selected = packs.All()
@@ -725,7 +755,7 @@ func LintGoPackage(dir string, packNames []string, ruleCodes []string) ([]Diagno
 			return nil, nil, err
 		}
 	}
-	g, err := gofront.LowerPackage(dir, packs.MergedRules(selected))
+	g, err := gofront.LowerPackageWith(dir, packs.MergedRules(selected), gofrontOptions(opts))
 	if err != nil {
 		return nil, nil, err
 	}

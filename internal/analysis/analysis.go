@@ -158,7 +158,7 @@ func (r *Result) BranchVerdict(s *ir.If) int {
 // intraprocedural ones.
 func Default() []*Analyzer {
 	return []*Analyzer{ReachDef, DeadStore, SCCP, Unreachable, UnusedAlloc,
-		NilDeref, LeakCall, DeadParam}
+		NilDeref, LeakCall, DeadParam, GoroutineLeak, SharedSync}
 }
 
 // PruneAnalyzers returns just the passes the checker's infeasible-branch

@@ -1,0 +1,181 @@
+// Devirtualization support: a class-hierarchy / rapid-type-analysis core the
+// Go frontend consults while lowering interface method calls, plus a
+// program-scoped pass measuring how monomorphic the lowered program's event
+// sites actually are (the bench table's "resolved dispatch" column).
+//
+// The split matters: MiniLang has no dynamic dispatch, so devirtualization
+// must happen at lowering time (gofront builds a Hierarchy from the
+// package's interface declarations, method sets, and allocated types, then
+// rewrites `iface.M()` into a direct call, a small path-split dispatch, or a
+// havoc). The Hierarchy lives here — not in gofront — because it is a pure
+// string-domain lattice with a crisp soundness contract (every concrete
+// target is in the resolved set) that the fuzzer exercises independently of
+// Go parsing.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// Candidate is one possible concrete target of an interface method call.
+type Candidate struct {
+	// Type is the concrete receiver type.
+	Type string
+	// Func is the lowered function implementing the method for Type.
+	Func string
+}
+
+// Hierarchy is the type-hierarchy fact base devirtualization resolves
+// against: interface method sets (CHA) narrowed to allocated types (RTA).
+// The zero value is unusable; use NewHierarchy.
+type Hierarchy struct {
+	ifaces map[string]map[string]bool   // interface name -> required methods
+	impls  map[string]map[string]string // concrete type -> method -> impl func
+	live   map[string]bool              // types with at least one allocation site
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		ifaces: map[string]map[string]bool{},
+		impls:  map[string]map[string]string{},
+		live:   map[string]bool{},
+	}
+}
+
+// AddInterface declares an interface and its full method set. Re-declaring
+// replaces the method set (last writer wins, matching Go shadowing).
+func (h *Hierarchy) AddInterface(name string, methods []string) {
+	set := map[string]bool{}
+	for _, m := range methods {
+		set[m] = true
+	}
+	h.ifaces[name] = set
+}
+
+// AddImpl records that concrete type typ implements method via the lowered
+// function fn.
+func (h *Hierarchy) AddImpl(typ, method, fn string) {
+	ms := h.impls[typ]
+	if ms == nil {
+		ms = map[string]string{}
+		h.impls[typ] = ms
+	}
+	ms[method] = fn
+}
+
+// AddLiveType marks a concrete type as allocated somewhere in the analyzed
+// program (the RTA narrowing: types never instantiated cannot be dispatch
+// targets).
+func (h *Hierarchy) AddLiveType(typ string) { h.live[typ] = true }
+
+// IsInterface reports whether name was declared via AddInterface.
+func (h *Hierarchy) IsInterface(name string) bool { _, ok := h.ifaces[name]; return ok }
+
+// Implements reports whether the concrete type's method set covers the
+// interface's.
+func (h *Hierarchy) Implements(typ, iface string) bool {
+	req, ok := h.ifaces[iface]
+	if !ok {
+		return false
+	}
+	ms := h.impls[typ]
+	for m := range req {
+		if _, ok := ms[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve returns every live concrete type implementing iface, paired with
+// its implementation of method, sorted by type name. A nil result means the
+// call cannot be devirtualized (unknown interface, method outside the
+// declared set, or no live implementer) and the caller must havoc.
+//
+// Soundness contract (fuzzed): for any live type T whose method set covers
+// iface, T appears in Resolve(iface, m) for every m in iface's method set.
+func (h *Hierarchy) Resolve(iface, method string) []Candidate {
+	req, ok := h.ifaces[iface]
+	if !ok || !req[method] {
+		return nil
+	}
+	var out []Candidate
+	for typ := range h.impls {
+		if !h.live[typ] || !h.Implements(typ, iface) {
+			continue
+		}
+		out = append(out, Candidate{Type: typ, Func: h.impls[typ][method]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+// LiveImplementers returns the sorted live types implementing iface.
+func (h *Hierarchy) LiveImplementers(iface string) []string {
+	var out []string
+	for typ := range h.impls {
+		if h.live[typ] && h.Implements(typ, iface) {
+			out = append(out, typ)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DevirtFacts summarizes receiver monomorphism over the lowered program's
+// event sites: after frontend devirtualization, how many typestate events
+// fire on a receiver whose allocation type is unique? (The frontend's own
+// Stats count interface *calls*; this pass measures what survived into IR.)
+type DevirtFacts struct {
+	// EventSites is the number of event statements with an object receiver.
+	EventSites int
+	// Mono counts event sites whose receiver's points-to set spans exactly
+	// one allocation type.
+	Mono int
+	// Poly counts sites spanning two or more types.
+	Poly int
+	// Unknown counts sites whose receiver has an empty points-to set
+	// (objects entering from outside the analyzed unit).
+	Unknown int
+}
+
+// Devirt is the program-scoped pass computing *DevirtFacts. It reports no
+// diagnostics — the bench devirt table and tests consume it.
+var Devirt = &Analyzer{
+	Name:     "devirt",
+	Doc:      "receiver monomorphism stats over event sites (no diagnostics)",
+	Requires: []*Analyzer{PointsTo},
+	ProgramRun: func(p *Pass) (any, error) {
+		pts := p.ResultOf(PointsTo).(*PointsToResult)
+		f := &DevirtFacts{}
+		for _, fn := range p.Prog.Funs {
+			seen := map[*ir.Event]bool{}
+			eachStmt(fn.Body, func(st ir.Stmt) {
+				ev, ok := st.(*ir.Event)
+				if !ok || seen[ev] {
+					return
+				}
+				seen[ev] = true
+				f.EventSites++
+				types := map[string]bool{}
+				for _, site := range pts.VarPointsTo(fn.Name, ev.Recv) {
+					if site >= 0 && int(site) < len(p.Prog.AllocSiteType) {
+						types[p.Prog.AllocSiteType[site]] = true
+					}
+				}
+				switch {
+				case len(types) == 0:
+					f.Unknown++
+				case len(types) == 1:
+					f.Mono++
+				default:
+					f.Poly++
+				}
+			})
+		}
+		return f, nil
+	},
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+)
+
+func demoHierarchy() *Hierarchy {
+	h := NewHierarchy()
+	h.AddInterface("Writer", []string{"WriteIt"})
+	h.AddInterface("Closer", []string{"WriteIt", "CloseIt"})
+	h.AddImpl("FileW", "WriteIt", "FileW_WriteIt")
+	h.AddImpl("FileW", "CloseIt", "FileW_CloseIt")
+	h.AddImpl("NetW", "WriteIt", "NetW_WriteIt")
+	h.AddImpl("DeadW", "WriteIt", "DeadW_WriteIt")
+	h.AddLiveType("FileW")
+	h.AddLiveType("NetW")
+	// DeadW implements Writer but is never allocated: RTA excludes it.
+	return h
+}
+
+func TestHierarchyResolve(t *testing.T) {
+	h := demoHierarchy()
+	got := h.Resolve("Writer", "WriteIt")
+	if len(got) != 2 || got[0] != (Candidate{"FileW", "FileW_WriteIt"}) ||
+		got[1] != (Candidate{"NetW", "NetW_WriteIt"}) {
+		t.Fatalf("Resolve(Writer, WriteIt) = %v", got)
+	}
+	// Closer needs both methods; only FileW's set covers it.
+	if got := h.Resolve("Closer", "CloseIt"); len(got) != 1 || got[0].Func != "FileW_CloseIt" {
+		t.Fatalf("Resolve(Closer, CloseIt) = %v", got)
+	}
+	// Unknown interface, method outside the declared set, unimplemented
+	// method: all must refuse (nil), never guess.
+	for _, bad := range [][2]string{
+		{"Nope", "WriteIt"}, {"Writer", "CloseIt"}, {"Writer", "FlushIt"},
+	} {
+		if got := h.Resolve(bad[0], bad[1]); got != nil {
+			t.Errorf("Resolve(%s, %s) = %v, want nil", bad[0], bad[1], got)
+		}
+	}
+	if h.Implements("NetW", "Closer") {
+		t.Error("NetW lacks CloseIt; it must not implement Closer")
+	}
+	if got := h.LiveImplementers("Writer"); len(got) != 2 || got[0] != "FileW" || got[1] != "NetW" {
+		t.Fatalf("LiveImplementers(Writer) = %v", got)
+	}
+}
+
+func TestHierarchyRedeclareReplaces(t *testing.T) {
+	h := demoHierarchy()
+	h.AddInterface("Writer", []string{"WriteIt", "CloseIt"})
+	// After narrowing Writer's method set, NetW no longer qualifies.
+	if got := h.Resolve("Writer", "WriteIt"); len(got) != 1 || got[0].Type != "FileW" {
+		t.Fatalf("Resolve after redeclare = %v", got)
+	}
+}
+
+func TestDevirtFactsPass(t *testing.T) {
+	p := lower(t, `
+type A;
+type B;
+
+fun ghost(x: A) {
+  x.use();
+  return;
+}
+
+fun main() {
+  var a: A = new A();
+  a.use();
+  var m: A = new A();
+  if (input() > 0) {
+    m = new B();
+  }
+  m.use();
+  return;
+}`)
+	res, err := Run(p, []*Analyzer{PointsTo, Devirt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.ProgramFactsOf(Devirt).(*DevirtFacts)
+	// a.use() is monomorphic (one A site); m.use() spans A and B (poly);
+	// ghost is never called so x has an empty points-to set (unknown).
+	want := DevirtFacts{EventSites: 3, Mono: 1, Poly: 1, Unknown: 1}
+	if *f != want {
+		t.Fatalf("DevirtFacts = %+v, want %+v", *f, want)
+	}
+}
+
+// FuzzDevirt fuzzes the hierarchy soundness contract: however interfaces,
+// implementations, and allocations are arranged, a live concrete type whose
+// method set covers an interface must appear in Resolve for every method of
+// that interface. A devirtualizer missing a concrete target would silently
+// drop real behavior from the analyzed program, which is the one failure
+// mode the frontend must never have.
+func FuzzDevirt(f *testing.F) {
+	f.Add(uint16(0x0003), uint16(0x0001), uint16(0x0007), uint8(3))
+	f.Add(uint16(0xffff), uint16(0xffff), uint16(0xffff), uint8(15))
+	f.Add(uint16(0x0101), uint16(0x1010), uint16(0x0110), uint8(7))
+	f.Fuzz(func(t *testing.T, ifaceBits, implBits, liveBits uint16, nMethods uint8) {
+		// Four interfaces over up to 16 methods, four concrete types whose
+		// method sets are carved out of implBits, liveness from liveBits.
+		methods := int(nMethods%16) + 1
+		h := NewHierarchy()
+		ifaces := make([][]string, 4)
+		for i := 0; i < 4; i++ {
+			var set []string
+			for m := 0; m < methods; m++ {
+				if ifaceBits>>(uint(i*4+m)%16)&1 == 1 {
+					set = append(set, fmt.Sprintf("m%d", m))
+				}
+			}
+			ifaces[i] = set
+			h.AddInterface(fmt.Sprintf("I%d", i), set)
+		}
+		impl := make([]map[string]bool, 4)
+		for ty := 0; ty < 4; ty++ {
+			impl[ty] = map[string]bool{}
+			for m := 0; m < methods; m++ {
+				if implBits>>(uint(ty*4+m)%16)&1 == 1 {
+					name := fmt.Sprintf("m%d", m)
+					impl[ty][name] = true
+					h.AddImpl(fmt.Sprintf("T%d", ty), name, fmt.Sprintf("T%d_%s", ty, name))
+				}
+			}
+		}
+		live := make([]bool, 4)
+		for ty := 0; ty < 4; ty++ {
+			if liveBits>>uint(ty)&1 == 1 {
+				live[ty] = true
+				h.AddLiveType(fmt.Sprintf("T%d", ty))
+			}
+		}
+		for i, set := range ifaces {
+			iface := fmt.Sprintf("I%d", i)
+			for ty := 0; ty < 4; ty++ {
+				covers := true
+				for _, m := range set {
+					covers = covers && impl[ty][m]
+				}
+				if !covers || !live[ty] {
+					continue
+				}
+				typ := fmt.Sprintf("T%d", ty)
+				// Soundness: T must be a candidate for every method of I.
+				for _, m := range set {
+					found := false
+					for _, c := range h.Resolve(iface, m) {
+						if c.Type == typ {
+							if want := fmt.Sprintf("%s_%s", typ, m); c.Func != want {
+								t.Fatalf("Resolve(%s,%s) maps %s to %s, want %s",
+									iface, m, typ, c.Func, want)
+							}
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("live implementer %s missing from Resolve(%s, %s)", typ, iface, m)
+					}
+				}
+			}
+			// Precision spot-check: dead or non-covering types never appear.
+			for _, m := range set {
+				for _, c := range h.Resolve(iface, m) {
+					var ty int
+					fmt.Sscanf(c.Type, "T%d", &ty)
+					if !live[ty] {
+						t.Fatalf("dead type %s in Resolve(%s, %s)", c.Type, iface, m)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// MHP-lite: a flow-insensitive may-happen-in-parallel and goroutine-escape
+// analysis over spawn-marked calls (lowered `go` statements).
+//
+// The model is deliberately coarse — the paper's engine is sequential, so
+// anything a spawned task does is over-approximated by "its body runs at the
+// spawn statement" (the lowering already encodes that). What sequential
+// over-approximation loses is *sharing*: an object reachable both from the
+// spawner and from a spawned task has two owners whose operations interleave
+// arbitrarily. This pass recovers exactly that relation:
+//
+//   - Spawned: every function that may execute on a spawned task (spawn
+//     targets plus their transitive callees) — these may happen in parallel
+//     with any code after the spawn.
+//   - SharedSites: allocation sites reachable from a spawn call's object
+//     arguments (field-closed via the points-to solution) — the
+//     goroutine-shared heap.
+//
+// Consumers: the checker widens typestate verdicts on shared sites (their
+// lifetime continues on the spawned task, so "still open at exit" is not
+// evidence of a leak), and the GR001/GR002 lint rules read the sharing
+// relation directly.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/grapple-system/grapple/internal/callgraph"
+	"github.com/grapple-system/grapple/internal/ir"
+)
+
+// MHPFacts is the result of the MHP pass.
+type MHPFacts struct {
+	// SpawnCount is the number of spawn statements in the program; zero
+	// means the whole pass (and every rule gated on it) is inert.
+	SpawnCount int
+	// Spawned maps each function that may run on a spawned task to true.
+	Spawned map[string]bool
+	// SharedSites holds the allocation sites that may be reachable from a
+	// spawned task's arguments — the goroutine-shared heap.
+	SharedSites map[int32]bool
+}
+
+// MayRunInParallel reports whether fn's body may execute concurrently with
+// its caller's continuation (i.e. fn is reachable from a spawn target).
+func (m *MHPFacts) MayRunInParallel(fn string) bool { return m.Spawned[fn] }
+
+// SharedSiteList returns the shared sites in ascending order (for stable
+// diagnostics and bench tables).
+func (m *MHPFacts) SharedSiteList() []int32 {
+	out := make([]int32, 0, len(m.SharedSites))
+	for s := range m.SharedSites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ComputeMHP builds the MHP facts from a points-to solution and call graph;
+// the MHP analyzer wraps it, and the checker calls it directly (its pipeline
+// runs outside the pass manager).
+func ComputeMHP(pts *PointsToResult, cg *callgraph.Graph) *MHPFacts {
+	m := &MHPFacts{
+		Spawned:     map[string]bool{},
+		SharedSites: map[int32]bool{},
+	}
+	var targets []string
+	for fn, spawns := range cg.SpawnSites {
+		m.SpawnCount += len(spawns)
+		for _, c := range spawns {
+			targets = append(targets, c.Callee)
+			for _, a := range c.ObjArgs {
+				for _, site := range pts.VarPointsTo(fn, a.Arg) {
+					if site >= 0 {
+						m.SharedSites[site] = true
+					}
+				}
+			}
+		}
+	}
+	if m.SpawnCount == 0 {
+		return m
+	}
+	m.Spawned = cg.Reachable(targets)
+	// Anything a spawned function allocates and publishes via a field of a
+	// shared object is shared too: close SharedSites over fields.
+	pts.fieldClosure(m.SharedSites)
+	return m
+}
+
+// MHP is the program-scoped pass computing the may-happen-in-parallel and
+// goroutine-escape relation; its result is a *MHPFacts. It reports no
+// diagnostics itself — GR001, GR002, and the checker consume it.
+var MHP = &Analyzer{
+	Name:     "mhp",
+	Doc:      "may-happen-in-parallel + goroutine-escape relation over spawn calls (no diagnostics)",
+	Requires: []*Analyzer{PointsTo},
+	ProgramRun: func(p *Pass) (any, error) {
+		pts := p.ResultOf(PointsTo).(*PointsToResult)
+		return ComputeMHP(pts, p.CG), nil
+	},
+}
+
+// spawnSitesOf scans a lowered body for spawn-marked calls (the per-function
+// GR rules use it so their view matches the call graph's).
+func spawnSitesOf(fn *ir.Func) []*ir.Call {
+	var out []*ir.Call
+	eachStmt(fn.Body, func(st ir.Stmt) {
+		if c, ok := st.(*ir.Call); ok && c.Spawn {
+			out = append(out, c)
+		}
+	})
+	return out
+}

@@ -300,20 +300,23 @@ func (r *PointsToResult) Iterations() int { return r.iterations }
 // fresh-return contract states it).
 func (r *PointsToResult) EscapingSites(entries []string) map[int32]bool {
 	out := map[int32]bool{}
-	var work []int32
-	add := func(site int32) {
-		if site >= 0 && !out[site] {
-			out[site] = true
-			work = append(work, site)
-		}
-	}
 	for _, fn := range entries {
 		for site := range r.pts[varKey(fn, retVar)] {
-			add(site)
+			if site >= 0 {
+				out[site] = true
+			}
 		}
 	}
-	// Field closure: anything a reachable object's fields point to is
-	// reachable from the caller too.
+	r.fieldClosure(out)
+	return out
+}
+
+// fieldClosure extends the site set in place with every site reachable from
+// a member through any chain of fields: anything a reachable object's fields
+// point to is reachable from whoever holds the object. Shared by
+// EscapingSites (returned objects) and the MHP pass (goroutine-shared
+// objects).
+func (r *PointsToResult) fieldClosure(out map[int32]bool) {
 	fields := map[int32][]int32{}
 	for k, set := range r.pts {
 		if k.site < 0 {
@@ -325,14 +328,20 @@ func (r *PointsToResult) EscapingSites(entries []string) map[int32]bool {
 			}
 		}
 	}
+	work := make([]int32, 0, len(out))
+	for site := range out {
+		work = append(work, site)
+	}
 	for len(work) > 0 {
 		site := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, s := range fields[site] {
-			add(s)
+			if s >= 0 && !out[s] {
+				out[s] = true
+				work = append(work, s)
+			}
 		}
 	}
-	return out
 }
 
 // pointsIntoSet reports whether (fn, name) may reference any site in the

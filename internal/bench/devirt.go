@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/grapple-system/grapple/internal/analysis"
+	"github.com/grapple-system/grapple/internal/fsm/packs"
+	"github.com/grapple-system/grapple/internal/gofront"
+	"github.com/grapple-system/grapple/internal/ir"
+	"github.com/grapple-system/grapple/internal/lang"
+)
+
+// DevirtRow measures the interface/goroutine precision passes on one Go
+// package: how many interface call sites the devirtualizer resolved, what
+// the passes bought in lowering coverage (havocs with the passes on vs
+// ablated), and what the full lint suite — including the concurrency rules
+// GR001/GR002 — costs on the lowered program.
+type DevirtRow struct {
+	Name        string
+	IfaceCalls  int
+	IfaceDirect int
+	IfaceSplit  int
+	IfaceOpen   int
+	// Resolved is the resolved-call rate (Direct+Split)/Calls, 0 when the
+	// package has no interface call sites.
+	Resolved float64
+	// HavocsOn/HavocsOff are Stats.Havocs with the passes enabled vs with
+	// -nodevirt -nomhp; the delta is coverage the passes recovered.
+	HavocsOn  int
+	HavocsOff int
+	// GRFindings counts GR001/GR002 diagnostics; Findings is the whole
+	// suite's total.
+	GRFindings int
+	Findings   int
+	// LintTime is one analysis.Run over the lowered program with the full
+	// Default() suite (best of three).
+	LintTime time.Duration
+}
+
+// devirtPacks are the packs whose rules drive event recognition for the
+// table's subjects: the resource packs give GR001 something to track, the
+// sync packs give GR002 its guards.
+var devirtPacks = []string{"file-handle", "use-after-release", "mutex", "context-cancel"}
+
+// DevirtTable measures devirtualization and the concurrency lint rules over
+// real Go packages. Each subject is lowered twice — passes on, passes
+// ablated — and the lowered (passes-on) program runs the full lint suite.
+func DevirtTable(goDirs []string) (string, []DevirtRow, error) {
+	var ps []*packs.Pack
+	for _, name := range devirtPacks {
+		p, err := packs.Get(name)
+		if err != nil {
+			return "", nil, err
+		}
+		ps = append(ps, p)
+	}
+	rules := packs.MergedRules(ps)
+
+	var rows []DevirtRow
+	for _, dir := range goDirs {
+		res, err := gofront.LowerPackage(dir, rules)
+		if err != nil {
+			return "", nil, fmt.Errorf("bench: lower %s: %w", dir, err)
+		}
+		abl, err := gofront.LowerPackageWith(dir, rules, gofront.Options{NoDevirt: true, NoMHP: true})
+		if err != nil {
+			return "", nil, fmt.Errorf("bench: lower %s (ablated): %w", dir, err)
+		}
+		info, err := lang.Resolve(res.Prog)
+		if err != nil {
+			return "", nil, fmt.Errorf("bench: resolve %s: %w", dir, err)
+		}
+		prog, err := ir.Lower(info, ir.Options{})
+		if err != nil {
+			return "", nil, fmt.Errorf("bench: ir %s: %w", dir, err)
+		}
+		var lintRes *analysis.Result
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			lr, err := analysis.Run(prog, analysis.Default())
+			elapsed := time.Since(start)
+			if err != nil {
+				return "", nil, fmt.Errorf("bench: lint %s: %w", dir, err)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			lintRes = lr
+		}
+		gr := 0
+		for _, d := range lintRes.Diagnostics {
+			if strings.HasPrefix(d.Code, "GR") {
+				gr++
+			}
+		}
+		st := res.Stats
+		row := DevirtRow{
+			Name:        dir,
+			IfaceCalls:  st.IfaceCalls,
+			IfaceDirect: st.IfaceDirect,
+			IfaceSplit:  st.IfaceSplit,
+			IfaceOpen:   st.IfaceOpen,
+			HavocsOn:    st.Havocs,
+			HavocsOff:   abl.Stats.Havocs,
+			GRFindings:  gr,
+			Findings:    len(lintRes.Diagnostics),
+			LintTime:    best,
+		}
+		if st.IfaceCalls > 0 {
+			row.Resolved = float64(st.IfaceDirect+st.IfaceSplit) / float64(st.IfaceCalls)
+		}
+		rows = append(rows, row)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Devirtualization and concurrency lint: real Go packages\n")
+	sb.WriteString("(rules from the file-handle/use-after-release/mutex/context-cancel packs)\n")
+	sb.WriteString(fmt.Sprintf("%-22s %6s %7s %6s %5s %9s %9s %10s %4s %6s %9s\n",
+		"Subject", "Iface", "Direct", "Split", "Open", "Resolved", "Unlow/on", "Unlow/off", "GR", "Diags", "Lint"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-22s %6d %7d %6d %5d %8.1f%% %9d %10d %4d %6d %9s\n",
+			r.Name, r.IfaceCalls, r.IfaceDirect, r.IfaceSplit, r.IfaceOpen,
+			100*r.Resolved, r.HavocsOn, r.HavocsOff, r.GRFindings, r.Findings, round(r.LintTime)))
+	}
+	return sb.String(), rows, nil
+}

@@ -21,6 +21,9 @@ type Graph struct {
 	Callers map[string][]string
 	// CallSites maps a function name to the Call statements in its body.
 	CallSites map[string][]*ir.Call
+	// SpawnSites maps a function name to the spawn-marked Call statements
+	// in its body (lowered `go` statements). SpawnSites[f] ⊆ CallSites[f].
+	SpawnSites map[string][]*ir.Call
 
 	// SCCs lists strongly connected components; each is a sorted name list.
 	SCCs [][]string
@@ -34,16 +37,20 @@ type Graph struct {
 // Build constructs the call graph and its SCC condensation.
 func Build(p *ir.Program) *Graph {
 	g := &Graph{
-		Prog:      p,
-		Callees:   map[string][]string{},
-		Callers:   map[string][]string{},
-		CallSites: map[string][]*ir.Call{},
-		SCCIndex:  map[string]int{},
+		Prog:       p,
+		Callees:    map[string][]string{},
+		Callers:    map[string][]string{},
+		CallSites:  map[string][]*ir.Call{},
+		SpawnSites: map[string][]*ir.Call{},
+		SCCIndex:   map[string]int{},
 	}
 	for _, fn := range p.Funs {
 		seen := map[string]bool{}
 		collectCalls(fn.Body, func(c *ir.Call) {
 			g.CallSites[fn.Name] = append(g.CallSites[fn.Name], c)
+			if c.Spawn {
+				g.SpawnSites[fn.Name] = append(g.SpawnSites[fn.Name], c)
+			}
 			if !seen[c.Callee] {
 				seen[c.Callee] = true
 				g.Callees[fn.Name] = append(g.Callees[fn.Name], c.Callee)

@@ -485,6 +485,13 @@ func (c *Checker) PrepareIR(ctx context.Context, p *ir.Program) (*Prepared, erro
 			pts = analysis.SolvePointsTo(p, cg)
 		}
 		prep.escaped = pts.EscapingSites(cg.Roots())
+		// Objects shared with a spawned task are co-owned: the goroutine may
+		// still release them after the spawner's exit, so "open at exit" is
+		// not evidence of a leak for them either. Programs without spawn
+		// statements get an empty set and identical verdicts.
+		for site := range analysis.ComputeMHP(pts, cg).SharedSites {
+			prep.escaped[site] = true
+		}
 	}
 	tab := symbolic.NewTable()
 	sp := c.Opts.Trace.Start(c.Opts.TraceTID, "checker", "cfet-build")

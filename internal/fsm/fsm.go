@@ -40,6 +40,12 @@ type FSM struct {
 	trans []map[string]int
 	// events in insertion order (for diagnostics).
 	events []string
+	// safeEvents marks events that are safe to perform on an object shared
+	// with a concurrently running task without external synchronization
+	// (sync.Mutex.Lock, context.CancelFunc invocation, ...). The GR002 lint
+	// rule exempts them; everything else on a goroutine-shared object wants
+	// a dominating guard acquire.
+	safeEvents map[string]bool
 }
 
 // New creates an FSM for the given object type with the given user states;
@@ -135,6 +141,21 @@ func (f *FSM) Events() []string {
 
 // IsAccept reports whether state s is acceptable at exit.
 func (f *FSM) IsAccept(s int) bool { return f.Accept&(1<<uint(s)) != 0 }
+
+// MarkConcurrencySafe declares events safe to perform without external
+// synchronization on an object shared with a spawned task.
+func (f *FSM) MarkConcurrencySafe(events ...string) {
+	if f.safeEvents == nil {
+		f.safeEvents = map[string]bool{}
+	}
+	for _, ev := range events {
+		f.safeEvents[ev] = true
+	}
+}
+
+// IsConcurrencySafe reports whether an event was marked by
+// MarkConcurrencySafe.
+func (f *FSM) IsConcurrencySafe(event string) bool { return f.safeEvents[event] }
 
 // Rel is a transition relation over FSM states: Rel[i] is the bitmask of
 // states reachable from state i. Composing relations is a tiny boolean

@@ -168,6 +168,10 @@ func build() ([]*Pack, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Spawn bindings: a sync.Mutex exists to be shared across goroutines, so
+	// its own events are concurrency-safe by definition — GR002 never asks
+	// for a guard around the guard.
+	mu.MarkConcurrencySafe("lock", "unlock")
 	muRules := gofront.NewRules()
 	muRules.CompositeAllocs["sync.Mutex"] = "sync_Mutex"
 	muRules.CompositeAllocs["sync.RWMutex"] = "sync_Mutex"
@@ -190,6 +194,9 @@ func build() ([]*Pack, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Spawn binding: context.CancelFunc is documented goroutine-safe — the
+	// whole point is cancelling from another goroutine.
+	cc.MarkConcurrencySafe("cancel")
 	ccRules := gofront.NewRules()
 	for _, fn := range []string{"WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause"} {
 		ccRules.FuncAllocs["context."+fn] = gofront.Alloc{Type: "context_CancelFunc", Obj: 1, Err: -1}
@@ -260,5 +267,10 @@ func build() ([]*Pack, error) {
 	})
 
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	// Publish every pack FSM so the lint layer (which cannot import this
+	// package) can derive release and guard alphabets for the pack types.
+	for _, p := range out {
+		fsm.RegisterProperty(p.FSM)
+	}
 	return out, nil
 }

@@ -1,6 +1,10 @@
 package packs
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/fsm"
+)
 
 func TestRegistryBuilds(t *testing.T) {
 	if err := BuildErr(); err != nil {
@@ -80,6 +84,72 @@ func TestMergedRulesCoverAllPacks(t *testing.T) {
 			if _, ok := merged.FuncAllocs[fn]; !ok {
 				t.Errorf("pack %s: merged rules lost alloc %s", p.Name, fn)
 			}
+		}
+	}
+}
+
+// TestDevirtualizedBindingsAgree extends the shared-type contract to what
+// devirtualization exposes. A devirtualized interface call lowers into a
+// path-split over concrete receiver methods, and each arm then maps through
+// a pack's (type, method) -> event binding. Two invariants keep every arm
+// meaningful:
+//
+//  1. every bound event is in its pack FSM's alphabet (an arm must never
+//     emit an event the property cannot step on), and
+//  2. packs tracking the same type agree on which events are
+//     concurrency-safe, so the GR002 exemption set cannot depend on which
+//     pack happened to merge first.
+func TestDevirtualizedBindingsAgree(t *testing.T) {
+	for _, p := range All() {
+		alphabet := map[string]bool{}
+		for _, ev := range p.FSM.Events() {
+			alphabet[ev] = true
+		}
+		for tm, ev := range p.Rules.Events {
+			if tm.Type == p.FSM.Type && !alphabet[ev] {
+				t.Errorf("pack %s: binding %v -> %q is outside the FSM alphabet %v",
+					p.Name, tm, ev, p.FSM.Events())
+			}
+		}
+		for tfm, ev := range p.Rules.FieldEvents {
+			if tfm.Type == p.FSM.Type && !alphabet[ev] {
+				t.Errorf("pack %s: field binding %v -> %q is outside the FSM alphabet",
+					p.Name, tfm, ev)
+			}
+		}
+	}
+	byType := map[string][]*Pack{}
+	for _, p := range All() {
+		byType[p.FSM.Type] = append(byType[p.FSM.Type], p)
+	}
+	for typ, ps := range byType {
+		if len(ps) < 2 {
+			continue
+		}
+		base := ps[0]
+		for _, p := range ps[1:] {
+			for _, ev := range p.FSM.Events() {
+				if base.FSM.IsConcurrencySafe(ev) != p.FSM.IsConcurrencySafe(ev) {
+					t.Errorf("type %s: packs %s/%s disagree on concurrency safety of %q",
+						typ, base.Name, p.Name, ev)
+				}
+			}
+		}
+	}
+}
+
+// TestPacksRegisterProperties asserts every pack FSM reaches the
+// process-wide property registry the GR lint rules read their guard and
+// release alphabets from.
+func TestPacksRegisterProperties(t *testing.T) {
+	known := map[string]bool{}
+	for _, f := range fsm.KnownProperties() {
+		known[f.Name+"/"+f.Type] = true
+	}
+	for _, p := range All() {
+		if !known[p.FSM.Name+"/"+p.FSM.Type] {
+			t.Errorf("pack %s FSM %s/%s not in the property registry",
+				p.Name, p.FSM.Name, p.FSM.Type)
 		}
 	}
 }

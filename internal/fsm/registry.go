@@ -1,0 +1,51 @@
+package fsm
+
+import (
+	"sort"
+	"sync"
+)
+
+// The property registry lets higher layers (the property-pack library)
+// publish their FSMs to consumers that cannot import them directly: the
+// lint rules in internal/analysis derive release/guard alphabets from
+// "every property this process knows about", which is the builtins plus
+// whatever packs registered at init time. Registration is additive and
+// idempotent by (Name, Type).
+
+var (
+	regMu      sync.Mutex
+	registered []*FSM
+)
+
+// RegisterProperty publishes an FSM to the process-wide property registry.
+// Re-registering the same (Name, Type) pair replaces the earlier entry.
+func RegisterProperty(f *FSM) {
+	if f == nil {
+		return
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for i, r := range registered {
+		if r.Name == f.Name && r.Type == f.Type {
+			registered[i] = f
+			return
+		}
+	}
+	registered = append(registered, f)
+}
+
+// KnownProperties returns the builtins plus every registered FSM, sorted by
+// name then type so alphabet derivations are deterministic regardless of
+// registration order.
+func KnownProperties() []*FSM {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := append(Builtins(), registered...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}

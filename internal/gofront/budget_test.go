@@ -1,0 +1,133 @@
+package gofront_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/grapple-system/grapple/internal/gofront"
+)
+
+// updateBudget rewrites testdata/unlowered_budget.json. Regenerate with:
+//
+//	go test ./internal/gofront/ -run TestUnloweredBudget -update
+var updateBudget = flag.Bool("update", false, "rewrite the unlowered budget file")
+
+const budgetPath = "../../testdata/unlowered_budget.json"
+
+// unloweredBudget is the committed lowering-coverage contract: for every
+// corpus snippet and every self-check package, the number of constructs the
+// frontend havocs (PhaseStats.Unlowered) is pinned exactly. A frontend
+// change that loses coverage fails CI until the regression is either fixed
+// or acknowledged by regenerating the file, and a change that gains
+// coverage must bank the improvement the same way.
+type unloweredBudget struct {
+	Subjects map[string]int `json:"subjects"`
+	Total    int            `json:"total"`
+}
+
+// budgetSubjects lowers the whole corpus (files and packages) once and
+// returns name -> Havocs. Package subjects are the self-check targets: the
+// code grapple checks over itself, so the budget tracks real-Go coverage,
+// not just the synthetic corpus.
+func budgetSubjects(t *testing.T) map[string]int {
+	t.Helper()
+	rules := allRules(t)
+	got := map[string]int{}
+
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gofront.LowerSource(string(data), rules)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		got["corpus/"+e.Name()] = res.Stats.Havocs
+	}
+
+	for _, pkg := range []string{"storage", "engine", "trace"} {
+		dir := filepath.Join("..", "..", "internal", pkg)
+		res, err := gofront.LowerPackage(dir, rules)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		got["internal/"+pkg] = res.Stats.Havocs
+
+		// The devirtualization and spawn-lowering passes exist to shrink
+		// the havoc count; with both ablated the count must not go down.
+		abl, err := gofront.LowerPackageWith(dir, rules,
+			gofront.Options{NoDevirt: true, NoMHP: true})
+		if err != nil {
+			t.Fatalf("%s (ablated): %v", pkg, err)
+		}
+		if abl.Stats.Havocs < res.Stats.Havocs {
+			t.Errorf("internal/%s: passes on havocs %d > ablated %d — a pass added havocs",
+				pkg, res.Stats.Havocs, abl.Stats.Havocs)
+		}
+	}
+	return got
+}
+
+func TestUnloweredBudget(t *testing.T) {
+	got := budgetSubjects(t)
+	total := 0
+	for _, n := range got {
+		total += n
+	}
+
+	if *updateBudget {
+		data, err := json.MarshalIndent(unloweredBudget{Subjects: got, Total: total}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(budgetPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (total %d)", budgetPath, total)
+		return
+	}
+
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		t.Fatalf("missing budget file (run with -update): %v", err)
+	}
+	var want unloweredBudget
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	var names []string
+	for n := range got {
+		names = append(names, n)
+	}
+	for n := range want.Subjects {
+		if _, ok := got[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w, inBudget := want.Subjects[n]
+		g, lowered := got[n]
+		switch {
+		case !inBudget:
+			t.Errorf("%s: not in budget file (run with -update)", n)
+		case !lowered:
+			t.Errorf("%s: in budget file but no longer lowered", n)
+		case g != w:
+			t.Errorf("%s: %d unlowered constructs, budget pins %d", n, g, w)
+		}
+	}
+	if total != want.Total {
+		t.Errorf("corpus-wide unlowered total = %d, budget pins %d", total, want.Total)
+	}
+}

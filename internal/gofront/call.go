@@ -165,6 +165,11 @@ func (f *fnLowerer) lowerSelectorCall(call *ast.CallExpr, sel *ast.SelectorExpr,
 		if mm := f.p.methods[typeMethodKey{typ, sel.Sel.Name}]; mm != nil {
 			return f.callLocal(mm, recvExpr, call.Args, nil, pos, out)
 		}
+		// Interface method call on a locally declared interface: resolve
+		// against the package hierarchy instead of havocking.
+		if f.p.hier != nil && f.p.hier.IsInterface(typ) {
+			return f.devirtCall(call, sel.Sel.Name, typ, recvExpr, pos, out)
+		}
 		// Unmapped method on an object: NEVER an event (an incomplete
 		// alphabet must not drive the FSM to its implicit error state).
 		f.evalArgs(call.Args, out)
@@ -222,11 +227,78 @@ func (f *fnLowerer) allocValue(al Alloc, pos lang.Pos, out *[]lang.Stmt) lang.Ex
 	return &lang.Ident{Name: objName, Pos: pos}
 }
 
-// callLocal builds a MiniLang call to a lowered function/method/closure.
-// recvExpr is non-nil for method calls; clo carries capture bindings for
-// closure calls (captures resolve to the caller's CURRENT variables, a
-// by-reference approximation evaluated at call time).
+// maxDevirtSplit bounds path-split dispatch: beyond this many candidates the
+// duplicated branch bodies cost more than the havoc they avoid.
+const maxDevirtSplit = 3
+
+// devirtCall lowers an interface method call using the package hierarchy:
+// a singleton candidate set becomes a direct call, a small set becomes an
+// opaque if/else dispatch over the candidates (each path calls exactly one
+// implementation, so path-sensitive downstream analyses see every possible
+// event sequence), and anything else havocs exactly as before.
+func (f *fnLowerer) devirtCall(call *ast.CallExpr, method, iface string, recvExpr lang.Expr, pos lang.Pos, out *[]lang.Stmt) (lang.Expr, string) {
+	st := &f.p.res.Stats
+	st.IfaceCalls++
+	cands := f.p.hier.Resolve(iface, method)
+	metas := make([]*funcMeta, 0, len(cands))
+	for _, c := range cands {
+		if mm := f.p.methods[typeMethodKey{c.Type, method}]; mm != nil {
+			metas = append(metas, mm)
+		} else {
+			metas = nil // a target we cannot lower: dispatch would be unsound
+			break
+		}
+	}
+	switch {
+	case len(metas) == 1:
+		st.IfaceDirect++
+		return f.callLocal(metas[0], recvExpr, call.Args, nil, pos, out)
+	case len(metas) >= 2 && len(metas) <= maxDevirtSplit:
+		st.IfaceSplit++
+		recv := f.materialize(recvExpr, iface, pos, out)
+		branch := func(mm *funcMeta) []lang.Stmt {
+			var sub []lang.Stmt
+			ce, cat := f.callLocal(mm, &lang.Ident{Name: recv.Name, Pos: pos}, call.Args, nil, pos, &sub)
+			if cat != "" {
+				sub = append(sub, &lang.ExprStmt{X: ce, Pos: pos})
+			}
+			return sub
+		}
+		cur := branch(metas[len(metas)-1])
+		for i := len(metas) - 2; i >= 0; i-- {
+			cur = []lang.Stmt{&lang.IfStmt{Cond: opaqueBool(pos), Then: branch(metas[i]), Else: cur, Pos: pos}}
+		}
+		*out = append(*out, cur...)
+		// The per-path return values are unrecoverable from statement
+		// position; callers bind an opaque value of their expected category.
+		return nil, ""
+	default:
+		st.IfaceOpen++
+		f.evalArgs(call.Args, out)
+		f.havoc("ext-method")
+		return nil, ""
+	}
+}
+
+// callLocal builds a MiniLang call to a lowered function/method/closure and
+// places it: void calls are emitted as statements, value-producing calls are
+// returned as expressions. recvExpr is non-nil for method calls; clo carries
+// capture bindings for closure calls (captures resolve to the caller's
+// CURRENT variables, a by-reference approximation evaluated at call time).
 func (f *fnLowerer) callLocal(meta *funcMeta, recvExpr lang.Expr, goArgs []ast.Expr, clo *closureBinding, pos lang.Pos, out *[]lang.Stmt) (lang.Expr, string) {
+	callExpr, cat := f.buildLocalCall(meta, recvExpr, goArgs, clo, pos, out)
+	if cat == "" {
+		*out = append(*out, &lang.ExprStmt{X: callExpr, Pos: pos})
+		return nil, ""
+	}
+	return callExpr, cat
+}
+
+// buildLocalCall lowers receiver, arguments, and captures, returning the
+// bare CallExpr without emitting it (the category is "" for void callees).
+// Spawn lowering needs the unemitted form to wrap in a MiniLang spawn
+// statement.
+func (f *fnLowerer) buildLocalCall(meta *funcMeta, recvExpr lang.Expr, goArgs []ast.Expr, clo *closureBinding, pos lang.Pos, out *[]lang.Stmt) (*lang.CallExpr, string) {
 	// Tuple-forwarding call g(h()) where h is multi-result: argument values
 	// are unrecoverable; evaluate for effect and havoc the parameters.
 	forwarded := len(goArgs) == 1 && meta.nGoArgs > 1 && hasCall(goArgs[0])
@@ -274,12 +346,7 @@ func (f *fnLowerer) callLocal(meta *funcMeta, recvExpr lang.Expr, goArgs []ast.E
 			args = append(args, zeroFor(meta.params[pi].Type, pos))
 		}
 	}
-	callExpr := &lang.CallExpr{Name: meta.name, Args: args, Pos: pos}
-	if meta.retType == "" {
-		*out = append(*out, &lang.ExprStmt{X: callExpr, Pos: pos})
-		return nil, ""
-	}
-	return callExpr, meta.retType
+	return &lang.CallExpr{Name: meta.name, Args: args, Pos: pos}, meta.retType
 }
 
 func zeroFor(cat string, pos lang.Pos) lang.Expr {

@@ -404,6 +404,13 @@ func (f *fnLowerer) lowerBool(e ast.Expr, out *[]lang.Stmt) lang.Expr {
 		}
 		switch cat {
 		case "bool":
+			if _, isCall := expr.(*lang.CallExpr); isCall {
+				// The IR has no bool-valued call form: run the call for
+				// its effects (the callee's events stay on the path) and
+				// branch on a fresh opaque bool.
+				*out = append(*out, &lang.ExprStmt{X: expr, Pos: pos})
+				return opaqueBool(pos)
+			}
 			return expr
 		case "int":
 			// Int-valued call in a bool slot: compare against zero so the

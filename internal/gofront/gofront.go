@@ -32,6 +32,19 @@ import (
 	"github.com/grapple-system/grapple/internal/lang"
 )
 
+// Options toggles the optional precision passes of the lowering. The zero
+// value enables everything; the ablation flags exist so `grapple run
+// -nodevirt -nomhp` reproduces the pre-pass lowering byte-for-byte.
+type Options struct {
+	// NoDevirt disables interface devirtualization: interface method calls
+	// havoc ("ext-method") instead of resolving against the package's type
+	// hierarchy.
+	NoDevirt bool
+	// NoMHP disables spawn lowering: `go` statements havoc ("go-stmt") and
+	// inline the callee body instead of producing MiniLang spawn statements.
+	NoMHP bool
+}
+
 // Stats reports what the lowering covered and what it over-approximated.
 type Stats struct {
 	// Functions is the number of Go functions and methods lowered
@@ -46,6 +59,19 @@ type Stats struct {
 	// TypeErrors is how many diagnostics the lenient go/types pass
 	// produced (imports are unresolved by design, so nonzero is normal).
 	TypeErrors int
+
+	// IfaceCalls counts interface method call sites the devirtualizer
+	// examined; the next three partition it by outcome.
+	IfaceCalls int
+	// IfaceDirect: exactly one live implementation — lowered to a direct
+	// call.
+	IfaceDirect int
+	// IfaceSplit: a small candidate set — lowered to an opaque path-split
+	// dispatch over the candidates.
+	IfaceSplit int
+	// IfaceOpen: unresolvable (no live implementer, too many, or an
+	// unlowerable target) — havocked as before.
+	IfaceOpen int
 }
 
 func (s *Stats) havoc(kind string) {
@@ -110,17 +136,29 @@ func PackageFiles(dir string) ([]string, error) {
 	return out, nil
 }
 
-// LowerPackage parses and lowers every non-test .go file of dir.
+// LowerPackage parses and lowers every non-test .go file of dir with
+// default options (all precision passes on).
 func LowerPackage(dir string, rules *Rules) (*Result, error) {
+	return LowerPackageWith(dir, rules, Options{})
+}
+
+// LowerPackageWith is LowerPackage with explicit options.
+func LowerPackageWith(dir string, rules *Rules, opts Options) (*Result, error) {
 	files, err := PackageFiles(dir)
 	if err != nil {
 		return nil, err
 	}
-	return LowerFiles(files, rules)
+	return LowerFilesWith(files, rules, opts)
 }
 
-// LowerFiles parses and lowers the given Go files as one package.
+// LowerFiles parses and lowers the given Go files as one package with
+// default options.
 func LowerFiles(paths []string, rules *Rules) (*Result, error) {
+	return LowerFilesWith(paths, rules, Options{})
+}
+
+// LowerFilesWith is LowerFiles with explicit options.
+func LowerFilesWith(paths []string, rules *Rules, opts Options) (*Result, error) {
 	fset := token.NewFileSet()
 	named := make([]namedFile, 0, len(paths))
 	for _, path := range paths {
@@ -130,17 +168,23 @@ func LowerFiles(paths []string, rules *Rules) (*Result, error) {
 		}
 		named = append(named, namedFile{name: path, ast: f})
 	}
-	return lower(fset, named, rules)
+	return lower(fset, named, rules, opts)
 }
 
-// LowerSource lowers a single Go source string (tests, fuzzing).
+// LowerSource lowers a single Go source string (tests, fuzzing) with
+// default options.
 func LowerSource(src string, rules *Rules) (*Result, error) {
+	return LowerSourceWith(src, rules, Options{})
+}
+
+// LowerSourceWith is LowerSource with explicit options.
+func LowerSourceWith(src string, rules *Rules, opts Options) (*Result, error) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "input.go", src, parser.SkipObjectResolution)
 	if err != nil {
 		return nil, fmt.Errorf("gofront: %w", err)
 	}
-	return lower(fset, []namedFile{{name: "input.go", ast: f}}, rules)
+	return lower(fset, []namedFile{{name: "input.go", ast: f}}, rules, opts)
 }
 
 type namedFile struct {
@@ -148,7 +192,7 @@ type namedFile struct {
 	ast  *ast.File
 }
 
-func lower(fset *token.FileSet, files []namedFile, rules *Rules) (*Result, error) {
+func lower(fset *token.FileSet, files []namedFile, rules *Rules, opts Options) (*Result, error) {
 	if rules == nil {
 		rules = NewRules()
 	}
@@ -157,6 +201,7 @@ func lower(fset *token.FileSet, files []namedFile, rules *Rules) (*Result, error
 		fset:      fset,
 		files:     files,
 		rules:     rules,
+		opts:      opts,
 		res:       res,
 		spanOf:    map[string]int{},
 		localType: map[string]ast.Expr{},
@@ -168,6 +213,9 @@ func lower(fset *token.FileSet, files []namedFile, rules *Rules) (*Result, error
 	p.buildSpans()
 	p.typeCheck()
 	p.collect()
+	if !opts.NoDevirt {
+		p.buildHierarchy()
+	}
 	for _, nf := range files {
 		imp := importsOf(nf.ast)
 		for _, d := range nf.ast.Decls {

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"strings"
 
+	"github.com/grapple-system/grapple/internal/analysis"
 	"github.com/grapple-system/grapple/internal/lang"
 )
 
@@ -29,8 +30,12 @@ type pkgLowerer struct {
 	fset  *token.FileSet
 	files []namedFile
 	rules *Rules
+	opts  Options
 	res   *Result
 	info  *types.Info
+	// hier is the package's interface/implementation hierarchy (CHA narrowed
+	// to allocated types); nil when devirtualization is off.
+	hier *analysis.Hierarchy
 
 	spanOf       map[string]int                 // filename -> combined line offset
 	localType    map[string]ast.Expr            // local named type -> definition
@@ -88,7 +93,7 @@ var miniKeywords = map[string]bool{
 	"fun": true, "var": true, "if": true, "else": true, "while": true,
 	"return": true, "new": true, "null": true, "true": true, "false": true,
 	"try": true, "catch": true, "throw": true, "type": true, "input": true,
-	"int": true, "bool": true,
+	"int": true, "bool": true, "spawn": true,
 }
 
 // sanitizeName makes an arbitrary Go identifier or type spelling a valid
@@ -350,6 +355,86 @@ func (p *pkgLowerer) collect() {
 			p.collectFunc(fd, imp)
 		}
 	}
+}
+
+// buildHierarchy assembles the devirtualization fact base after collect():
+// interface method sets from local interface declarations (CHA), concrete
+// implementations from the package's method map, and liveness from the
+// syntactic allocation forms a local struct value can be born through —
+// composite literals, new(T), and zero-value var declarations (RTA).
+// Liveness deliberately over-approximates (a spurious live type only widens
+// a dispatch split); it must never under-approximate, or a real dynamic
+// target would be dropped (the FuzzDevirt soundness contract).
+func (p *pkgLowerer) buildHierarchy() {
+	h := analysis.NewHierarchy()
+	declared := false
+	for name, def := range p.localType {
+		it, ok := def.(*ast.InterfaceType)
+		if !ok || it.Methods == nil {
+			continue
+		}
+		var methods []string
+		pure := true
+		for _, fl := range it.Methods.List {
+			if len(fl.Names) == 0 {
+				pure = false // embedded interface or type-set term
+				break
+			}
+			for _, n := range fl.Names {
+				methods = append(methods, n.Name)
+			}
+		}
+		// Interfaces with embedded entries keep havocking: the declared
+		// method subset would admit candidate types that cannot satisfy the
+		// full contract, and the split would be noise.
+		if !pure || len(methods) == 0 {
+			continue
+		}
+		h.AddInterface(sanitizeName(name), methods)
+		declared = true
+	}
+	if !declared {
+		return // no devirtualizable interfaces; keep hier nil
+	}
+	for key, meta := range p.methods {
+		h.AddImpl(key.typ, key.method, meta.name)
+	}
+	var markLive func(e ast.Expr)
+	markLive = func(e ast.Expr) {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			markLive(t.X)
+		case *ast.StarExpr:
+			markLive(t.X)
+		case *ast.ArrayType:
+			markLive(t.Elt)
+		case *ast.MapType:
+			markLive(t.Key)
+			markLive(t.Value)
+		case *ast.Ident:
+			h.AddLiveType(sanitizeName(t.Name))
+		}
+	}
+	for _, nf := range p.files {
+		ast.Inspect(nf.ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if n.Type != nil {
+					markLive(n.Type)
+				}
+			case *ast.CallExpr:
+				if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					markLive(n.Args[0])
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					markLive(n.Type)
+				}
+			}
+			return true
+		})
+	}
+	p.hier = h
 }
 
 func (p *pkgLowerer) collectFunc(fd *ast.FuncDecl, imp map[string]string) {

@@ -39,10 +39,7 @@ func (f *fnLowerer) stmt(s ast.Stmt, out *[]lang.Stmt) {
 	case *ast.DeferStmt:
 		f.deferStmt(s, out)
 	case *ast.GoStmt:
-		// The goroutine body's effects happen "sometime"; modeling it as an
-		// immediate call keeps its events visible to the checker.
-		f.havoc("go-stmt")
-		f.lowerCall(s.Call, "void", out)
+		f.goStmt(s, out)
 	case *ast.IncDecStmt:
 		f.incDec(s, out)
 	case *ast.BranchStmt:
@@ -57,6 +54,34 @@ func (f *fnLowerer) stmt(s ast.Stmt, out *[]lang.Stmt) {
 	default:
 		f.havoc("stmt")
 	}
+}
+
+// goStmt lowers a `go` statement. When the spawned call resolves to a
+// lowered function, method, or function literal, it becomes a MiniLang spawn
+// statement — arguments are evaluated at the spawn site (Go's semantics) and
+// the callee body is marked as running on a concurrent task, which feeds the
+// MHP pass. Unresolvable targets (external functions, func values) keep the
+// old behavior: havoc plus an immediate call, so the body's effects stay
+// visible to the checker. -nomhp forces the old behavior everywhere.
+func (f *fnLowerer) goStmt(s *ast.GoStmt, out *[]lang.Stmt) {
+	pos := f.pos(s)
+	if !f.p.opts.NoMHP {
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			clo := f.liftClosure(lit, "go")
+			ce, _ := f.buildLocalCall(clo.meta, nil, s.Call.Args, clo, pos, out)
+			*out = append(*out, &lang.SpawnStmt{Call: ce, Pos: pos})
+			return
+		}
+		if meta, clo, recvExpr, ok := f.matchLocalCall(s.Call, out); ok {
+			ce, _ := f.buildLocalCall(meta, recvExpr, s.Call.Args, clo, pos, out)
+			*out = append(*out, &lang.SpawnStmt{Call: ce, Pos: pos})
+			return
+		}
+	}
+	// The goroutine body's effects happen "sometime"; modeling it as an
+	// immediate call keeps its events visible to the checker.
+	f.havoc("go-stmt")
+	f.lowerCall(s.Call, "void", out)
 }
 
 func branchKind(t token.Token) string {

@@ -239,7 +239,14 @@ type Call struct {
 	ObjArgs []ArgPair
 	IntArgs []IntArg
 	Site    int32 // global call-site ID (also the ICFET call-edge ID)
-	Pos     lang.Pos
+	// Spawn marks the call as starting a concurrent task ("spawn f(x);",
+	// a lowered `go` statement). The downstream pipeline treats spawn
+	// calls exactly like ordinary calls — the over-approximation "callee
+	// body runs here" covers every interleaving of a flow-insensitive
+	// abstraction — while the MHP pass reads the flag to compute the
+	// may-happen-in-parallel relation.
+	Spawn bool
+	Pos   lang.Pos
 }
 
 // ArgPair binds an object argument to a formal parameter.

@@ -161,6 +161,13 @@ func (lo *lowerer) lowerStmt(s lang.Stmt, out *Block) error {
 			return nil
 		}
 		return fmt.Errorf("%s: bad expression statement", s.Pos)
+	case *lang.SpawnStmt:
+		c, err := lo.lowerCall(s.Call, "", out)
+		if err != nil {
+			return err
+		}
+		c.Spawn = true
+		return nil
 	case *lang.IfStmt:
 		thenB, elseB := &Block{}, &Block{}
 		if err := lo.lowerStmts(s.Then, thenB); err != nil {

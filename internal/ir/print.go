@@ -69,7 +69,11 @@ func dumpBlock(b *strings.Builder, blk *Block, depth int) {
 			for _, a := range s.IntArgs {
 				args = append(args, a.Arg.String()+"->"+a.Formal)
 			}
-			fmt.Fprintf(b, "%s%scall %s(%s) [site %d]\n", ind, dst, s.Callee, strings.Join(args, ", "), s.Site)
+			kw := "call"
+			if s.Spawn {
+				kw = "spawn"
+			}
+			fmt.Fprintf(b, "%s%s%s %s(%s) [site %d]\n", ind, dst, kw, s.Callee, strings.Join(args, ", "), s.Site)
 		case *Event:
 			dst := ""
 			if s.Dst != "" {

@@ -63,6 +63,15 @@ type ExprStmt struct {
 	Pos Pos
 }
 
+// SpawnStmt runs a function call on a new concurrent task ("spawn f(x);",
+// the MiniLang rendering of a Go `go` statement). The call's result, if
+// any, is discarded; the callee body runs, in an unknown interleaving,
+// after the statement.
+type SpawnStmt struct {
+	Call *CallExpr
+	Pos  Pos
+}
+
 // IfStmt is a two-way branch; Else may be empty.
 type IfStmt struct {
 	Cond Expr
@@ -102,6 +111,7 @@ type TryStmt struct {
 func (s *VarDecl) stmtPos() Pos    { return s.Pos }
 func (s *AssignStmt) stmtPos() Pos { return s.Pos }
 func (s *ExprStmt) stmtPos() Pos   { return s.Pos }
+func (s *SpawnStmt) stmtPos() Pos  { return s.Pos }
 func (s *IfStmt) stmtPos() Pos     { return s.Pos }
 func (s *WhileStmt) stmtPos() Pos  { return s.Pos }
 func (s *ReturnStmt) stmtPos() Pos { return s.Pos }

@@ -276,6 +276,21 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		}
 		return &TryStmt{Try: try, CatchVar: cv.Text, CatchType: catchType, Catch: catch, Pos: t.Pos}, nil
 
+	case KwSpawn:
+		p.next()
+		x, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		call, ok := x.(*CallExpr)
+		if !ok {
+			return nil, fmt.Errorf("%s: spawn requires a function call", t.Pos)
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &SpawnStmt{Call: call, Pos: t.Pos}, nil
+
 	case IDENT:
 		// assignment or expression statement
 		x, err := p.parsePrimary()

@@ -56,6 +56,8 @@ func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
 			fmt.Fprintf(b, "%s%s = %s;\n", ind, FormatExpr(s.LHS), FormatExpr(s.RHS))
 		case *ExprStmt:
 			fmt.Fprintf(b, "%s%s;\n", ind, FormatExpr(s.X))
+		case *SpawnStmt:
+			fmt.Fprintf(b, "%sspawn %s;\n", ind, FormatExpr(s.Call))
 		case *IfStmt:
 			fmt.Fprintf(b, "%sif (%s) {\n", ind, FormatExpr(s.Cond))
 			formatStmts(b, s.Then, depth+1)

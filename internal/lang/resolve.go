@@ -136,6 +136,11 @@ func (r *resolver) stmt(s Stmt) error {
 	case *ExprStmt:
 		_, err := r.expr(s.X)
 		return err
+	case *SpawnStmt:
+		// The spawned call type-checks exactly like a call statement; its
+		// result (if any) is discarded on the spawning side.
+		_, err := r.expr(s.Call)
+		return err
 	case *IfStmt:
 		ct, err := r.expr(s.Cond)
 		if err != nil {

@@ -32,6 +32,7 @@ const (
 	KwThrow
 	KwType
 	KwInput
+	KwSpawn
 	// punctuation & operators
 	LParen
 	RParen
@@ -61,7 +62,7 @@ var kindNames = map[Kind]string{
 	KwFun: "fun", KwVar: "var", KwIf: "if", KwElse: "else", KwWhile: "while",
 	KwReturn: "return", KwNew: "new", KwNull: "null", KwTrue: "true",
 	KwFalse: "false", KwTry: "try", KwCatch: "catch", KwThrow: "throw",
-	KwType: "type", KwInput: "input",
+	KwType: "type", KwInput: "input", KwSpawn: "spawn",
 	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", Semi: ";",
 	Colon: ":", Comma: ",", Dot: ".", Assign: "=", Plus: "+", Minus: "-",
 	Star: "*", Not: "!", AndAnd: "&&", OrOr: "||", EqEq: "==", NotEq: "!=",
@@ -79,7 +80,7 @@ var keywords = map[string]Kind{
 	"fun": KwFun, "var": KwVar, "if": KwIf, "else": KwElse, "while": KwWhile,
 	"return": KwReturn, "new": KwNew, "null": KwNull, "true": KwTrue,
 	"false": KwFalse, "try": KwTry, "catch": KwCatch, "throw": KwThrow,
-	"type": KwType, "input": KwInput,
+	"type": KwType, "input": KwInput, "spawn": KwSpawn,
 }
 
 // Pos is a source position (1-based line and column).

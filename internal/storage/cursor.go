@@ -81,6 +81,27 @@ func (c *blockCursor) uvarint(what string) (uint64, error) {
 	return v, nil
 }
 
+// decodeBlock resets the cursor onto a CRC-verified payload and decodes
+// count records into dst, returning the grown slice and the index of the
+// record that failed (count on success or when the failure is slack bytes
+// after the last record — query remaining() for their number). On error the
+// original dst is still what the caller holds; the partially grown copy is
+// simply dropped.
+func (c *blockCursor) decodeBlock(payload []byte, count uint32, dst []Edge) ([]Edge, uint32, error) {
+	c.reset(payload)
+	for i := uint32(0); i < count; i++ {
+		var e Edge
+		if err := c.decodeRecord(&e); err != nil {
+			return dst, i, err
+		}
+		dst = append(dst, e)
+	}
+	if c.remaining() != 0 {
+		return dst, count, c.corrupt("%d bytes of slack after %d records", c.remaining(), count)
+	}
+	return dst, count, nil
+}
+
 // decodeRecord deserializes one v2 record at the cursor, the zero-copy
 // mirror of decodeRecord(r, e, true). Every failure wraps ErrCorrupt.
 func (c *blockCursor) decodeRecord(e *Edge) error {

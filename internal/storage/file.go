@@ -426,18 +426,15 @@ func readV2(path string, r *bufio.Reader, dst []Edge, opt ReadOptions) ([]Edge, 
 					gotBlocks, br.Len(), count)
 			}
 		} else {
-			cur.reset(payload)
-			for i := uint32(0); i < count; i++ {
-				var e Edge
-				if err := cur.decodeRecord(&e); err != nil {
-					return nil, info, bytesRead, corruptf(path, "block %d record %d: %v", gotBlocks, i, err)
+			grown, rec, err := cur.decodeBlock(payload, count, dst)
+			if err != nil {
+				if rec < count {
+					return nil, info, bytesRead, corruptf(path, "block %d record %d: %v", gotBlocks, rec, err)
 				}
-				dst = append(dst, e)
-			}
-			if cur.remaining() != 0 {
 				return nil, info, bytesRead, corruptf(path, "block %d: %d bytes of slack after %d records",
 					gotBlocks, cur.remaining(), count)
 			}
+			dst = grown
 		}
 		bytesRead += int64(blockHeaderSize) + int64(plen)
 		gotEdges += uint64(count)
@@ -477,11 +474,11 @@ func ReadPartPrefix(path string, n int64) (edges []Edge, info PartInfo, exact bo
 	if err != nil {
 		return nil, PartInfo{}, false, err
 	}
+	var cur blockCursor // zero-copy decode, same arena reuse as readV2
 	var gotEdges uint64
 	var gotBlocks uint32
 	var payload []byte
 	clean := false // a valid trailer matching the decoded counts, then EOF
-scan:
 	for {
 		var tag [4]byte
 		if _, err := io.ReadFull(r, tag[:]); err != nil {
@@ -522,19 +519,11 @@ scan:
 		if crc32.ChecksumIEEE(payload) != wantCRC {
 			break
 		}
-		br := bytes.NewReader(payload)
-		blockEdges := edges
-		for i := uint32(0); i < count; i++ {
-			var e Edge
-			if err := decodeRecord(br, &e, true); err != nil {
-				break scan // CRC collision on garbage: drop the whole block
-			}
-			blockEdges = append(blockEdges, e)
+		grown, _, err := cur.decodeBlock(payload, count, edges)
+		if err != nil {
+			break // CRC collision on garbage: drop the whole block
 		}
-		if br.Len() != 0 {
-			break
-		}
-		edges = blockEdges
+		edges = grown
 		gotEdges += uint64(count)
 		gotBlocks++
 		// Even once the prefix is satisfied the scan continues: whether the

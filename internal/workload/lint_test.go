@@ -37,14 +37,15 @@ func lintSubject(t *testing.T, s *Subject) []analysis.Diagnostic {
 // found, and nothing else is flagged (zero false positives on generated
 // code).
 func TestLintGroundTruthExact(t *testing.T) {
-	for _, p := range append(Profiles(), MiniProfile()) {
+	for _, p := range append(Profiles(), MiniProfile(), ConcurrencyProfile()) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			s := Generate(p)
 			lkSock, lkIO := p.LeakyCallSplit()
 			wantTotal := p.LintDeadBranches + p.LintUninitReads +
 				p.LintDeadStores + p.LintUnusedAllocs +
-				p.LintNilRets + p.LintDeadParams + lkSock + lkIO
+				p.LintNilRets + p.LintDeadParams + lkSock + lkIO +
+				p.LintGoroutineLeaks + p.LintUnsyncShared
 			if len(s.LintSeeded) != wantTotal {
 				t.Fatalf("manifest has %d entries, knobs promise %d",
 					len(s.LintSeeded), wantTotal)
@@ -82,7 +83,7 @@ func TestLintGroundTruthExact(t *testing.T) {
 
 // TestLintSeedsDeterministic pins the manifest to the profile seed.
 func TestLintSeedsDeterministic(t *testing.T) {
-	p, _ := ProfileByName("zookeeper-sim")
+	p, _ := ProfileByName("concurrency-sim")
 	a, b := Generate(p), Generate(p)
 	if len(a.LintSeeded) != len(b.LintSeeded) {
 		t.Fatal("lint manifest must be deterministic")
@@ -103,7 +104,9 @@ func TestLintSeedsDeterministic(t *testing.T) {
 		counts["UA001"] != p.LintUnusedAllocs ||
 		counts["ND001"] != p.LintNilRets ||
 		counts["DP001"] != p.LintDeadParams ||
-		counts["LK001"] != lkSock+lkIO {
+		counts["LK001"] != lkSock+lkIO ||
+		counts["GR001"] != p.LintGoroutineLeaks ||
+		counts["GR002"] != p.LintUnsyncShared {
 		t.Fatalf("per-code counts %v do not match knobs %+v", counts, p)
 	}
 }

@@ -93,6 +93,13 @@ type Profile struct {
 	// from the socket budget first, then io. The per-checker TP totals are
 	// unchanged; Table 2 still holds.
 	LintLeakyCalls int
+	// Concurrency lint defects (docs/concurrency.md); each instance spawns a
+	// per-instance helper goroutine. These also exercise the checker's
+	// goroutine-sharing widening: the GR001 resource is never released by
+	// anyone, yet seeds NO typestate leak — its lifetime continues on the
+	// spawned task, so reporting it would be a false positive.
+	LintGoroutineLeaks int // resource shared with a goroutine, released by neither side (GR001)
+	LintUnsyncShared   int // unguarded event on a goroutine-shared object (GR002)
 }
 
 // LeakyCallSplit returns how many interprocedural leaky-call patterns the
@@ -173,6 +180,26 @@ func MiniProfile() Profile {
 	}
 }
 
+// ConcurrencyProfile is the goroutine-heavy subject: every worker mixes the
+// classic patterns with spawned tasks, seeding exact GR001/GR002 ground
+// truth. It is not one of the paper's four subjects (the paper's engine is
+// sequential), so Profiles() excludes it and the Table 1/2 goldens are
+// untouched; the concurrency tests select it by name.
+func ConcurrencyProfile() Profile {
+	return Profile{
+		Name: "concurrency-sim", Version: "0.1-sim",
+		Description: "goroutine-sharing subject for the GR rules and checker widening",
+		Seed:        2001, Services: 3, WorkersPerService: 4,
+		IOTP: 2, IOFP: 0, LockTP: 1, LockFP: 0,
+		ExcTP: 4, ExcFP: 1, SockTP: 2, SockFP: 0,
+		CorrectPerBug: 1, FillerStmts: 4,
+		LintDeadBranches: 2, LintUninitReads: 1,
+		LintDeadStores: 1, LintUnusedAllocs: 1,
+		LintNilRets: 1, LintDeadParams: 1, LintLeakyCalls: 1,
+		LintGoroutineLeaks: 4, LintUnsyncShared: 4,
+	}
+}
+
 // ProfileByName returns the named profile.
 func ProfileByName(name string) (Profile, bool) {
 	for _, p := range Profiles() {
@@ -182,6 +209,9 @@ func ProfileByName(name string) (Profile, bool) {
 	}
 	if m := MiniProfile(); m.Name == name {
 		return m, true
+	}
+	if c := ConcurrencyProfile(); c.Name == name {
+		return c, true
 	}
 	return Profile{}, false
 }
@@ -274,6 +304,14 @@ func Generate(p Profile) *Subject {
 			plan = append(plan, dpIgnoredResult)
 		}
 	}
+	for i := 0; i < p.LintGoroutineLeaks; i++ {
+		if i%2 == 0 {
+			plan = append(plan, grGoroutineLeakSock)
+		} else {
+			plan = append(plan, grGoroutineLeakIO)
+		}
+	}
+	addN(p.LintUnsyncShared, grUnsyncShared)
 	correct := []func(b *builder){
 		ioCorrect, ioPathSensitiveSafe, ioHelperClose, lockCorrect,
 		sockCorrect, excHandled, sockCorrectBothPaths,
@@ -780,6 +818,75 @@ func dpIgnoredResult(b *builder) {
 		b.linef("fun %s(): Box {", h)
 		b.linef("  var %s: Box = new Box();", hb)
 		b.linef("  return %s;", hb)
+		b.linef("}")
+		b.linef("")
+	})
+}
+
+// ---- concurrency lint patterns (spawned per-instance helper goroutines) ----
+
+// grGoroutineLeakSock plants the GR001 shape: a socket allocated by the
+// worker is handed to a spawned goroutine and neither side ever closes it.
+// The spawner performs no events on the socket itself, so the pattern stays
+// inert for GR002 even when another pattern puts a guard in scope. It seeds
+// NO typestate entry: the site is goroutine-shared, so the checker's
+// sharing widening must keep the leak report suppressed — any io/socket
+// report here shows up as an unmatched FP in the evaluation.
+func grGoroutineLeakSock(b *builder) {
+	h := b.fresh("shipSock")
+	s := b.fresh("s")
+	b.linef("  var %s: Socket = new Socket();", s)
+	line := b.linef("  spawn %s(%s);", h, s)
+	b.lintSeed(line, "GR001")
+	b.helpers = append(b.helpers, func(b *builder) {
+		b.linef("fun %s(sk: Socket) {", h)
+		b.linef("  sk.bind();")
+		b.linef("  sk.accept();")
+		b.linef("  return;")
+		b.linef("}")
+		b.linef("")
+	})
+}
+
+// grGoroutineLeakIO is the FileWriter variant of grGoroutineLeakSock.
+func grGoroutineLeakIO(b *builder) {
+	h := b.fresh("shipLog")
+	w := b.fresh("w")
+	b.linef("  var %s: FileWriter = new FileWriter();", w)
+	line := b.linef("  spawn %s(%s);", h, w)
+	b.lintSeed(line, "GR001")
+	b.helpers = append(b.helpers, func(b *builder) {
+		b.linef("fun %s(lg: FileWriter) {", h)
+		b.linef("  lg.write();")
+		b.linef("  return;")
+		b.linef("}")
+		b.linef("")
+	})
+}
+
+// grUnsyncShared plants the GR002 shape: a writer shared with a spawned
+// goroutine gets one unguarded write (seeded) and one lock-protected flush
+// (clean); the goroutine closes the writer, so GR001 stays silent (clean
+// ownership transfer) and the sequential typestate walk ends in an
+// accepting state. Every lock pattern in the generator releases its guard
+// before returning, so the seeded write always sits in unguarded territory
+// no matter how patterns are packed into a worker.
+func grUnsyncShared(b *builder) {
+	h := b.fresh("drainLog")
+	l := b.fresh("l")
+	w := b.fresh("w")
+	b.linef("  var %s: Lock = new Lock();", l)
+	b.linef("  var %s: FileWriter = new FileWriter();", w)
+	line := b.linef("  %s.write();", w)
+	b.lintSeed(line, "GR002")
+	b.linef("  %s.lock();", l)
+	b.linef("  %s.flush();", w)
+	b.linef("  %s.unlock();", l)
+	b.linef("  spawn %s(%s);", h, w)
+	b.helpers = append(b.helpers, func(b *builder) {
+		b.linef("fun %s(lg: FileWriter) {", h)
+		b.linef("  lg.close();")
+		b.linef("  return;")
 		b.linef("}")
 		b.linef("")
 	})

@@ -171,3 +171,35 @@ func TestSubjectsFormatRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrencySimEndToEnd runs the goroutine-heavy subject through the
+// full checker. The profile's GR001 resources are never released by anyone,
+// so the only thing standing between them and a spurious leak report is the
+// checker's goroutine-sharing widening — the test therefore demands ZERO
+// unmatched reports, not just a low FP rate, plus the usual seed recall.
+func TestConcurrencySimEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full subject analysis")
+	}
+	p := ConcurrencyProfile()
+	s := Generate(p)
+	c := checker.New(fsm.Builtins(), checker.Options{WorkDir: t.TempDir()})
+	res, err := c.CheckSource(s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := Evaluate(s, res.Reports)
+	tot := tally.Totals()
+	t.Logf("concurrency-sim: TP=%d FP=%d FN=%d (reports=%d, tracked=%d)",
+		tot.TP, tot.FP, tot.FN, len(res.Reports), res.TrackedObjects)
+	if len(tally.UnmatchedReports) != 0 {
+		t.Errorf("unmatched reports (goroutine-sharing widening leak?): %v",
+			tally.UnmatchedReports)
+	}
+	if tot.TP == 0 {
+		t.Fatal("no true positives found")
+	}
+	if tot.FN > 0 {
+		t.Errorf("missed seeds: %v", tally.MissedSeeds)
+	}
+}

@@ -1,0 +1,47 @@
+package subject
+
+// ifaces exercises interface devirtualization: Flusher has one live
+// implementation (direct call), Sink has two (path-split dispatch), and
+// Phantom's only implementer is never allocated (open — RTA excludes it).
+
+type Flusher interface {
+	Flush()
+}
+
+type Sink interface {
+	Put(v int)
+}
+
+type Phantom interface {
+	Vanish()
+}
+
+type DiskSink struct{ n int }
+
+func (d *DiskSink) Put(v int) { d.n += v }
+func (d *DiskSink) Flush()    {}
+
+type NullSink struct{}
+
+func (NullSink) Put(v int) {}
+
+type Ghost struct{}
+
+func (Ghost) Vanish() {}
+
+func drain(s Sink, f Flusher) {
+	s.Put(1)
+	f.Flush()
+}
+
+func vanish(p Phantom) {
+	p.Vanish()
+}
+
+func runIfaces() {
+	d := &DiskSink{}
+	var n NullSink
+	drain(d, d)
+	drain(n, d)
+	vanish(nil)
+}
